@@ -1,0 +1,31 @@
+//! Criterion benchmarks of the two RGB→CIELAB paths: the exact
+//! floating-point pipeline (Eqs. 1–4) and the accelerator's LUT
+//! fixed-point pipeline — quantifying why the hardware chose tables over
+//! `powf`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sslic_color::{float, hw::HwColorConverter};
+use sslic_image::synthetic::SyntheticImage;
+
+fn bench_color(c: &mut Criterion) {
+    let img = SyntheticImage::builder(240, 160).seed(3).regions(8).build().rgb;
+    let conv = HwColorConverter::paper_default();
+
+    let mut group = c.benchmark_group("color_conversion");
+    group.sample_size(20);
+    group.bench_function("float_exact", |b| {
+        b.iter(|| black_box(float::convert_image(black_box(&img))))
+    });
+    group.bench_function("hw_lut_8bit", |b| {
+        b.iter(|| black_box(conv.convert_image(black_box(&img))))
+    });
+    group.bench_function("hw_lut_build_tables", |b| {
+        b.iter(|| black_box(HwColorConverter::paper_default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_color);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the hardware models: the analytic frame
+//! simulator (Tables 4–5, Fig. 6 generator), the design-space sweeps, and
+//! the functional tile-level accelerator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sslic_hw::accel::{Accelerator, AcceleratorConfig};
+use sslic_hw::cluster::ClusterUnitConfig;
+use sslic_hw::dse::{buffer_size_sweep, cluster_unit_sweep};
+use sslic_hw::pipeline::ClusterPipeline;
+use sslic_hw::sim::{FrameSimulator, Resolution};
+use sslic_hw::tb::Testbench;
+use sslic_image::synthetic::SyntheticImage;
+
+fn bench_hw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_model");
+    group.sample_size(20);
+
+    group.bench_function("frame_simulator_full_hd", |b| {
+        let sim = FrameSimulator::paper_default(Resolution::FULL_HD);
+        b.iter(|| black_box(sim.simulate()))
+    });
+    group.bench_function("fig6_buffer_sweep", |b| {
+        b.iter(|| black_box(buffer_size_sweep(&[1, 2, 4, 8, 16, 32, 64, 128])))
+    });
+    group.bench_function("table3_cluster_sweep", |b| {
+        b.iter(|| black_box(cluster_unit_sweep(1920 * 1080)))
+    });
+    group.finish();
+
+    let img = SyntheticImage::builder(128, 96).seed(5).regions(6).build().rgb;
+    let mut group = c.benchmark_group("functional_accelerator");
+    group.sample_size(10);
+    group.bench_function("process_128x96", |b| {
+        let accel = Accelerator::new(AcceleratorConfig {
+            superpixels: 48,
+            iterations: 4,
+            buffer_bytes_per_channel: 1024,
+            ..AcceleratorConfig::new(48)
+        });
+        b.iter(|| black_box(accel.process(black_box(&img))))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("cycle_pipeline");
+    group.sample_size(20);
+    group.bench_function("issue_4096_pixels_9_9_6", |b| {
+        b.iter(|| {
+            let mut pipe = ClusterPipeline::new(ClusterUnitConfig::c9_9_6());
+            for i in 0..4096u32 {
+                let mut d = [100u32; 9];
+                d[(i % 9) as usize] = i % 97;
+                pipe.issue(d);
+            }
+            black_box(pipe.flush())
+        })
+    });
+    group.bench_function("verification_campaign", |b| {
+        b.iter(|| black_box(Testbench::new(0xBEEF).run(2, 64)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hw);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the quality metrics: evaluation throughput
+//! matters because Figure 2 and §6.1 score hundreds of segmentations per
+//! sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sslic_core::{Segmenter, SlicParams};
+use sslic_image::synthetic::SyntheticImage;
+use sslic_metrics::{
+    achievable_segmentation_accuracy, boundary_recall, compactness, undersegmentation_error,
+};
+
+fn bench_metrics(c: &mut Criterion) {
+    let img = SyntheticImage::builder(240, 160)
+        .seed(2016)
+        .regions(9)
+        .build();
+    let params = SlicParams::builder(224).iterations(3).build();
+    let seg = Segmenter::slic_ppa(params).segment(&img.rgb);
+    let labels = seg.labels();
+    let gt = &img.ground_truth;
+
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(30);
+    group.bench_function("undersegmentation_error", |b| {
+        b.iter(|| black_box(undersegmentation_error(black_box(labels), black_box(gt))))
+    });
+    group.bench_function("boundary_recall_tol2", |b| {
+        b.iter(|| black_box(boundary_recall(black_box(labels), black_box(gt), 2)))
+    });
+    group.bench_function("boundary_recall_tol0", |b| {
+        b.iter(|| black_box(boundary_recall(black_box(labels), black_box(gt), 0)))
+    });
+    group.bench_function("asa", |b| {
+        b.iter(|| {
+            black_box(achievable_segmentation_accuracy(
+                black_box(labels),
+                black_box(gt),
+            ))
+        })
+    });
+    group.bench_function("compactness", |b| {
+        b.iter(|| black_box(compactness(black_box(labels))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the segmentation kernels: SLIC vs S-SLIC at
+//! both perspectives, float vs 8-bit quantized datapath.
+//!
+//! The per-frame timings here are the raw material of Figure 2's x-axis;
+//! run `cargo run -p sslic-bench --release --bin fig2` for the full
+//! quality-vs-time reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sslic_core::{Algorithm, DistanceMode, Segmenter, SlicParams};
+use sslic_image::synthetic::SyntheticImage;
+
+fn bench_image() -> sslic_image::RgbImage {
+    SyntheticImage::builder(240, 160)
+        .seed(2016)
+        .regions(9)
+        .noise_sigma(5.0)
+        .texture_amplitude(8.0)
+        .color_separation(35.0)
+        .build()
+        .rgb
+}
+
+fn params(iterations: u32) -> SlicParams {
+    SlicParams::builder(224)
+        .compactness(30.0)
+        .iterations(iterations)
+        .build()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let img = bench_image();
+    let mut group = c.benchmark_group("segmentation");
+    group.sample_size(10);
+
+    group.bench_function("slic_cpa_4it", |b| {
+        let seg = Segmenter::new(params(4), Algorithm::SlicCpa);
+        b.iter(|| black_box(seg.segment(black_box(&img))))
+    });
+    group.bench_function("slic_ppa_4it", |b| {
+        let seg = Segmenter::slic_ppa(params(4));
+        b.iter(|| black_box(seg.segment(black_box(&img))))
+    });
+    group.bench_function("sslic_ppa_p2_4steps", |b| {
+        let seg = Segmenter::sslic_ppa(params(4), 2);
+        b.iter(|| black_box(seg.segment(black_box(&img))))
+    });
+    group.bench_function("sslic_ppa_p4_4steps", |b| {
+        let seg = Segmenter::sslic_ppa(params(4), 4);
+        b.iter(|| black_box(seg.segment(black_box(&img))))
+    });
+    group.bench_function("sslic_cpa_p2_4steps", |b| {
+        let seg = Segmenter::sslic_cpa(params(4), 2);
+        b.iter(|| black_box(seg.segment(black_box(&img))))
+    });
+    group.bench_function("sslic_ppa_p2_8bit_4steps", |b| {
+        let seg =
+            Segmenter::sslic_ppa(params(4), 2).with_distance_mode(DistanceMode::quantized(8));
+        b.iter(|| black_box(seg.segment(black_box(&img))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

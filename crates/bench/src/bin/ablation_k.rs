@@ -1,0 +1,69 @@
+//! Ablation: superpixel count `K`. The paper fixes K = 900 (quality) and
+//! K = 5000 (hardware); this sweep charts the standard quality-vs-K
+//! curves — more superpixels buy boundary recall at the cost of time and
+//! compactness — and how the accelerator's frame time reacts (only the
+//! center-update term scales with K).
+
+use sslic_bench::{corpus, evaluate, header, rule, Scale, COMPACTNESS};
+use sslic_core::{Segmenter, SlicParams};
+use sslic_hw::sim::{FrameSimulator, Resolution};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = corpus(scale);
+    let (w, h) = scale.geometry();
+    println!(
+        "Superpixel-count sweep over {} images at {w}x{h} — S-SLIC (0.5), 16 sub-iterations",
+        data.len()
+    );
+
+    header("Quality vs K (software)");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12}",
+        "K", "time(ms)", "USE", "BR", "px/superpx"
+    );
+    rule(54);
+    for paper_k in [225usize, 450, 900, 1800, 3600] {
+        let k = scale.superpixels(paper_k);
+        let params = SlicParams::builder(k)
+            .compactness(COMPACTNESS)
+            .iterations(16)
+            .build();
+        let r = evaluate(&Segmenter::sslic_ppa(params, 2), &data);
+        println!(
+            "{:<8} {:>10.2} {:>10.4} {:>10.4} {:>12.0}",
+            k,
+            r.time_ms,
+            r.use_err,
+            r.boundary_recall,
+            (w * h) as f64 / k as f64
+        );
+    }
+
+    header("Accelerator frame time vs K (1080p; only the center update scales)");
+    println!("{:<8} {:>12} {:>10} {:>14}", "K", "total (ms)", "fps", "center (ms)");
+    rule(48);
+    for k in [1000usize, 2500, 5000, 10000, 20000] {
+        let r = FrameSimulator::paper_default(Resolution::FULL_HD)
+            .with_superpixels(k)
+            .simulate();
+        println!(
+            "{:<8} {:>12.2} {:>10.1} {:>14.2}",
+            k,
+            r.total_ms(),
+            r.fps(),
+            r.center_ms
+        );
+    }
+    println!();
+    println!(
+        "Software quality peaks when the superpixel scale matches the scene\n\
+         (here a few hundred pixels per superpixel): coarser superpixels must\n\
+         straddle ground-truth regions, while much finer ones start tracing the\n\
+         corpus noise and lose exact-tolerance boundary recall. On the\n\
+         accelerator only the K-proportional center update grows — at K = 20000\n\
+         it alone breaks the 30 fps budget, which is why the paper's\n\
+         center-update divider matters as much as the headline cluster\n\
+         datapath."
+    );
+}

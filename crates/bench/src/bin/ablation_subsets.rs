@@ -1,0 +1,54 @@
+//! Ablation: S-SLIC subset *layout*. The paper stresses that "choosing the
+//! proper subsampling strategy is fundamental to guaranteeing the
+//! convergence of the iterative algorithm" (§3) but only evaluates its
+//! chosen one. This experiment compares three layouts at identical work:
+//!
+//! * `Interleaved` — raster-interleaved pixels (the OS-EM-style choice);
+//! * `Checkerboard` — 2-D interleave;
+//! * `Bands` — contiguous horizontal bands (the DMA-friendly strawman:
+//!   clusters outside the active band see no members in a sub-iteration).
+
+use sslic_bench::{corpus, evaluate, fig2_params, header, rule, Scale};
+use sslic_core::subsample::SubsetStrategy;
+use sslic_core::Segmenter;
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = corpus(scale);
+    println!(
+        "Subset-strategy ablation — S-SLIC over {} images, equal sub-iteration counts",
+        data.len()
+    );
+
+    for subsets in [2u32, 4] {
+        header(&format!(
+            "S-SLIC (1/{subsets}) after {} sub-iterations",
+            8 * subsets
+        ));
+        println!(
+            "{:<14} {:>10} {:>10} {:>10}",
+            "strategy", "time(ms)", "USE", "BR"
+        );
+        rule(48);
+        for (name, strategy) in [
+            ("interleaved", SubsetStrategy::Interleaved),
+            ("checkerboard", SubsetStrategy::Checkerboard),
+            ("bands", SubsetStrategy::Bands),
+        ] {
+            let params = fig2_params(scale, 8 * subsets);
+            let seg = Segmenter::sslic_ppa(params, subsets).with_subset_strategy(strategy);
+            let r = evaluate(&seg, &data);
+            println!(
+                "{:<14} {:>10.2} {:>10.4} {:>10.4}",
+                name, r.time_ms, r.use_err, r.boundary_recall
+            );
+        }
+    }
+    println!();
+    println!(
+        "Expected shape: interleaved and checkerboard are equivalent (every\n\
+         cluster sees members each sub-iteration); bands degrade because a\n\
+         cluster's members arrive only once per round, starving its updates —\n\
+         the failure mode the paper's round-robin pixel subsets avoid."
+    );
+}

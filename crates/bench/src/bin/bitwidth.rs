@@ -1,0 +1,72 @@
+//! §6.1 reproduction: the bit-width exploration. Runs S-SLIC with the
+//! quantized distance datapath at widths from 4 to 12 bits plus the
+//! floating-point reference, reporting undersegmentation error and
+//! boundary recall deltas.
+//!
+//! Paper finding: at 8-bit fixed point, USE grows by only 0.003 and BR
+//! shrinks by only 0.001 versus 64-bit floating point; below 8 bits the
+//! error becomes noticeable.
+
+use sslic_bench::{corpus, evaluate, fig2_params, header, rule, Scale};
+use sslic_core::{DistanceMode, Segmenter};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = corpus(scale);
+    let (w, h) = scale.geometry();
+    println!(
+        "Section 6.1 — bit-width exploration, S-SLIC (0.5) over {} images at {w}x{h}",
+        data.len()
+    );
+
+    let params = fig2_params(scale, 10);
+    let float_ref = evaluate(&Segmenter::sslic_ppa(params, 2), &data);
+
+    header("Bit-width sweep (deltas vs floating-point S-SLIC)");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>12}",
+        "precision", "USE", "BR", "dUSE", "dBR"
+    );
+    rule(60);
+    println!(
+        "{:<12} {:>10.4} {:>10.4} {:>12} {:>12}",
+        "float", float_ref.use_err, float_ref.boundary_recall, "-", "-"
+    );
+    let mut rows = Vec::new();
+    for bits in [12u8, 10, 9, 8, 7, 6, 5, 4] {
+        let seg = Segmenter::sslic_ppa(params, 2)
+            .with_distance_mode(DistanceMode::quantized(bits));
+        let r = evaluate(&seg, &data);
+        println!(
+            "{:<12} {:>10.4} {:>10.4} {:>+12.4} {:>+12.4}",
+            format!("{bits}-bit fixed"),
+            r.use_err,
+            r.boundary_recall,
+            r.use_err - float_ref.use_err,
+            r.boundary_recall - float_ref.boundary_recall
+        );
+        rows.push((bits, r));
+    }
+    rule(60);
+    println!(
+        "paper: 8-bit fixed point costs only +0.003 USE and -0.001 BR vs 64-bit\n\
+         float; \"at 7-bit precision and below, the increase in error begins to\n\
+         be noticeable\". The driver of the robustness: assignments depend on\n\
+         *relative* distance comparisons, not absolute distance values."
+    );
+
+    // All fixed-point rows share the LUT color-conversion path; comparing
+    // against the widest fixed row isolates the distance-width effect.
+    let wide = rows[0].1;
+    let r8 = rows.iter().find(|(b, _)| *b == 8).expect("8-bit row").1;
+    let r6 = rows.iter().find(|(b, _)| *b == 6).expect("6-bit row").1;
+    header("Distance-width effect in isolation (vs 12-bit fixed, same LUT color path)");
+    println!(
+        "8-bit: dUSE {:+.4}, dBR {:+.4}   |   6-bit: dUSE {:+.4}, dBR {:+.4}",
+        r8.use_err - wide.use_err,
+        r8.boundary_recall - wide.boundary_recall,
+        r6.use_err - wide.use_err,
+        r6.boundary_recall - wide.boundary_recall,
+    );
+    println!("8 bits is the knee: nearly free above, rapidly degrading below.");
+}

@@ -1,0 +1,117 @@
+//! Figure 2 reproduction: quality-versus-runtime curves for SLIC,
+//! S-SLIC (0.5), and S-SLIC (0.25) at K = 900 superpixels.
+//!
+//! Prints the (time, undersegmentation error) series of Fig. 2a and the
+//! (time, boundary recall) series of Fig. 2b, then the paper's headline
+//! crossing analysis: how much sooner S-SLIC reaches the quality SLIC
+//! converges to.
+
+use sslic_bench::{corpus, evaluate, fig2_params, header, rule, CorpusResult, Scale};
+use sslic_core::Segmenter;
+
+struct Series {
+    name: &'static str,
+    points: Vec<(u32, CorpusResult)>, // (center-update steps, result)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = corpus(scale);
+    let (w, h) = scale.geometry();
+    println!(
+        "Figure 2 — SLIC vs pixel-perspective S-SLIC, {} images at {w}x{h}, K = {} (paper: 100 Berkeley images, K = 900)",
+        data.len(),
+        scale.superpixels(900),
+    );
+
+    // SLIC full iterations t cost ~1 pass each; S-SLIC(1/P) sub-iterations
+    // cost ~1/P pass each, so sweep P× as many steps to cover the same
+    // time range.
+    let sweeps: [(&'static str, u32, Vec<u32>); 3] = [
+        ("SLIC", 1, vec![1, 2, 3, 4, 6, 8, 10]),
+        ("S-SLIC (0.5)", 2, vec![2, 3, 4, 6, 8, 12, 16, 20]),
+        ("S-SLIC (0.25)", 4, vec![4, 6, 8, 12, 16, 24, 32, 40]),
+    ];
+
+    let mut series = Vec::new();
+    for (name, subsets, steps) in sweeps {
+        let points = steps
+            .iter()
+            .map(|&t| {
+                let params = fig2_params(scale, t);
+                let seg = if subsets == 1 {
+                    Segmenter::slic_ppa(params)
+                } else {
+                    Segmenter::sslic_ppa(params, subsets)
+                };
+                (t, evaluate(&seg, &data))
+            })
+            .collect();
+        series.push(Series { name, points });
+    }
+
+    header("Fig 2a: undersegmentation error vs runtime");
+    println!("{:<16} {:>6} {:>10} {:>10}", "algorithm", "steps", "time(ms)", "USE");
+    rule(60);
+    for s in &series {
+        for (t, r) in &s.points {
+            println!(
+                "{:<16} {:>6} {:>10.2} {:>10.4}",
+                s.name, t, r.time_ms, r.use_err
+            );
+        }
+    }
+
+    header("Fig 2b: boundary recall vs runtime");
+    println!("{:<16} {:>6} {:>10} {:>10}", "algorithm", "steps", "time(ms)", "BR");
+    rule(60);
+    for s in &series {
+        for (t, r) in &s.points {
+            println!(
+                "{:<16} {:>6} {:>10.2} {:>10.4}",
+                s.name, t, r.time_ms, r.boundary_recall
+            );
+        }
+    }
+
+    // Headline analysis: time for each algorithm to reach the USE/BR that
+    // SLIC attains at convergence (its last sweep point).
+    let slic_final = series[0].points.last().expect("nonempty sweep").1;
+    header("Crossing analysis (paper: S-SLIC reaches SLIC quality ~25% sooner in USE, ~15% in BR)");
+    let t_slic_use = time_to_reach_use(&series[0], slic_final.use_err);
+    let t_slic_br = time_to_reach_br(&series[0], slic_final.boundary_recall);
+    for s in &series {
+        let t_use = time_to_reach_use(s, slic_final.use_err);
+        let t_br = time_to_reach_br(s, slic_final.boundary_recall);
+        println!(
+            "{:<16} time-to-SLIC-USE: {} | time-to-SLIC-BR: {}",
+            s.name,
+            fmt_saving(t_use, t_slic_use),
+            fmt_saving(t_br, t_slic_br),
+        );
+    }
+}
+
+fn time_to_reach_use(s: &Series, target: f64) -> Option<f64> {
+    s.points
+        .iter()
+        .find(|(_, r)| r.use_err <= target * 1.002)
+        .map(|(_, r)| r.time_ms)
+}
+
+fn time_to_reach_br(s: &Series, target: f64) -> Option<f64> {
+    s.points
+        .iter()
+        .find(|(_, r)| r.boundary_recall >= target * 0.998)
+        .map(|(_, r)| r.time_ms)
+}
+
+fn fmt_saving(t: Option<f64>, baseline: Option<f64>) -> String {
+    match (t, baseline) {
+        (Some(t), Some(b)) if b > 0.0 => {
+            format!("{t:.1} ms ({:+.0}% vs SLIC)", (t / b - 1.0) * 100.0)
+        }
+        (Some(t), _) => format!("{t:.1} ms"),
+        (None, _) => "not reached in sweep".to_string(),
+    }
+}

@@ -1,0 +1,49 @@
+//! Table 4 reproduction: the best accelerator configuration per
+//! resolution — area, power, latency, throughput, energy/frame, and
+//! fps/mm².
+
+use sslic_bench::{header, rule};
+use sslic_hw::dse::table4_reports;
+
+fn main() {
+    println!("Table 4 — performance summary of best S-SLIC configurations (K = 5000)");
+    let reports = table4_reports();
+
+    header("Table 4: best configurations");
+    println!(
+        "{:<12} {:>8} {:>11} {:>11} {:>12} {:>10} {:>12} {:>12}",
+        "resolution", "buffer", "area (mm2)", "power (mW)", "latency (ms)", "fps", "mJ/frame", "fps/mm2"
+    );
+    rule(96);
+    for r in &reports {
+        println!(
+            "{:<12} {:>8} {:>11.3} {:>11.1} {:>12.1} {:>10.1} {:>12.2} {:>12.0}",
+            r.resolution.name,
+            format!("{} kB", r.buffer_bytes / 1024),
+            r.area_mm2,
+            r.avg_power_mw,
+            r.total_ms(),
+            r.fps(),
+            r.energy_mj_per_frame(),
+            r.fps_per_mm2()
+        );
+    }
+    rule(96);
+    println!("paper rows, same order:");
+    for (name, buf, area, power, lat, fps, mj, fpa) in [
+        ("1920x1080", "4 kB", 0.066, 49.0, 32.8, 30.5, 1.6, 461.0),
+        ("1280x768", "1 kB", 0.053, 46.0, 25.4, 39.0, 1.17, 747.0),
+        ("640x480", "1 kB", 0.053, 50.0, 19.7, 50.3, 0.98, 963.0),
+    ] {
+        println!(
+            "{:<12} {:>8} {:>11.3} {:>11.1} {:>12.1} {:>10.1} {:>12.2} {:>12.0}",
+            name, buf, area, power, lat, fps, mj, fpa
+        );
+    }
+    println!();
+    println!(
+        "Shape checks: every resolution is real-time (>30 fps); smaller frames are\n\
+         faster but sublinearly (the K = 5000 center update does not shrink); area\n\
+         drops with the 1 kB buffers; fps/mm2 rises monotonically toward VGA."
+    );
+}

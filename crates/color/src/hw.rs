@@ -1,0 +1,284 @@
+//! The accelerator's LUT-based fixed-point color-conversion datapath.
+//!
+//! The hardware replaces both power functions of the RGB→CIELAB pipeline
+//! with tables (paper §6.1):
+//!
+//! * the inverse sRGB gamma of Eq. 1 becomes a **256-entry LUT** indexed by
+//!   the 8-bit channel code, exact at its output precision;
+//! * the cube root of Eq. 4 becomes an **8-segment piecewise-linear LUT**;
+//!   the linear region below `0.008856` is computed directly (it is already
+//!   a multiply-add);
+//! * the 3×3 matrix of Eq. 2 is evaluated in fixed point with the
+//!   reference-white division folded into the coefficients.
+//!
+//! The datapath width at each stage is configurable through
+//! [`HwColorConfig`] so the bit-width exploration of §6.1 can sweep it.
+
+use sslic_fixed::{Lut256, PwlLut};
+use sslic_image::{Rgb, RgbImage};
+
+use crate::float::{LAB_EPSILON, LAB_KAPPA, REFERENCE_WHITE, RGB_TO_XYZ};
+use crate::{lab8, Lab8Image};
+
+/// Precision configuration of the hardware color-conversion unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HwColorConfig {
+    /// Fraction bits of the gamma LUT output (linear-light codes). Paper
+    /// default: 12.
+    pub gamma_frac_bits: u8,
+    /// Fraction bits of the fixed-point matrix coefficients. Paper
+    /// default: 12.
+    pub matrix_frac_bits: u8,
+    /// Number of PWL segments for the cube root. Paper default: 8.
+    pub pwl_segments: usize,
+    /// Fraction bits the PWL output is rounded to. Paper default: 12.
+    pub pwl_frac_bits: u8,
+}
+
+impl Default for HwColorConfig {
+    fn default() -> Self {
+        HwColorConfig {
+            gamma_frac_bits: 12,
+            matrix_frac_bits: 12,
+            pwl_segments: 8,
+            pwl_frac_bits: 12,
+        }
+    }
+}
+
+/// The LUT/fixed-point RGB→CIELAB converter of the S-SLIC accelerator.
+///
+/// # Example
+///
+/// ```
+/// use sslic_color::hw::HwColorConverter;
+/// use sslic_image::Rgb;
+///
+/// let conv = HwColorConverter::paper_default();
+/// let [l8, a8, b8] = conv.convert(Rgb::new(255, 255, 255));
+/// assert_eq!(l8, 255);            // white → L* = 100
+/// assert!((a8 as i16 - 128).abs() <= 1);
+/// assert!((b8 as i16 - 128).abs() <= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HwColorConverter {
+    gamma: Lut256,
+    /// Matrix coefficients with `1/white` folded in, at `matrix_frac_bits`.
+    matrix: [[i64; 3]; 3],
+    pwl: PwlLut,
+    config: HwColorConfig,
+}
+
+impl HwColorConverter {
+    /// Builds the converter with the paper's configuration (256-entry gamma
+    /// LUT, 8-segment PWL cube root, 12-bit intermediate precision).
+    pub fn paper_default() -> Self {
+        Self::new(HwColorConfig::default())
+    }
+
+    /// Builds the converter tables for an arbitrary precision configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pwl_segments == 0` or any bit width exceeds 24.
+    pub fn new(config: HwColorConfig) -> Self {
+        assert!(config.pwl_segments > 0, "at least one PWL segment");
+        assert!(
+            config.gamma_frac_bits <= 24
+                && config.matrix_frac_bits <= 24
+                && config.pwl_frac_bits <= 24,
+            "bit widths above 24 are not hardware-plausible here"
+        );
+        let gscale = (1i64 << config.gamma_frac_bits) as f64;
+        let gamma = Lut256::from_fn(|code| {
+            let x = code as f64 / 255.0;
+            (crate::float::srgb_to_linear(x) * gscale).round() as i32
+        });
+        let mscale = (1i64 << config.matrix_frac_bits) as f64;
+        let mut matrix = [[0i64; 3]; 3];
+        for (r, row) in matrix.iter_mut().enumerate() {
+            for (c, m) in row.iter_mut().enumerate() {
+                *m = (RGB_TO_XYZ[r][c] / REFERENCE_WHITE[r] * mscale).round() as i64;
+            }
+        }
+        let pwl = PwlLut::from_fn_geometric(config.pwl_segments, LAB_EPSILON, 1.0, |t| t.cbrt());
+        HwColorConverter {
+            gamma,
+            matrix,
+            pwl,
+            config,
+        }
+    }
+
+    /// The converter's precision configuration.
+    pub fn config(&self) -> HwColorConfig {
+        self.config
+    }
+
+    /// Converts one 8-bit sRGB pixel to encoded 8-bit CIELAB
+    /// (see [`crate::lab8`]).
+    pub fn convert(&self, px: Rgb) -> [u8; 3] {
+        // Stage 1: gamma LUT (three ROM reads).
+        let lin = [
+            self.gamma.lookup(px.r) as i64,
+            self.gamma.lookup(px.g) as i64,
+            self.gamma.lookup(px.b) as i64,
+        ];
+        // Stage 2: fixed-point matrix with folded white division. The
+        // product has gamma_frac + matrix_frac fraction bits; shift back to
+        // gamma_frac with rounding.
+        let shift = self.config.matrix_frac_bits as u32;
+        let half = 1i64 << (shift - 1).min(62);
+        let gmax = 1i64 << self.config.gamma_frac_bits;
+        let mut t = [0f64; 3];
+        for (row, tr) in t.iter_mut().enumerate() {
+            let acc: i64 = (0..3).map(|c| self.matrix[row][c] * lin[c]).sum();
+            let scaled = ((acc + half) >> shift).clamp(0, gmax);
+            *tr = scaled as f64 / gmax as f64;
+        }
+        // Stage 3: companding via PWL (or the exact linear branch), rounded
+        // to the PWL output precision.
+        let pscale = (1i64 << self.config.pwl_frac_bits) as f64;
+        let f = t.map(|ti| {
+            let v = if ti > LAB_EPSILON {
+                self.pwl.eval(ti)
+            } else {
+                (LAB_KAPPA * ti + 16.0) / 116.0
+            };
+            (v * pscale).round() / pscale
+        });
+        // Stage 4: the three linear combinations and the 8-bit encode.
+        lab8::encode([
+            116.0 * f[1] - 16.0,
+            500.0 * (f[0] - f[1]),
+            200.0 * (f[1] - f[2]),
+        ])
+    }
+
+    /// Converts a whole image into the scratchpad's planar 8-bit CIELAB
+    /// layout, exactly what the accelerator's color-conversion pass writes
+    /// back to channel memories 1–3 (paper §4.3).
+    pub fn convert_image(&self, img: &RgbImage) -> Lab8Image {
+        Lab8Image::from_fn(img.width(), img.height(), |x, y| {
+            self.convert(img.pixel(x, y))
+        })
+    }
+
+    /// Maximum per-channel absolute deviation (in 8-bit code units) from
+    /// the float reference over a deterministic sample of the RGB cube —
+    /// the validation the paper runs before committing to the LUT design.
+    pub fn max_code_error_vs_float(&self, stride: u8) -> [u8; 3] {
+        let stride = stride.max(1);
+        let mut max = [0u8; 3];
+        let mut v = 0u16;
+        while v <= 255 {
+            let mut g = 0u16;
+            while g <= 255 {
+                let mut b = 0u16;
+                while b <= 255 {
+                    let px = Rgb::new(v as u8, g as u8, b as u8);
+                    let hwc = self.convert(px);
+                    let refc = lab8::encode(crate::float::rgb8_to_lab(px));
+                    for i in 0..3 {
+                        let d = (hwc[i] as i16 - refc[i] as i16).unsigned_abs() as u8;
+                        if d > max[i] {
+                            max[i] = d;
+                        }
+                    }
+                    b += stride as u16;
+                }
+                g += stride as u16;
+            }
+            v += stride as u16;
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn black_and_white_are_exact() {
+        let conv = HwColorConverter::paper_default();
+        let black = conv.convert(Rgb::new(0, 0, 0));
+        assert_eq!(black[0], 0);
+        assert!((black[1] as i16 - 128).abs() <= 1);
+        assert!((black[2] as i16 - 128).abs() <= 1);
+        let white = conv.convert(Rgb::new(255, 255, 255));
+        assert_eq!(white[0], 255);
+    }
+
+    #[test]
+    fn tracks_float_reference_within_a_few_lsbs() {
+        // The 8-segment PWL cube root has ≈0.009 max error; a* = 500(fx−fy)
+        // amplifies it to at most ~±7 codes in the worst (dark, saturated)
+        // corner of the cube. L* (116× then ×2.55 encode) stays within
+        // ~3 codes. These bounds
+        // are what make the paper's "only 0.003 larger USE at 8-bit" hold:
+        // SLIC compares relative distances, so a few correlated LSBs of
+        // channel error rarely flip a 9:1 minimum decision.
+        let conv = HwColorConverter::paper_default();
+        let err = conv.max_code_error_vs_float(15);
+        assert!(err[0] <= 3, "L error {} too large", err[0]);
+        assert!(err[1] <= 7, "a error {} too large", err[1]);
+        assert!(err[2] <= 7, "b error {} too large", err[2]);
+    }
+
+    #[test]
+    fn coarser_precision_increases_error() {
+        let fine = HwColorConverter::paper_default();
+        let coarse = HwColorConverter::new(HwColorConfig {
+            gamma_frac_bits: 5,
+            matrix_frac_bits: 5,
+            pwl_segments: 2,
+            pwl_frac_bits: 5,
+        });
+        let ef = fine.max_code_error_vs_float(25);
+        let ec = coarse.max_code_error_vs_float(25);
+        assert!(
+            ec.iter().sum::<u8>() > ef.iter().sum::<u8>(),
+            "coarse {ec:?} should be worse than fine {ef:?}"
+        );
+    }
+
+    #[test]
+    fn grey_axis_is_neutral_in_hw_path() {
+        let conv = HwColorConverter::paper_default();
+        for v in [16u8, 64, 128, 192, 240] {
+            let [_, a, b] = conv.convert(Rgb::new(v, v, v));
+            assert!((a as i16 - 128).abs() <= 1, "grey {v}: a={a}");
+            assert!((b as i16 - 128).abs() <= 1, "grey {v}: b={b}");
+        }
+    }
+
+    #[test]
+    fn l_channel_monotone_on_grey_axis() {
+        let conv = HwColorConverter::paper_default();
+        let mut last = 0u8;
+        for v in 0..=255u8 {
+            let [l, _, _] = conv.convert(Rgb::new(v, v, v));
+            assert!(l >= last, "hw L must be monotone on greys");
+            last = l;
+        }
+    }
+
+    #[test]
+    fn convert_image_is_planar_and_matches_per_pixel() {
+        let conv = HwColorConverter::paper_default();
+        let img = RgbImage::from_fn(4, 3, |x, y| Rgb::new((x * 60) as u8, (y * 80) as u8, 128));
+        let lab = conv.convert_image(&img);
+        assert_eq!(lab.pixel(2, 1), conv.convert(img.pixel(2, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "PWL segment")]
+    fn zero_segments_panics() {
+        let _ = HwColorConverter::new(HwColorConfig {
+            pwl_segments: 0,
+            ..HwColorConfig::default()
+        });
+    }
+}

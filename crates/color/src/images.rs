@@ -1,0 +1,143 @@
+use sslic_image::Plane;
+
+/// A planar `f32` CIELAB image: the working representation of the software
+/// SLIC paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabImage {
+    /// Lightness channel, `L* ∈ [0, 100]`.
+    pub l: Plane<f32>,
+    /// Green–red opponent channel.
+    pub a: Plane<f32>,
+    /// Blue–yellow opponent channel.
+    pub b: Plane<f32>,
+}
+
+impl LabImage {
+    /// Builds an image by evaluating `f(x, y) -> [L, a, b]` at every pixel.
+    pub fn from_fn(
+        width: usize,
+        height: usize,
+        mut f: impl FnMut(usize, usize) -> [f32; 3],
+    ) -> Self {
+        let mut l = Plane::filled(width, height, 0.0f32);
+        let mut a = Plane::filled(width, height, 0.0f32);
+        let mut b = Plane::filled(width, height, 0.0f32);
+        for y in 0..height {
+            for x in 0..width {
+                let [lv, av, bv] = f(x, y);
+                l[(x, y)] = lv;
+                a[(x, y)] = av;
+                b[(x, y)] = bv;
+            }
+        }
+        LabImage { l, a, b }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.l.width()
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.l.height()
+    }
+
+    /// Total pixels.
+    pub fn pixel_count(&self) -> usize {
+        self.l.len()
+    }
+
+    /// The `[L, a, b]` triple at `(x, y)`.
+    #[inline]
+    pub fn pixel(&self, x: usize, y: usize) -> [f32; 3] {
+        [self.l[(x, y)], self.a[(x, y)], self.b[(x, y)]]
+    }
+}
+
+/// A planar 8-bit CIELAB image in the accelerator's scratchpad encoding
+/// (see [`crate::lab8`]): `L` scaled to 0–255, `a`/`b` offset by +128.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lab8Image {
+    /// Encoded lightness channel.
+    pub l: Plane<u8>,
+    /// Encoded green–red channel.
+    pub a: Plane<u8>,
+    /// Encoded blue–yellow channel.
+    pub b: Plane<u8>,
+}
+
+impl Lab8Image {
+    /// Builds an image by evaluating `f(x, y) -> [l8, a8, b8]` per pixel.
+    pub fn from_fn(
+        width: usize,
+        height: usize,
+        mut f: impl FnMut(usize, usize) -> [u8; 3],
+    ) -> Self {
+        let mut l = Plane::filled(width, height, 0u8);
+        let mut a = Plane::filled(width, height, 0u8);
+        let mut b = Plane::filled(width, height, 0u8);
+        for y in 0..height {
+            for x in 0..width {
+                let [lv, av, bv] = f(x, y);
+                l[(x, y)] = lv;
+                a[(x, y)] = av;
+                b[(x, y)] = bv;
+            }
+        }
+        Lab8Image { l, a, b }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.l.width()
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.l.height()
+    }
+
+    /// Total pixels.
+    pub fn pixel_count(&self) -> usize {
+        self.l.len()
+    }
+
+    /// The encoded `[l8, a8, b8]` triple at `(x, y)`.
+    #[inline]
+    pub fn pixel(&self, x: usize, y: usize) -> [u8; 3] {
+        [self.l[(x, y)], self.a[(x, y)], self.b[(x, y)]]
+    }
+
+    /// Decodes the whole image to `f32` CIELAB (inverse of the scratchpad
+    /// encoding, up to quantization).
+    pub fn decode(&self) -> LabImage {
+        LabImage::from_fn(self.width(), self.height(), |x, y| {
+            let [l, a, b] = crate::lab8::decode(self.pixel(x, y));
+            [l as f32, a as f32, b as f32]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_image_from_fn_and_pixel() {
+        let img = LabImage::from_fn(3, 2, |x, y| [x as f32, y as f32, 7.0]);
+        assert_eq!(img.pixel(2, 1), [2.0, 1.0, 7.0]);
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+        assert_eq!(img.pixel_count(), 6);
+    }
+
+    #[test]
+    fn lab8_image_round_trips_through_decode() {
+        let img = Lab8Image::from_fn(2, 2, |x, y| [(x * 100) as u8, (y * 100 + 28) as u8, 128]);
+        let dec = img.decode();
+        // b = 128 encodes b* = 0
+        assert_eq!(dec.b[(0, 0)], 0.0);
+        assert_eq!(dec.width(), 2);
+    }
+}

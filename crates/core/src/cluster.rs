@@ -1,0 +1,136 @@
+use sslic_color::LabImage;
+use sslic_image::gradient::{gradient_magnitude, min_gradient_in_3x3};
+
+use crate::SeedGrid;
+
+/// A superpixel cluster center: the 5-D vector `[L, a, b, x, y]` of the
+/// paper (§2), i.e. the mean color and centroid of its member pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Cluster {
+    /// Mean lightness `L*`.
+    pub l: f32,
+    /// Mean `a*`.
+    pub a: f32,
+    /// Mean `b*`.
+    pub b: f32,
+    /// Centroid column.
+    pub x: f32,
+    /// Centroid row.
+    pub y: f32,
+}
+
+impl Cluster {
+    /// Creates a cluster from its 5 coordinates.
+    pub fn new(l: f32, a: f32, b: f32, x: f32, y: f32) -> Self {
+        Cluster { l, a, b, x, y }
+    }
+
+    /// L1 distance moved from `previous`, in pixels (the paper's
+    /// convergence criterion tracks center movement).
+    pub fn movement_from(&self, previous: &Cluster) -> f32 {
+        (self.x - previous.x).abs() + (self.y - previous.y).abs()
+    }
+}
+
+/// Initializes cluster centers on the seed grid, sampling the color at each
+/// seed and optionally perturbing seeds to the 3×3 minimum-gradient
+/// position (paper §2).
+///
+/// # Panics
+///
+/// Panics if `lab` and `grid` disagree on geometry.
+pub fn init_clusters(lab: &LabImage, grid: &SeedGrid, perturb: bool) -> Vec<Cluster> {
+    assert!(
+        lab.width() == grid.width() && lab.height() == grid.height(),
+        "image and grid must share geometry"
+    );
+    let gradient = if perturb {
+        Some(gradient_magnitude(&[
+            lab.l.clone(),
+            lab.a.clone(),
+            lab.b.clone(),
+        ]))
+    } else {
+        None
+    };
+    (0..grid.cluster_count())
+        .map(|k| {
+            let (fx, fy) = grid.seed_position(k);
+            let mut x = (fx as usize).min(lab.width() - 1);
+            let mut y = (fy as usize).min(lab.height() - 1);
+            if let Some(g) = &gradient {
+                let (nx, ny) = min_gradient_in_3x3(g, x, y);
+                x = nx;
+                y = ny;
+            }
+            let [l, a, b] = lab.pixel(x, y);
+            Cluster::new(l, a, b, x as f32, y as f32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_lab(w: usize, h: usize, v: f32) -> LabImage {
+        LabImage::from_fn(w, h, |_, _| [v, 0.0, 0.0])
+    }
+
+    #[test]
+    fn init_produces_one_cluster_per_grid_cell() {
+        let lab = flat_lab(60, 40, 50.0);
+        let grid = SeedGrid::new(60, 40, 24);
+        let clusters = init_clusters(&lab, &grid, false);
+        assert_eq!(clusters.len(), grid.cluster_count());
+    }
+
+    #[test]
+    fn init_samples_seed_color() {
+        let lab = LabImage::from_fn(40, 40, |x, _| [x as f32, 0.0, 0.0]);
+        let grid = SeedGrid::new(40, 40, 4);
+        let clusters = init_clusters(&lab, &grid, false);
+        for c in &clusters {
+            assert_eq!(c.l, c.x, "cluster color sampled at its seed position");
+        }
+    }
+
+    #[test]
+    fn perturbation_moves_seed_off_edge() {
+        // A strong vertical edge exactly through a seed column.
+        let grid = SeedGrid::new(40, 40, 4); // 2×2 grid, seeds at x = 10, 30
+        let lab = LabImage::from_fn(40, 40, |x, _| {
+            [if x < 10 { 0.0 } else { 100.0 }, 0.0, 0.0]
+        });
+        let unperturbed = init_clusters(&lab, &grid, false);
+        let perturbed = init_clusters(&lab, &grid, true);
+        // Seeds in the first column sit on the gradient ridge at x=10 and
+        // must move; their x must differ from the unperturbed position.
+        assert_ne!(unperturbed[0].x, perturbed[0].x);
+    }
+
+    #[test]
+    fn perturbation_is_noop_on_flat_images() {
+        let lab = flat_lab(50, 50, 42.0);
+        let grid = SeedGrid::new(50, 50, 9);
+        let a = init_clusters(&lab, &grid, false);
+        let b = init_clusters(&lab, &grid, true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn movement_is_l1_in_pixels() {
+        let a = Cluster::new(0.0, 0.0, 0.0, 10.0, 10.0);
+        let b = Cluster::new(5.0, 5.0, 5.0, 13.0, 6.0);
+        assert_eq!(b.movement_from(&a), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry")]
+    fn mismatched_geometry_panics() {
+        let lab = flat_lab(10, 10, 0.0);
+        let grid = SeedGrid::new(20, 10, 4);
+        let _ = init_clusters(&lab, &grid, false);
+    }
+}

@@ -1,0 +1,1151 @@
+use sslic_color::{float, hw::HwColorConverter, Lab8Image, LabImage};
+use sslic_image::{Plane, RgbImage};
+
+use crate::cluster::{init_clusters, Cluster};
+use crate::connectivity::enforce_connectivity;
+use crate::distance::{dist2_float, ClusterCodes, DistanceMode, QuantKernel};
+use crate::instrument::RunCounters;
+use crate::profile::{Phase, PhaseBreakdown};
+use crate::subsample::{SubsetPartition, SubsetStrategy};
+use crate::{SeedGrid, SlicParams};
+
+/// Which SLIC variant the [`Segmenter`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Original SLIC: each cluster scans a `2S×2S` window per iteration
+    /// (the paper's center-perspective architecture, Fig. 1a).
+    SlicCpa,
+    /// gSLIC-style SLIC: each pixel considers its 9 nearest initial
+    /// centers every iteration (pixel perspective without subsampling).
+    SlicPpa,
+    /// S-SLIC, pixel-perspective: pixels split into `subsets` equal groups
+    /// traversed round-robin; one group per center-update step (the
+    /// paper's primary algorithm, Fig. 1b).
+    SSlicPpa {
+        /// Number of pixel subsets `P` (subsampling ratio `1/P`).
+        subsets: u32,
+        /// Spatial layout of the subsets.
+        strategy: SubsetStrategy,
+    },
+    /// S-SLIC, center-perspective: the superpixel centers are split into
+    /// `subsets` groups; one group is updated per step (the examined
+    /// alternative of §3).
+    SSlicCpa {
+        /// Number of center subsets `P`.
+        subsets: u32,
+    },
+}
+
+impl Algorithm {
+    /// Number of sub-iterations that make up one full-image pass.
+    pub fn steps_per_full_pass(&self) -> u32 {
+        match self {
+            Algorithm::SlicCpa | Algorithm::SlicPpa => 1,
+            Algorithm::SSlicPpa { subsets, .. } | Algorithm::SSlicCpa { subsets } => *subsets,
+        }
+    }
+}
+
+/// Configured segmentation pipeline: parameters + algorithm + numeric mode.
+///
+/// # Example
+///
+/// ```
+/// use sslic_core::{DistanceMode, Segmenter, SlicParams};
+/// use sslic_image::synthetic::SyntheticImage;
+///
+/// let img = SyntheticImage::builder(64, 48).seed(2).regions(5).build();
+/// let params = SlicParams::builder(80).iterations(4).build();
+/// // The accelerator's datapath: S-SLIC at 8-bit precision.
+/// let seg = Segmenter::sslic_ppa(params, 2)
+///     .with_distance_mode(DistanceMode::quantized(8))
+///     .segment(&img.rgb);
+/// assert_eq!(seg.labels().len(), 64 * 48);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Segmenter {
+    params: SlicParams,
+    algorithm: Algorithm,
+    distance_mode: DistanceMode,
+    preemption: Option<f32>,
+}
+
+impl Segmenter {
+    /// Creates a segmenter for an explicit algorithm choice.
+    pub fn new(params: SlicParams, algorithm: Algorithm) -> Self {
+        if let Algorithm::SSlicPpa { subsets, .. } | Algorithm::SSlicCpa { subsets } = algorithm {
+            assert!(subsets > 0, "subset count must be nonzero");
+        }
+        Segmenter {
+            params,
+            algorithm,
+            distance_mode: DistanceMode::Float,
+            preemption: None,
+        }
+    }
+
+    /// Original SLIC (center-perspective full scan).
+    pub fn slic(params: SlicParams) -> Self {
+        Self::new(params, Algorithm::SlicCpa)
+    }
+
+    /// Pixel-perspective SLIC without subsampling (gSLIC-style).
+    pub fn slic_ppa(params: SlicParams) -> Self {
+        Self::new(params, Algorithm::SlicPpa)
+    }
+
+    /// S-SLIC with `subsets` pixel subsets (the paper's primary
+    /// configuration; `subsets = 2` is "S-SLIC (0.5)", `4` is
+    /// "S-SLIC (0.25)").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subsets == 0`.
+    pub fn sslic_ppa(params: SlicParams, subsets: u32) -> Self {
+        Self::new(
+            params,
+            Algorithm::SSlicPpa {
+                subsets,
+                strategy: SubsetStrategy::default(),
+            },
+        )
+    }
+
+    /// S-SLIC with `subsets` center subsets (the CPA alternative of §3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subsets == 0`.
+    pub fn sslic_cpa(params: SlicParams, subsets: u32) -> Self {
+        Self::new(params, Algorithm::SSlicCpa { subsets })
+    }
+
+    /// Selects the numeric mode of the distance datapath.
+    pub fn with_distance_mode(mut self, mode: DistanceMode) -> Self {
+        self.distance_mode = mode;
+        self
+    }
+
+    /// Selects the subset layout (PPA subsampling only; no-op otherwise).
+    pub fn with_subset_strategy(mut self, strategy: SubsetStrategy) -> Self {
+        if let Algorithm::SSlicPpa { strategy: s, .. } = &mut self.algorithm {
+            *s = strategy;
+        }
+        self
+    }
+
+    /// Enables Preemptive-SLIC-style per-cluster halting (Neubert &
+    /// Protzel, ICPR 2014 — the paper's §8 notes the technique is
+    /// orthogonal to S-SLIC and that combining them was "beyond the scope
+    /// of this work"; this implementation makes the combination
+    /// analyzable).
+    ///
+    /// A cluster whose center moves less than `threshold` pixels (L1) in
+    /// one update step is frozen: it is no longer scanned (CPA) and pixels
+    /// whose nine candidates are all frozen are skipped (PPA), cutting
+    /// distance computations in the late, already-converged iterations.
+    pub fn with_preemption(mut self, threshold: f32) -> Self {
+        self.preemption = Some(threshold.max(0.0));
+        self
+    }
+
+    /// The configured preemption threshold, if any.
+    pub fn preemption(&self) -> Option<f32> {
+        self.preemption
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &SlicParams {
+        &self.params
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The configured numeric mode.
+    pub fn distance_mode(&self) -> DistanceMode {
+        self.distance_mode
+    }
+
+    /// Segments an RGB image starting from another frame's converged
+    /// cluster centers — the temporal warm start a 30 fps video pipeline
+    /// uses (the paper's motivating deployment). Centers replace the grid
+    /// seeding (no gradient perturbation); everything else is identical,
+    /// so a warm-started run typically converges in 1–2 center-update
+    /// steps on slowly changing scenes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warm_start` is empty or its length does not match this
+    /// image's realized grid (`SeedGrid::cluster_count`), since the static
+    /// 9-neighborhood tiling must stay valid.
+    pub fn segment_warm(&self, img: &RgbImage, warm_start: &[Cluster]) -> Segmentation {
+        let grid = SeedGrid::new(img.width(), img.height(), self.params.superpixels());
+        assert!(
+            warm_start.len() == grid.cluster_count(),
+            "warm start must carry {} clusters, got {}",
+            grid.cluster_count(),
+            warm_start.len()
+        );
+        let mut breakdown = PhaseBreakdown::new();
+        let (lab, lab8) = breakdown.time(Phase::ColorConversion, || {
+            if self.distance_mode.is_quantized() {
+                let lab8 = HwColorConverter::paper_default().convert_image(img);
+                (lab8.decode(), Some(lab8))
+            } else {
+                (float::convert_image(img), None)
+            }
+        });
+        self.run(lab, lab8, breakdown, Some(warm_start.to_vec()))
+    }
+
+    /// Segments an RGB image (runs color conversion first).
+    pub fn segment(&self, img: &RgbImage) -> Segmentation {
+        let mut breakdown = PhaseBreakdown::new();
+        let (lab, lab8) = breakdown.time(Phase::ColorConversion, || {
+            if self.distance_mode.is_quantized() {
+                // The accelerator's LUT path produces the 8-bit image the
+                // quantized datapath operates on; the f32 image is derived
+                // from it so assignment and sigma see the same data.
+                let lab8 = HwColorConverter::paper_default().convert_image(img);
+                (lab8.decode(), Some(lab8))
+            } else {
+                (float::convert_image(img), None)
+            }
+        });
+        self.run(lab, lab8, breakdown, None)
+    }
+
+    /// Segments a pre-converted CIELAB image (color conversion is charged
+    /// zero time; useful when sweeping algorithms over one corpus).
+    pub fn segment_lab(&self, lab: &LabImage) -> Segmentation {
+        let mut breakdown = PhaseBreakdown::new();
+        let lab8 = if self.distance_mode.is_quantized() {
+            Some(breakdown.time(Phase::ColorConversion, || {
+                Lab8Image::from_fn(lab.width(), lab.height(), |x, y| {
+                    let [l, a, b] = lab.pixel(x, y);
+                    sslic_color::lab8::encode([l as f64, a as f64, b as f64])
+                })
+            }))
+        } else {
+            None
+        };
+        let lab = match &lab8 {
+            Some(l8) => l8.decode(),
+            None => lab.clone(),
+        };
+        self.run(lab, lab8, breakdown, None)
+    }
+
+    fn run(
+        &self,
+        lab: LabImage,
+        lab8: Option<Lab8Image>,
+        mut breakdown: PhaseBreakdown,
+        warm_start: Option<Vec<Cluster>>,
+    ) -> Segmentation {
+        let params = &self.params;
+        let (w, h) = (lab.width(), lab.height());
+
+        let (grid, clusters, labels, partition, kernel) =
+            breakdown.time(Phase::Init, || {
+                let grid = SeedGrid::new(w, h, params.superpixels());
+                let clusters = match &warm_start {
+                    Some(c) => c.clone(),
+                    None => init_clusters(&lab, &grid, params.perturb_seeds()),
+                };
+                let labels = Plane::from_fn(w, h, |x, y| {
+                    grid.home_cluster_of_pixel(x, y) as u32
+                });
+                let partition = match self.algorithm {
+                    Algorithm::SSlicPpa { subsets, strategy } => {
+                        Some(SubsetPartition::new(w, h, subsets, strategy))
+                    }
+                    _ => None,
+                };
+                let kernel = match self.distance_mode {
+                    DistanceMode::Float => None,
+                    DistanceMode::Quantized {
+                        channel_bits,
+                        distance_bits,
+                    } => Some(QuantKernel::new(
+                        channel_bits,
+                        distance_bits,
+                        params.compactness(),
+                        grid.spacing(),
+                    )),
+                };
+                (grid, clusters, labels, partition, kernel)
+            });
+
+        let spacing = grid.spacing();
+        let m = params.compactness();
+        assert!(
+            !(params.adaptive_compactness() && self.distance_mode.is_quantized()),
+            "adaptive compactness is a float-datapath feature"
+        );
+        let cluster_count = clusters.len();
+        let mut engine = Engine {
+            grid,
+            lab: &lab,
+            lab8: lab8.as_ref(),
+            clusters,
+            labels,
+            dist: Plane::filled(w, h, f32::INFINITY),
+            kernel,
+            codes: Vec::new(),
+            m2_over_s2: (m * m) / (spacing * spacing),
+            max_dc2: params
+                .adaptive_compactness()
+                .then(|| vec![m * m; cluster_count]),
+            inv_s2: 1.0 / (spacing * spacing),
+            counters: RunCounters::default(),
+            active: vec![true; cluster_count],
+            preemption: self.preemption,
+        };
+
+        let mut iterations_run = 0u32;
+        for step in 0..params.iterations() {
+            let movement = match self.algorithm {
+                Algorithm::SlicCpa => {
+                    breakdown.time(Phase::DistanceMin, || {
+                        engine.dist.as_mut_slice().fill(f32::INFINITY);
+                        engine.assign_cpa(None);
+                    });
+                    breakdown.time(Phase::CenterUpdate, || engine.update_centers(None, None))
+                }
+                Algorithm::SlicPpa => {
+                    breakdown.time(Phase::DistanceMin, || engine.assign_ppa(None));
+                    breakdown.time(Phase::CenterUpdate, || engine.update_centers(None, None))
+                }
+                Algorithm::SSlicPpa { subsets, .. } => {
+                    let part = partition.as_ref().expect("partition built in init");
+                    let subset = step % subsets;
+                    breakdown.time(Phase::DistanceMin, || {
+                        engine.assign_ppa(Some((part, subset)));
+                    });
+                    breakdown.time(Phase::CenterUpdate, || {
+                        engine.update_centers(Some((part, subset)), None)
+                    })
+                }
+                Algorithm::SSlicCpa { subsets } => {
+                    let subset = step % subsets;
+                    breakdown.time(Phase::DistanceMin, || {
+                        if subset == 0 {
+                            // New round: clusters compete afresh so stale
+                            // distances to long-moved centers cannot pin
+                            // labels forever.
+                            engine.dist.as_mut_slice().fill(f32::INFINITY);
+                        }
+                        engine.assign_cpa(Some((subsets, subset)));
+                    });
+                    breakdown.time(Phase::CenterUpdate, || {
+                        engine.update_centers(None, Some((subsets, subset)))
+                    })
+                }
+            };
+            engine.counters.sub_iterations += 1;
+            iterations_run = step + 1;
+            if let Some(threshold) = params.convergence_threshold() {
+                if movement <= threshold {
+                    break;
+                }
+            }
+        }
+
+        let mut labels = engine.labels;
+        if params.enforce_connectivity() {
+            breakdown.time(Phase::Connectivity, || {
+                let min_size =
+                    ((spacing * spacing) / params.min_region_divisor() as f32).max(1.0) as usize;
+                enforce_connectivity(&mut labels, min_size.max(1));
+            });
+        }
+
+        let frozen_clusters = engine.active.iter().filter(|&&a| !a).count();
+        Segmentation {
+            labels,
+            clusters: engine.clusters,
+            iterations_run,
+            breakdown,
+            counters: engine.counters,
+            spacing,
+            frozen_clusters,
+        }
+    }
+}
+
+/// The result of a segmentation run: the label map, final cluster centers,
+/// and the recorded instrumentation.
+#[derive(Debug, Clone)]
+pub struct Segmentation {
+    labels: Plane<u32>,
+    clusters: Vec<Cluster>,
+    iterations_run: u32,
+    breakdown: PhaseBreakdown,
+    counters: RunCounters,
+    spacing: f32,
+    frozen_clusters: usize,
+}
+
+impl Segmentation {
+    /// Superpixel index per pixel (indices address [`Self::clusters`]).
+    pub fn labels(&self) -> &Plane<u32> {
+        &self.labels
+    }
+
+    /// Consumes the result, returning the label map.
+    pub fn into_labels(self) -> Plane<u32> {
+        self.labels
+    }
+
+    /// Final cluster centers (`[L, a, b, x, y]` per superpixel).
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Realized superpixel count (grid rounding of the requested `K`).
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Center-update steps actually executed (≤ `params.iterations()` when
+    /// early exit triggered).
+    pub fn iterations_run(&self) -> u32 {
+        self.iterations_run
+    }
+
+    /// Wall-clock time per pipeline phase (Table 1).
+    pub fn breakdown(&self) -> &PhaseBreakdown {
+        &self.breakdown
+    }
+
+    /// Recorded event counts (Table 2 inputs).
+    pub fn counters(&self) -> &RunCounters {
+        &self.counters
+    }
+
+    /// Grid spacing `S` used by this run.
+    pub fn spacing(&self) -> f32 {
+        self.spacing
+    }
+
+    /// Number of clusters frozen by Preemptive-SLIC halting (0 unless
+    /// [`Segmenter::with_preemption`] was used).
+    pub fn frozen_clusters(&self) -> usize {
+        self.frozen_clusters
+    }
+}
+
+// --- the inner engine ------------------------------------------------------
+
+struct Engine<'a> {
+    grid: SeedGrid,
+    lab: &'a LabImage,
+    lab8: Option<&'a Lab8Image>,
+    clusters: Vec<Cluster>,
+    labels: Plane<u32>,
+    dist: Plane<f32>,
+    kernel: Option<QuantKernel>,
+    codes: Vec<ClusterCodes>,
+    m2_over_s2: f32,
+    /// SLICO adaptive-compactness state: per-cluster maximum squared color
+    /// distance observed in the previous pass (`None` when disabled).
+    max_dc2: Option<Vec<f32>>,
+    inv_s2: f32,
+    counters: RunCounters,
+    /// Per-cluster activity for Preemptive-SLIC halting; all `true` when
+    /// preemption is disabled.
+    active: Vec<bool>,
+    preemption: Option<f32>,
+}
+
+impl Engine<'_> {
+    /// Refreshes the quantized cluster codes from the float centers
+    /// (hardware: centers are loaded into the center registers at the
+    /// start of each pass).
+    fn refresh_codes(&mut self) {
+        if let Some(kernel) = &self.kernel {
+            self.codes = self
+                .clusters
+                .iter()
+                .map(|c| kernel.encode_cluster(c))
+                .collect();
+        }
+    }
+
+    /// Distance between pixel `(x, y)` and cluster `k`, in whichever
+    /// numeric mode is active. Returned values are only compared against
+    /// each other within one pixel's candidate set.
+    #[inline]
+    fn distance(&self, x: usize, y: usize, k: usize) -> f32 {
+        if let Some(max_dc2) = &self.max_dc2 {
+            // SLICO objective: color and space each normalized by their
+            // per-cluster / grid maxima.
+            let (dc2, ds2) = self.dc2_ds2(x, y, k);
+            return dc2 / max_dc2[k] + ds2 * self.inv_s2;
+        }
+        match (&self.kernel, self.lab8) {
+            (Some(kernel), Some(lab8)) => {
+                let px = lab8.pixel(x, y);
+                kernel.dist_code(px, (x as i32, y as i32), &self.codes[k]) as f32
+            }
+            _ => dist2_float(
+                self.lab.pixel(x, y),
+                (x as f32, y as f32),
+                &self.clusters[k],
+                self.m2_over_s2,
+            ),
+        }
+    }
+
+    /// Squared color and spatial distances separately (float path).
+    #[inline]
+    fn dc2_ds2(&self, x: usize, y: usize, k: usize) -> (f32, f32) {
+        let [l, a, b] = self.lab.pixel(x, y);
+        let c = &self.clusters[k];
+        let (dl, da, db) = (l - c.l, a - c.a, b - c.b);
+        let (dx, dy) = (x as f32 - c.x, y as f32 - c.y);
+        (dl * dl + da * da + db * db, dx * dx + dy * dy)
+    }
+
+    /// Pixel-perspective assignment pass over all pixels or one subset.
+    fn assign_ppa(&mut self, subset: Option<(&SubsetPartition, u32)>) {
+        self.refresh_codes();
+        let (w, h) = (self.grid.width(), self.grid.height());
+        let mut assigned = 0u64;
+        let mut new_max = vec![0f32; self.clusters.len()];
+        let preempting = self.preemption.is_some();
+        for y in 0..h {
+            for x in 0..w {
+                if let Some((part, s)) = subset {
+                    if part.subset_of(x, y) != s {
+                        continue;
+                    }
+                }
+                let nine = self.grid.nine_neighbors_of_pixel(x, y);
+                // Preemption: if every candidate is frozen, the pixel's
+                // assignment cannot change — skip the 9 distances.
+                if preempting && nine.iter().all(|&k| !self.active[k]) {
+                    continue;
+                }
+                let mut best = nine[0];
+                let mut best_d = self.distance(x, y, nine[0]);
+                for &k in &nine[1..] {
+                    let d = self.distance(x, y, k);
+                    if d < best_d {
+                        best_d = d;
+                        best = k;
+                    }
+                }
+                self.labels[(x, y)] = best as u32;
+                if self.max_dc2.is_some() {
+                    let (dc2, _) = self.dc2_ds2(x, y, best);
+                    new_max[best] = new_max[best].max(dc2);
+                }
+                assigned += 1;
+            }
+        }
+        self.merge_adaptive_maxima(&new_max);
+        self.counters.pixel_color_reads += assigned;
+        self.counters.distance_calcs += assigned * 9;
+        self.counters.label_writes += assigned;
+        // One 9-center register load per tile processed (paper §4.3); under
+        // interleaved subsets every tile is touched each sub-iteration.
+        self.counters.center_reads += self.grid.cluster_count() as u64 * 9;
+    }
+
+    /// Center-perspective assignment pass over all clusters or the subset
+    /// `k % p == s`.
+    #[allow(clippy::needless_range_loop)] // k indexes clusters, labels, and new_max
+    fn assign_cpa(&mut self, subset: Option<(u32, u32)>) {
+        self.refresh_codes();
+        let (w, h) = (self.grid.width(), self.grid.height());
+        let radius = self.grid.spacing().ceil() as isize; // 2S×2S window
+        let mut new_max = vec![0f32; self.clusters.len()];
+        let mut visits = 0u64;
+        let mut improvements = 0u64;
+        let mut clusters_processed = 0u64;
+        for k in 0..self.clusters.len() {
+            if let Some((p, s)) = subset {
+                if k as u32 % p != s {
+                    continue;
+                }
+            }
+            if !self.active[k] {
+                continue; // preempted: this cluster's window no longer scans
+            }
+            clusters_processed += 1;
+            let cx = self.clusters[k].x.round() as isize;
+            let cy = self.clusters[k].y.round() as isize;
+            let x0 = (cx - radius).max(0) as usize;
+            let x1 = ((cx + radius) as usize).min(w - 1);
+            let y0 = (cy - radius).max(0) as usize;
+            let y1 = ((cy + radius) as usize).min(h - 1);
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    let d = self.distance(x, y, k);
+                    visits += 1;
+                    if d < self.dist[(x, y)] {
+                        self.dist[(x, y)] = d;
+                        self.labels[(x, y)] = k as u32;
+                        improvements += 1;
+                        if self.max_dc2.is_some() {
+                            let (dc2, _) = self.dc2_ds2(x, y, k);
+                            new_max[k] = new_max[k].max(dc2);
+                        }
+                    }
+                }
+            }
+        }
+        self.merge_adaptive_maxima(&new_max);
+        self.counters.distance_calcs += visits;
+        self.counters.pixel_color_reads += visits;
+        self.counters.dist_buffer_reads += visits;
+        self.counters.dist_buffer_writes += improvements;
+        self.counters.label_writes += improvements;
+        self.counters.center_reads += clusters_processed;
+    }
+
+    /// Folds a pass's observed per-cluster color-distance maxima into the
+    /// SLICO state (clusters with no observations keep their previous
+    /// maximum; a floor of 1.0 avoids division blow-ups in flat regions).
+    fn merge_adaptive_maxima(&mut self, new_max: &[f32]) {
+        if let Some(max_dc2) = &mut self.max_dc2 {
+            for (cur, &seen) in max_dc2.iter_mut().zip(new_max) {
+                if seen > 0.0 {
+                    *cur = seen.max(1.0);
+                }
+            }
+        }
+    }
+
+    /// Recomputes centers from member pixels and returns the mean L1
+    /// center movement (pixels) over the updated clusters.
+    ///
+    /// * `pixel_subset` restricts the sigma accumulation to one pixel
+    ///   subset (S-SLIC PPA).
+    /// * `cluster_subset = (p, s)` restricts which clusters are updated
+    ///   (S-SLIC CPA).
+    fn update_centers(
+        &mut self,
+        pixel_subset: Option<(&SubsetPartition, u32)>,
+        cluster_subset: Option<(u32, u32)>,
+    ) -> f32 {
+        let (w, h) = (self.grid.width(), self.grid.height());
+        let mut sigma = vec![[0f64; 6]; self.clusters.len()];
+        let mut pixels_seen = 0u64;
+        for y in 0..h {
+            for x in 0..w {
+                if let Some((part, s)) = pixel_subset {
+                    if part.subset_of(x, y) != s {
+                        continue;
+                    }
+                }
+                let k = self.labels[(x, y)] as usize;
+                if let Some((p, s)) = cluster_subset {
+                    if k as u32 % p != s {
+                        continue;
+                    }
+                }
+                let [l, a, b] = self.lab.pixel(x, y);
+                let acc = &mut sigma[k];
+                acc[0] += l as f64;
+                acc[1] += a as f64;
+                acc[2] += b as f64;
+                acc[3] += x as f64;
+                acc[4] += y as f64;
+                acc[5] += 1.0;
+                pixels_seen += 1;
+            }
+        }
+        self.counters.label_reads += pixels_seen;
+        self.counters.pixel_color_reads += pixels_seen;
+        self.counters.sigma_updates += pixels_seen;
+
+        let mut movement = 0.0f32;
+        let mut updated = 0u64;
+        for (k, acc) in sigma.iter().enumerate() {
+            if let Some((p, s)) = cluster_subset {
+                if k as u32 % p != s {
+                    continue;
+                }
+            }
+            if !self.active[k] {
+                continue; // preempted: center is frozen
+            }
+            if acc[5] == 0.0 {
+                continue; // no members seen this step: keep the old center
+            }
+            let n = acc[5];
+            let new = Cluster::new(
+                (acc[0] / n) as f32,
+                (acc[1] / n) as f32,
+                (acc[2] / n) as f32,
+                (acc[3] / n) as f32,
+                (acc[4] / n) as f32,
+            );
+            let moved = new.movement_from(&self.clusters[k]);
+            movement += moved;
+            self.clusters[k] = new;
+            updated += 1;
+            if let Some(threshold) = self.preemption {
+                if moved < threshold {
+                    self.active[k] = false;
+                }
+            }
+        }
+        self.counters.center_updates += updated;
+        if updated == 0 {
+            0.0
+        } else {
+            movement / updated as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sslic_image::synthetic::SyntheticImage;
+
+    fn test_image() -> SyntheticImage {
+        SyntheticImage::builder(64, 48).seed(3).regions(5).build()
+    }
+
+    fn params(k: usize, iters: u32) -> SlicParams {
+        SlicParams::builder(k).iterations(iters).build()
+    }
+
+    #[test]
+    fn all_variants_produce_valid_label_maps() {
+        let img = test_image();
+        for seg in [
+            Segmenter::slic(params(60, 3)),
+            Segmenter::slic_ppa(params(60, 3)),
+            Segmenter::sslic_ppa(params(60, 4), 2),
+            Segmenter::sslic_cpa(params(60, 4), 2),
+        ] {
+            let out = seg.segment(&img.rgb);
+            assert_eq!(out.labels().width(), 64);
+            assert_eq!(out.labels().height(), 48);
+            let k = out.cluster_count() as u32;
+            assert!(out.labels().iter().all(|&l| l < k), "labels in range");
+            assert_eq!(out.iterations_run(), seg.params().iterations());
+        }
+    }
+
+    #[test]
+    fn segmentation_is_deterministic() {
+        let img = test_image();
+        let seg = Segmenter::sslic_ppa(params(60, 4), 2);
+        let a = seg.segment(&img.rgb);
+        let b = seg.segment(&img.rgb);
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn clusters_move_toward_member_centroids() {
+        let img = test_image();
+        let out = Segmenter::slic_ppa(params(60, 5)).segment(&img.rgb);
+        // After convergence iterations, cluster centroids should be inside
+        // the image and labels should form compact regions near centers.
+        for c in out.clusters() {
+            assert!(c.x >= 0.0 && c.x < 64.0);
+            assert!(c.y >= 0.0 && c.y < 48.0);
+        }
+    }
+
+    #[test]
+    fn ppa_labels_come_from_the_nine_neighborhood() {
+        let img = test_image();
+        let p = SlicParams::builder(60)
+            .iterations(3)
+            .enforce_connectivity(false)
+            .build();
+        let out = Segmenter::slic_ppa(p).segment(&img.rgb);
+        let grid = SeedGrid::new(64, 48, 60);
+        for y in 0..48 {
+            for x in 0..64 {
+                let l = out.labels()[(x, y)] as usize;
+                assert!(
+                    grid.nine_neighbors_of_pixel(x, y).contains(&l),
+                    "pixel ({x},{y}) labeled outside its 9-neighborhood"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_on_convergence_threshold() {
+        let img = test_image();
+        let p = SlicParams::builder(60)
+            .iterations(50)
+            .convergence_threshold(Some(1000.0)) // absurdly lax: exit after 1 step
+            .build();
+        let out = Segmenter::slic_ppa(p).segment(&img.rgb);
+        assert_eq!(out.iterations_run(), 1);
+    }
+
+    #[test]
+    fn sslic_counts_sub_iterations() {
+        let img = test_image();
+        let out = Segmenter::sslic_ppa(params(60, 6), 3).segment(&img.rgb);
+        assert_eq!(out.counters().sub_iterations, 6);
+    }
+
+    #[test]
+    fn sslic_subset_pass_touches_fraction_of_pixels() {
+        let img = test_image();
+        let n = (64 * 48) as u64;
+        let full = Segmenter::slic_ppa(params(60, 2)).segment(&img.rgb);
+        let half = Segmenter::sslic_ppa(params(60, 2), 2).segment(&img.rgb);
+        // Same number of steps, but each S-SLIC step assigns half the
+        // pixels: distance calcs are ~half.
+        assert_eq!(full.counters().distance_calcs, 2 * n * 9);
+        assert_eq!(half.counters().distance_calcs, n * 9);
+    }
+
+    #[test]
+    fn cpa_averages_four_distance_calcs_per_pixel() {
+        // Table 2's premise: the 2S×2S windows visit each pixel ~4 times
+        // per iteration (interior clusters; borders reduce it slightly).
+        let img = SyntheticImage::builder(96, 96).seed(1).regions(4).build();
+        let p = SlicParams::builder(36)
+            .iterations(1)
+            .perturb_seeds(false)
+            .enforce_connectivity(false)
+            .build();
+        let out = Segmenter::slic(p).segment(&img.rgb);
+        let per_pixel = out.counters().distance_calcs as f64 / (96.0 * 96.0);
+        assert!(
+            (3.0..=4.6).contains(&per_pixel),
+            "CPA visits/pixel = {per_pixel}"
+        );
+    }
+
+    #[test]
+    fn ppa_does_exactly_nine_distance_calcs_per_pixel() {
+        let img = test_image();
+        let p = SlicParams::builder(60)
+            .iterations(1)
+            .enforce_connectivity(false)
+            .build();
+        let out = Segmenter::slic_ppa(p).segment(&img.rgb);
+        assert_eq!(out.counters().distance_calcs, 64 * 48 * 9);
+    }
+
+    fn label_agreement(a: &Segmentation, b: &Segmentation) -> f64 {
+        let agree = a
+            .labels()
+            .iter()
+            .zip(b.labels().iter())
+            .filter(|(x, y)| x == y)
+            .count();
+        agree as f64 / a.labels().len() as f64
+    }
+
+    #[test]
+    fn quantized_8bit_tracks_float_labels_closely() {
+        // Float vs 8-bit differ in *both* the color-conversion path (LUT vs
+        // exact) and the distance precision; near-tie boundary pixels can
+        // flip. On this small image boundaries are a large pixel fraction,
+        // so require a moderate majority agreement here — the metric-level
+        // claim of §6.1 (USE within 0.003) is validated in the bench
+        // harness on full-size corpora.
+        let img = test_image();
+        let p = params(60, 4);
+        let float = Segmenter::slic_ppa(p).segment(&img.rgb);
+        let quant = Segmenter::slic_ppa(p)
+            .with_distance_mode(DistanceMode::quantized(8))
+            .segment(&img.rgb);
+        let frac = label_agreement(&float, &quant);
+        assert!(frac > 0.65, "8-bit agrees with float on {frac} of pixels");
+    }
+
+    #[test]
+    fn distance_precision_cliff_sits_below_8_bits() {
+        // Same LUT color conversion on all sides: only the distance-code
+        // width differs. The paper's §6.1 finding is that 8 bits is safe
+        // and degradation starts below — measured here as label agreement
+        // against a 12-bit reference at SLIC-realistic superpixel size.
+        let img = SyntheticImage::builder(128, 96).seed(3).regions(5).build();
+        let p = params(24, 4);
+        let run = |bits: u8| {
+            Segmenter::slic_ppa(p)
+                .with_distance_mode(DistanceMode::quantized(bits))
+                .segment(&img.rgb)
+        };
+        let q12 = run(12);
+        let a8 = label_agreement(&q12, &run(8));
+        let a6 = label_agreement(&q12, &run(6));
+        assert!(a8 > 0.85, "8-bit agrees with 12-bit on {a8} of pixels");
+        assert!(
+            a6 < a8 - 0.1,
+            "6-bit ({a6}) must be noticeably worse than 8-bit ({a8})"
+        );
+    }
+
+    #[test]
+    fn very_low_precision_degrades_labels() {
+        let img = test_image();
+        let p = params(60, 4);
+        let q8 = Segmenter::slic_ppa(p)
+            .with_distance_mode(DistanceMode::quantized(8))
+            .segment(&img.rgb);
+        let q3 = Segmenter::slic_ppa(p)
+            .with_distance_mode(DistanceMode::quantized(3))
+            .segment(&img.rgb);
+        let diff = q8
+            .labels()
+            .iter()
+            .zip(q3.labels().iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(diff > 0, "3-bit must differ from 8-bit somewhere");
+    }
+
+    #[test]
+    fn segment_lab_matches_segment_for_float_mode() {
+        let img = test_image();
+        let seg = Segmenter::slic_ppa(params(60, 3));
+        let via_rgb = seg.segment(&img.rgb);
+        let lab = float::convert_image(&img.rgb);
+        let via_lab = seg.segment_lab(&lab);
+        assert_eq!(via_rgb.labels(), via_lab.labels());
+    }
+
+    #[test]
+    fn connectivity_can_be_disabled() {
+        let img = test_image();
+        let p = SlicParams::builder(60)
+            .iterations(3)
+            .enforce_connectivity(false)
+            .build();
+        let out = Segmenter::slic_ppa(p).segment(&img.rgb);
+        // With connectivity off the connectivity phase records zero time.
+        assert_eq!(
+            out.breakdown().phase_time(crate::profile::Phase::Connectivity),
+            std::time::Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn breakdown_records_assignment_and_update_time() {
+        let img = test_image();
+        let out = Segmenter::slic_ppa(params(60, 3)).segment(&img.rgb);
+        use crate::profile::Phase;
+        assert!(out.breakdown().phase_time(Phase::DistanceMin) > std::time::Duration::ZERO);
+        assert!(out.breakdown().phase_time(Phase::CenterUpdate) > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn bands_strategy_is_selectable() {
+        let img = test_image();
+        let seg = Segmenter::sslic_ppa(params(60, 4), 2)
+            .with_subset_strategy(SubsetStrategy::Bands);
+        match seg.algorithm() {
+            Algorithm::SSlicPpa { strategy, .. } => {
+                assert_eq!(strategy, SubsetStrategy::Bands)
+            }
+            _ => panic!("wrong algorithm"),
+        }
+        let out = seg.segment(&img.rgb);
+        assert_eq!(out.labels().len(), 64 * 48);
+    }
+
+    #[test]
+    fn preemption_freezes_clusters_and_cuts_distance_work() {
+        let img = test_image();
+        let plain = Segmenter::slic_ppa(params(60, 10)).segment(&img.rgb);
+        let preempted = Segmenter::slic_ppa(params(60, 10))
+            .with_preemption(0.5)
+            .segment(&img.rgb);
+        assert_eq!(plain.frozen_clusters(), 0);
+        assert!(
+            preempted.frozen_clusters() > 0,
+            "some clusters should converge and freeze within 10 iterations"
+        );
+        assert!(
+            preempted.counters().distance_calcs < plain.counters().distance_calcs,
+            "frozen neighborhoods skip distance computations"
+        );
+    }
+
+    #[test]
+    fn preemption_barely_changes_the_result() {
+        let img = test_image();
+        let plain = Segmenter::slic_ppa(params(60, 10)).segment(&img.rgb);
+        let preempted = Segmenter::slic_ppa(params(60, 10))
+            .with_preemption(0.25)
+            .segment(&img.rgb);
+        let agree = plain
+            .labels()
+            .iter()
+            .zip(preempted.labels().iter())
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / plain.labels().len() as f64;
+        assert!(agree > 0.9, "preemption is near-lossless: {agree}");
+    }
+
+    #[test]
+    fn preemption_composes_with_subsampling() {
+        // The combination the paper's §8 left unanalyzed.
+        let img = test_image();
+        let combined = Segmenter::sslic_ppa(params(60, 12), 2)
+            .with_preemption(0.5)
+            .segment(&img.rgb);
+        let sslic_only = Segmenter::sslic_ppa(params(60, 12), 2).segment(&img.rgb);
+        assert!(combined.counters().distance_calcs <= sslic_only.counters().distance_calcs);
+        let k = combined.cluster_count() as u32;
+        assert!(combined.labels().iter().all(|&l| l < k));
+    }
+
+    #[test]
+    fn measured_counters_match_the_analytic_prediction() {
+        use crate::instrument::predict_ppa_distance_calcs;
+        let img = test_image();
+        for subsets in [1u32, 2, 3] {
+            for strategy in [
+                SubsetStrategy::Interleaved,
+                SubsetStrategy::Checkerboard,
+                SubsetStrategy::Bands,
+            ] {
+                let seg = if subsets == 1 {
+                    Segmenter::slic_ppa(params(60, 5))
+                } else {
+                    Segmenter::sslic_ppa(params(60, 5), subsets)
+                        .with_subset_strategy(strategy)
+                };
+                let out = seg.segment(&img.rgb);
+                let predicted =
+                    predict_ppa_distance_calcs(64, 48, 5, subsets, strategy);
+                if subsets == 1 {
+                    // Strategy irrelevant for one subset.
+                    assert_eq!(out.counters().distance_calcs, 64 * 48 * 5 * 9);
+                } else {
+                    assert_eq!(
+                        out.counters().distance_calcs,
+                        predicted,
+                        "P={subsets} {strategy:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_compactness_produces_valid_labels() {
+        let img = test_image();
+        let p = SlicParams::builder(60)
+            .iterations(6)
+            .adaptive_compactness(true)
+            .build();
+        let seg = Segmenter::slic_ppa(p).segment(&img.rgb);
+        let k = seg.cluster_count() as u32;
+        assert!(seg.labels().iter().all(|&l| l < k));
+        // It must actually differ from fixed-m SLIC after several passes.
+        let fixed = Segmenter::slic_ppa(params(60, 6)).segment(&img.rgb);
+        assert_ne!(seg.labels(), fixed.labels());
+    }
+
+    #[test]
+    fn adaptive_compactness_is_deterministic() {
+        let img = test_image();
+        let p = SlicParams::builder(60)
+            .iterations(5)
+            .adaptive_compactness(true)
+            .build();
+        let a = Segmenter::slic_ppa(p).segment(&img.rgb);
+        let b = Segmenter::slic_ppa(p).segment(&img.rgb);
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "float-datapath")]
+    fn adaptive_compactness_rejects_quantized_mode() {
+        let img = test_image();
+        let p = SlicParams::builder(60)
+            .iterations(2)
+            .adaptive_compactness(true)
+            .build();
+        let _ = Segmenter::slic_ppa(p)
+            .with_distance_mode(DistanceMode::quantized(8))
+            .segment(&img.rgb);
+    }
+
+    #[test]
+    fn warm_start_converges_immediately_on_the_same_frame() {
+        let img = test_image();
+        let seg = Segmenter::slic_ppa(params(60, 10));
+        let cold = seg.segment(&img.rgb);
+        // Re-segment the identical frame from the converged centers with a
+        // tight convergence threshold: it should stop almost at once.
+        let p = SlicParams::builder(60)
+            .iterations(10)
+            .convergence_threshold(Some(0.1))
+            .build();
+        let warm = Segmenter::slic_ppa(p).segment_warm(&img.rgb, cold.clusters());
+        assert!(
+            warm.iterations_run() <= 3,
+            "warm start on an identical frame converges fast: {} steps",
+            warm.iterations_run()
+        );
+    }
+
+    #[test]
+    fn warm_start_matches_cold_quality_on_similar_frames() {
+        // "Frame t+1": the same scene, slightly different noise.
+        let frame0 = SyntheticImage::builder(64, 48).seed(3).regions(5).build();
+        let frame1 = SyntheticImage::builder(64, 48)
+            .seed(3)
+            .regions(5)
+            .noise_sigma(5.0)
+            .build();
+        let seg10 = Segmenter::slic_ppa(params(60, 10));
+        let cold1 = seg10.segment(&frame1.rgb);
+        let prev = seg10.segment(&frame0.rgb);
+        let warm1 = Segmenter::slic_ppa(params(60, 2)).segment_warm(&frame1.rgb, prev.clusters());
+        let agree = warm1
+            .labels()
+            .iter()
+            .zip(cold1.labels().iter())
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / cold1.labels().len() as f64;
+        assert!(
+            agree > 0.8,
+            "2 warm steps track 10 cold steps on a similar frame: {agree}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "warm start must carry")]
+    fn warm_start_with_wrong_cluster_count_panics() {
+        let img = test_image();
+        let seg = Segmenter::slic_ppa(params(60, 2));
+        let _ = seg.segment_warm(&img.rgb, &[Cluster::default(); 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "subset count")]
+    fn zero_subsets_panics() {
+        let _ = Segmenter::sslic_ppa(params(60, 2), 0);
+    }
+
+    #[test]
+    fn steps_per_full_pass() {
+        assert_eq!(Algorithm::SlicCpa.steps_per_full_pass(), 1);
+        assert_eq!(
+            Algorithm::SSlicPpa {
+                subsets: 4,
+                strategy: SubsetStrategy::Interleaved
+            }
+            .steps_per_full_pass(),
+            4
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! SLIC and Subsampled SLIC (S-SLIC) superpixel segmentation.
+//!
+//! This crate implements the paper's primary contribution and its baseline:
+//!
+//! * **SLIC** (Achanta et al.) in its original *center-perspective* form
+//!   (each superpixel scans a `2S×2S` window — [`Algorithm::SlicCpa`]) and
+//!   the gSLIC-style *pixel-perspective* form (each pixel considers its 9
+//!   nearest initial centers — [`Algorithm::SlicPpa`]).
+//! * **S-SLIC**, the paper's subsampled variant: the image pixels (PPA) or
+//!   the superpixel centers (CPA) are split into equal subsets traversed
+//!   round-robin, so each center-update step touches only a fraction of the
+//!   data while converging almost as fast per step
+//!   ([`Algorithm::SSlicPpa`] / [`Algorithm::SSlicCpa`]).
+//! * A **quantized datapath** ([`DistanceMode::Quantized`]) reproducing the
+//!   accelerator's reduced-precision distance pipeline for the paper's
+//!   §6.1 bit-width exploration.
+//! * **Instrumentation**: per-phase wall-clock breakdown (Table 1) and
+//!   analytic operation/memory-traffic accounting (Table 2).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sslic_core::{Segmenter, SlicParams};
+//! use sslic_image::synthetic::SyntheticImage;
+//!
+//! let img = SyntheticImage::builder(96, 64).seed(1).regions(6).build();
+//! let params = SlicParams::builder(150).compactness(10.0).iterations(4).build();
+//! let seg = Segmenter::sslic_ppa(params, 2).segment(&img.rgb);
+//! assert_eq!(seg.labels().width(), 96);
+//! assert!(seg.cluster_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod connectivity;
+mod distance;
+mod engine;
+mod grid;
+mod params;
+
+pub mod features;
+pub mod graph;
+pub mod instrument;
+pub mod profile;
+pub mod subsample;
+
+pub use cluster::{init_clusters, Cluster};
+pub use connectivity::{compact_labels, component_sizes, enforce_connectivity};
+pub use distance::{dist2_float, ClusterCodes, DistanceMode, QuantKernel};
+pub use engine::{Algorithm, Segmentation, Segmenter};
+pub use grid::SeedGrid;
+pub use params::{SlicParams, SlicParamsBuilder};

@@ -1,0 +1,245 @@
+/// Parameters shared by every SLIC variant.
+///
+/// Construct via [`SlicParams::builder`]; the builder supplies the paper's
+/// defaults for everything except the superpixel count.
+///
+/// # Example
+///
+/// ```
+/// use sslic_core::SlicParams;
+///
+/// let p = SlicParams::builder(900)
+///     .compactness(10.0)
+///     .iterations(10)
+///     .convergence_threshold(Some(0.25))
+///     .build();
+/// assert_eq!(p.superpixels(), 900);
+/// assert_eq!(p.compactness(), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SlicParams {
+    superpixels: usize,
+    compactness: f32,
+    iterations: u32,
+    convergence_threshold: Option<f32>,
+    perturb_seeds: bool,
+    enforce_connectivity: bool,
+    min_region_divisor: u32,
+    adaptive_compactness: bool,
+}
+
+impl SlicParams {
+    /// Starts building parameters for `superpixels` target superpixels
+    /// (`K` in the paper).
+    ///
+    /// # Panics
+    ///
+    /// The terminal [`SlicParamsBuilder::build`] panics if
+    /// `superpixels == 0`.
+    pub fn builder(superpixels: usize) -> SlicParamsBuilder {
+        SlicParamsBuilder {
+            params: SlicParams {
+                superpixels,
+                compactness: 10.0,
+                iterations: 10,
+                convergence_threshold: None,
+                perturb_seeds: true,
+                enforce_connectivity: true,
+                min_region_divisor: 4,
+                adaptive_compactness: false,
+            },
+        }
+    }
+
+    /// Target superpixel count `K`.
+    pub fn superpixels(&self) -> usize {
+        self.superpixels
+    }
+
+    /// Compactness weight `m` of Eq. 5 (color-vs-space balance, "generally
+    /// set between 1 and 40"). Default 10.
+    pub fn compactness(&self) -> f32 {
+        self.compactness
+    }
+
+    /// Maximum number of center-update steps. For subsampled variants this
+    /// counts *sub-iterations* (one subset pass each); one full-image pass
+    /// equals `subsets` sub-iterations. Default 10.
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Early-exit threshold on the mean per-cluster center movement in
+    /// pixels (L1). `None` disables early exit. Default `None`.
+    pub fn convergence_threshold(&self) -> Option<f32> {
+        self.convergence_threshold
+    }
+
+    /// Whether initial seeds are moved to the 3×3 minimum-gradient
+    /// position. Default `true`.
+    pub fn perturb_seeds(&self) -> bool {
+        self.perturb_seeds
+    }
+
+    /// Whether the connectivity-enforcement post-pass runs. Default `true`.
+    pub fn enforce_connectivity(&self) -> bool {
+        self.enforce_connectivity
+    }
+
+    /// Components smaller than `S²/min_region_divisor` are absorbed by the
+    /// connectivity pass. Default 4.
+    pub fn min_region_divisor(&self) -> u32 {
+        self.min_region_divisor
+    }
+
+    /// Whether SLICO-style adaptive compactness is enabled: each cluster
+    /// normalizes color distance by the maximum color distance observed
+    /// among its members in the previous pass, making `m` self-tuning per
+    /// region (Achanta's zero-parameter SLIC follow-up). Float datapath
+    /// only. Default `false`.
+    pub fn adaptive_compactness(&self) -> bool {
+        self.adaptive_compactness
+    }
+
+    /// Grid spacing `S = sqrt(N / K)` for an image of `pixels` pixels.
+    pub fn grid_spacing(&self, pixels: usize) -> f32 {
+        (pixels as f32 / self.superpixels as f32).sqrt()
+    }
+}
+
+/// Builder for [`SlicParams`]; see [`SlicParams::builder`].
+#[derive(Debug, Clone)]
+pub struct SlicParamsBuilder {
+    params: SlicParams,
+}
+
+impl SlicParamsBuilder {
+    /// Sets the compactness weight `m` (Eq. 5).
+    ///
+    /// # Panics
+    ///
+    /// `build` panics if the value is not positive.
+    pub fn compactness(mut self, m: f32) -> Self {
+        self.params.compactness = m;
+        self
+    }
+
+    /// Sets the maximum number of center-update steps.
+    pub fn iterations(mut self, iterations: u32) -> Self {
+        self.params.iterations = iterations;
+        self
+    }
+
+    /// Sets (or disables, with `None`) the early-exit movement threshold.
+    pub fn convergence_threshold(mut self, threshold: Option<f32>) -> Self {
+        self.params.convergence_threshold = threshold;
+        self
+    }
+
+    /// Enables or disables gradient seed perturbation.
+    pub fn perturb_seeds(mut self, on: bool) -> Self {
+        self.params.perturb_seeds = on;
+        self
+    }
+
+    /// Enables or disables the connectivity post-pass.
+    pub fn enforce_connectivity(mut self, on: bool) -> Self {
+        self.params.enforce_connectivity = on;
+        self
+    }
+
+    /// Enables SLICO-style adaptive compactness (see
+    /// [`SlicParams::adaptive_compactness`]).
+    pub fn adaptive_compactness(mut self, on: bool) -> Self {
+        self.params.adaptive_compactness = on;
+        self
+    }
+
+    /// Sets the minimum-region divisor for the connectivity pass.
+    ///
+    /// # Panics
+    ///
+    /// `build` panics if the divisor is zero.
+    pub fn min_region_divisor(mut self, divisor: u32) -> Self {
+        self.params.min_region_divisor = divisor;
+        self
+    }
+
+    /// Validates and returns the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `superpixels == 0`, `compactness <= 0`, `iterations == 0`,
+    /// or `min_region_divisor == 0`.
+    pub fn build(self) -> SlicParams {
+        let p = self.params;
+        assert!(p.superpixels > 0, "superpixel count must be nonzero");
+        assert!(
+            p.compactness > 0.0 && p.compactness.is_finite(),
+            "compactness must be positive and finite"
+        );
+        assert!(p.iterations > 0, "at least one iteration required");
+        assert!(p.min_region_divisor > 0, "min_region_divisor must be nonzero");
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = SlicParams::builder(900).build();
+        assert_eq!(p.compactness(), 10.0);
+        assert_eq!(p.iterations(), 10);
+        assert_eq!(p.convergence_threshold(), None);
+        assert!(p.perturb_seeds());
+        assert!(p.enforce_connectivity());
+    }
+
+    #[test]
+    fn grid_spacing_is_sqrt_n_over_k() {
+        let p = SlicParams::builder(5000).build();
+        let s = p.grid_spacing(1920 * 1080);
+        assert!((s - 20.36).abs() < 0.01, "S={s}");
+    }
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let p = SlicParams::builder(42)
+            .compactness(25.0)
+            .iterations(3)
+            .convergence_threshold(Some(0.5))
+            .perturb_seeds(false)
+            .enforce_connectivity(false)
+            .min_region_divisor(8)
+            .build();
+        assert_eq!(p.superpixels(), 42);
+        assert_eq!(p.compactness(), 25.0);
+        assert_eq!(p.iterations(), 3);
+        assert_eq!(p.convergence_threshold(), Some(0.5));
+        assert!(!p.perturb_seeds());
+        assert!(!p.enforce_connectivity());
+        assert_eq!(p.min_region_divisor(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "superpixel count")]
+    fn zero_superpixels_panics() {
+        let _ = SlicParams::builder(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "compactness")]
+    fn negative_compactness_panics() {
+        let _ = SlicParams::builder(10).compactness(-1.0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "iteration")]
+    fn zero_iterations_panics() {
+        let _ = SlicParams::builder(10).iterations(0).build();
+    }
+}

@@ -1,0 +1,207 @@
+/// A signed fixed-point format `Qm.n`: one sign bit, `m` integer bits, and
+/// `n` fraction bits (ARM-style Q notation).
+///
+/// The representable range is `[-2^m, 2^m - 2^-n]` with a resolution of
+/// `2^-n`. Formats are value types and cheap to copy; every [`crate::Fx`]
+/// carries its format so mixed-format arithmetic can be detected.
+///
+/// # Example
+///
+/// ```
+/// use sslic_fixed::QFormat;
+///
+/// let q = QFormat::new(7, 0); // classic signed 8-bit integer
+/// assert_eq!(q.total_bits(), 8);
+/// assert_eq!(q.max_value(), 127.0);
+/// assert_eq!(q.min_value(), -128.0);
+/// assert_eq!(q.resolution(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QFormat {
+    int_bits: u8,
+    frac_bits: u8,
+}
+
+impl QFormat {
+    /// Creates a `Q(int_bits).(frac_bits)` format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `int_bits + frac_bits` exceeds 62 (raw values are stored
+    /// in `i64` and products need headroom).
+    pub fn new(int_bits: u8, frac_bits: u8) -> Self {
+        assert!(
+            (int_bits as u32 + frac_bits as u32) <= 62,
+            "QFormat wider than 62 bits is unsupported"
+        );
+        QFormat {
+            int_bits,
+            frac_bits,
+        }
+    }
+
+    /// The accelerator's 8-bit unsigned-channel format viewed as signed
+    /// `Q8.0` (values 0–255 fit losslessly).
+    pub fn channel8() -> Self {
+        QFormat::new(8, 0)
+    }
+
+    /// Number of integer bits `m`.
+    #[inline]
+    pub fn int_bits(&self) -> u8 {
+        self.int_bits
+    }
+
+    /// Number of fraction bits `n`.
+    #[inline]
+    pub fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// Total storage width including the sign bit.
+    #[inline]
+    pub fn total_bits(&self) -> u32 {
+        1 + self.int_bits as u32 + self.frac_bits as u32
+    }
+
+    /// Largest representable value, `2^m − 2^−n`.
+    #[inline]
+    pub fn max_value(&self) -> f64 {
+        (self.max_raw() as f64) * self.resolution()
+    }
+
+    /// Smallest representable value, `−2^m`.
+    #[inline]
+    pub fn min_value(&self) -> f64 {
+        (self.min_raw() as f64) * self.resolution()
+    }
+
+    /// Quantization step, `2^−n`.
+    #[inline]
+    pub fn resolution(&self) -> f64 {
+        1.0 / (1i64 << self.frac_bits) as f64
+    }
+
+    /// Largest raw (integer) code.
+    #[inline]
+    pub fn max_raw(&self) -> i64 {
+        (1i64 << (self.int_bits as u32 + self.frac_bits as u32)) - 1
+    }
+
+    /// Smallest raw (integer) code.
+    #[inline]
+    pub fn min_raw(&self) -> i64 {
+        -(1i64 << (self.int_bits as u32 + self.frac_bits as u32))
+    }
+
+    /// Converts a real value to the nearest raw code, saturating at the
+    /// format bounds (round half away from zero, like a hardware rounder).
+    #[inline]
+    pub fn quantize(&self, value: f64) -> i64 {
+        if value.is_nan() {
+            return 0;
+        }
+        let scaled = value * (1i64 << self.frac_bits) as f64;
+        let rounded = scaled.round();
+        if rounded >= self.max_raw() as f64 {
+            self.max_raw()
+        } else if rounded <= self.min_raw() as f64 {
+            self.min_raw()
+        } else {
+            rounded as i64
+        }
+    }
+
+    /// Converts a raw code back to a real value.
+    #[inline]
+    pub fn dequantize(&self, raw: i64) -> f64 {
+        raw as f64 * self.resolution()
+    }
+
+    /// Clamps a raw code into the representable range (hardware saturation
+    /// after arithmetic).
+    #[inline]
+    pub fn saturate_raw(&self, raw: i64) -> i64 {
+        raw.clamp(self.min_raw(), self.max_raw())
+    }
+}
+
+impl std::fmt::Display for QFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q7_0_is_i8() {
+        let q = QFormat::new(7, 0);
+        assert_eq!(q.max_raw(), 127);
+        assert_eq!(q.min_raw(), -128);
+        assert_eq!(q.quantize(1000.0), 127);
+        assert_eq!(q.quantize(-1000.0), -128);
+    }
+
+    #[test]
+    fn resolution_scales_with_frac_bits() {
+        assert_eq!(QFormat::new(0, 8).resolution(), 1.0 / 256.0);
+        assert_eq!(QFormat::new(3, 0).resolution(), 1.0);
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        let q = QFormat::new(4, 2); // resolution 0.25
+        assert_eq!(q.dequantize(q.quantize(1.1)), 1.0);
+        assert_eq!(q.dequantize(q.quantize(1.13)), 1.25);
+        assert_eq!(q.dequantize(q.quantize(-1.1)), -1.0);
+    }
+
+    #[test]
+    fn quantize_handles_nan() {
+        let q = QFormat::new(4, 4);
+        assert_eq!(q.quantize(f64::NAN), 0);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_lsb() {
+        let q = QFormat::new(6, 6);
+        for i in 0..1000 {
+            let v = -60.0 + i as f64 * 0.123;
+            let back = q.dequantize(q.quantize(v));
+            assert!(
+                (back - v).abs() <= q.resolution() / 2.0 + 1e-12,
+                "v={v} back={back}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn overly_wide_format_panics() {
+        let _ = QFormat::new(40, 40);
+    }
+
+    #[test]
+    fn display_uses_q_notation() {
+        assert_eq!(QFormat::new(4, 4).to_string(), "Q4.4");
+    }
+
+    #[test]
+    fn channel8_covers_byte_range() {
+        let q = QFormat::channel8();
+        assert_eq!(q.quantize(255.0), 255);
+        assert_eq!(q.dequantize(255), 255.0);
+    }
+
+    #[test]
+    fn saturate_raw_clamps() {
+        let q = QFormat::new(3, 0);
+        assert_eq!(q.saturate_raw(100), 7);
+        assert_eq!(q.saturate_raw(-100), -8);
+        assert_eq!(q.saturate_raw(5), 5);
+    }
+}

@@ -1,0 +1,304 @@
+use crate::QFormat;
+
+/// A fixed-point value: a raw integer code plus its [`QFormat`].
+///
+/// Arithmetic follows hardware semantics: results saturate at the format
+/// bounds instead of wrapping, and multiplication rescales the double-width
+/// product back into the operand format with round-to-nearest (matching a
+/// datapath that keeps a wide accumulator and truncates on writeback).
+///
+/// Operands of different formats are a modeling bug, so mixed-format
+/// arithmetic panics rather than silently realigning.
+///
+/// # Example
+///
+/// ```
+/// use sslic_fixed::{Fx, QFormat};
+///
+/// let q = QFormat::new(6, 8);
+/// let x = Fx::from_f64(3.5, q);
+/// let y = Fx::from_f64(-1.25, q);
+/// assert_eq!((x * y).to_f64(), -4.375);
+/// assert_eq!((x - y).to_f64(), 4.75);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Fx {
+    raw: i64,
+    format: QFormat,
+}
+
+impl Fx {
+    /// Quantizes a real value into `format` (saturating).
+    pub fn from_f64(value: f64, format: QFormat) -> Self {
+        Fx {
+            raw: format.quantize(value),
+            format,
+        }
+    }
+
+    /// Wraps a raw code, saturating it into `format`'s range.
+    pub fn from_raw(raw: i64, format: QFormat) -> Self {
+        Fx {
+            raw: format.saturate_raw(raw),
+            format,
+        }
+    }
+
+    /// Zero in the given format.
+    pub fn zero(format: QFormat) -> Self {
+        Fx { raw: 0, format }
+    }
+
+    /// The real value this code represents.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.format.dequantize(self.raw)
+    }
+
+    /// The raw integer code.
+    #[inline]
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// The value's format.
+    #[inline]
+    pub fn format(self) -> QFormat {
+        self.format
+    }
+
+    /// Saturating absolute value.
+    pub fn abs(self) -> Self {
+        Fx::from_raw(self.raw.saturating_abs(), self.format)
+    }
+
+    /// Saturating squared value in the same format (wide product, rescaled).
+    pub fn squared(self) -> Self {
+        self * self
+    }
+
+    fn assert_same_format(self, other: Fx, op: &str) {
+        assert!(
+            self.format == other.format,
+            "mixed fixed-point formats in {op}: {} vs {}",
+            self.format,
+            other.format
+        );
+    }
+}
+
+impl std::ops::Add for Fx {
+    type Output = Fx;
+
+    fn add(self, rhs: Fx) -> Fx {
+        self.assert_same_format(rhs, "add");
+        Fx::from_raw(self.raw.saturating_add(rhs.raw), self.format)
+    }
+}
+
+impl std::ops::Sub for Fx {
+    type Output = Fx;
+
+    fn sub(self, rhs: Fx) -> Fx {
+        self.assert_same_format(rhs, "sub");
+        Fx::from_raw(self.raw.saturating_sub(rhs.raw), self.format)
+    }
+}
+
+impl std::ops::Mul for Fx {
+    type Output = Fx;
+
+    fn mul(self, rhs: Fx) -> Fx {
+        self.assert_same_format(rhs, "mul");
+        // Wide product has 2n fraction bits; rescale to n with rounding.
+        let wide = (self.raw as i128) * (rhs.raw as i128);
+        let shift = self.format.frac_bits() as u32;
+        let half = if shift > 0 { 1i128 << (shift - 1) } else { 0 };
+        let rounded = if wide >= 0 {
+            (wide + half) >> shift
+        } else {
+            -((-wide + half) >> shift)
+        };
+        let clamped = rounded.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+        Fx::from_raw(clamped, self.format)
+    }
+}
+
+impl std::ops::Div for Fx {
+    type Output = Fx;
+
+    /// Saturating fixed-point division with round-to-nearest (the
+    /// operand is pre-scaled by `2^frac` so the quotient keeps the
+    /// format).
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by (fixed-point) zero.
+    fn div(self, rhs: Fx) -> Fx {
+        self.assert_same_format(rhs, "div");
+        assert!(rhs.raw != 0, "fixed-point division by zero");
+        let shift = self.format.frac_bits() as u32;
+        let num = (self.raw as i128) << shift;
+        let den = rhs.raw as i128;
+        // Round to nearest, half away from zero.
+        let quot = if (num >= 0) == (den > 0) {
+            (num + den / 2) / den
+        } else {
+            (num - den / 2) / den
+        };
+        let clamped = quot.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+        Fx::from_raw(clamped, self.format)
+    }
+}
+
+impl std::ops::Neg for Fx {
+    type Output = Fx;
+
+    fn neg(self) -> Fx {
+        Fx::from_raw(self.raw.saturating_neg(), self.format)
+    }
+}
+
+impl PartialOrd for Fx {
+    fn partial_cmp(&self, other: &Fx) -> Option<std::cmp::Ordering> {
+        if self.format == other.format {
+            Some(self.raw.cmp(&other.raw))
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for Fx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.to_f64(), self.format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> QFormat {
+        QFormat::new(6, 8)
+    }
+
+    #[test]
+    fn exact_values_round_trip() {
+        let x = Fx::from_f64(2.5, q());
+        assert_eq!(x.to_f64(), 2.5);
+        assert_eq!(x.raw(), 2 * 256 + 128);
+    }
+
+    #[test]
+    fn add_sub_are_exact_within_range() {
+        let a = Fx::from_f64(1.25, q());
+        let b = Fx::from_f64(0.5, q());
+        assert_eq!((a + b).to_f64(), 1.75);
+        assert_eq!((a - b).to_f64(), 0.75);
+    }
+
+    #[test]
+    fn add_saturates_at_max() {
+        let m = Fx::from_f64(q().max_value(), q());
+        assert_eq!((m + m).to_f64(), q().max_value());
+    }
+
+    #[test]
+    fn sub_saturates_at_min() {
+        let m = Fx::from_f64(q().min_value(), q());
+        let one = Fx::from_f64(1.0, q());
+        assert_eq!((m - one).to_f64(), q().min_value());
+    }
+
+    #[test]
+    fn mul_rescales_product() {
+        let a = Fx::from_f64(1.5, q());
+        let b = Fx::from_f64(2.0, q());
+        assert_eq!((a * b).to_f64(), 3.0);
+    }
+
+    #[test]
+    fn mul_of_negatives() {
+        let a = Fx::from_f64(-1.5, q());
+        let b = Fx::from_f64(2.0, q());
+        assert_eq!((a * b).to_f64(), -3.0);
+        assert_eq!((a * a).to_f64(), 2.25);
+    }
+
+    #[test]
+    fn mul_saturates() {
+        let a = Fx::from_f64(60.0, q());
+        assert_eq!((a * a).to_f64(), q().max_value());
+    }
+
+    #[test]
+    fn div_is_exact_on_representable_quotients() {
+        let a = Fx::from_f64(3.0, q());
+        let b = Fx::from_f64(2.0, q());
+        assert_eq!((a / b).to_f64(), 1.5);
+        let c = Fx::from_f64(-4.5, q());
+        assert_eq!((c / b).to_f64(), -2.25);
+        assert_eq!((c / -b).to_f64(), 2.25);
+    }
+
+    #[test]
+    fn div_rounds_to_nearest() {
+        let q2 = QFormat::new(6, 2); // resolution 0.25
+        let a = Fx::from_f64(1.0, q2);
+        let b = Fx::from_f64(3.0, q2);
+        // 1/3 = 0.333… → nearest representable 0.25 (codes: 4<<2=16 /12 = 1.33 → 1)
+        assert_eq!((a / b).to_f64(), 0.25);
+    }
+
+    #[test]
+    fn div_saturates_on_overflow() {
+        let big = Fx::from_f64(60.0, q());
+        let tiny = Fx::from_raw(1, q()); // smallest positive code
+        assert_eq!((big / tiny).to_f64(), q().max_value());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let a = Fx::from_f64(1.0, q());
+        let _ = a / Fx::zero(q());
+    }
+
+    #[test]
+    fn neg_and_abs() {
+        let a = Fx::from_f64(-3.25, q());
+        assert_eq!((-a).to_f64(), 3.25);
+        assert_eq!(a.abs().to_f64(), 3.25);
+    }
+
+    #[test]
+    fn ordering_within_format() {
+        let a = Fx::from_f64(1.0, q());
+        let b = Fx::from_f64(2.0, q());
+        assert!(a < b);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn mixed_format_comparison_is_none() {
+        let a = Fx::from_f64(1.0, QFormat::new(4, 4));
+        let b = Fx::from_f64(1.0, QFormat::new(6, 8));
+        assert_eq!(a.partial_cmp(&b), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed fixed-point formats")]
+    fn mixed_format_add_panics() {
+        let a = Fx::from_f64(1.0, QFormat::new(4, 4));
+        let b = Fx::from_f64(1.0, QFormat::new(6, 8));
+        let _ = a + b;
+    }
+
+    #[test]
+    fn display_shows_value_and_format() {
+        let a = Fx::from_f64(1.5, QFormat::new(4, 4));
+        assert_eq!(a.to_string(), "1.5 (Q4.4)");
+    }
+}

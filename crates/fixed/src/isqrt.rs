@@ -1,0 +1,131 @@
+//! Integer square root — the operation a fully integer distance datapath
+//! uses to turn `D²` into the `D` the paper's 8-bit distance registers
+//! hold ("Each unit … returns the 8-bit distance", §4.3).
+//!
+//! Hardware implements this as a non-restoring shift/subtract circuit: one
+//! result bit per stage, ~bit-width stages deep. [`isqrt`] mirrors that
+//! algorithm exactly, so its per-call "cycle count" equals the pipeline
+//! depth a synthesized unit would have.
+
+/// Floor of the square root of `v`, computed with the hardware's
+/// non-restoring bit-by-bit method (no floating point anywhere).
+///
+/// # Example
+///
+/// ```
+/// use sslic_fixed::isqrt;
+///
+/// assert_eq!(isqrt(0), 0);
+/// assert_eq!(isqrt(16), 4);
+/// assert_eq!(isqrt(17), 4);
+/// assert_eq!(isqrt(u64::MAX), u32::MAX as u64);
+/// ```
+pub fn isqrt(v: u64) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    let mut result = 0u64;
+    // Highest power-of-4 bit at or below v.
+    let mut bit = 1u64 << ((63 - v.leading_zeros()) & !1);
+    let mut rem = v;
+    while bit != 0 {
+        if rem >= result + bit {
+            rem -= result + bit;
+            result = (result >> 1) + bit;
+        } else {
+            result >>= 1;
+        }
+        bit >>= 2;
+    }
+    result
+}
+
+/// Rounded (nearest) integer square root: `round(sqrt(v))`, still in pure
+/// integer arithmetic — what a datapath with a half-LSB rounding stage
+/// produces.
+pub fn isqrt_rounded(v: u64) -> u64 {
+    let floor = isqrt(v);
+    // Round up iff v lies above the midpoint (floor + ½)² = floor² +
+    // floor + ¼, i.e. (for integers) iff v − floor² > floor. `floor²`
+    // cannot overflow since floor ≤ 2³²−1.
+    let diff = v - floor * floor;
+    if diff > floor {
+        floor + 1
+    } else {
+        floor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_squares() {
+        for i in 0u64..2000 {
+            assert_eq!(isqrt(i * i), i);
+            assert_eq!(isqrt_rounded(i * i), i);
+        }
+    }
+
+    #[test]
+    fn floor_behaviour_between_squares() {
+        assert_eq!(isqrt(8), 2);
+        assert_eq!(isqrt(9), 3);
+        assert_eq!(isqrt(15), 3);
+        assert_eq!(isqrt(24), 4);
+    }
+
+    #[test]
+    fn rounding_behaviour() {
+        // 6.5² = 42.25: 42 rounds down to 6, 43 rounds up to 7.
+        assert_eq!(isqrt_rounded(42), 6);
+        assert_eq!(isqrt_rounded(43), 7);
+        // 2.5² = 6.25: 6 → 2, 7 → 3.
+        assert_eq!(isqrt_rounded(6), 2);
+        assert_eq!(isqrt_rounded(7), 3);
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(2), 1);
+        assert_eq!(isqrt(3), 1);
+        assert_eq!(isqrt(4), 2);
+        assert_eq!(isqrt(u64::MAX), u32::MAX as u64);
+        assert_eq!(isqrt_rounded(u64::MAX), u32::MAX as u64 + 1);
+    }
+
+    proptest! {
+        #[test]
+        fn floor_invariant(v in prop::num::u64::ANY) {
+            let r = isqrt(v);
+            prop_assert!(r * r <= v);
+            // (r+1)² > v, guarding against overflow.
+            let r1 = r + 1;
+            prop_assert!(r1.checked_mul(r1).map(|sq| sq > v).unwrap_or(true));
+        }
+
+        #[test]
+        fn matches_float_sqrt_for_moderate_values(v in 0u64..(1 << 52)) {
+            // f64 sqrt is exact for inputs below 2^52.
+            prop_assert_eq!(isqrt(v), (v as f64).sqrt().floor() as u64);
+        }
+
+        #[test]
+        fn rounded_is_floor_or_floor_plus_one(v in prop::num::u64::ANY) {
+            let f = isqrt(v);
+            let r = isqrt_rounded(v);
+            prop_assert!(r == f || r == f + 1);
+        }
+
+        #[test]
+        fn monotone(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+            if a <= b {
+                prop_assert!(isqrt(a) <= isqrt(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Functional tile-level simulator of the S-SLIC accelerator.
+//!
+//! Unlike the analytic [`crate::sim::FrameSimulator`], this module pushes
+//! actual pixels through the architecture of Figure 4, reproducing the FSM
+//! schedule of §4.3:
+//!
+//! 1. **Color conversion** — tiles of RGB stream from external memory into
+//!    the channel scratchpads, through the LUT conversion unit, and back
+//!    as 8-bit L, a, b.
+//! 2. **Static initialization** — the pixel → 9-closest-centers tiling is
+//!    precomputed (the paper stores it in external memory; here it is the
+//!    [`sslic_core::SeedGrid`]), and the initial centers sample the seed
+//!    pixels.
+//! 3. **Cluster update** — per iteration, tiles stream through the Cluster
+//!    Update Unit: 9 distance codes per pixel, the 9:1 minimum, the
+//!    6-field sigma accumulation, and the index write-back.
+//! 4. **Center update** — the sigma registers are averaged with rounded
+//!    integer division into new center codes.
+//!
+//! The datapath is shared with the software model
+//! ([`sslic_core::QuantKernel`]), so the simulator's label map agrees with
+//! `Segmenter::sslic_ppa(...).with_distance_mode(DistanceMode::quantized(8))`
+//! (seed perturbation and connectivity disabled) on ≥ 99.5 % of pixels —
+//! exact up to half-LSB ties in center-mean rounding, where the software
+//! engine's f32 centers and this simulator's integer sigma division can
+//! land one code apart. The cross-check lives in the workspace
+//! integration tests.
+
+use sslic_color::hw::HwColorConverter;
+use sslic_core::subsample::{SubsetPartition, SubsetStrategy};
+use sslic_core::{ClusterCodes, QuantKernel, SeedGrid};
+use sslic_image::{Plane, RgbImage};
+
+use crate::cluster::ClusterUnitConfig;
+use crate::dram::{DramModel, DramTraffic};
+use crate::model;
+use crate::scratchpad::ScratchpadSet;
+
+/// Configuration of the functional accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Target superpixel count `K`.
+    pub superpixels: usize,
+    /// Compactness weight `m` of Eq. 5.
+    pub compactness: f32,
+    /// Number of center-update steps (sub-iterations when `subsets > 1`).
+    pub iterations: u32,
+    /// S-SLIC pixel-subset count `P` (1 = plain pixel-perspective SLIC).
+    pub subsets: u32,
+    /// Per-channel scratchpad bytes (= pixels per tile).
+    pub buffer_bytes_per_channel: usize,
+    /// Cluster Update Unit parallelism.
+    pub cluster_config: ClusterUnitConfig,
+    /// Width of the distance codes compared by the minimum unit.
+    pub distance_bits: u8,
+}
+
+impl AcceleratorConfig {
+    /// The paper's design point for `superpixels` target superpixels:
+    /// m = 10, 9 iterations, subsampling ratio 0.5, 4 kB buffers, the
+    /// 9-9-6 unit, 8-bit distances.
+    pub fn new(superpixels: usize) -> Self {
+        AcceleratorConfig {
+            superpixels,
+            compactness: 10.0,
+            iterations: 9,
+            subsets: 2,
+            buffer_bytes_per_channel: 4 * 1024,
+            cluster_config: ClusterUnitConfig::c9_9_6(),
+            distance_bits: 8,
+        }
+    }
+}
+
+/// The functional accelerator simulator.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    config: AcceleratorConfig,
+    dram: DramModel,
+}
+
+impl Accelerator {
+    /// Creates the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the superpixel, iteration, or subset count is zero.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        assert!(config.superpixels > 0, "superpixel count must be nonzero");
+        assert!(config.iterations > 0, "iteration count must be nonzero");
+        assert!(config.subsets > 0, "subset count must be nonzero");
+        Accelerator {
+            config,
+            dram: DramModel::default(),
+        }
+    }
+
+    /// Replaces the DRAM model.
+    pub fn with_dram(mut self, dram: DramModel) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Processes one frame, producing the label map and the full cycle,
+    /// traffic, and energy accounting.
+    pub fn process(&self, img: &RgbImage) -> AcceleratorRun {
+        let cfg = &self.config;
+        let (w, h) = (img.width(), img.height());
+        let n = (w * h) as u64;
+        let tile_pixels = cfg.buffer_bytes_per_channel as u64;
+        let tiles = n.div_ceil(tile_pixels);
+
+        let mut traffic = DramTraffic::default();
+        let mut scratchpads = ScratchpadSet::new(cfg.buffer_bytes_per_channel);
+
+        // --- Phase 1: color conversion -----------------------------------
+        let lab8 = HwColorConverter::paper_default().convert_image(img);
+        for _ in 0..tiles {
+            traffic.read(3 * tile_pixels); // interleaved RGB in
+        }
+        // RGB lands in the channel memories, is read by the converter, and
+        // the Lab result is written back (paper §4.3), then spilled out.
+        scratchpads.ch1.record_writes(2 * n);
+        scratchpads.ch1.record_reads(2 * n);
+        scratchpads.ch2.record_writes(2 * n);
+        scratchpads.ch2.record_reads(2 * n);
+        scratchpads.ch3.record_writes(2 * n);
+        scratchpads.ch3.record_reads(2 * n);
+        for _ in 0..tiles {
+            traffic.write(3 * tile_pixels); // planar Lab out
+        }
+        let color_cycles = n as f64 + tiles as f64 * 10.0;
+
+        // --- Phase 2: static initialization ------------------------------
+        let grid = SeedGrid::new(w, h, cfg.superpixels);
+        let kernel = QuantKernel::new(8, cfg.distance_bits, cfg.compactness, grid.spacing());
+        let mut centers: Vec<ClusterCodes> = (0..grid.cluster_count())
+            .map(|k| {
+                let (fx, fy) = grid.seed_position(k);
+                let x = (fx as usize).min(w - 1);
+                let y = (fy as usize).min(h - 1);
+                let [l, a, b] = lab8.pixel(x, y);
+                ClusterCodes {
+                    l: kernel.truncate_channel(l),
+                    a: kernel.truncate_channel(a),
+                    b: kernel.truncate_channel(b),
+                    x: x as i32,
+                    y: y as i32,
+                }
+            })
+            .collect();
+        let mut labels: Plane<u32> =
+            Plane::from_fn(w, h, |x, y| grid.home_cluster_of_pixel(x, y) as u32);
+        let partition = SubsetPartition::new(w, h, cfg.subsets, SubsetStrategy::Interleaved);
+
+        // --- Phases 3 & 4: cluster + center updates ----------------------
+        let mut assign_cycles = 0.0f64;
+        let mut center_cycles = 0.0f64;
+        let mut sigma = vec![[0i64; 6]; centers.len()];
+        for step in 0..cfg.iterations {
+            let subset = partition.subset_for_step(step);
+            for s in sigma.iter_mut() {
+                *s = [0; 6];
+            }
+            let step_pixels = partition.subset_len(subset) as u64;
+
+            // Stream tiles: Lab + index in, index out.
+            for _ in 0..tiles {
+                traffic.read(3 * tile_pixels); // L, a, b
+                traffic.read(2 * tile_pixels); // index in
+                traffic.write(2 * tile_pixels); // index out
+            }
+            scratchpads.ch1.record_writes(n);
+            scratchpads.ch2.record_writes(n);
+            scratchpads.ch3.record_writes(n);
+            scratchpads.index.record_writes(n * 2);
+
+            for y in 0..h {
+                for x in 0..w {
+                    if partition.subset_of(x, y) != subset {
+                        continue;
+                    }
+                    let px = lab8.pixel(x, y);
+                    scratchpads.ch1.record_reads(1);
+                    scratchpads.ch2.record_reads(1);
+                    scratchpads.ch3.record_reads(1);
+                    let nine = grid.nine_neighbors_of_pixel(x, y);
+                    let mut best = nine[0];
+                    let mut best_d = kernel.dist_code(px, (x as i32, y as i32), &centers[nine[0]]);
+                    for &k in &nine[1..] {
+                        let d = kernel.dist_code(px, (x as i32, y as i32), &centers[k]);
+                        if d < best_d {
+                            best_d = d;
+                            best = k;
+                        }
+                    }
+                    labels[(x, y)] = best as u32;
+                    scratchpads.index.record_writes(2);
+                    // Six-field sigma update: codes and coordinates.
+                    let acc = &mut sigma[best];
+                    acc[0] += px[0] as i64;
+                    acc[1] += px[1] as i64;
+                    acc[2] += px[2] as i64;
+                    acc[3] += x as i64;
+                    acc[4] += y as i64;
+                    acc[5] += 1;
+                }
+            }
+            assign_cycles += cfg.cluster_config.iteration_cycles(step_pixels, tile_pixels);
+
+            // Center update: rounded integer division per field.
+            let mut updated = 0u64;
+            for (k, acc) in sigma.iter().enumerate() {
+                let count = acc[5];
+                if count == 0 {
+                    continue; // keep the previous center
+                }
+                let div = |sum: i64| ((2 * sum + count) / (2 * count)) as i32;
+                centers[k] = ClusterCodes {
+                    l: kernel.truncate_channel(div(acc[0]).clamp(0, 255) as u8),
+                    a: kernel.truncate_channel(div(acc[1]).clamp(0, 255) as u8),
+                    b: kernel.truncate_channel(div(acc[2]).clamp(0, 255) as u8),
+                    x: div(acc[3]),
+                    y: div(acc[4]),
+                };
+                updated += 1;
+            }
+            center_cycles += updated as f64 * model::CENTER_UPDATE_CYCLES_PER_SP;
+        }
+
+        let memory_cycles = self.dram.transfer_cycles(traffic.total_bytes(), traffic.bursts);
+        let dram_energy_uj = self.dram.transfer_energy_uj(traffic.total_bytes());
+
+        AcceleratorRun {
+            labels,
+            centers,
+            color_cycles,
+            assign_cycles,
+            center_cycles,
+            memory_cycles,
+            traffic,
+            scratchpads,
+            dram_energy_uj,
+        }
+    }
+}
+
+/// The output of [`Accelerator::process`]: the label map plus full
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct AcceleratorRun {
+    /// Final superpixel index per pixel.
+    pub labels: Plane<u32>,
+    /// Final center codes.
+    pub centers: Vec<ClusterCodes>,
+    /// Cycles spent in color conversion.
+    pub color_cycles: f64,
+    /// Cycles spent in cluster-update assignment.
+    pub assign_cycles: f64,
+    /// Cycles spent in center updates.
+    pub center_cycles: f64,
+    /// Cycles spent on DRAM transfers.
+    pub memory_cycles: f64,
+    /// DRAM traffic.
+    pub traffic: DramTraffic,
+    /// Scratchpads with access counts.
+    pub scratchpads: ScratchpadSet,
+    /// External DRAM energy in µJ.
+    pub dram_energy_uj: f64,
+}
+
+impl AcceleratorRun {
+    /// Total modeled cycles (phases serialized, as the FSM runs them).
+    pub fn total_cycles(&self) -> f64 {
+        self.color_cycles + self.assign_cycles + self.center_cycles + self.memory_cycles
+    }
+
+    /// Total modeled frame time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        model::cycles_to_ms(self.total_cycles())
+    }
+
+    /// Scratchpad access energy in µJ.
+    pub fn sram_energy_uj(&self) -> f64 {
+        self.scratchpads.energy_uj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sslic_image::synthetic::SyntheticImage;
+
+    fn small_cfg() -> AcceleratorConfig {
+        AcceleratorConfig {
+            superpixels: 60,
+            iterations: 4,
+            subsets: 2,
+            buffer_bytes_per_channel: 512,
+            ..AcceleratorConfig::new(60)
+        }
+    }
+
+    fn test_image() -> RgbImage {
+        SyntheticImage::builder(64, 48).seed(7).regions(5).build().rgb
+    }
+
+    #[test]
+    fn produces_valid_labels() {
+        let run = Accelerator::new(small_cfg()).process(&test_image());
+        let k = run.centers.len() as u32;
+        assert!(run.labels.iter().all(|&l| l < k));
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let img = test_image();
+        let a = Accelerator::new(small_cfg()).process(&img);
+        let b = Accelerator::new(small_cfg()).process(&img);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    fn centers_stay_in_image_bounds() {
+        let run = Accelerator::new(small_cfg()).process(&test_image());
+        for c in &run.centers {
+            assert!((0..64).contains(&c.x), "center x = {}", c.x);
+            assert!((0..48).contains(&c.y), "center y = {}", c.y);
+            assert!((0..=255).contains(&c.l));
+        }
+    }
+
+    #[test]
+    fn traffic_scales_with_iterations() {
+        let img = test_image();
+        let short = Accelerator::new(AcceleratorConfig {
+            iterations: 2,
+            ..small_cfg()
+        })
+        .process(&img);
+        let long = Accelerator::new(AcceleratorConfig {
+            iterations: 8,
+            ..small_cfg()
+        })
+        .process(&img);
+        assert!(long.traffic.total_bytes() > short.traffic.total_bytes());
+        // Color conversion traffic (6 B/px) is iteration independent.
+        let per_iter =
+            (long.traffic.total_bytes() - short.traffic.total_bytes()) as f64 / 6.0;
+        assert!(per_iter > 0.0);
+    }
+
+    #[test]
+    fn smaller_buffers_issue_more_bursts() {
+        let img = test_image();
+        let small = Accelerator::new(AcceleratorConfig {
+            buffer_bytes_per_channel: 256,
+            ..small_cfg()
+        })
+        .process(&img);
+        let large = Accelerator::new(AcceleratorConfig {
+            buffer_bytes_per_channel: 2048,
+            ..small_cfg()
+        })
+        .process(&img);
+        assert!(small.traffic.bursts > large.traffic.bursts);
+        assert!(small.memory_cycles > large.memory_cycles);
+    }
+
+    #[test]
+    fn nine_nine_six_outruns_one_one_one() {
+        let img = test_image();
+        let fast = Accelerator::new(AcceleratorConfig {
+            cluster_config: ClusterUnitConfig::c9_9_6(),
+            ..small_cfg()
+        })
+        .process(&img);
+        let slow = Accelerator::new(AcceleratorConfig {
+            cluster_config: ClusterUnitConfig::c1_1_1(),
+            ..small_cfg()
+        })
+        .process(&img);
+        assert_eq!(fast.labels, slow.labels, "parallelism must not change results");
+        assert!(slow.assign_cycles > 8.0 * fast.assign_cycles);
+    }
+
+    #[test]
+    fn subsampling_halves_assignment_work() {
+        let img = test_image();
+        let full = Accelerator::new(AcceleratorConfig {
+            subsets: 1,
+            iterations: 4,
+            ..small_cfg()
+        })
+        .process(&img);
+        let half = Accelerator::new(AcceleratorConfig {
+            subsets: 2,
+            iterations: 4,
+            ..small_cfg()
+        })
+        .process(&img);
+        let ratio = full.assign_cycles / half.assign_cycles;
+        assert!((1.6..=2.2).contains(&ratio), "assign ratio {ratio}");
+    }
+
+    #[test]
+    fn sram_energy_is_positive_and_below_dram() {
+        let run = Accelerator::new(small_cfg()).process(&test_image());
+        assert!(run.sram_energy_uj() > 0.0);
+        assert!(run.dram_energy_uj > run.sram_energy_uj());
+    }
+
+    #[test]
+    #[should_panic(expected = "iteration count")]
+    fn zero_iterations_panics() {
+        let _ = Accelerator::new(AcceleratorConfig {
+            iterations: 0,
+            ..small_cfg()
+        });
+    }
+}

@@ -1,0 +1,177 @@
+//! Cycle-stepped model of the Center Update Unit (Fig. 4, right): the
+//! sigma registers and the iterative divider that turns accumulated
+//! `[ΣL, Σa, Σb, Σx, Σy, n]` into new center coordinates.
+//!
+//! The unit walks its superpixels sequentially, producing the five
+//! quotients per superpixel with a non-restoring divider — the
+//! resolution-independent ≈8.7 ms of the full-HD frame (see
+//! [`crate::model::CENTER_UPDATE_CYCLES_PER_SP`]). Division here is the
+//! same rounded integer division the functional accelerator
+//! ([`crate::accel`]) uses, so the two models agree bit-for-bit.
+
+use crate::model;
+
+/// One superpixel's sigma register contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SigmaRegister {
+    /// Accumulated L codes.
+    pub sum_l: i64,
+    /// Accumulated a codes.
+    pub sum_a: i64,
+    /// Accumulated b codes.
+    pub sum_b: i64,
+    /// Accumulated x coordinates.
+    pub sum_x: i64,
+    /// Accumulated y coordinates.
+    pub sum_y: i64,
+    /// Member pixel count.
+    pub count: i64,
+}
+
+/// One updated center.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdatedCenter {
+    /// Mean L code (rounded).
+    pub l: i32,
+    /// Mean a code.
+    pub a: i32,
+    /// Mean b code.
+    pub b: i32,
+    /// Mean x.
+    pub x: i32,
+    /// Mean y.
+    pub y: i32,
+}
+
+/// Rounded integer division: `round(sum / count)` for non-negative sums
+/// and positive counts — one pass of the unit's divider.
+#[inline]
+pub fn rounded_div(sum: i64, count: i64) -> i32 {
+    debug_assert!(count > 0);
+    ((2 * sum + count) / (2 * count)) as i32
+}
+
+/// The cycle-counted Center Update Unit.
+#[derive(Debug, Clone, Default)]
+pub struct CenterUpdateUnit {
+    cycles: u64,
+    updates: u64,
+    skipped: u64,
+}
+
+impl CenterUpdateUnit {
+    /// A fresh unit with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes one sigma register: returns the new center (or `None`
+    /// for an empty superpixel, which keeps its previous center and costs
+    /// only the one-cycle skip check).
+    pub fn update(&mut self, sigma: &SigmaRegister) -> Option<UpdatedCenter> {
+        if sigma.count <= 0 {
+            self.cycles += 1; // count==0 check
+            self.skipped += 1;
+            return None;
+        }
+        self.cycles += model::CENTER_UPDATE_CYCLES_PER_SP as u64;
+        self.updates += 1;
+        Some(UpdatedCenter {
+            l: rounded_div(sigma.sum_l, sigma.count),
+            a: rounded_div(sigma.sum_a, sigma.count),
+            b: rounded_div(sigma.sum_b, sigma.count),
+            x: rounded_div(sigma.sum_x, sigma.count),
+            y: rounded_div(sigma.sum_y, sigma.count),
+        })
+    }
+
+    /// Cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Centers actually recomputed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Empty superpixels skipped.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounded_division_matches_f64_rounding() {
+        for (sum, count) in [(10i64, 4i64), (13, 2), (99, 10), (5, 2), (0, 3), (7, 7)] {
+            let expect = (sum as f64 / count as f64).round() as i32;
+            assert_eq!(rounded_div(sum, count), expect, "{sum}/{count}");
+        }
+    }
+
+    #[test]
+    fn update_produces_componentwise_means() {
+        let mut unit = CenterUpdateUnit::new();
+        let sigma = SigmaRegister {
+            sum_l: 1000,
+            sum_a: 1280,
+            sum_b: 640,
+            sum_x: 55,
+            sum_y: 33,
+            count: 10,
+        };
+        let c = unit.update(&sigma).expect("nonempty superpixel");
+        assert_eq!(c.l, 100);
+        assert_eq!(c.a, 128);
+        assert_eq!(c.b, 64);
+        assert_eq!(c.x, 6); // 5.5 rounds up
+        assert_eq!(c.y, 3);
+        assert_eq!(unit.updates(), 1);
+    }
+
+    #[test]
+    fn empty_superpixels_cost_one_cycle() {
+        let mut unit = CenterUpdateUnit::new();
+        assert!(unit.update(&SigmaRegister::default()).is_none());
+        assert_eq!(unit.cycles(), 1);
+        assert_eq!(unit.skipped(), 1);
+    }
+
+    #[test]
+    fn full_frame_center_update_matches_the_calibrated_share() {
+        // K ≈ 5000 superpixels × 9 iterations at the calibrated per-SP
+        // latency ≈ 8.7 ms — the resolution-independent term of Table 4.
+        let mut unit = CenterUpdateUnit::new();
+        let sigma = SigmaRegister {
+            sum_l: 100,
+            sum_a: 100,
+            sum_b: 100,
+            sum_x: 100,
+            sum_y: 100,
+            count: 2,
+        };
+        for _ in 0..4982 * 9 {
+            unit.update(&sigma);
+        }
+        let ms = model::cycles_to_ms(unit.cycles() as f64);
+        assert!((8.0..9.5).contains(&ms), "center update {ms} ms");
+    }
+
+    #[test]
+    fn agrees_with_the_functional_accelerator_division() {
+        // The accel module divides as (2Σ + n) / (2n); this unit must be
+        // bit-identical.
+        for sum in 0..200i64 {
+            for count in 1..20i64 {
+                assert_eq!(
+                    rounded_div(sum, count) as i64,
+                    (2 * sum + count) / (2 * count)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Cycle-stepped model of the color-conversion unit (Fig. 4, left): the
+//! LUT → matrix → PWL → encode pipeline that fills the channel
+//! scratchpads with 8-bit CIELAB.
+//!
+//! Functionally it wraps [`sslic_color::hw::HwColorConverter`] — the same
+//! tables the rest of the repository uses — and adds the timing contract:
+//! one pixel accepted per cycle, a fixed pipeline latency, and per-tile
+//! drain. Its §7 share of the frame (≈1.3 ms at full HD) is what the
+//! frame simulator charges; this model lets tests pin that number to an
+//! actual cycle walk instead of a formula.
+
+use sslic_color::hw::HwColorConverter;
+use sslic_image::{Rgb, RgbImage};
+
+/// Pipeline latency in cycles: gamma ROM read (1), three matrix MAC
+/// stages (3·2), PWL segment select + interpolate (2), Lab encode (1).
+pub const COLOR_PIPE_LATENCY: u64 = 10;
+
+/// One converted pixel with its timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColorTransaction {
+    /// Issue order.
+    pub id: u64,
+    /// Cycle the RGB entered the unit.
+    pub issued_at: u64,
+    /// Cycle the Lab bytes were written to the scratchpads.
+    pub retired_at: u64,
+    /// The converted `[l8, a8, b8]`.
+    pub lab8: [u8; 3],
+}
+
+/// The cycle-stepped color-conversion unit.
+#[derive(Debug, Clone)]
+pub struct ColorUnit {
+    converter: HwColorConverter,
+    cycle: u64,
+    issued: u64,
+    retired: Vec<ColorTransaction>,
+}
+
+impl ColorUnit {
+    /// Creates the unit with the paper's LUT configuration.
+    pub fn new() -> Self {
+        ColorUnit {
+            converter: HwColorConverter::paper_default(),
+            cycle: 0,
+            issued: 0,
+            retired: Vec::new(),
+        }
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Issues one RGB pixel; the unit is fully pipelined (initiation
+    /// interval 1), so time advances exactly one cycle per issue.
+    pub fn issue(&mut self, px: Rgb) -> u64 {
+        let id = self.issued;
+        self.issued += 1;
+        let issued_at = self.cycle;
+        self.retired.push(ColorTransaction {
+            id,
+            issued_at,
+            retired_at: issued_at + COLOR_PIPE_LATENCY,
+            lab8: self.converter.convert(px),
+        });
+        self.cycle += 1;
+        id
+    }
+
+    /// Drains the pipeline, returning the total cycle count.
+    pub fn flush(&mut self) -> u64 {
+        if let Some(last) = self.retired.last() {
+            self.cycle = self.cycle.max(last.retired_at);
+        }
+        self.cycle
+    }
+
+    /// Converted transactions in issue order.
+    pub fn retired(&self) -> &[ColorTransaction] {
+        &self.retired
+    }
+
+    /// Streams an entire image through the unit, returning the total
+    /// cycles and the per-pixel results (convenience for tests and
+    /// examples).
+    pub fn convert_image(&mut self, img: &RgbImage) -> u64 {
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                self.issue(img.pixel(x, y));
+            }
+        }
+        self.flush()
+    }
+}
+
+impl Default for ColorUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sslic_image::synthetic::SyntheticImage;
+
+    #[test]
+    fn one_pixel_takes_the_pipeline_latency() {
+        let mut unit = ColorUnit::new();
+        unit.issue(Rgb::new(10, 20, 30));
+        assert_eq!(unit.flush(), COLOR_PIPE_LATENCY);
+    }
+
+    #[test]
+    fn n_pixels_take_n_minus_1_plus_latency() {
+        let mut unit = ColorUnit::new();
+        for i in 0..100u32 {
+            unit.issue(Rgb::new(i as u8, 0, 0));
+        }
+        assert_eq!(unit.flush(), 99 + COLOR_PIPE_LATENCY);
+    }
+
+    #[test]
+    fn results_match_the_software_converter_exactly() {
+        let img = SyntheticImage::builder(24, 16).seed(3).regions(4).build().rgb;
+        let mut unit = ColorUnit::new();
+        unit.convert_image(&img);
+        let sw = HwColorConverter::paper_default().convert_image(&img);
+        for tx in unit.retired() {
+            let (x, y) = ((tx.id % 24) as usize, (tx.id / 24) as usize);
+            assert_eq!(tx.lab8, sw.pixel(x, y), "pixel ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn full_hd_conversion_lands_near_the_paper_share() {
+        // 2 073 600 cycles at 1.6 GHz ≈ 1.30 ms; the paper reports 1.4 ms.
+        let cycles = (1920u64 * 1080 - 1) + COLOR_PIPE_LATENCY;
+        let ms = crate::model::cycles_to_ms(cycles as f64 + 1.0);
+        assert!((1.25..1.45).contains(&ms), "color conversion {ms} ms");
+    }
+
+    #[test]
+    fn transactions_retire_in_order_with_unit_spacing() {
+        let mut unit = ColorUnit::new();
+        for _ in 0..10 {
+            unit.issue(Rgb::new(1, 2, 3));
+        }
+        unit.flush();
+        for pair in unit.retired().windows(2) {
+            assert_eq!(pair[1].issued_at - pair[0].issued_at, 1);
+            assert_eq!(pair[1].retired_at - pair[0].retired_at, 1);
+        }
+    }
+}

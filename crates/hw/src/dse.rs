@@ -1,0 +1,149 @@
+//! Design-space exploration drivers: the sweeps behind Table 3, Table 4,
+//! and Figure 6, plus a generic Pareto-front utility for the
+//! area/performance trade-off analysis.
+
+use crate::cluster::ClusterUnitConfig;
+use crate::sim::{FrameReport, FrameSimulator, Resolution};
+
+/// One row of the Table 3 cluster-unit comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterUnitRow {
+    /// Configuration name (`"9-9-6"`, …).
+    pub name: String,
+    /// The configuration itself.
+    pub config: ClusterUnitConfig,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Average power in mW.
+    pub power_mw: f64,
+    /// Pipeline latency in cycles.
+    pub latency_cycles: u32,
+    /// Throughput in pixels per cycle.
+    pub throughput: f64,
+    /// Time for one 1080p iteration, in ms.
+    pub time_ms: f64,
+    /// Energy for one 1080p iteration, in µJ.
+    pub energy_uj: f64,
+}
+
+/// Computes the Table 3 rows for `pixels` pixels per iteration.
+pub fn cluster_unit_sweep(pixels: u64) -> Vec<ClusterUnitRow> {
+    ClusterUnitConfig::table3()
+        .into_iter()
+        .map(|config| ClusterUnitRow {
+            name: config.name(),
+            config,
+            area_mm2: config.area_mm2(),
+            power_mw: config.power_mw(pixels),
+            latency_cycles: config.latency_cycles(),
+            throughput: config.throughput_pixels_per_cycle(),
+            time_ms: config.iteration_time_ms(pixels),
+            energy_uj: config.iteration_energy_uj(pixels),
+        })
+        .collect()
+}
+
+/// Sweeps per-channel buffer sizes (in kB) at full HD — the Figure 6
+/// experiment. Returns `(kB, report)` pairs.
+pub fn buffer_size_sweep(kbs: &[usize]) -> Vec<(usize, FrameReport)> {
+    kbs.iter()
+        .map(|&kb| {
+            let report = FrameSimulator::paper_default(Resolution::FULL_HD)
+                .with_buffer_bytes(kb * 1024)
+                .simulate();
+            (kb, report)
+        })
+        .collect()
+}
+
+/// The three Table 4 best-configuration rows.
+pub fn table4_reports() -> Vec<FrameReport> {
+    Resolution::TABLE4
+        .iter()
+        .map(|&r| FrameSimulator::paper_default(r).simulate())
+        .collect()
+}
+
+/// Returns the indices of the Pareto-optimal points under *minimization*
+/// of both objectives: point `i` survives iff no other point is at least
+/// as good in both and strictly better in one.
+pub fn pareto_front_indices(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, &(ax, ay)) in points.iter().enumerate() {
+        for (j, &(bx, by)) in points.iter().enumerate() {
+            if i != j && bx <= ax && by <= ay && (bx < ax || by < ay) {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_sweep_has_five_named_rows() {
+        let rows = cluster_unit_sweep(1920 * 1080);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].name, "1-1-1");
+        assert_eq!(rows[4].name, "9-9-6");
+    }
+
+    #[test]
+    fn best_throughput_is_9_9_6() {
+        let rows = cluster_unit_sweep(1920 * 1080);
+        let best = rows
+            .iter()
+            .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+            .expect("five rows");
+        assert_eq!(best.name, "9-9-6");
+    }
+
+    #[test]
+    fn buffer_sweep_is_monotone() {
+        let sweep = buffer_size_sweep(&[1, 4, 16, 128]);
+        assert_eq!(sweep.len(), 4);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].1.total_ms() <= pair[0].1.total_ms());
+        }
+    }
+
+    #[test]
+    fn table4_reports_cover_three_resolutions() {
+        let reports = table4_reports();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].resolution.name, "1920x1080");
+        assert_eq!(reports[2].resolution.name, "640x480");
+    }
+
+    #[test]
+    fn pareto_front_of_cluster_sweep_excludes_imbalanced_designs() {
+        // Minimize (area, initiation interval): the paper's observation
+        // that 9-1-1, 1-9-1, 1-1-6 "have imbalanced throughput, so would
+        // not be chosen for a practical design".
+        let rows = cluster_unit_sweep(1920 * 1080);
+        let points: Vec<(f64, f64)> = rows
+            .iter()
+            .map(|r| (r.area_mm2, 1.0 / r.throughput))
+            .collect();
+        let front = pareto_front_indices(&points);
+        let names: Vec<&str> = front.iter().map(|&i| rows[i].name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["1-1-1", "9-9-6"],
+            "only the balanced designs are Pareto-optimal"
+        );
+    }
+
+    #[test]
+    fn pareto_handles_duplicates_and_singletons() {
+        assert_eq!(pareto_front_indices(&[(1.0, 1.0)]), vec![0]);
+        let dup = pareto_front_indices(&[(1.0, 1.0), (1.0, 1.0)]);
+        assert_eq!(dup.len(), 2, "equal points co-survive");
+        let dominated = pareto_front_indices(&[(1.0, 1.0), (2.0, 2.0)]);
+        assert_eq!(dominated, vec![0]);
+    }
+}

@@ -1,0 +1,234 @@
+//! The FSM host controller (Fig. 4): the state machine that sequences the
+//! accelerator through color conversion, tile streaming, cluster updates,
+//! and center updates (paper §4.3).
+//!
+//! [`FsmController`] generates and validates the full per-frame schedule —
+//! the ordered list of states with their tile indices — so the functional
+//! simulator's implicit control flow has an explicit, testable
+//! specification. Illegal transitions are unrepresentable: the schedule is
+//! produced by the controller itself and checked against
+//! [`FsmState::may_follow`].
+
+/// The controller's states, in the §4.3 processing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsmState {
+    /// Waiting for a frame.
+    Idle,
+    /// DMA-in of one RGB tile into the channel memories.
+    LoadRgbTile,
+    /// LUT color conversion of the loaded tile.
+    ColorConvert,
+    /// DMA-out of the converted Lab tile.
+    StoreLabTile,
+    /// DMA-in of one Lab+index tile for cluster update.
+    LoadClusterTile,
+    /// Cluster Update Unit processing of the tile.
+    ClusterUpdate,
+    /// DMA-out of the tile's updated indices.
+    StoreIndexTile,
+    /// Center Update Unit pass over the sigma registers.
+    CenterUpdate,
+    /// Frame complete; final labels reside in external memory.
+    Done,
+}
+
+impl FsmState {
+    /// Whether `next` is a legal successor of `self` in the §4.3 schedule.
+    pub fn may_follow(self, next: FsmState) -> bool {
+        use FsmState::*;
+        matches!(
+            (self, next),
+            (Idle, LoadRgbTile)
+                | (LoadRgbTile, ColorConvert)
+                | (ColorConvert, StoreLabTile)
+                | (StoreLabTile, LoadRgbTile)      // next color tile
+                | (StoreLabTile, LoadClusterTile)  // conversion finished
+                | (LoadClusterTile, ClusterUpdate)
+                | (ClusterUpdate, StoreIndexTile)
+                | (StoreIndexTile, LoadClusterTile) // next cluster tile
+                | (StoreIndexTile, CenterUpdate)    // iteration finished
+                | (CenterUpdate, LoadClusterTile)   // next iteration
+                | (CenterUpdate, Done)              // all iterations done
+        )
+    }
+}
+
+/// One step of the schedule: a state plus the tile (or iteration) it
+/// operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsmStep {
+    /// The state entered.
+    pub state: FsmState,
+    /// Tile index within the phase, or iteration index for
+    /// [`FsmState::CenterUpdate`]; 0 when not meaningful.
+    pub index: u32,
+}
+
+/// Generates the frame schedule of §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsmController {
+    /// Tiles per full-image pass.
+    pub tiles: u32,
+    /// Cluster-update iterations.
+    pub iterations: u32,
+}
+
+impl FsmController {
+    /// Creates a controller for `tiles` tiles per pass and `iterations`
+    /// center-update steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(tiles: u32, iterations: u32) -> Self {
+        assert!(tiles > 0, "at least one tile required");
+        assert!(iterations > 0, "at least one iteration required");
+        FsmController { tiles, iterations }
+    }
+
+    /// The complete, ordered frame schedule.
+    pub fn schedule(&self) -> Vec<FsmStep> {
+        let mut steps = vec![FsmStep {
+            state: FsmState::Idle,
+            index: 0,
+        }];
+        // Phase 1: color conversion, tile by tile.
+        for t in 0..self.tiles {
+            steps.push(FsmStep {
+                state: FsmState::LoadRgbTile,
+                index: t,
+            });
+            steps.push(FsmStep {
+                state: FsmState::ColorConvert,
+                index: t,
+            });
+            steps.push(FsmStep {
+                state: FsmState::StoreLabTile,
+                index: t,
+            });
+        }
+        // Phase 2: iterations of cluster update + center update.
+        for it in 0..self.iterations {
+            for t in 0..self.tiles {
+                steps.push(FsmStep {
+                    state: FsmState::LoadClusterTile,
+                    index: t,
+                });
+                steps.push(FsmStep {
+                    state: FsmState::ClusterUpdate,
+                    index: t,
+                });
+                steps.push(FsmStep {
+                    state: FsmState::StoreIndexTile,
+                    index: t,
+                });
+            }
+            steps.push(FsmStep {
+                state: FsmState::CenterUpdate,
+                index: it,
+            });
+        }
+        steps.push(FsmStep {
+            state: FsmState::Done,
+            index: 0,
+        });
+        steps
+    }
+
+    /// Validates an arbitrary step sequence against the transition
+    /// relation, returning the index of the first illegal transition if
+    /// any.
+    pub fn validate(steps: &[FsmStep]) -> Result<(), usize> {
+        for (i, pair) in steps.windows(2).enumerate() {
+            if !pair[0].state.may_follow(pair[1].state) {
+                return Err(i + 1);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_schedule_is_always_legal() {
+        for (tiles, iters) in [(1u32, 1u32), (3, 2), (506, 9), (16, 1)] {
+            let fsm = FsmController::new(tiles, iters);
+            let schedule = fsm.schedule();
+            assert_eq!(
+                FsmController::validate(&schedule),
+                Ok(()),
+                "tiles={tiles} iters={iters}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_has_the_expected_length() {
+        let fsm = FsmController::new(4, 3);
+        // idle + 3 steps × 4 color tiles + 3 iters × (3 steps × 4 tiles +
+        // 1 center update) + done.
+        let expect = 1 + 3 * 4 + 3 * (3 * 4 + 1) + 1;
+        assert_eq!(fsm.schedule().len(), expect);
+    }
+
+    #[test]
+    fn schedule_starts_idle_and_ends_done() {
+        let s = FsmController::new(2, 2).schedule();
+        assert_eq!(s.first().map(|s| s.state), Some(FsmState::Idle));
+        assert_eq!(s.last().map(|s| s.state), Some(FsmState::Done));
+    }
+
+    #[test]
+    fn color_conversion_strictly_precedes_cluster_updates() {
+        let s = FsmController::new(3, 2).schedule();
+        let last_color = s
+            .iter()
+            .rposition(|st| st.state == FsmState::StoreLabTile)
+            .expect("color phase exists");
+        let first_cluster = s
+            .iter()
+            .position(|st| st.state == FsmState::LoadClusterTile)
+            .expect("cluster phase exists");
+        assert!(last_color < first_cluster, "§4.3 phase ordering");
+    }
+
+    #[test]
+    fn center_update_runs_once_per_iteration_after_all_tiles() {
+        let s = FsmController::new(5, 4).schedule();
+        let centers: Vec<usize> = s
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.state == FsmState::CenterUpdate)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(centers.len(), 4);
+        // Exactly 5 tiles × 3 steps between consecutive center updates.
+        for pair in centers.windows(2) {
+            assert_eq!(pair[1] - pair[0], 5 * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn illegal_transitions_are_caught() {
+        let bad = vec![
+            FsmStep {
+                state: FsmState::Idle,
+                index: 0,
+            },
+            FsmStep {
+                state: FsmState::ClusterUpdate,
+                index: 0,
+            },
+        ];
+        assert_eq!(FsmController::validate(&bad), Err(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile")]
+    fn zero_tiles_panics() {
+        let _ = FsmController::new(0, 1);
+    }
+}

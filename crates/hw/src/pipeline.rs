@@ -1,0 +1,372 @@
+//! Cycle-stepped model of the Cluster Update Unit pipeline.
+//!
+//! [`crate::cluster::ClusterUnitConfig`] captures the unit's *aggregate*
+//! timing (initiation interval, latency). This module actually steps the
+//! Figure 4 datapath cycle by cycle: a pixel transaction is issued into
+//! the distance stage, flows through the 9:1 minimum and the sigma-adder
+//! bank, and retires — with structural hazards enforced (an iterative
+//! stage is busy for its full iteration count; the sigma bank accepts one
+//! update per adder pass).
+//!
+//! The model is validated two ways:
+//!
+//! * against the closed-form [`ClusterUnitConfig`] numbers — the simulated
+//!   cycle count of an `n`-pixel tile must equal `n·II + latency`-ish
+//!   (tests pin the exact relation), and
+//! * functionally — transactions carry real distance codes through the
+//!   same [`sslic_core::QuantKernel`] the rest of the repository uses, so
+//!   the winning cluster per pixel matches the functional simulator.
+//!
+//! [`PipelineTrace`] records per-cycle stage occupancy and renders an
+//! ASCII waveform, the quickest way to *see* why `9-9-6` sustains one
+//! pixel per cycle while `1-1-1` stalls 9 cycles per pixel.
+
+use std::collections::VecDeque;
+
+use crate::cluster::ClusterUnitConfig;
+
+/// The three pipeline stages of the Cluster Update Unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Color/spatial distance calculation (1 or 9 calculators).
+    Distance,
+    /// 9:1 minimum selection (iterative compare or tree).
+    Minimum,
+    /// Six-field sigma-register update (1 or 6 adders).
+    SigmaUpdate,
+}
+
+/// One pixel's journey through the unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PixelTransaction {
+    /// Issue order (0-based).
+    pub id: u64,
+    /// Cycle the transaction entered the distance stage.
+    pub issued_at: u64,
+    /// Cycle the sigma update completed.
+    pub retired_at: u64,
+    /// Winning cluster slot (0–8) selected by the minimum stage.
+    pub winner: u8,
+}
+
+/// A per-cycle record of which transaction occupied which stage.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineTrace {
+    /// `(cycle, stage, transaction id)` tuples in issue order.
+    pub events: Vec<(u64, Stage, u64)>,
+}
+
+impl PipelineTrace {
+    /// Renders the first `max_cycles` cycles as an ASCII waveform, one row
+    /// per stage, one column per cycle; cells show the transaction id (mod
+    /// 10) or `.` when idle.
+    pub fn waveform(&self, max_cycles: u64) -> String {
+        let mut rows = [
+            ("distance ", vec![b'.'; max_cycles as usize]),
+            ("minimum  ", vec![b'.'; max_cycles as usize]),
+            ("sigma    ", vec![b'.'; max_cycles as usize]),
+        ];
+        for &(cycle, stage, id) in &self.events {
+            if cycle >= max_cycles {
+                continue;
+            }
+            let row = match stage {
+                Stage::Distance => 0,
+                Stage::Minimum => 1,
+                Stage::SigmaUpdate => 2,
+            };
+            rows[row].1[cycle as usize] = b'0' + (id % 10) as u8;
+        }
+        let mut out = String::new();
+        out.push_str("cycle    ");
+        for c in 0..max_cycles {
+            out.push(std::char::from_digit((c % 10) as u32, 10).expect("digit"));
+        }
+        out.push('\n');
+        for (name, cells) in rows {
+            out.push_str(name);
+            out.push_str(std::str::from_utf8(&cells).expect("ascii"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Cycle-stepped simulator of one Cluster Update Unit.
+#[derive(Debug)]
+pub struct ClusterPipeline {
+    config: ClusterUnitConfig,
+    cycle: u64,
+    /// Cycle at which the distance stage can accept the next transaction.
+    distance_free_at: u64,
+    /// In-flight transactions: (stage-entry cycles, distance codes).
+    in_flight: VecDeque<InFlight>,
+    retired: Vec<PixelTransaction>,
+    trace: Option<PipelineTrace>,
+    issued: u64,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    id: u64,
+    issued_at: u64,
+    distances: [u32; 9],
+}
+
+impl ClusterPipeline {
+    /// Creates an idle pipeline for `config`.
+    pub fn new(config: ClusterUnitConfig) -> Self {
+        ClusterPipeline {
+            config,
+            cycle: 0,
+            distance_free_at: 0,
+            in_flight: VecDeque::new(),
+            retired: Vec::new(),
+            trace: None,
+            issued: 0,
+        }
+    }
+
+    /// Enables per-cycle tracing (costs memory proportional to cycles).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Some(PipelineTrace::default());
+        self
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> ClusterUnitConfig {
+        self.config
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Issues one pixel's 9 distance codes into the unit, advancing time
+    /// to the issue cycle if the distance stage is still busy (the FSM
+    /// stalls the scratchpad read). Returns the transaction id.
+    pub fn issue(&mut self, distances: [u32; 9]) -> u64 {
+        // Respect the initiation interval: the distance stage frees
+        // `II` cycles after the previous issue.
+        if self.cycle < self.distance_free_at {
+            self.cycle = self.distance_free_at;
+        }
+        let id = self.issued;
+        self.issued += 1;
+        let issued_at = self.cycle;
+        let ii = self.config.initiation_interval() as u64;
+        self.distance_free_at = issued_at + ii;
+
+        // Record stage occupancy for the trace.
+        if let Some(trace) = &mut self.trace {
+            let (d, m, a) = self.config.stage_cycles_for_trace();
+            for c in 0..d {
+                trace.events.push((issued_at + c, Stage::Distance, id));
+            }
+            for c in 0..m {
+                trace.events.push((issued_at + d + c, Stage::Minimum, id));
+            }
+            for c in 0..a {
+                trace.events.push((issued_at + d + m + c, Stage::SigmaUpdate, id));
+            }
+        }
+
+        self.in_flight.push_back(InFlight {
+            id,
+            issued_at,
+            distances,
+        });
+        // Advance by one issue cycle (the +1 in the latency model).
+        self.cycle += 1;
+        self.drain_ready();
+        id
+    }
+
+    /// Retires every transaction whose pipeline latency has elapsed.
+    fn drain_ready(&mut self) {
+        let latency = self.config.latency_cycles() as u64;
+        while let Some(front) = self.in_flight.front() {
+            let retire_at = front.issued_at + latency;
+            if retire_at > self.cycle {
+                break;
+            }
+            let tx = self.in_flight.pop_front().expect("front checked");
+            let winner = argmin9(&tx.distances);
+            self.retired.push(PixelTransaction {
+                id: tx.id,
+                issued_at: tx.issued_at,
+                retired_at: retire_at,
+                winner,
+            });
+        }
+    }
+
+    /// Runs the pipeline dry: advances time until every in-flight
+    /// transaction has retired, returning the final cycle count.
+    pub fn flush(&mut self) -> u64 {
+        let latency = self.config.latency_cycles() as u64;
+        if let Some(last) = self.in_flight.back() {
+            self.cycle = self.cycle.max(last.issued_at + latency);
+        }
+        self.drain_ready();
+        debug_assert!(self.in_flight.is_empty());
+        self.cycle
+    }
+
+    /// Retired transactions in issue order.
+    pub fn retired(&self) -> &[PixelTransaction] {
+        &self.retired
+    }
+
+    /// The trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&PipelineTrace> {
+        self.trace.as_ref()
+    }
+}
+
+/// Index of the smallest of 9 codes; ties resolve to the lowest index,
+/// matching the software engine's scan order and the hardware's priority
+/// encoder.
+fn argmin9(d: &[u32; 9]) -> u8 {
+    let mut best = 0u8;
+    for (i, &v) in d.iter().enumerate().skip(1) {
+        if v < d[best as usize] {
+            best = i as u8;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pixel_latency_matches_closed_form() {
+        for cfg in ClusterUnitConfig::table3() {
+            let mut pipe = ClusterPipeline::new(cfg);
+            pipe.issue([5, 4, 3, 2, 1, 2, 3, 4, 5]);
+            let total = pipe.flush();
+            assert_eq!(
+                total,
+                cfg.latency_cycles() as u64,
+                "{}: one pixel takes exactly the pipeline latency",
+                cfg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn tile_cycles_match_closed_form_for_all_configs() {
+        // n pixels through the unit: (n-1)·II + latency cycles.
+        let n = 257u64;
+        for cfg in ClusterUnitConfig::table3() {
+            let mut pipe = ClusterPipeline::new(cfg);
+            for _ in 0..n {
+                pipe.issue([9, 8, 7, 6, 5, 6, 7, 8, 9]);
+            }
+            let total = pipe.flush();
+            let expected =
+                (n - 1) * cfg.initiation_interval() as u64 + cfg.latency_cycles() as u64;
+            assert_eq!(total, expected, "{}", cfg.name());
+        }
+    }
+
+    #[test]
+    fn fully_parallel_unit_sustains_one_pixel_per_cycle() {
+        let mut pipe = ClusterPipeline::new(ClusterUnitConfig::c9_9_6());
+        for _ in 0..1000u64 {
+            pipe.issue([1; 9]);
+        }
+        let total = pipe.flush();
+        assert!(total < 1000 + 10, "≈1 px/cycle: {total} cycles for 1000 px");
+    }
+
+    #[test]
+    fn iterative_unit_is_nine_cycles_per_pixel() {
+        let mut pipe = ClusterPipeline::new(ClusterUnitConfig::c1_1_1());
+        for _ in 0..100u64 {
+            pipe.issue([1; 9]);
+        }
+        let total = pipe.flush();
+        assert!(
+            (900..950).contains(&total),
+            "≈9 px/cycle: {total} cycles for 100 px"
+        );
+    }
+
+    #[test]
+    fn winners_match_a_software_argmin() {
+        let mut pipe = ClusterPipeline::new(ClusterUnitConfig::c9_9_6());
+        let cases: [[u32; 9]; 4] = [
+            [5, 4, 3, 2, 1, 2, 3, 4, 5],
+            [1, 1, 1, 1, 1, 1, 1, 1, 1], // tie → slot 0 (priority encoder)
+            [9, 9, 9, 9, 9, 9, 9, 9, 0],
+            [2, 1, 2, 1, 2, 1, 2, 1, 2], // tie between 1,3,5,7 → slot 1
+        ];
+        for d in &cases {
+            pipe.issue(*d);
+        }
+        pipe.flush();
+        let winners: Vec<u8> = pipe.retired().iter().map(|t| t.winner).collect();
+        assert_eq!(winners, vec![4, 0, 8, 1]);
+    }
+
+    #[test]
+    fn transactions_retire_in_issue_order() {
+        let mut pipe = ClusterPipeline::new(ClusterUnitConfig::c9_1_1());
+        for _ in 0..20u64 {
+            pipe.issue([3; 9]);
+        }
+        pipe.flush();
+        let ids: Vec<u64> = pipe.retired().iter().map(|t| t.id).collect();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+        for t in pipe.retired() {
+            assert!(t.retired_at > t.issued_at);
+        }
+    }
+
+    #[test]
+    fn trace_waveform_shows_stage_occupancy() {
+        let mut pipe = ClusterPipeline::new(ClusterUnitConfig::c9_9_6()).with_trace();
+        for _ in 0..3u64 {
+            pipe.issue([1; 9]);
+        }
+        pipe.flush();
+        let wave = pipe.trace().expect("tracing enabled").waveform(12);
+        // Three rows plus the cycle ruler.
+        assert_eq!(wave.lines().count(), 4);
+        // All three transactions appear in the distance stage (cells show
+        // the most recent occupant when pipelined transactions overlap).
+        let distance_row = wave.lines().nth(1).expect("distance row");
+        for id in ['0', '1', '2'] {
+            assert!(distance_row.contains(id), "row: {distance_row}");
+        }
+        // Pipelining: sigma retires 0,1,2 on consecutive cycles.
+        let sigma_row = wave.lines().nth(3).expect("sigma row");
+        assert!(sigma_row.contains("012"), "row: {sigma_row}");
+    }
+
+    #[test]
+    fn trace_is_off_by_default() {
+        let mut pipe = ClusterPipeline::new(ClusterUnitConfig::c9_9_6());
+        pipe.issue([1; 9]);
+        assert!(pipe.trace().is_none());
+    }
+
+    #[test]
+    fn throughput_ratio_between_configs_is_nine() {
+        let run = |cfg: ClusterUnitConfig| {
+            let mut pipe = ClusterPipeline::new(cfg);
+            for _ in 0..500u64 {
+                pipe.issue([1; 9]);
+            }
+            pipe.flush()
+        };
+        let fast = run(ClusterUnitConfig::c9_9_6());
+        let slow = run(ClusterUnitConfig::c1_1_1());
+        let ratio = slow as f64 / fast as f64;
+        assert!((8.5..9.5).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,184 @@
+//! On-chip scratchpad SRAM model.
+//!
+//! The accelerator has four scratchpads — three channel memories (L, a, b)
+//! and one index memory — "realized using synchronous RAMs with separate
+//! read-write ports" (paper §5). The buffer size per channel is the
+//! Figure 6 design knob (1 kB–128 kB); the paper selects 4 kB.
+
+use crate::model;
+
+/// One synchronous SRAM with separate read and write ports, with access
+/// accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scratchpad {
+    name: &'static str,
+    capacity_bytes: usize,
+    reads: u64,
+    writes: u64,
+}
+
+impl Scratchpad {
+    /// Creates a scratchpad of `capacity_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    pub fn new(name: &'static str, capacity_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0, "scratchpad capacity must be nonzero");
+        Scratchpad {
+            name,
+            capacity_bytes,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The scratchpad's name (e.g. `"ch1"`, `"index"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Capacity in pixels for a 1-byte-per-pixel channel.
+    pub fn capacity_pixels(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Records `n` byte reads.
+    pub fn record_reads(&mut self, n: u64) {
+        self.reads += n;
+    }
+
+    /// Records `n` byte writes.
+    pub fn record_writes(&mut self, n: u64) {
+        self.writes += n;
+    }
+
+    /// Byte reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Byte writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Access energy so far, in microjoules.
+    pub fn energy_uj(&self) -> f64 {
+        (self.reads + self.writes) as f64 * model::E_SRAM_BYTE_PJ * 1e-6
+    }
+
+    /// Macro area in mm² (calibrated per-kB constant, see
+    /// [`model::SRAM_MM2_PER_KB`]).
+    pub fn area_mm2(&self) -> f64 {
+        self.capacity_bytes as f64 / 1024.0 * model::SRAM_MM2_PER_KB
+    }
+}
+
+/// The accelerator's four scratchpads: channel memories 1–3 and the index
+/// memory (paper §4.3 / Fig. 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScratchpadSet {
+    /// Channel memory 1 (R, then L after color conversion).
+    pub ch1: Scratchpad,
+    /// Channel memory 2 (G, then a).
+    pub ch2: Scratchpad,
+    /// Channel memory 3 (B, then b).
+    pub ch3: Scratchpad,
+    /// Superpixel index memory.
+    pub index: Scratchpad,
+}
+
+impl ScratchpadSet {
+    /// Builds the set with `bytes_per_channel` in each of the four
+    /// memories (the Figure 6 knob applies to all of them).
+    pub fn new(bytes_per_channel: usize) -> Self {
+        ScratchpadSet {
+            ch1: Scratchpad::new("ch1", bytes_per_channel),
+            ch2: Scratchpad::new("ch2", bytes_per_channel),
+            ch3: Scratchpad::new("ch3", bytes_per_channel),
+            index: Scratchpad::new("index", bytes_per_channel),
+        }
+    }
+
+    /// Total on-chip capacity in bytes (the paper's Table 5 reports 20 kB
+    /// including the register files; the four SRAMs are 16 kB at the 4 kB
+    /// design point).
+    pub fn total_bytes(&self) -> usize {
+        self.ch1.capacity_bytes
+            + self.ch2.capacity_bytes
+            + self.ch3.capacity_bytes
+            + self.index.capacity_bytes
+    }
+
+    /// Total SRAM area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.ch1.area_mm2() + self.ch2.area_mm2() + self.ch3.area_mm2() + self.index.area_mm2()
+    }
+
+    /// Total access energy so far in microjoules.
+    pub fn energy_uj(&self) -> f64 {
+        self.ch1.energy_uj() + self.ch2.energy_uj() + self.ch3.energy_uj() + self.index.energy_uj()
+    }
+
+    /// SRAM leakage/active power at full utilization, in milliwatts
+    /// (paper §6.3 assumes full utilization).
+    pub fn power_mw(&self) -> f64 {
+        self.total_bytes() as f64 / 1024.0 * model::power::SRAM_MW_PER_KB
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_point_is_16kb_of_sram() {
+        let set = ScratchpadSet::new(4 * 1024);
+        assert_eq!(set.total_bytes(), 16 * 1024);
+    }
+
+    #[test]
+    fn access_accounting() {
+        let mut sp = Scratchpad::new("ch1", 4096);
+        sp.record_reads(100);
+        sp.record_writes(50);
+        assert_eq!(sp.reads(), 100);
+        assert_eq!(sp.writes(), 50);
+        assert!(sp.energy_uj() > 0.0);
+    }
+
+    #[test]
+    fn area_scales_linearly_with_capacity() {
+        let a1 = Scratchpad::new("a", 1024).area_mm2();
+        let a4 = Scratchpad::new("b", 4096).area_mm2();
+        assert!((a4 / a1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_energy_sums_members() {
+        let mut set = ScratchpadSet::new(1024);
+        set.ch1.record_reads(10);
+        set.index.record_writes(10);
+        let expect = 20.0 * model::E_SRAM_BYTE_PJ * 1e-6;
+        assert!((set.energy_uj() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_at_full_utilization_scales_with_capacity() {
+        let small = ScratchpadSet::new(1024).power_mw();
+        let big = ScratchpadSet::new(4096).power_mw();
+        assert!((big / small - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = Scratchpad::new("x", 0);
+    }
+}

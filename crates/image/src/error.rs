@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Error type for image construction and Netpbm I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// A dimension was zero or the buffer length did not match
+    /// `width * height * channels`.
+    Dimension {
+        /// Expected buffer length.
+        expected: usize,
+        /// Actual buffer length.
+        actual: usize,
+    },
+    /// The Netpbm header was malformed or of an unsupported subformat.
+    Format(String),
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Dimension { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match expected {expected}"
+            ),
+            ImageError::Format(msg) => write!(f, "unsupported or malformed image: {msg}"),
+            ImageError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImageError {
+    fn from(e: std::io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = ImageError::Dimension {
+            expected: 12,
+            actual: 10,
+        };
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = ImageError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImageError>();
+    }
+}

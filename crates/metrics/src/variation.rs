@@ -1,0 +1,142 @@
+//! Explained variation (Moore et al. 2008): how much of the image's color
+//! variance the superpixel partition captures,
+//!
+//! ```text
+//! EV = Σ_s |s|·‖μ_s − μ‖² / Σ_p ‖x_p − μ‖²
+//! ```
+//!
+//! where `μ_s` is superpixel `s`'s mean color and `μ` the global mean.
+//! 1.0 means superpixels explain all variance (perfectly homogeneous
+//! regions); 0 means they explain none. A ground-truth-free complement to
+//! USE/BR, useful on real photographs where no annotation exists.
+
+use sslic_image::{Plane, RgbImage};
+
+/// Computes explained variation of `labels` over `img`, in RGB space.
+///
+/// Returns 1.0 for a constant image (zero total variance — any partition
+/// trivially explains it).
+///
+/// # Panics
+///
+/// Panics if the image and label map disagree on geometry.
+///
+/// # Example
+///
+/// ```
+/// use sslic_image::{Plane, Rgb, RgbImage};
+/// use sslic_metrics::explained_variation;
+///
+/// // Two flat halves, split exactly by the labels: EV = 1.
+/// let img = RgbImage::from_fn(8, 4, |x, _| {
+///     if x < 4 { Rgb::new(0, 0, 0) } else { Rgb::new(200, 200, 200) }
+/// });
+/// let labels = Plane::from_fn(8, 4, |x, _| (x / 4) as u32);
+/// assert!((explained_variation(&img, &labels) - 1.0).abs() < 1e-9);
+/// ```
+pub fn explained_variation(img: &RgbImage, labels: &Plane<u32>) -> f64 {
+    assert!(
+        img.width() == labels.width() && img.height() == labels.height(),
+        "image and label map must share geometry"
+    );
+    let n = img.pixel_count() as f64;
+    // Global mean.
+    let mut global = [0f64; 3];
+    for px in img.as_raw().chunks_exact(3) {
+        global[0] += px[0] as f64;
+        global[1] += px[1] as f64;
+        global[2] += px[2] as f64;
+    }
+    for g in &mut global {
+        *g /= n;
+    }
+    // Per-superpixel sums.
+    use std::collections::HashMap;
+    let mut sums: HashMap<u32, ([f64; 3], u64)> = HashMap::new();
+    let mut total_var = 0f64;
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let p = img.pixel(x, y);
+            let c = [p.r as f64, p.g as f64, p.b as f64];
+            total_var += (0..3).map(|i| (c[i] - global[i]).powi(2)).sum::<f64>();
+            let e = sums.entry(labels[(x, y)]).or_insert(([0.0; 3], 0));
+            for (acc, v) in e.0.iter_mut().zip(&c) {
+                *acc += v;
+            }
+            e.1 += 1;
+        }
+    }
+    if total_var == 0.0 {
+        return 1.0;
+    }
+    let mut explained = 0f64;
+    for (sum, count) in sums.values() {
+        let cnt = *count as f64;
+        explained += cnt
+            * (0..3)
+                .map(|i| (sum[i] / cnt - global[i]).powi(2))
+                .sum::<f64>();
+    }
+    (explained / total_var).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sslic_image::Rgb;
+
+    fn halves() -> RgbImage {
+        RgbImage::from_fn(8, 8, |x, _| {
+            if x < 4 {
+                Rgb::new(10, 10, 10)
+            } else {
+                Rgb::new(200, 200, 200)
+            }
+        })
+    }
+
+    #[test]
+    fn perfect_partition_explains_everything() {
+        let labels = Plane::from_fn(8, 8, |x, _| (x / 4) as u32);
+        assert!((explained_variation(&halves(), &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orthogonal_partition_explains_nothing() {
+        // Horizontal bands over a vertical split: every band has the same
+        // mean as the global mean.
+        let labels = Plane::from_fn(8, 8, |_, y| (y / 4) as u32);
+        assert!(explained_variation(&halves(), &labels) < 1e-9);
+    }
+
+    #[test]
+    fn single_superpixel_explains_nothing_on_varied_images() {
+        let labels = Plane::filled(8, 8, 0u32);
+        assert!(explained_variation(&halves(), &labels) < 1e-9);
+    }
+
+    #[test]
+    fn constant_image_is_fully_explained() {
+        let img = RgbImage::filled(6, 6, Rgb::new(50, 60, 70));
+        let labels = Plane::from_fn(6, 6, |x, _| x as u32);
+        assert_eq!(explained_variation(&img, &labels), 1.0);
+    }
+
+    #[test]
+    fn finer_aligned_partitions_explain_at_least_as_much() {
+        let img = RgbImage::from_fn(8, 8, |x, y| Rgb::new((x * 30) as u8, (y * 30) as u8, 0));
+        let coarse = Plane::from_fn(8, 8, |x, _| (x / 4) as u32);
+        let fine = Plane::from_fn(8, 8, |x, y| ((x / 2) + 4 * (y / 2)) as u32);
+        let ev_coarse = explained_variation(&img, &coarse);
+        let ev_fine = explained_variation(&img, &fine);
+        assert!(ev_fine >= ev_coarse - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry")]
+    fn mismatched_geometry_panics() {
+        let img = RgbImage::filled(4, 4, Rgb::default());
+        let labels = Plane::filled(5, 4, 0u32);
+        let _ = explained_variation(&img, &labels);
+    }
+}

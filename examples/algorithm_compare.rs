@@ -1,0 +1,92 @@
+//! Compare every SLIC variant in this repository on one corpus:
+//! quality (USE, boundary recall, ASA, compactness) and speed — the
+//! at-a-glance version of the paper's §3 argument for S-SLIC.
+//!
+//! ```text
+//! cargo run --release --example algorithm_compare
+//! ```
+
+use std::time::Instant;
+
+use sslic::core::{DistanceMode, Segmenter, SlicParams};
+use sslic::image::synthetic::SyntheticImage;
+use sslic::metrics::{
+    achievable_segmentation_accuracy, boundary_recall, compactness, undersegmentation_error,
+};
+
+fn main() {
+    let corpus: Vec<SyntheticImage> = (0..6)
+        .map(|i| {
+            SyntheticImage::builder(240, 160)
+                .seed(100 + i)
+                .regions(10)
+                .noise_sigma(5.0)
+                .texture_amplitude(8.0)
+                .color_separation(35.0)
+                .build()
+        })
+        .collect();
+
+    let params = SlicParams::builder(224)
+        .compactness(30.0)
+        .iterations(8)
+        .build();
+    let candidates: Vec<(&str, Segmenter)> = vec![
+        ("SLIC (CPA)", Segmenter::slic(params)),
+        ("SLIC (PPA)", Segmenter::slic_ppa(params)),
+        ("S-SLIC PPA 0.5", Segmenter::sslic_ppa(params, 2)),
+        ("S-SLIC PPA 0.25", Segmenter::sslic_ppa(params, 4)),
+        ("S-SLIC CPA 0.5", Segmenter::sslic_cpa(params, 2)),
+        (
+            "S-SLIC 0.5 @8bit",
+            Segmenter::sslic_ppa(params, 2).with_distance_mode(DistanceMode::quantized(8)),
+        ),
+        (
+            "SLICO (adaptive m)",
+            Segmenter::slic_ppa(
+                SlicParams::builder(224)
+                    .iterations(8)
+                    .adaptive_compactness(true)
+                    .build(),
+            ),
+        ),
+        (
+            "Preemptive SLIC",
+            Segmenter::slic_ppa(params).with_preemption(0.5),
+        ),
+    ];
+
+    println!(
+        "{:<18} {:>9} {:>8} {:>8} {:>8} {:>8}",
+        "algorithm", "time(ms)", "USE", "BR", "ASA", "CO"
+    );
+    println!("{}", "-".repeat(64));
+    for (name, seg) in &candidates {
+        let (mut t, mut u, mut br, mut asa, mut co) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for img in &corpus {
+            let start = Instant::now();
+            let out = seg.segment(&img.rgb);
+            t += start.elapsed().as_secs_f64() * 1e3;
+            u += undersegmentation_error(out.labels(), &img.ground_truth);
+            br += boundary_recall(out.labels(), &img.ground_truth, 0);
+            asa += achievable_segmentation_accuracy(out.labels(), &img.ground_truth);
+            co += compactness(out.labels());
+        }
+        let n = corpus.len() as f64;
+        println!(
+            "{:<18} {:>9.2} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
+            name,
+            t / n,
+            u / n,
+            br / n,
+            asa / n,
+            co / n
+        );
+    }
+    println!();
+    println!(
+        "Same 8 center-update steps everywhere: the subsampled variants do a\n\
+         fraction of the assignment work per step, so their rows are faster at\n\
+         nearly the same quality — the S-SLIC trade the paper exploits."
+    );
+}

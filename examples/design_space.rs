@@ -1,0 +1,52 @@
+//! Explore the accelerator design space the way §6 does: sweep the Cluster
+//! Update Unit parallelism, the buffer sizes, and the resolutions, then
+//! report the Pareto-optimal designs.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use sslic::hw::cluster::FULL_HD_PIXELS;
+use sslic::hw::dse::{buffer_size_sweep, cluster_unit_sweep, pareto_front_indices, table4_reports};
+
+fn main() {
+    println!("== Cluster Update Unit parallelism (Table 3 sweep) ==");
+    let rows = cluster_unit_sweep(FULL_HD_PIXELS);
+    for r in &rows {
+        println!(
+            "  {:<6} area {:.4} mm², {:>5.2} mW, {:>2} cy latency, {:>5.2} ms/iter, {:>5.1} uJ/iter",
+            r.name, r.area_mm2, r.power_mw, r.latency_cycles, r.time_ms, r.energy_uj
+        );
+    }
+    let points: Vec<(f64, f64)> = rows.iter().map(|r| (r.area_mm2, 1.0 / r.throughput)).collect();
+    let front = pareto_front_indices(&points);
+    let names: Vec<&str> = front.iter().map(|&i| rows[i].name.as_str()).collect();
+    println!("  Pareto-optimal (area vs initiation interval): {names:?}");
+
+    println!();
+    println!("== Channel buffer size (Fig 6 sweep) ==");
+    for (kb, report) in buffer_size_sweep(&[1, 2, 4, 8, 16, 32, 64, 128]) {
+        println!(
+            "  {:>3} kB: {:>5.2} ms ({:>4.1} fps){}",
+            kb,
+            report.total_ms(),
+            report.fps(),
+            if report.is_real_time() { "  <- real-time" } else { "" }
+        );
+    }
+
+    println!();
+    println!("== Best configuration per resolution (Table 4 sweep) ==");
+    for r in table4_reports() {
+        println!(
+            "  {:<10} {:>5.1} ms, {:>5.1} fps, {:.3} mm², {:>4.1} mW, {:.2} mJ/frame, {:>4.0} fps/mm²",
+            r.resolution.name,
+            r.total_ms(),
+            r.fps(),
+            r.area_mm2,
+            r.avg_power_mw,
+            r.energy_mj_per_frame(),
+            r.fps_per_mm2()
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Watch the Cluster Update Unit execute, cycle by cycle: issues eight
+//! pixels into the iterative `1-1-1` unit and the fully parallel `9-9-6`
+//! unit and prints their stage-occupancy waveforms — the visual version of
+//! Table 3's throughput column.
+//!
+//! ```text
+//! cargo run --release --example pipeline_trace
+//! ```
+
+use sslic::hw::cluster::ClusterUnitConfig;
+use sslic::hw::pipeline::ClusterPipeline;
+
+fn run(config: ClusterUnitConfig, cycles_to_show: u64) {
+    let mut pipe = ClusterPipeline::new(config).with_trace();
+    for i in 0..8u32 {
+        // Arbitrary but distinct distance codes; slot (i mod 9) wins.
+        let mut d = [200u32; 9];
+        d[(i % 9) as usize] = i;
+        pipe.issue(d);
+    }
+    let total = pipe.flush();
+    println!(
+        "== {} : latency {} cycles, II {}, 8 pixels in {} cycles ==",
+        config.name(),
+        config.latency_cycles(),
+        config.initiation_interval(),
+        total
+    );
+    print!("{}", pipe.trace().expect("tracing on").waveform(cycles_to_show));
+    let winners: Vec<u8> = pipe.retired().iter().map(|t| t.winner).collect();
+    println!("winners: {winners:?}\n");
+}
+
+fn main() {
+    run(ClusterUnitConfig::c9_9_6(), 16);
+    run(ClusterUnitConfig::c1_1_1(), 80);
+    println!(
+        "The 9-9-6 unit accepts a pixel every cycle and the stages overlap;\n\
+         the 1-1-1 unit's iterative distance stage blocks for 9 cycles per\n\
+         pixel — the 9x throughput gap of Table 3, visible per cycle."
+    );
+}

@@ -1,0 +1,84 @@
+//! Simulated 30 fps video pipeline: segment a stream of slowly changing
+//! frames, warm-starting each frame from the previous frame's centers —
+//! the deployment the paper's accelerator targets.
+//!
+//! ```text
+//! cargo run --release --example video_stream
+//! ```
+
+use std::time::Instant;
+
+use sslic::core::{Segmenter, SlicParams};
+use sslic::image::synthetic::SyntheticImage;
+use sslic::metrics::undersegmentation_error;
+
+fn frame(t: usize) -> SyntheticImage {
+    // Same scene geometry each frame; the warp phase comes from the seed,
+    // so vary only the noise realization + illumination to mimic a slowly
+    // changing camera stream.
+    SyntheticImage::builder(320, 240)
+        .seed(42)
+        .regions(12)
+        .noise_sigma(4.0 + (t % 3) as f32)
+        .illumination(15.0 + t as f32)
+        .build()
+}
+
+fn main() {
+    let frames: Vec<SyntheticImage> = (0..12).map(frame).collect();
+    let k = 600;
+
+    // Cold pipeline: every frame from scratch, 10 iterations.
+    let cold_seg = Segmenter::sslic_ppa(
+        SlicParams::builder(k).iterations(10).build(),
+        2,
+    );
+    // Warm pipeline: frame 0 from scratch, then 2 steps per frame seeded
+    // with the previous centers.
+    let warm_seg = Segmenter::sslic_ppa(
+        SlicParams::builder(k).iterations(2).build(),
+        2,
+    );
+
+    println!(
+        "{:<7} {:>12} {:>10} {:>12} {:>10}",
+        "frame", "cold (ms)", "cold USE", "warm (ms)", "warm USE"
+    );
+    println!("{}", "-".repeat(56));
+
+    let mut prev_clusters: Option<Vec<sslic::core::Cluster>> = None;
+    let (mut cold_total, mut warm_total) = (0.0f64, 0.0f64);
+    for (t, f) in frames.iter().enumerate() {
+        let start = Instant::now();
+        let cold = cold_seg.segment(&f.rgb);
+        let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+        cold_total += cold_ms;
+
+        let start = Instant::now();
+        let warm = match &prev_clusters {
+            None => cold_seg.segment(&f.rgb), // first frame: full cold run
+            Some(prev) => warm_seg.segment_warm(&f.rgb, prev),
+        };
+        let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+        warm_total += warm_ms;
+
+        println!(
+            "{:<7} {:>12.2} {:>10.4} {:>12.2} {:>10.4}",
+            t,
+            cold_ms,
+            undersegmentation_error(cold.labels(), &f.ground_truth),
+            warm_ms,
+            undersegmentation_error(warm.labels(), &f.ground_truth)
+        );
+        prev_clusters = Some(warm.clusters().to_vec());
+    }
+    println!("{}", "-".repeat(56));
+    println!(
+        "totals: cold {:.1} ms, warm {:.1} ms — {:.1}x less compute for the\n\
+         stream at matched quality. Combined with S-SLIC subsampling this is\n\
+         how the accelerator's 30 fps budget stretches on video.",
+        cold_total,
+        warm_total,
+        cold_total / warm_total
+    );
+}

@@ -1,0 +1,297 @@
+//! `sslic` — command-line front end to the S-SLIC reproduction.
+//!
+//! ```text
+//! sslic segment photo.ppm --superpixels 900 --algo sslic2
+//! sslic dataset out/ --count 10 --width 481 --height 321
+//! sslic hwsim --resolution 1080p --buffer-kb 4
+//! sslic export hw_tables/
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use sslic::core::{DistanceMode, Segmenter, SlicParams};
+use sslic::hw::export;
+use sslic::hw::sim::{FrameSimulator, Resolution};
+use sslic::image::synthetic::SyntheticImage;
+use sslic::image::{draw, ppm, Rgb};
+use sslic::metrics::explained_variation;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("segment") => cmd_segment(&args[1..]),
+        Some("dataset") => cmd_dataset(&args[1..]),
+        Some("hwsim") => cmd_hwsim(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
+        Some("help") | None => {
+            print_help();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try 'sslic help')").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "sslic — Subsampled SLIC superpixels and the DAC'16 accelerator models\n\
+         \n\
+         USAGE:\n\
+         \x20 sslic segment <input.ppm> [--superpixels K] [--compactness M]\n\
+         \x20               [--iterations N] [--subsets P] [--algo slic|ppa|sslic|hw8]\n\
+         \x20               [--out PREFIX]\n\
+         \x20     Segment a binary PPM; writes PREFIX.boundaries.ppm,\n\
+         \x20     PREFIX.mosaic.ppm, and PREFIX.labels.pgm (16-bit).\n\
+         \n\
+         \x20 sslic dataset <dir> [--count N] [--width W] [--height H] [--seed S]\n\
+         \x20     Generate a synthetic evaluation corpus with exact ground truth\n\
+         \x20     (NNN.ppm + NNN.gt.pgm pairs).\n\
+         \n\
+         \x20 sslic hwsim [--resolution 1080p|720p|vga] [--buffer-kb N]\n\
+         \x20             [--cores N] [--clock-ghz F] [--superpixels K]\n\
+         \x20     Run the accelerator frame model and print the report.\n\
+         \n\
+         \x20 sslic export <dir>\n\
+         \x20     Write the hardware LUT tables (C headers + $readmemh hex), the\n\
+         \x20     floorplan SVG, and the design summary.\n\
+         \n\
+         \x20 sslic metrics <labels.pgm> <ground_truth.pgm> [--image x.ppm]\n\
+         \x20             [--tolerance T]\n\
+         \x20     Score a 16-bit label map against ground truth."
+    );
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Returns the value following `--flag`, parsed.
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{name} requires a value"))?;
+            value
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| format!("invalid value for {name}: {e}"))
+        }
+    }
+}
+
+fn cmd_segment(args: &[String]) -> CliResult {
+    let input = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("segment needs an input .ppm path")?;
+    let k: usize = flag(args, "--superpixels")?.unwrap_or(900);
+    let m: f32 = flag(args, "--compactness")?.unwrap_or(10.0);
+    let iterations: u32 = flag(args, "--iterations")?.unwrap_or(10);
+    let subsets: u32 = flag(args, "--subsets")?.unwrap_or(2);
+    let algo: String = flag(args, "--algo")?.unwrap_or_else(|| "sslic".to_string());
+    let out: String = flag(args, "--out")?.unwrap_or_else(|| input.clone());
+
+    let img = ppm::read_ppm(BufReader::new(File::open(input)?))?;
+    let params = SlicParams::builder(k)
+        .compactness(m)
+        .iterations(iterations)
+        .build();
+    let segmenter = match algo.as_str() {
+        "slic" => Segmenter::slic(params),
+        "ppa" => Segmenter::slic_ppa(params),
+        "sslic" => Segmenter::sslic_ppa(params, subsets),
+        "hw8" => Segmenter::sslic_ppa(params, subsets)
+            .with_distance_mode(DistanceMode::quantized(8)),
+        other => return Err(format!("unknown --algo '{other}'").into()),
+    };
+
+    let start = std::time::Instant::now();
+    let seg = segmenter.segment(&img);
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "{algo}: {}x{} -> {} superpixels in {elapsed:.1} ms ({} steps)",
+        img.width(),
+        img.height(),
+        seg.cluster_count(),
+        seg.iterations_run()
+    );
+    println!(
+        "explained variation: {:.4}",
+        explained_variation(&img, seg.labels())
+    );
+
+    let boundaries = draw::overlay_boundaries(&img, seg.labels(), Rgb::new(255, 220, 0));
+    ppm::write_ppm(
+        BufWriter::new(File::create(format!("{out}.boundaries.ppm"))?),
+        &boundaries,
+    )?;
+    let mosaic = draw::mean_color_image(&img, seg.labels());
+    ppm::write_ppm(
+        BufWriter::new(File::create(format!("{out}.mosaic.ppm"))?),
+        &mosaic,
+    )?;
+    ppm::write_pgm16(
+        BufWriter::new(File::create(format!("{out}.labels.pgm"))?),
+        seg.labels(),
+    )?;
+    println!("wrote {out}.boundaries.ppm, {out}.mosaic.ppm, {out}.labels.pgm");
+    Ok(())
+}
+
+fn cmd_dataset(args: &[String]) -> CliResult {
+    let dir = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("dataset needs an output directory")?;
+    let count: usize = flag(args, "--count")?.unwrap_or(10);
+    let width: usize = flag(args, "--width")?.unwrap_or(481);
+    let height: usize = flag(args, "--height")?.unwrap_or(321);
+    let seed: u64 = flag(args, "--seed")?.unwrap_or(2016);
+
+    std::fs::create_dir_all(dir)?;
+    for i in 0..count {
+        let img = SyntheticImage::builder(width, height)
+            .seed(seed + i as u64)
+            .regions(9 + i % 8)
+            .noise_sigma(5.0)
+            .texture_amplitude(8.0)
+            .color_separation(35.0)
+            .build();
+        ppm::write_ppm(
+            BufWriter::new(File::create(format!("{dir}/{i:03}.ppm"))?),
+            &img.rgb,
+        )?;
+        ppm::write_pgm16(
+            BufWriter::new(File::create(format!("{dir}/{i:03}.gt.pgm"))?),
+            &img.ground_truth,
+        )?;
+    }
+    println!("wrote {count} image/ground-truth pairs to {dir}/");
+    Ok(())
+}
+
+fn cmd_hwsim(args: &[String]) -> CliResult {
+    let res_name: String = flag(args, "--resolution")?.unwrap_or_else(|| "1080p".to_string());
+    let resolution = match res_name.as_str() {
+        "1080p" => Resolution::FULL_HD,
+        "720p" => Resolution::HD720,
+        "vga" => Resolution::VGA,
+        other => return Err(format!("unknown resolution '{other}'").into()),
+    };
+    let mut sim = FrameSimulator::paper_default(resolution);
+    if let Some(kb) = flag::<usize>(args, "--buffer-kb")? {
+        sim = sim.with_buffer_bytes(kb * 1024);
+    }
+    if let Some(cores) = flag::<u32>(args, "--cores")? {
+        sim = sim.with_cores(cores);
+    }
+    if let Some(ghz) = flag::<f64>(args, "--clock-ghz")? {
+        sim = sim.with_clock_ghz(ghz);
+    }
+    if let Some(k) = flag::<usize>(args, "--superpixels")? {
+        sim = sim.with_superpixels(k);
+    }
+    let r = sim.simulate();
+    println!("S-SLIC accelerator model — {}", r.resolution.name);
+    println!(
+        "  latency  {:>7.2} ms  ({:.1} fps{})",
+        r.total_ms(),
+        r.fps(),
+        if r.is_real_time() { ", real-time" } else { "" }
+    );
+    println!(
+        "  phases   color {:.2} + assign {:.2} + centers {:.2} + memory {:.2} ms",
+        r.color_ms, r.assign_ms, r.center_ms, r.memory_ms
+    );
+    println!("  area     {:>7.3} mm2", r.area_mm2);
+    println!("  power    {:>7.1} mW", r.avg_power_mw);
+    println!("  energy   {:>7.2} mJ/frame", r.energy_mj_per_frame());
+    println!(
+        "  traffic  {:>7.1} MB/frame over {} bursts",
+        r.traffic.total_bytes() as f64 / 1e6,
+        r.traffic.bursts
+    );
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> CliResult {
+    let dir = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("export needs an output directory")?;
+    std::fs::create_dir_all(dir)?;
+    let write = |name: &str, content: String| -> std::io::Result<()> {
+        let mut f = File::create(format!("{dir}/{name}"))?;
+        f.write_all(content.as_bytes())
+    };
+    write("gamma_lut.h", export::gamma_lut_c_header(12))?;
+    write("gamma_lut.hex", export::gamma_lut_hex(12))?;
+    write("cbrt_pwl.h", export::pwl_coefficients_c_header(8, 12))?;
+    write("design_summary.txt", export::design_summary())?;
+    let plan = sslic::hw::floorplan::Floorplan::new(
+        sslic::hw::cluster::ClusterUnitConfig::c9_9_6(),
+        4 * 1024,
+    );
+    write("floorplan.svg", plan.to_svg(1500.0))?;
+    // A short sample trace of the 9-9-6 pipeline, viewable in GTKWave.
+    let mut pipe = sslic::hw::pipeline::ClusterPipeline::new(
+        sslic::hw::cluster::ClusterUnitConfig::c9_9_6(),
+    )
+    .with_trace();
+    for i in 0..32u32 {
+        let mut d = [200u32; 9];
+        d[(i % 9) as usize] = i;
+        pipe.issue(d);
+    }
+    pipe.flush();
+    write(
+        "cluster_update.vcd",
+        sslic::hw::vcd::trace_to_vcd(pipe.trace().expect("tracing on"), "cluster_update"),
+    )?;
+    println!(
+        "wrote gamma_lut.h, gamma_lut.hex, cbrt_pwl.h, design_summary.txt, floorplan.svg,\n\
+         cluster_update.vcd to {dir}/"
+    );
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> CliResult {
+    // Positionals are the arguments that are neither flags nor flag
+    // values.
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2; // skip the flag and its value
+        } else {
+            positional.push(&args[i]);
+            i += 1;
+        }
+    }
+    let [labels_path, gt_path] = positional.as_slice() else {
+        return Err("metrics needs <labels.pgm> <ground_truth.pgm>".into());
+    };
+    let labels = ppm::read_pgm16(BufReader::new(File::open(labels_path)?))?;
+    let gt = ppm::read_pgm16(BufReader::new(File::open(gt_path)?))?;
+    let image = match flag::<String>(args, "--image")? {
+        Some(path) => Some(ppm::read_ppm(BufReader::new(File::open(path)?))?),
+        None => None,
+    };
+    let tolerance: usize = flag(args, "--tolerance")?.unwrap_or(2);
+    let suite =
+        sslic::metrics::MetricSuite::evaluate(&labels, &gt, image.as_ref(), tolerance);
+    println!("{suite}");
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! Cross-layer check: the cycle-stepped Cluster Update Unit pipeline,
+//! driven with real distance codes from a real image, must select the same
+//! winning clusters as the software engine's first assignment pass.
+
+use sslic::core::{DistanceMode, QuantKernel, SeedGrid, Segmenter, SlicParams};
+use sslic::hw::cluster::ClusterUnitConfig;
+use sslic::hw::pipeline::ClusterPipeline;
+use sslic::image::synthetic::SyntheticImage;
+
+#[test]
+fn pipeline_winners_match_engine_first_pass() {
+    let img = SyntheticImage::builder(64, 48).seed(11).regions(5).build();
+    let (w, h) = (64usize, 48usize);
+
+    // Software reference: one quantized PPA pass from the static grid.
+    let params = SlicParams::builder(40)
+        .iterations(1)
+        .perturb_seeds(false)
+        .enforce_connectivity(false)
+        .build();
+    let engine = Segmenter::slic_ppa(params)
+        .with_distance_mode(DistanceMode::quantized(8))
+        .segment(&img.rgb);
+
+    // Hardware: the same distance codes through the cycle-level pipeline.
+    let grid = SeedGrid::new(w, h, 40);
+    let kernel = QuantKernel::new(8, 8, params.compactness(), grid.spacing());
+    let lab8 = sslic::color::hw::HwColorConverter::paper_default().convert_image(&img.rgb);
+    let centers: Vec<_> = (0..grid.cluster_count())
+        .map(|k| {
+            let (fx, fy) = grid.seed_position(k);
+            let x = (fx as usize).min(w - 1);
+            let y = (fy as usize).min(h - 1);
+            let [l, a, b] = lab8.pixel(x, y);
+            kernel.encode_cluster(&sslic::core::Cluster::new(
+                sslic::color::lab8::decode([l, a, b])[0] as f32,
+                sslic::color::lab8::decode([l, a, b])[1] as f32,
+                sslic::color::lab8::decode([l, a, b])[2] as f32,
+                x as f32,
+                y as f32,
+            ))
+        })
+        .collect();
+
+    let mut pipe = ClusterPipeline::new(ClusterUnitConfig::c9_9_6());
+    let mut candidate_lists = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let nine = grid.nine_neighbors_of_pixel(x, y);
+            let mut d = [0u32; 9];
+            for (slot, &k) in nine.iter().enumerate() {
+                d[slot] = kernel.dist_code(lab8.pixel(x, y), (x as i32, y as i32), &centers[k]);
+            }
+            pipe.issue(d);
+            candidate_lists.push(nine);
+        }
+    }
+    pipe.flush();
+
+    // Every retired winner, mapped back through the candidate list, must
+    // equal the engine's label.
+    assert_eq!(pipe.retired().len(), w * h);
+    let mut mismatches = 0usize;
+    for (tx, nine) in pipe.retired().iter().zip(&candidate_lists) {
+        let px = tx.id as usize;
+        let (x, y) = (px % w, px / w);
+        let hw_label = nine[tx.winner as usize] as u32;
+        if hw_label != engine.labels()[(x, y)] {
+            mismatches += 1;
+        }
+    }
+    // The engine samples its initial colors identically, so the only
+    // permissible divergence is duplicate candidates at image borders
+    // (same cluster in two slots → same label either way). Expect zero.
+    assert_eq!(mismatches, 0, "pipeline and engine disagree");
+}
+
+#[test]
+fn all_cluster_configs_agree_functionally_on_real_data() {
+    // Parallelism must never change results: drive identical stimuli
+    // through every Table 3 configuration.
+    let img = SyntheticImage::builder(32, 24).seed(4).regions(4).build();
+    let grid = SeedGrid::new(32, 24, 12);
+    let kernel = QuantKernel::new(8, 8, 10.0, grid.spacing());
+    let lab8 = sslic::color::hw::HwColorConverter::paper_default().convert_image(&img.rgb);
+    let centers: Vec<_> = (0..grid.cluster_count())
+        .map(|k| {
+            let (fx, fy) = grid.seed_position(k);
+            let (x, y) = ((fx as usize).min(31), (fy as usize).min(23));
+            let lab = sslic::color::lab8::decode(lab8.pixel(x, y));
+            kernel.encode_cluster(&sslic::core::Cluster::new(
+                lab[0] as f32,
+                lab[1] as f32,
+                lab[2] as f32,
+                x as f32,
+                y as f32,
+            ))
+        })
+        .collect();
+
+    let winners_for = |config: ClusterUnitConfig| -> Vec<u8> {
+        let mut pipe = ClusterPipeline::new(config);
+        for y in 0..24 {
+            for x in 0..32 {
+                let nine = grid.nine_neighbors_of_pixel(x, y);
+                let mut d = [0u32; 9];
+                for (slot, &k) in nine.iter().enumerate() {
+                    d[slot] =
+                        kernel.dist_code(lab8.pixel(x, y), (x as i32, y as i32), &centers[k]);
+                }
+                pipe.issue(d);
+            }
+        }
+        pipe.flush();
+        pipe.retired().iter().map(|t| t.winner).collect()
+    };
+
+    let reference = winners_for(ClusterUnitConfig::c9_9_6());
+    for config in ClusterUnitConfig::table3() {
+        assert_eq!(
+            winners_for(config),
+            reference,
+            "{} diverged functionally",
+            config.name()
+        );
+    }
+}
