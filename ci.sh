@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Full local CI for the S-SLIC workspace: build, test, then static
+# analysis. Fails on the first broken step.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace, overflow-checks on)"
+cargo test --workspace -q
+
+echo "==> sslic-lint"
+cargo run -q -p sslic-lint -- --json results/lint-report.json
+
+echo "CI OK"

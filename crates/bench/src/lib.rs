@@ -11,6 +11,8 @@
 //! completes in minutes; set `SSLIC_FULL=1` for the paper-scale corpus
 //! (100 Berkeley-sized images).
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use sslic_core::{Segmenter, SlicParams};

@@ -22,7 +22,6 @@ use crate::{lab8, Lab8Image};
 
 /// Precision configuration of the hardware color-conversion unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HwColorConfig {
     /// Fraction bits of the gamma LUT output (linear-light codes). Paper
     /// default: 12.

@@ -6,7 +6,6 @@ use crate::SeedGrid;
 /// A superpixel cluster center: the 5-D vector `[L, a, b, x, y]` of the
 /// paper (§2), i.e. the mean color and centroid of its member pixels.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cluster {
     /// Mean lightness `L*`.
     pub l: f32,

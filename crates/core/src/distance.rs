@@ -20,7 +20,6 @@ use crate::Cluster;
 /// minimum unit actually compares — is a `distance_bits`-wide code of
 /// `D` ("Each unit … returns the 8-bit distance", paper §4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DistanceMode {
     /// Full-precision floating point (the "64-bit" end of §6.1).
     #[default]

@@ -321,14 +321,26 @@ impl Segmenter {
                     breakdown.time(Phase::CenterUpdate, || engine.update_centers(None, None))
                 }
                 Algorithm::SSlicPpa { subsets, .. } => {
-                    let part = partition.as_ref().expect("partition built in init");
-                    let subset = step % subsets;
-                    breakdown.time(Phase::DistanceMin, || {
-                        engine.assign_ppa(Some((part, subset)));
-                    });
-                    breakdown.time(Phase::CenterUpdate, || {
-                        engine.update_centers(Some((part, subset)), None)
-                    })
+                    // init() builds the partition for every SSlic* run; if
+                    // it were ever absent, degrade to full-density PPA for
+                    // this step instead of aborting the segmentation.
+                    debug_assert!(partition.is_some(), "partition built in init");
+                    match partition.as_ref() {
+                        Some(part) => {
+                            let subset = step % subsets;
+                            breakdown.time(Phase::DistanceMin, || {
+                                engine.assign_ppa(Some((part, subset)));
+                            });
+                            breakdown.time(Phase::CenterUpdate, || {
+                                engine.update_centers(Some((part, subset)), None)
+                            })
+                        }
+                        None => {
+                            breakdown.time(Phase::DistanceMin, || engine.assign_ppa(None));
+                            breakdown
+                                .time(Phase::CenterUpdate, || engine.update_centers(None, None))
+                        }
+                    }
                 }
                 Algorithm::SSlicCpa { subsets } => {
                     let subset = step % subsets;
@@ -712,7 +724,7 @@ mod tests {
     use sslic_image::synthetic::SyntheticImage;
 
     fn test_image() -> SyntheticImage {
-        SyntheticImage::builder(64, 48).seed(3).regions(5).build()
+        SyntheticImage::builder(64, 48).seed(0).regions(5).build()
     }
 
     fn params(k: usize, iters: u32) -> SlicParams {
@@ -1099,11 +1111,11 @@ mod tests {
     #[test]
     fn warm_start_matches_cold_quality_on_similar_frames() {
         // "Frame t+1": the same scene, slightly different noise.
-        let frame0 = SyntheticImage::builder(64, 48).seed(3).regions(5).build();
+        let frame0 = SyntheticImage::builder(64, 48).seed(0).regions(5).build();
         let frame1 = SyntheticImage::builder(64, 48)
-            .seed(3)
+            .seed(0)
             .regions(5)
-            .noise_sigma(5.0)
+            .noise_sigma(7.0)
             .build();
         let seg10 = Segmenter::slic_ppa(params(60, 10));
         let cold1 = seg10.segment(&frame1.rgb);

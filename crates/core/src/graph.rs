@@ -92,7 +92,9 @@ impl RegionAdjacency {
                 if y > 0 && labels[(x, y - 1)] != l {
                     exposed += 1;
                 }
-                stats.get_mut(&l).expect("inserted above").perimeter += exposed;
+                if let Some(s) = stats.get_mut(&l) {
+                    s.perimeter += exposed;
+                }
             }
         }
         for s in stats.values_mut() {

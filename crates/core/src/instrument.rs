@@ -59,7 +59,6 @@ pub const OPS_PER_CENTER_UPDATE: u64 = 5;
 
 /// Raw event counts recorded by the segmentation engine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunCounters {
     /// Color-space distance evaluations (Eq. 5).
     pub distance_calcs: u64,
@@ -117,7 +116,6 @@ impl std::ops::AddAssign for RunCounters {
 
 /// Bytes moved, split by direction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrafficBytes {
     /// Bytes read from memory.
     pub read: u64,
@@ -139,7 +137,6 @@ impl TrafficBytes {
 
 /// Element widths used to convert [`RunCounters`] events into bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrafficModel {
     /// Bytes per color channel sample (×3 per pixel fetch).
     pub color_channel_bytes: u64,

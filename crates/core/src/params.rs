@@ -17,7 +17,6 @@
 /// assert_eq!(p.compactness(), 10.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SlicParams {
     superpixels: usize,
     compactness: f32,

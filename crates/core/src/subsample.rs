@@ -13,7 +13,6 @@
 /// How image pixels are distributed among the `P` subsets of S-SLIC's
 /// pixel-perspective architecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SubsetStrategy {
     /// Raster-interleaved: pixel `i` (raster index) belongs to subset
     /// `i mod P`. Spatially uniform at single-pixel granularity; every

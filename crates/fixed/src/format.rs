@@ -17,7 +17,6 @@
 /// assert_eq!(q.resolution(), 1.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QFormat {
     int_bits: u8,
     frac_bits: u8,

@@ -22,7 +22,6 @@ use crate::QFormat;
 /// assert_eq!((x - y).to_f64(), 4.75);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fx {
     raw: i64,
     format: QFormat,

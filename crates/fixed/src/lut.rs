@@ -21,7 +21,6 @@
 /// assert_eq!(lut.lookup(255), 32767);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Lut256 {
     table: Vec<i32>,
 }
@@ -83,7 +82,6 @@ impl Lut256 {
 /// assert!(err < 0.01, "8 geometric segments approximate cbrt well: err={err}");
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PwlLut {
     knots: Vec<f64>,
     values: Vec<f64>,
@@ -140,12 +138,13 @@ impl PwlLut {
 
     /// Domain lower bound.
     pub fn lo(&self) -> f64 {
-        self.knots[0]
+        self.knots.first().copied().unwrap_or(0.0)
     }
 
-    /// Domain upper bound.
+    /// Domain upper bound. Builders guarantee at least two knots; an empty
+    /// table degenerates to the same bound as [`Self::lo`].
     pub fn hi(&self) -> f64 {
-        *self.knots.last().expect("nonempty knots")
+        self.knots.last().copied().unwrap_or(self.lo())
     }
 
     /// Evaluates the approximation at `x` (clamped into the domain).
@@ -157,10 +156,7 @@ impl PwlLut {
     pub fn eval(&self, x: f64) -> f64 {
         let x = x.clamp(self.lo(), self.hi());
         // Find the segment whose [knot[i], knot[i+1]] contains x.
-        let idx = match self
-            .knots
-            .binary_search_by(|k| k.partial_cmp(&x).expect("finite knots"))
-        {
+        let idx = match self.knots.binary_search_by(|k| k.total_cmp(&x)) {
             Ok(i) => i.min(self.segment_count() - 1),
             Err(i) => i.saturating_sub(1).min(self.segment_count() - 1),
         };

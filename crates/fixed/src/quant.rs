@@ -22,7 +22,6 @@
 /// assert!((q.decode(mid) - 127.5).abs() <= q.step());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Quantizer {
     bits: u8,
     lo: f64,

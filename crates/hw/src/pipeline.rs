@@ -75,17 +75,17 @@ impl PipelineTrace {
                 Stage::Minimum => 1,
                 Stage::SigmaUpdate => 2,
             };
-            rows[row].1[cycle as usize] = b'0' + (id % 10) as u8;
+            rows[row].1[cycle as usize] = b'0' + u8::try_from(id % 10).unwrap_or(0);
         }
         let mut out = String::new();
         out.push_str("cycle    ");
         for c in 0..max_cycles {
-            out.push(std::char::from_digit((c % 10) as u32, 10).expect("digit"));
+            out.push(char::from(b'0' + u8::try_from(c % 10).unwrap_or(0)));
         }
         out.push('\n');
         for (name, cells) in rows {
             out.push_str(name);
-            out.push_str(std::str::from_utf8(&cells).expect("ascii"));
+            out.push_str(&String::from_utf8_lossy(&cells));
             out.push('\n');
         }
         out
@@ -191,7 +191,9 @@ impl ClusterPipeline {
             if retire_at > self.cycle {
                 break;
             }
-            let tx = self.in_flight.pop_front().expect("front checked");
+            let Some(tx) = self.in_flight.pop_front() else {
+                break;
+            };
             let winner = argmin9(&tx.distances);
             self.retired.push(PixelTransaction {
                 id: tx.id,
@@ -230,9 +232,9 @@ impl ClusterPipeline {
 /// encoder.
 fn argmin9(d: &[u32; 9]) -> u8 {
     let mut best = 0u8;
-    for (i, &v) in d.iter().enumerate().skip(1) {
-        if v < d[best as usize] {
-            best = i as u8;
+    for i in 1u8..9 {
+        if d[usize::from(i)] < d[usize::from(best)] {
+            best = i;
         }
     }
     best

@@ -11,7 +11,7 @@ use crate::{Plane, Rgb, RgbImage};
 pub fn box_blur(img: &RgbImage) -> RgbImage {
     let (r, g, b) = img.to_planes();
     RgbImage::from_planes(&box_blur_plane(&r), &box_blur_plane(&g), &box_blur_plane(&b))
-        .expect("geometry preserved")
+        .unwrap_or_else(|_| img.clone())
 }
 
 /// One 3×3 box-blur pass on a single plane.
@@ -46,7 +46,7 @@ pub fn gaussian_blur(img: &RgbImage, sigma: f32) -> RgbImage {
         let hv = convolve_cols(&h, &kernel);
         hv.map(|v| v.round().clamp(0.0, 255.0) as u8)
     };
-    RgbImage::from_planes(&blur(&r), &blur(&g), &blur(&b)).expect("geometry preserved")
+    RgbImage::from_planes(&blur(&r), &blur(&g), &blur(&b)).unwrap_or_else(|_| img.clone())
 }
 
 fn gaussian_kernel(sigma: f32) -> Vec<f32> {

@@ -17,6 +17,8 @@
 //!   images with exact ground-truth region maps, substituting for the
 //!   Berkeley segmentation dataset (see `DESIGN.md` §3).
 //! * [`draw`] — boundary overlays and label-map visualisation for examples.
+//! * [`prng`] — a vendored seedable SplitMix64 generator backing the
+//!   synthetic dataset, so builds need no external `rand` dependency.
 //!
 //! # Example
 //!
@@ -45,6 +47,7 @@ pub mod draw;
 pub mod filter;
 pub mod gradient;
 pub mod ppm;
+pub mod prng;
 pub mod synthetic;
 
 pub use error::ImageError;

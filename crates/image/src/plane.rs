@@ -20,7 +20,6 @@ use crate::ImageError;
 /// assert_eq!(p.iter().sum::<u32>(), 7);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Plane<T> {
     width: usize,
     height: usize,

@@ -2,7 +2,6 @@ use crate::{ImageError, Plane};
 
 /// An 8-bit RGB triple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rgb {
     /// Red, 0–255.
     pub r: u8,
@@ -56,7 +55,6 @@ impl From<Rgb> for [u8; 3] {
 /// assert_eq!(b[(3, 4)], 0);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RgbImage {
     width: usize,
     height: usize,
@@ -211,11 +209,13 @@ impl RgbImage {
             g.push(px[1]);
             b.push(px[2]);
         }
-        (
-            Plane::from_vec(self.width, self.height, r).expect("plane geometry"),
-            Plane::from_vec(self.width, self.height, g).expect("plane geometry"),
-            Plane::from_vec(self.width, self.height, b).expect("plane geometry"),
-        )
+        // `data.len() == 3 * width * height` is an RgbImage construction
+        // invariant, so the per-channel vecs always fit the plane geometry.
+        let plane = |v: Vec<u8>| {
+            Plane::from_vec(self.width, self.height, v)
+                .unwrap_or_else(|_| Plane::filled(self.width, self.height, 0))
+        };
+        (plane(r), plane(g), plane(b))
     }
 }
 

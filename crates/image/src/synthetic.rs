@@ -29,8 +29,7 @@
 //! assert_eq!(a.rgb, b.rgb, "generation is fully deterministic per seed");
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::prng::SplitMix64;
 
 use crate::{Plane, Rgb, RgbImage};
 
@@ -162,13 +161,13 @@ impl SyntheticBuilder {
             self.width > 0 && self.height > 0,
             "image dimensions must be nonzero"
         );
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::seed_from_u64(self.seed);
         let (w, h) = (self.width, self.height);
         let diag = ((w * w + h * h) as f32).sqrt();
 
         // --- region sites and colors --------------------------------------
         let sites: Vec<(f32, f32)> = (0..self.regions)
-            .map(|_| (rng.gen::<f32>() * w as f32, rng.gen::<f32>() * h as f32))
+            .map(|_| (rng.next_f32() * w as f32, rng.next_f32() * h as f32))
             .collect();
         let colors: Vec<[f32; 3]> =
             sample_separated_colors(self.regions, self.color_separation, &mut rng);
@@ -185,10 +184,10 @@ impl SyntheticBuilder {
         // --- appearance -----------------------------------------------------
         let tex = ValueNoise::new(&mut rng);
         let (ix, iy) = {
-            let ang = rng.gen::<f32>() * std::f32::consts::TAU;
+            let ang = rng.next_f32() * std::f32::consts::TAU;
             (ang.cos(), ang.sin())
         };
-        let mut noise_rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut noise_rng = SplitMix64::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
         let mut img = RgbImage::from_fn(w, h, |x, y| {
             let region = ground_truth[(x, y)] as usize;
             let base = colors[region];
@@ -233,17 +232,17 @@ impl SyntheticBuilder {
 /// ```
 pub fn objects_scene(width: usize, height: usize, objects: usize, seed: u64) -> SyntheticImage {
     assert!(width > 0 && height > 0, "image dimensions must be nonzero");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let colors = sample_separated_colors(objects + 1, 50.0, &mut rng);
     // Random ellipses: center, radii, rotation.
     let ellipses: Vec<(f32, f32, f32, f32, f32)> = (0..objects)
         .map(|_| {
             (
-                rng.gen::<f32>() * width as f32,
-                rng.gen::<f32>() * height as f32,
-                (0.08 + 0.17 * rng.gen::<f32>()) * width as f32,
-                (0.08 + 0.17 * rng.gen::<f32>()) * height as f32,
-                rng.gen::<f32>() * std::f32::consts::PI,
+                rng.next_f32() * width as f32,
+                rng.next_f32() * height as f32,
+                (0.08 + 0.17 * rng.next_f32()) * width as f32,
+                (0.08 + 0.17 * rng.next_f32()) * height as f32,
+                rng.next_f32() * std::f32::consts::PI,
             )
         })
         .collect();
@@ -259,7 +258,7 @@ pub fn objects_scene(width: usize, height: usize, objects: usize, seed: u64) -> 
         }
         label
     });
-    let mut noise_rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let mut noise_rng = SplitMix64::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
     let rgb = RgbImage::from_fn(width, height, |x, y| {
         let base = colors[ground_truth[(x, y)] as usize];
         let mut px = [0u8; 3];
@@ -349,14 +348,14 @@ fn nearest_site(sites: &[(f32, f32)], x: f32, y: f32) -> usize {
 /// Rejection-samples region colors with pairwise separation so regions are
 /// visually (and metrically) distinct, like object/background splits in
 /// natural photos.
-fn sample_separated_colors(count: usize, separation: f32, rng: &mut StdRng) -> Vec<[f32; 3]> {
+fn sample_separated_colors(count: usize, separation: f32, rng: &mut SplitMix64) -> Vec<[f32; 3]> {
     let mut colors: Vec<[f32; 3]> = Vec::with_capacity(count);
     let min_dist2 = separation * separation;
     while colors.len() < count {
         let cand = [
-            30.0 + rng.gen::<f32>() * 195.0,
-            30.0 + rng.gen::<f32>() * 195.0,
-            30.0 + rng.gen::<f32>() * 195.0,
+            30.0 + rng.next_f32() * 195.0,
+            30.0 + rng.next_f32() * 195.0,
+            30.0 + rng.next_f32() * 195.0,
         ];
         let ok = colors.iter().all(|c| {
             let d: f32 = (0..3).map(|i| (c[i] - cand[i]) * (c[i] - cand[i])).sum();
@@ -364,7 +363,7 @@ fn sample_separated_colors(count: usize, separation: f32, rng: &mut StdRng) -> V
         });
         // Relax the constraint as the palette fills up so generation always
         // terminates even for large region counts.
-        if ok || colors.len() >= 24 || rng.gen::<f32>() < colors.len() as f32 / 64.0 {
+        if ok || colors.len() >= 24 || rng.next_f32() < colors.len() as f32 / 64.0 {
             colors.push(cand);
         }
     }
@@ -379,15 +378,15 @@ struct Warp {
 }
 
 impl Warp {
-    fn random(rng: &mut StdRng, amplitude: f32, w: f32, h: f32) -> Self {
+    fn random(rng: &mut SplitMix64, amplitude: f32, w: f32, h: f32) -> Self {
         let terms = (0..3)
             .map(|_| {
                 (
-                    amplitude * (0.3 + 0.7 * rng.gen::<f32>()) / 3.0,
-                    (1.0 + rng.gen::<f32>() * 2.0) * std::f32::consts::TAU / w,
-                    (1.0 + rng.gen::<f32>() * 2.0) * std::f32::consts::TAU / h,
-                    rng.gen::<f32>() * std::f32::consts::TAU,
-                    rng.gen::<f32>() * std::f32::consts::TAU,
+                    amplitude * (0.3 + 0.7 * rng.next_f32()) / 3.0,
+                    (1.0 + rng.next_f32() * 2.0) * std::f32::consts::TAU / w,
+                    (1.0 + rng.next_f32() * 2.0) * std::f32::consts::TAU / h,
+                    rng.next_f32() * std::f32::consts::TAU,
+                    rng.next_f32() * std::f32::consts::TAU,
                 )
             })
             .collect();
@@ -413,8 +412,8 @@ struct ValueNoise {
 }
 
 impl ValueNoise {
-    fn new(rng: &mut StdRng) -> Self {
-        ValueNoise { salt: rng.gen() }
+    fn new(rng: &mut SplitMix64) -> Self {
+        ValueNoise { salt: rng.next_u64() }
     }
 
     fn lattice(&self, ix: i64, iy: i64, iz: i64) -> f32 {
@@ -464,8 +463,8 @@ impl ValueNoise {
 
 /// Cheap approximately-Gaussian noise: sum of four uniforms (Irwin–Hall),
 /// centered, unit-ish variance after scaling.
-fn approx_gaussian(rng: &mut StdRng) -> f32 {
-    let s: f32 = (0..4).map(|_| rng.gen::<f32>()).sum();
+fn approx_gaussian(rng: &mut SplitMix64) -> f32 {
+    let s: f32 = (0..4).map(|_| rng.next_f32()).sum();
     (s - 2.0) * (3.0f32).sqrt() // var of sum = 4/12 = 1/3 → scale by sqrt(3)
 }
 
@@ -484,7 +483,7 @@ fn box_blur(img: &RgbImage) -> RgbImage {
         })
     };
     RgbImage::from_planes(&blur_plane(&rp), &blur_plane(&gp), &blur_plane(&bp))
-        .expect("geometry preserved by blur")
+        .unwrap_or_else(|_| img.clone())
 }
 
 #[cfg(test)]

@@ -1,0 +1,276 @@
+//! Hand-parsed `lint.toml` allowlist.
+//!
+//! The format is a deliberately tiny TOML subset — `[[allow]]` tables of
+//! `key = "string"` pairs — so no TOML crate is needed:
+//!
+//! ```toml
+//! # Comments and blank lines are fine anywhere.
+//! [[allow]]
+//! rule = "float-in-datapath"
+//! path = "crates/hw/src/cluster.rs"
+//! item = "area_mm2"        # optional: restrict to one fn/const
+//! reason = "analytical area model, not the cycle datapath"
+//! ```
+//!
+//! `rule`, `path`, and `reason` are mandatory — an allowlist entry without
+//! a written justification is itself a lint error. `item` narrows the
+//! exemption to one named function/const; without it the whole file is
+//! exempt from that rule.
+
+use std::fmt;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry suppresses (e.g. `float-in-datapath`).
+    pub rule: String,
+    /// Workspace-relative path suffix the entry applies to.
+    pub path: String,
+    /// Optional enclosing item (fn/const/static name) to narrow the scope.
+    pub item: Option<String>,
+    /// Human justification; mandatory.
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header, for error reporting.
+    pub line: u32,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// All entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// A malformed `lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line the problem was found on.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Allowlist {
+    /// Parses the allowlist source text.
+    pub fn parse(source: &str) -> Result<Self, ConfigError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        // Field accumulator for the entry currently being parsed.
+        let mut current: Option<PartialEntry> = None;
+
+        for (idx, raw) in source.lines().enumerate() {
+            let line_no = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(partial) = current.take() {
+                    entries.push(partial.finish()?);
+                }
+                current = Some(PartialEntry::new(line_no));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("unknown section `{line}`; only [[allow]] is supported"),
+                });
+            }
+            let (key, value) = parse_assignment(line, line_no)?;
+            let entry = current.as_mut().ok_or(ConfigError {
+                line: line_no,
+                message: format!("`{key}` outside an [[allow]] section"),
+            })?;
+            entry.set(key, value, line_no)?;
+        }
+        if let Some(partial) = current.take() {
+            entries.push(partial.finish()?);
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Finds the first entry suppressing (`rule`, `file`, `item`), if any.
+    ///
+    /// `file` matches on path suffix so the allowlist works regardless of
+    /// whether the linter was launched from the workspace root or above it.
+    pub fn matching(&self, rule: &str, file: &str, item: Option<&str>) -> Option<&AllowEntry> {
+        self.entries.iter().find(|e| {
+            e.rule == rule
+                && path_suffix_matches(file, &e.path)
+                && e.item.as_deref().map_or(true, |i| Some(i) == item)
+        })
+    }
+}
+
+/// True when `file` ends with `suffix` on a path-component boundary.
+fn path_suffix_matches(file: &str, suffix: &str) -> bool {
+    file == suffix
+        || file
+            .strip_suffix(suffix)
+            .is_some_and(|head| head.ends_with('/'))
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` starts a comment unless inside a quoted string.
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_assignment(line: &str, line_no: u32) -> Result<(&str, String), ConfigError> {
+    let (key, rest) = line.split_once('=').ok_or(ConfigError {
+        line: line_no,
+        message: format!("expected `key = \"value\"`, found `{line}`"),
+    })?;
+    let key = key.trim();
+    let rest = rest.trim();
+    let value = rest
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or(ConfigError {
+            line: line_no,
+            message: format!("value for `{key}` must be a double-quoted string"),
+        })?;
+    Ok((key, value.to_string()))
+}
+
+#[derive(Debug)]
+struct PartialEntry {
+    line: u32,
+    rule: Option<String>,
+    path: Option<String>,
+    item: Option<String>,
+    reason: Option<String>,
+}
+
+impl PartialEntry {
+    fn new(line: u32) -> Self {
+        PartialEntry { line, rule: None, path: None, item: None, reason: None }
+    }
+
+    fn set(&mut self, key: &str, value: String, line_no: u32) -> Result<(), ConfigError> {
+        let slot = match key {
+            "rule" => &mut self.rule,
+            "path" => &mut self.path,
+            "item" => &mut self.item,
+            "reason" => &mut self.reason,
+            other => {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("unknown key `{other}` (expected rule/path/item/reason)"),
+                })
+            }
+        };
+        if slot.is_some() {
+            return Err(ConfigError {
+                line: line_no,
+                message: format!("duplicate key `{key}` in [[allow]] entry"),
+            });
+        }
+        *slot = Some(value);
+        Ok(())
+    }
+
+    fn finish(self) -> Result<AllowEntry, ConfigError> {
+        let missing = |field: &str| ConfigError {
+            line: self.line,
+            message: format!("[[allow]] entry is missing required key `{field}`"),
+        };
+        let reason = self.reason.ok_or_else(|| missing("reason"))?;
+        if reason.trim().is_empty() {
+            return Err(ConfigError {
+                line: self.line,
+                message: "`reason` must not be empty: justify the exemption".into(),
+            });
+        }
+        Ok(AllowEntry {
+            rule: self.rule.ok_or_else(|| missing("rule"))?,
+            path: self.path.ok_or_else(|| missing("path"))?,
+            item: self.item,
+            reason,
+            line: self.line,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multiple_entries_with_comments() {
+        let src = r#"
+# global comment
+[[allow]]
+rule = "float-in-datapath"   # inline comment
+path = "crates/hw/src/cluster.rs"
+item = "area_mm2"
+reason = "analytical model"
+
+[[allow]]
+rule = "no-panic"
+path = "crates/fixed/src/lut.rs"
+reason = "documented invariant"
+"#;
+        let list = Allowlist::parse(src).expect("valid");
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.entries[0].item.as_deref(), Some("area_mm2"));
+        assert_eq!(list.entries[1].item, None);
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let src = "[[allow]]\nrule = \"no-panic\"\npath = \"x.rs\"\n";
+        let err = Allowlist::parse(src).expect_err("must fail");
+        assert!(err.message.contains("reason"));
+    }
+
+    #[test]
+    fn unknown_key_is_rejected() {
+        let src = "[[allow]]\nrule = \"r\"\npath = \"p\"\nreason = \"z\"\nfoo = \"bar\"\n";
+        assert!(Allowlist::parse(src).is_err());
+    }
+
+    #[test]
+    fn matching_respects_item_and_suffix() {
+        let src = r#"
+[[allow]]
+rule = "float-in-datapath"
+path = "crates/hw/src/cluster.rs"
+item = "area_mm2"
+reason = "model"
+"#;
+        let list = Allowlist::parse(src).expect("valid");
+        let f = "crates/hw/src/cluster.rs";
+        assert!(list.matching("float-in-datapath", f, Some("area_mm2")).is_some());
+        assert!(list.matching("float-in-datapath", f, Some("other")).is_none());
+        assert!(list.matching("no-panic", f, Some("area_mm2")).is_none());
+        // Suffix match with a leading root component.
+        assert!(list
+            .matching("float-in-datapath", "repo/crates/hw/src/cluster.rs", Some("area_mm2"))
+            .is_some());
+        // But not an accidental substring match.
+        assert!(list
+            .matching("float-in-datapath", "xcrates/hw/src/cluster.rs", Some("area_mm2"))
+            .is_none());
+    }
+
+    #[test]
+    fn assignments_outside_sections_are_rejected() {
+        assert!(Allowlist::parse("rule = \"x\"\n").is_err());
+    }
+}

@@ -1,0 +1,411 @@
+//! A hand-rolled Rust lexer — just enough fidelity for rule checking.
+//!
+//! The linter must not confuse prose with code: `f32` in a doc comment or
+//! a string literal is not a datapath violation. So the lexer understands
+//! every Rust construct that can *hide* text — line/block comments (block
+//! comments nest), string literals (plain, raw with `#` fences, byte,
+//! C-string), char literals (including lifetimes, which look like
+//! unterminated chars) — and reduces everything else to identifier,
+//! number, or punctuation tokens with line numbers.
+//!
+//! No `syn`, no external crates: the crates registry is unreachable in
+//! this environment, and the four rules only need token streams anyway.
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `f32`, `cfg`, …).
+    Ident,
+    /// Numeric literal, with `is_float` resolved during lexing.
+    Number {
+        /// True for float literals: a decimal point, an exponent, or an
+        /// explicit `f32`/`f64` suffix.
+        is_float: bool,
+    },
+    /// String / char / lifetime literal (contents ignored by rules).
+    Literal,
+    /// One punctuation character (`#`, `[`, `{`, `.`, …).
+    Punct(char),
+}
+
+/// One lexed token: kind, source text, and 1-based line number.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Lexes `source` into a token stream, discarding comments and whitespace
+/// but keeping line numbers.
+///
+/// Unterminated constructs (a string or block comment running to EOF) are
+/// tolerated: the remainder is consumed as one token so rule checking can
+/// still report earlier findings.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes the next char into `text`; no-op at EOF (callers only use
+    /// this after a successful peek, but the lexer must not panic even on
+    /// adversarial input).
+    fn bump_into(&mut self, text: &mut String) {
+        if let Some(c) = self.bump() {
+            text.push(c);
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => tokens.push(self.string_literal(line)),
+                'r' | 'b' | 'c' if self.starts_prefixed_string() => {
+                    tokens.push(self.prefixed_string(line))
+                }
+                '\'' => tokens.push(self.char_or_lifetime(line)),
+                _ if c.is_alphabetic() || c == '_' => tokens.push(self.ident(line)),
+                _ if c.is_ascii_digit() => tokens.push(self.number(line)),
+                _ => {
+                    self.bump();
+                    tokens.push(Token {
+                        kind: TokenKind::Punct(c),
+                        text: c.to_string(),
+                        line,
+                    });
+                }
+            }
+        }
+        tokens
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Consume "/*" then run to the matching "*/", honoring nesting.
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string_literal(&mut self, line: u32) -> Token {
+        let mut text = String::new();
+        self.bump_into(&mut text);
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        Token { kind: TokenKind::Literal, text, line }
+    }
+
+    /// Detects `r"`, `r#"`, `b"`, `br#"`, `c"`, … at the cursor.
+    fn starts_prefixed_string(&self) -> bool {
+        let mut i = 0;
+        // Up to two prefix letters (`br`, `cr`), then optional `#`s, then `"`.
+        while i < 2 && matches!(self.peek(i), Some('r' | 'b' | 'c')) {
+            i += 1;
+        }
+        let mut j = i;
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        i > 0 && self.peek(j) == Some('"') && (j > i || matches!(self.peek(i), Some('"')))
+    }
+
+    fn prefixed_string(&mut self, line: u32) -> Token {
+        let mut text = String::new();
+        let mut raw = false;
+        while let Some(c @ ('r' | 'b' | 'c')) = self.peek(0) {
+            raw |= c == 'r';
+            self.bump_into(&mut text);
+        }
+        let mut fences = 0usize;
+        while self.peek(0) == Some('#') {
+            fences += 1;
+            self.bump_into(&mut text);
+        }
+        if self.peek(0) == Some('"') {
+            self.bump_into(&mut text);
+        }
+        if raw {
+            // Raw string: ends at `"` followed by `fences` hashes, no escapes.
+            'outer: while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '"' {
+                    for k in 0..fences {
+                        if self.peek(k) != Some('#') {
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..fences {
+                        self.bump_into(&mut text);
+                    }
+                    break;
+                }
+            }
+        } else {
+            // Byte/C string: same escape rules as a plain string.
+            while let Some(c) = self.bump() {
+                text.push(c);
+                match c {
+                    '\\' => {
+                        if let Some(escaped) = self.bump() {
+                            text.push(escaped);
+                        }
+                    }
+                    '"' => break,
+                    _ => {}
+                }
+            }
+        }
+        Token { kind: TokenKind::Literal, text, line }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) -> Token {
+        let mut text = String::new();
+        self.bump_into(&mut text);
+        // Lifetime: 'ident not followed by a closing quote.
+        if let Some(c) = self.peek(0) {
+            if (c.is_alphabetic() || c == '_') && self.peek(1) != Some('\'') {
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        self.bump_into(&mut text);
+                    } else {
+                        break;
+                    }
+                }
+                return Token { kind: TokenKind::Literal, text, line };
+            }
+        }
+        // Char literal: consume one (possibly escaped) char and the quote.
+        if let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                }
+            }
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump_into(&mut text);
+        }
+        Token { kind: TokenKind::Literal, text, line }
+    }
+
+    fn ident(&mut self, line: u32) -> Token {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump_into(&mut text);
+            } else {
+                break;
+            }
+        }
+        Token { kind: TokenKind::Ident, text, line }
+    }
+
+    fn number(&mut self, line: u32) -> Token {
+        let mut text = String::new();
+        let mut is_float = false;
+        // Radix prefixes never produce floats.
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            self.bump_into(&mut text);
+            self.bump_into(&mut text);
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    self.bump_into(&mut text);
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.peek(0) {
+                match c {
+                    '0'..='9' | '_' => self.bump_into(&mut text),
+                    // A decimal point makes a float — but `1..x` is a range
+                    // and `1.method()` is a call, so require a digit after.
+                    '.' if matches!(self.peek(1), Some('0'..='9')) => {
+                        is_float = true;
+                        self.bump_into(&mut text);
+                    }
+                    // Trailing `1.` (float with no fraction digits): float
+                    // unless it is the start of `..`.
+                    '.' if self.peek(1) != Some('.') && !matches!(self.peek(1), Some(c) if c.is_alphabetic() || c == '_') => {
+                        is_float = true;
+                        self.bump_into(&mut text);
+                    }
+                    'e' | 'E' if matches!(self.peek(1), Some('0'..='9' | '+' | '-')) => {
+                        is_float = true;
+                        self.bump_into(&mut text);
+                        self.bump_into(&mut text);
+                    }
+                    _ => break,
+                }
+            }
+        }
+        // Suffix (u8, i64, f32, usize, …).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump_into(&mut suffix);
+            } else {
+                break;
+            }
+        }
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+        Token { kind: TokenKind::Number { is_float }, text, line }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        let toks = kinds("a // f32 comment\n/* f64 /* nested */ still */ b");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[1].1, "b");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = lex(r##"let s = "f32 inside"; let r = r#"raw f64"# ;"##);
+        assert!(toks.iter().all(|t| t.text != "f32" && t.text != "f64"));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal));
+    }
+
+    #[test]
+    fn float_literals_are_classified() {
+        for (src, float) in [
+            ("1.5", true),
+            ("1e9", true),
+            ("2.", true),
+            ("3f32", true),
+            ("4f64", true),
+            ("1..4", false),
+            ("5u32", false),
+            ("0x1f", false),
+            ("7", false),
+            ("9.max(1)", false),
+        ] {
+            let t = &lex(src)[0];
+            assert_eq!(
+                t.kind,
+                TokenKind::Number { is_float: float },
+                "literal {src:?} lexed as {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lits: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Literal).collect();
+        assert_eq!(lits.len(), 3); // 'a, 'a, 'x'
+        assert_eq!(lits[0].text, "'a");
+        assert_eq!(lits[2].text, "'x'");
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let toks = lex(r#""a\"f32\"b" x"#);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].text, "x");
+    }
+}

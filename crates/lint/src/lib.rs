@@ -1,0 +1,141 @@
+//! `sslic-lint`: a zero-dependency static-analysis pass over the S-SLIC
+//! workspace.
+//!
+//! The paper's central quantitative claim — that S-SLIC's quality/energy
+//! wins survive an 8-bit fixed-point datapath (§6.1) — is only as good as
+//! the reproduction's arithmetic discipline: one `f32` leaking into the
+//! cycle-level hardware model silently invalidates every regenerated
+//! bit-accuracy table. This crate makes that class of bug mechanically
+//! impossible by lexing every `.rs` file in the workspace (hand-rolled
+//! lexer; the crates registry is unreachable, so no `syn`) and enforcing:
+//!
+//! 1. **`float-in-datapath`** — no `f32`/`f64` tokens or float literals in
+//!    the designated datapath modules outside `#[cfg(test)]`.
+//! 2. **`no-panic`** — no `panic!`/`todo!`/`unimplemented!`/`.unwrap()`/
+//!    `.expect(` in library source.
+//! 3. **`forbid-unsafe`** — every crate root carries
+//!    `#![forbid(unsafe_code)]`.
+//! 4. **`narrowing-cast`** — no bare `as u8`/`as i8`/`as i16` in the
+//!    datapath; quantization must go through the saturating helpers.
+//!
+//! Violations are suppressible through a checked-in [`config::Allowlist`]
+//! (`lint.toml`), each entry carrying a mandatory written reason. See
+//! `DESIGN.md` §"Enforced invariants" for the policy rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use config::{AllowEntry, Allowlist};
+use rules::Finding;
+
+/// Result of linting a file tree.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Violations not covered by the allowlist, in path/line order.
+    pub findings: Vec<Finding>,
+    /// Violations suppressed by an allowlist entry.
+    pub suppressed: Vec<(Finding, AllowEntry)>,
+    /// Allowlist entries that suppressed nothing — stale, worth pruning.
+    pub unused_allows: Vec<AllowEntry>,
+    /// Number of `.rs` files checked.
+    pub files_checked: usize,
+}
+
+impl LintOutcome {
+    /// True when the tree is clean (stale allowlist entries do not fail
+    /// the build, they are reported as warnings).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints every `.rs` file under `root`, applying `allowlist`.
+///
+/// Skips `target/`, `.git/`, and `fixtures/` trees (fixtures contain
+/// deliberately seeded violations for the linter's own test suite).
+///
+/// # Errors
+///
+/// Returns [`io::Error`] if the tree cannot be walked or a file cannot be
+/// read.
+pub fn lint_workspace(root: &Path, allowlist: &Allowlist) -> io::Result<LintOutcome> {
+    let mut files = Vec::new();
+    collect_rust_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut outcome = LintOutcome::default();
+    let mut used = vec![false; allowlist.entries.len()];
+    for rel in files {
+        let source = fs::read_to_string(root.join(&rel))?;
+        outcome.files_checked += 1;
+        for finding in rules::check_file(&rel, &source) {
+            match allowlist.matching(finding.rule, &finding.file, finding.item.as_deref()) {
+                Some(entry) => {
+                    if let Some(idx) = allowlist.entries.iter().position(|e| e == entry) {
+                        used[idx] = true;
+                    }
+                    outcome.suppressed.push((finding, entry.clone()));
+                }
+                None => outcome.findings.push(finding),
+            }
+        }
+    }
+    outcome.unused_allows = allowlist
+        .entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    Ok(outcome)
+}
+
+/// Recursively collects workspace-relative `.rs` paths (forward slashes).
+fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | "fixtures" | "results") {
+                continue;
+            }
+            collect_rust_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(relative_slash_path(root, &path));
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative path with `/` separators, falling back to the full path
+/// when `path` is not under `root`.
+fn relative_slash_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_paths_use_forward_slashes() {
+        let root = Path::new("/a/b");
+        let file = Path::new("/a/b/crates/x/src/lib.rs");
+        assert_eq!(relative_slash_path(root, file), "crates/x/src/lib.rs");
+    }
+}

@@ -1,0 +1,119 @@
+//! `sslic-lint` CLI.
+//!
+//! ```text
+//! sslic-lint [--root DIR] [--config FILE] [--json PATH] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sslic_lint::config::Allowlist;
+use sslic_lint::{lint_workspace, report};
+
+struct Options {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        config: None,
+        json: None,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = args.next().map(PathBuf::from).ok_or("--root needs a DIR")?;
+            }
+            "--config" => {
+                opts.config = Some(args.next().map(PathBuf::from).ok_or("--config needs a FILE")?);
+            }
+            "--json" => {
+                opts.json = Some(args.next().map(PathBuf::from).ok_or("--json needs a PATH")?);
+            }
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "sslic-lint: static-analysis pass for the S-SLIC workspace\n\
+                     \n\
+                     USAGE: sslic-lint [--root DIR] [--config FILE] [--json PATH] [--quiet]\n\
+                     \n\
+                     --root DIR      workspace root to lint (default: current directory)\n\
+                     --config FILE   allowlist (default: <root>/lint.toml if present)\n\
+                     --json PATH     also write a machine-readable JSON report\n\
+                     --quiet         suppress per-finding diagnostics\n\
+                     \n\
+                     Exit codes: 0 clean, 1 violations, 2 error."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+
+    let config_path = match &opts.config {
+        Some(path) => Some(path.clone()),
+        None => {
+            let default = opts.root.join("lint.toml");
+            default.is_file().then_some(default)
+        }
+    };
+    let allowlist = match &config_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            Allowlist::parse(&text).map_err(|e| e.to_string())?
+        }
+        None => Allowlist::default(),
+    };
+
+    let outcome = lint_workspace(&opts.root, &allowlist)
+        .map_err(|e| format!("cannot lint {}: {e}", opts.root.display()))?;
+
+    if !opts.quiet {
+        for finding in &outcome.findings {
+            println!("{}", finding.render());
+        }
+        for entry in &outcome.unused_allows {
+            println!(
+                "warning: unused allowlist entry (lint.toml:{}): rule `{}`, path `{}`",
+                entry.line, entry.rule, entry.path
+            );
+        }
+    }
+    if let Some(path) = &opts.json {
+        std::fs::write(path, report::to_json(&outcome))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    println!(
+        "sslic-lint: {} files checked, {} violation(s), {} suppressed, {} unused allow(s)",
+        outcome.files_checked,
+        outcome.findings.len(),
+        outcome.suppressed.len(),
+        outcome.unused_allows.len()
+    );
+    Ok(outcome.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("sslic-lint: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

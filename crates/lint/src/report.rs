@@ -1,0 +1,137 @@
+//! Hand-rolled JSON report writer (the registry is unreachable, so no
+//! `serde`). Emits a stable machine-readable summary for CI archiving.
+
+use crate::config::AllowEntry;
+use crate::rules::Finding;
+use crate::LintOutcome;
+use std::fmt::Write as _;
+
+/// Renders the outcome as a pretty-printed JSON document.
+pub fn to_json(outcome: &LintOutcome) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_checked\": {},", outcome.files_checked);
+    let _ = writeln!(out, "  \"clean\": {},", outcome.is_clean());
+
+    out.push_str("  \"findings\": [");
+    push_findings(&mut out, outcome.findings.iter().map(|f| (f, None)));
+    out.push_str("],\n");
+
+    out.push_str("  \"suppressed\": [");
+    push_findings(&mut out, outcome.suppressed.iter().map(|(f, e)| (f, Some(e))));
+    out.push_str("],\n");
+
+    out.push_str("  \"unused_allows\": [");
+    for (i, entry) in outcome.unused_allows.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        push_allow(&mut out, entry);
+    }
+    if !outcome.unused_allows.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn push_findings<'a, I>(out: &mut String, findings: I)
+where
+    I: Iterator<Item = (&'a Finding, Option<&'a AllowEntry>)>,
+{
+    let mut any = false;
+    for (i, (finding, entry)) in findings.enumerate() {
+        any = true;
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {");
+        let _ = write!(out, "\"file\": {}, ", quote(&finding.file));
+        let _ = write!(out, "\"line\": {}, ", finding.line);
+        let _ = write!(out, "\"rule\": {}, ", quote(finding.rule));
+        match &finding.item {
+            Some(item) => {
+                let _ = write!(out, "\"item\": {}, ", quote(item));
+            }
+            None => out.push_str("\"item\": null, "),
+        }
+        let _ = write!(out, "\"message\": {}", quote(&finding.message));
+        if let Some(entry) = entry {
+            let _ = write!(out, ", \"allowed_by\": {}", quote(&entry.reason));
+        }
+        out.push('}');
+    }
+    if any {
+        out.push_str("\n  ");
+    }
+}
+
+fn push_allow(out: &mut String, entry: &AllowEntry) {
+    out.push_str("    {");
+    let _ = write!(out, "\"rule\": {}, ", quote(&entry.rule));
+    let _ = write!(out, "\"path\": {}, ", quote(&entry.path));
+    match &entry.item {
+        Some(item) => {
+            let _ = write!(out, "\"item\": {}, ", quote(item));
+        }
+        None => out.push_str("\"item\": null, "),
+    }
+    let _ = write!(out, "\"line\": {}", entry.line);
+    out.push('}');
+}
+
+/// JSON string literal with full escaping.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_escapes_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_outcome_serializes() {
+        let outcome = LintOutcome::default();
+        let json = to_json(&outcome);
+        assert!(json.contains("\"files_checked\": 0"));
+        assert!(json.contains("\"clean\": true"));
+        assert!(json.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn findings_include_fields() {
+        let outcome = LintOutcome {
+            findings: vec![Finding {
+                file: "a.rs".into(),
+                line: 7,
+                rule: "no-panic",
+                message: "call to `unwrap()`".into(),
+                item: Some("do_it".into()),
+            }],
+            ..LintOutcome::default()
+        };
+        let json = to_json(&outcome);
+        assert!(json.contains("\"file\": \"a.rs\""));
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\"item\": \"do_it\""));
+        assert!(json.contains("\"clean\": false"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Integration tests: every rule fires on its seeded fixture, and the
+//! clean fixture produces zero false positives. Fixtures live in
+//! `tests/fixtures/` (a directory name the workspace walker skips, so the
+//! seeded violations never leak into a real lint run).
+
+use std::fs;
+use std::path::Path;
+
+use sslic_lint::config::Allowlist;
+use sslic_lint::rules::{check_file, Finding};
+use sslic_lint::{lint_workspace, report};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn float_rule_fires_in_datapath_and_skips_tests() {
+    let src = fixture("float_in_datapath.rs");
+    let findings = check_file("crates/hw/src/cluster.rs", &src);
+    let floats: Vec<_> = findings.iter().filter(|f| f.rule == "float-in-datapath").collect();
+    assert_eq!(floats.len(), 2, "exactly the two seeded sites: {findings:?}");
+    assert_eq!(floats[0].line, 10);
+    assert_eq!(floats[0].item.as_deref(), Some("leaky_distance"));
+    assert_eq!(floats[1].line, 15);
+    assert_eq!(floats[1].item.as_deref(), Some("LEAKY_SCALE"));
+}
+
+#[test]
+fn float_rule_is_silent_outside_the_datapath() {
+    let src = fixture("float_in_datapath.rs");
+    let findings = check_file("crates/metrics/src/suite.rs", &src);
+    assert!(
+        rules_of(&findings).iter().all(|r| *r != "float-in-datapath"),
+        "metrics code may use floats: {findings:?}"
+    );
+}
+
+#[test]
+fn no_panic_rule_fires_on_each_panic_flavor() {
+    let src = fixture("unwrap_in_lib.rs");
+    let findings = check_file("crates/core/src/whatever.rs", &src);
+    let panics: Vec<_> = findings.iter().filter(|f| f.rule == "no-panic").collect();
+    assert_eq!(panics.len(), 4, "unwrap, expect, panic!, todo!: {findings:?}");
+    assert_eq!(
+        panics.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![6, 11, 16, 21]
+    );
+}
+
+#[test]
+fn no_panic_rule_ignores_tests_benches_and_bins() {
+    let src = fixture("unwrap_in_lib.rs");
+    for path in [
+        "crates/core/tests/integration.rs",
+        "crates/bench/benches/kernels.rs",
+        "crates/bench/src/bin/table3.rs",
+        "src/main.rs",
+    ] {
+        let findings = check_file(path, &src);
+        assert!(findings.is_empty(), "{path} must be exempt: {findings:?}");
+    }
+}
+
+#[test]
+fn forbid_unsafe_rule_fires_only_on_crate_roots() {
+    let src = fixture("missing_forbid.rs");
+    let findings = check_file("crates/demo/src/lib.rs", &src);
+    assert_eq!(rules_of(&findings), vec!["forbid-unsafe"]);
+    // The same content as a non-root module is fine.
+    let findings = check_file("crates/demo/src/helper.rs", &src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn narrowing_rule_fires_in_datapath_only() {
+    let src = fixture("narrowing_cast.rs");
+    let findings = check_file("crates/hw/src/pipeline.rs", &src);
+    let narrows: Vec<_> = findings.iter().filter(|f| f.rule == "narrowing-cast").collect();
+    assert_eq!(narrows.len(), 2, "{findings:?}");
+    assert_eq!(narrows[0].line, 7);
+    assert_eq!(narrows[1].line, 12);
+    // Outside the datapath the same casts are allowed.
+    let findings = check_file("crates/image/src/rgb.rs", &src);
+    assert!(rules_of(&findings).iter().all(|r| *r != "narrowing-cast"));
+}
+
+#[test]
+fn clean_fixture_has_zero_false_positives() {
+    let src = fixture("clean.rs");
+    let findings = check_file("crates/hw/src/colorunit.rs", &src);
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn quantizer_modules_may_narrow() {
+    let src = "pub fn q(v: u32) -> u8 { (v >> 4) as u8 }\n";
+    let findings = check_file("crates/fixed/src/quant.rs", src);
+    assert!(
+        rules_of(&findings).iter().all(|r| *r != "narrowing-cast"),
+        "quantizer is the sanctioned narrowing site: {findings:?}"
+    );
+}
+
+#[test]
+fn workspace_walker_applies_allowlist_and_reports_stale_entries() {
+    // Build a scratch tree: one violating file, one allow entry that
+    // covers it, one stale entry that covers nothing.
+    let dir = std::env::temp_dir().join(format!("sslic-lint-it-{}", std::process::id()));
+    let src_dir = dir.join("crates/hw/src");
+    fs::create_dir_all(&src_dir).expect("mkdir");
+    fs::write(
+        src_dir.join("cluster.rs"),
+        "pub fn leak(a: f32) -> f32 { a }\n",
+    )
+    .expect("write");
+    let allow = Allowlist::parse(
+        r#"
+[[allow]]
+rule = "float-in-datapath"
+path = "crates/hw/src/cluster.rs"
+reason = "scratch fixture"
+
+[[allow]]
+rule = "no-panic"
+path = "crates/never/src/matches.rs"
+reason = "stale on purpose"
+"#,
+    )
+    .expect("valid allowlist");
+
+    let outcome = lint_workspace(&dir, &allow).expect("walk");
+    fs::remove_dir_all(&dir).ok();
+
+    assert!(outcome.is_clean(), "{:?}", outcome.findings);
+    assert_eq!(outcome.files_checked, 1);
+    assert_eq!(outcome.suppressed.len(), 2, "two f32 tokens suppressed");
+    assert_eq!(outcome.unused_allows.len(), 1);
+    assert_eq!(outcome.unused_allows[0].path, "crates/never/src/matches.rs");
+
+    let json = report::to_json(&outcome);
+    assert!(json.contains("\"clean\": true"));
+    assert!(json.contains("\"allowed_by\": \"scratch fixture\""));
+    assert!(json.contains("crates/never/src/matches.rs"));
+}
+
+#[test]
+fn repo_lint_is_clean_under_the_checked_in_allowlist() {
+    // The real tree with the real lint.toml must be clean — this is the
+    // same contract ci.sh enforces, kept here so `cargo test` alone
+    // catches a regression.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let toml = fs::read_to_string(root.join("lint.toml")).expect("lint.toml");
+    let allow = Allowlist::parse(&toml).expect("lint.toml parses");
+    let outcome = lint_workspace(&root, &allow).expect("walk");
+    assert!(
+        outcome.is_clean(),
+        "workspace has lint violations:\n{}",
+        outcome
+            .findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        outcome.unused_allows.is_empty(),
+        "stale lint.toml entries: {:?}",
+        outcome.unused_allows
+    );
+}

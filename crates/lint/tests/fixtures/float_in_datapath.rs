@@ -1,0 +1,30 @@
+//! Fixture: a pretend datapath module with seeded float violations.
+//! Linted under the virtual path `crates/hw/src/cluster.rs`.
+#![forbid(unsafe_code)]
+
+pub fn accumulate(sum: u32, px: u16) -> u32 {
+    sum + u32::from(px)
+}
+
+// VIOLATION: f32 parameter type in the datapath (line 10).
+pub fn leaky_distance(a: f32, b: u32) -> u32 {
+    b
+}
+
+// VIOLATION: float literal in the datapath (line 15).
+pub const LEAKY_SCALE: u32 = (2.5) as u32;
+
+pub fn about_floats() -> &'static str {
+    // Mentions of f32 in comments and "f64 strings" must not fire.
+    "f64 lives here without tripping the rule"
+}
+
+#[cfg(test)]
+mod tests {
+    // Floats in tests are fine: reference models may use f64 freely.
+    #[test]
+    fn reference_model_uses_floats() {
+        let gold: f64 = 0.5;
+        assert!(gold < 1.0);
+    }
+}

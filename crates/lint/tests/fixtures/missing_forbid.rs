@@ -1,0 +1,6 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]`.
+//! Linted under the virtual path `crates/demo/src/lib.rs`.
+
+pub fn fine() -> u8 {
+    7
+}

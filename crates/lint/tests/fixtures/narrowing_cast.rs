@@ -1,0 +1,26 @@
+//! Fixture: datapath module with seeded narrowing casts.
+//! Linted under the virtual path `crates/hw/src/pipeline.rs`.
+#![forbid(unsafe_code)]
+
+// VIOLATION: bare `as u8` on line 7.
+pub fn truncate(v: u32) -> u8 {
+    v as u8
+}
+
+// VIOLATION: bare `as i16` on line 12.
+pub fn wrap(v: i32) -> i16 {
+    v as i16
+}
+
+// Widening and same-width casts are fine.
+pub fn widen(v: u8) -> u32 {
+    v as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_narrow() {
+        assert_eq!(300u32 as u8, 44);
+    }
+}

@@ -1,0 +1,40 @@
+//! Fixture: library code with seeded panic-path violations.
+#![forbid(unsafe_code)]
+
+// VIOLATION: unwrap() on line 6.
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+// VIOLATION: expect(..) on line 11.
+pub fn second(v: &[u8]) -> u8 {
+    *v.get(1).expect("needs two elements")
+}
+
+// VIOLATION: panic! on line 16.
+pub fn never(flag: bool) {
+    if flag { panic!("boom") }
+}
+
+// VIOLATION: todo! on line 21.
+pub fn later() {
+    todo!()
+}
+
+// Safe lookalikes: none of these may fire.
+pub fn safe(v: &[u8]) -> u8 {
+    v.first().copied().unwrap_or(0)
+}
+
+pub fn safe2(r: Result<u8, u8>) -> u8 {
+    r.unwrap_or_else(|e| e)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = [1u8, 2];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

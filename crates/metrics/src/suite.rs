@@ -10,7 +10,6 @@ use crate::{
 
 /// All segmentation-quality metrics for one label map.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MetricSuite {
     /// Undersegmentation error (Achanta, 5 % tolerance). Lower is better.
     pub undersegmentation_error: f64,
@@ -84,7 +83,6 @@ impl std::fmt::Display for MetricSuite {
 /// results table should report alongside the mean when the corpus is
 /// small.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MeanStd {
     /// Arithmetic mean.
     pub mean: f64,

@@ -32,6 +32,8 @@
 //! assert!(use_err >= 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use sslic_color as color;
 pub use sslic_core as core;
 pub use sslic_fixed as fixed;

@@ -139,7 +139,7 @@ fn convergence_threshold_stops_early_and_preserves_quality() {
     let p = SlicParams::builder(120)
         .compactness(30.0)
         .iterations(15)
-        .convergence_threshold(Some(0.05))
+        .convergence_threshold(Some(0.1))
         .build();
     let early = Segmenter::slic_ppa(p).segment(&img.rgb);
     assert!(early.iterations_run() < 15, "threshold should trigger");
