@@ -14,4 +14,16 @@ cargo test --workspace -q
 echo "==> sslic-lint"
 cargo run -q -p sslic-lint -- --json results/lint-report.json
 
+echo "==> fault-injection smoke (determinism: two sweeps must match byte for byte)"
+mkdir -p results
+./target/release/fault_sweep --seed 7 --small \
+    --json results/fault-sweep-a.json --md results/fault-sweep-a.md >/dev/null
+./target/release/fault_sweep --seed 7 --small \
+    --json results/fault-sweep-b.json --md results/fault-sweep-b.md >/dev/null
+cmp results/fault-sweep-a.json results/fault-sweep-b.json
+cmp results/fault-sweep-a.md results/fault-sweep-b.md
+mv results/fault-sweep-a.json results/fault-sweep.json
+mv results/fault-sweep-a.md results/fault-sweep.md
+rm -f results/fault-sweep-b.json results/fault-sweep-b.md
+
 echo "CI OK"

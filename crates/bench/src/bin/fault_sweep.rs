@@ -1,0 +1,116 @@
+//! Quality-vs-fault-rate sweep over protection schemes.
+//!
+//! Runs the deterministic fault sweep of `sslic-fault` on a synthetic
+//! scene — the engine with LUT/pixel/center corruption, the functional
+//! accelerator with scratchpad/DRAM corruption under unprotected, parity,
+//! and SECDED memories — and writes JSON and markdown reports.
+//!
+//! Usage:
+//!
+//! ```text
+//! fault_sweep [--seed N] [--small | --full] [--json PATH] [--md PATH]
+//! ```
+//!
+//! Two invocations with the same seed and scale produce byte-identical
+//! reports (CI diffs them to enforce the determinism contract).
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use sslic_fault::{run_sweep, to_json, to_markdown, SweepConfig};
+
+fn main() -> ExitCode {
+    let mut seed = 1u64;
+    let mut full = false;
+    let mut json_path: Option<String> = None;
+    let mut md_path: Option<String> = None;
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => seed = v,
+                _ => return usage("--seed needs an unsigned integer"),
+            },
+            "--small" => full = false,
+            "--full" => full = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => return usage("--json needs a path"),
+            },
+            "--md" => match args.next() {
+                Some(p) => md_path = Some(p),
+                None => return usage("--md needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let config = if full {
+        SweepConfig::full(seed)
+    } else {
+        SweepConfig::smoke(seed)
+    };
+    let points = config.rates_ppm.len() * (config.protections.len() + 1);
+    eprintln!(
+        "fault_sweep: seed {seed}, {} scale, {} points",
+        if full { "full" } else { "small" },
+        points,
+    );
+
+    let result = run_sweep(&config);
+
+    if let Some(path) = &json_path {
+        if let Err(e) = fs::write(path, to_json(&result)) {
+            eprintln!("fault_sweep: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &md_path {
+        if let Err(e) = fs::write(path, to_markdown(&result)) {
+            eprintln!("fault_sweep: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if json_path.is_none() && md_path.is_none() {
+        print!("{}", to_markdown(&result));
+    } else {
+        // A short stdout summary so CI logs show the shape of the curves.
+        for p in &result.hw {
+            println!(
+                "hw rate={} prot={} use={:.4} br={:.4} corrupted={} retries={}",
+                p.rate_ppm,
+                p.protection.name(),
+                p.undersegmentation_error,
+                p.boundary_recall,
+                p.stats.corrupted_reads(),
+                p.retry_bursts,
+            );
+        }
+        for p in &result.engine {
+            println!(
+                "engine rate={} use={:.4} br={:.4} status={} repairs={}",
+                p.rate_ppm,
+                p.undersegmentation_error,
+                p.boundary_recall,
+                if p.degraded { "degraded" } else { "ok" },
+                p.repairs,
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("fault_sweep: {err}");
+    }
+    eprintln!("usage: fault_sweep [--seed N] [--small | --full] [--json PATH] [--md PATH]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

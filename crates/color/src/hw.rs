@@ -115,6 +115,21 @@ impl HwColorConverter {
         self.config
     }
 
+    /// Reads one gamma-LUT entry (linear-light code at
+    /// [`HwColorConfig::gamma_frac_bits`] fraction bits) — used by tests and
+    /// by the fault model to compute realized corruption masks.
+    pub fn gamma_entry(&self, code: u8) -> i32 {
+        self.gamma.lookup(code)
+    }
+
+    /// XORs `xor_mask` into one gamma-LUT entry, modeling a soft error in
+    /// the conversion unit's table storage (the `ColorLut` fault site of
+    /// `sslic-fault`). Subsequent [`Self::convert`] calls read the corrupted
+    /// entry; a second call with the same mask restores it.
+    pub fn corrupt_gamma_entry(&mut self, code: u8, xor_mask: i32) {
+        self.gamma.corrupt(code, xor_mask);
+    }
+
     /// Converts one 8-bit sRGB pixel to encoded 8-bit CIELAB
     /// (see [`crate::lab8`]).
     pub fn convert(&self, px: Rgb) -> [u8; 3] {

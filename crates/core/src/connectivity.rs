@@ -312,6 +312,64 @@ mod tests {
         assert_eq!(sizes.iter().sum::<usize>(), 63);
     }
 
+    #[test]
+    fn all_one_label_map_terminates_untouched() {
+        // The degenerate output of a fully collapsed segmentation: one
+        // giant component covering the image. Must terminate (single
+        // flood fill) and change nothing whatever min_size is.
+        let mut labels = Plane::filled(64, 48, 3u32);
+        let before = labels.clone();
+        for min_size in [1usize, 16, 10_000] {
+            let absorbed = enforce_connectivity(&mut labels, min_size);
+            assert_eq!(absorbed, 0);
+            assert_eq!(labels, before);
+        }
+    }
+
+    #[test]
+    fn checkerboard_collapses_to_contiguous_regions() {
+        // Worst-case fragmentation: every pixel its own 4-connected
+        // component. The pass must terminate and leave no undersized
+        // fragment except possibly the scan-first one.
+        let mut labels = Plane::from_fn(32, 32, |x, y| ((x + y) % 2) as u32);
+        enforce_connectivity(&mut labels, 4);
+        let sizes = component_sizes(&labels);
+        assert_eq!(sizes.iter().sum::<usize>(), 32 * 32, "no pixel lost");
+        let small = sizes.iter().filter(|&&s| s < 4).count();
+        assert!(small <= 1, "sizes {sizes:?}");
+        // And the surviving partition is contiguous by construction of
+        // component_sizes; additionally each surviving label must form few
+        // components, not the original 1024.
+        assert!(sizes.len() < 1024 / 2);
+    }
+
+    #[test]
+    fn out_of_range_labels_are_absorbed_like_any_other() {
+        // Faulted label words (e.g. an undetected index-memory upset) can
+        // carry values far beyond the cluster count. Connectivity
+        // enforcement must treat them as ordinary stray fragments.
+        let mut labels = Plane::filled(16, 16, 2u32);
+        labels[(5, 5)] = u32::MAX;
+        labels[(10, 3)] = 0xDEAD_BEEF;
+        let absorbed = enforce_connectivity(&mut labels, 2);
+        assert_eq!(absorbed, 2);
+        assert!(labels.iter().all(|&l| l == 2));
+    }
+
+    #[test]
+    fn adversarial_stripe_fragments_terminate_with_min_size_respected() {
+        // One-pixel-wide vertical stripes of alternating labels: every
+        // stripe is a legal (tall, thin) component of size h. With
+        // min_size above h each stripe must be absorbed leftward in one
+        // raster pass, not loop forever.
+        let mut labels = Plane::from_fn(24, 8, |x, _| (x % 2) as u32);
+        enforce_connectivity(&mut labels, 9);
+        let sizes = component_sizes(&labels);
+        assert_eq!(sizes.iter().sum::<usize>(), 24 * 8);
+        let small = sizes.iter().filter(|&&s| s < 9).count();
+        assert!(small <= 1, "sizes {sizes:?}");
+    }
+
     proptest! {
         #[test]
         fn enforce_never_loses_pixels_and_min_size_holds(

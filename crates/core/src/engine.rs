@@ -46,6 +46,46 @@ impl Algorithm {
     }
 }
 
+/// Fault-injection hooks the engine invokes at architecturally meaningful
+/// points, modeling soft errors in the accelerator's state-holding
+/// elements. Implemented by `sslic-fault`; every method defaults to a
+/// no-op, and a no-op implementation leaves the segmentation bit-identical
+/// to the hook-free entry points.
+///
+/// The engine treats whatever the hooks leave behind as untrusted: centers
+/// are clamped back into the image box (and non-finite fields replaced),
+/// out-of-range labels are repaired to the pixel's home cluster, and the
+/// iteration budget of [`SlicParams::iterations`] bounds the run
+/// unconditionally — corrupted state can degrade quality but never hang or
+/// panic the engine. Any repair marks the result
+/// [`SegmentationStatus::Degraded`].
+pub trait StepFaults {
+    /// Called once, before the first iteration, with the quantized pixel
+    /// features (the accelerator's channel-memory contents). Only invoked
+    /// when the pixel features exist, i.e. in quantized distance mode or
+    /// through [`Segmenter::segment_lab8_with_faults`].
+    fn corrupt_lab8(&mut self, _lab8: &mut Lab8Image) {}
+
+    /// Called after the center update of step `step` with the engine's
+    /// center registers — the landing spot for bit flips in the sigma
+    /// accumulators / center register file between iterations.
+    fn corrupt_centers(&mut self, _step: u32, _clusters: &mut [Cluster]) {}
+}
+
+/// Health of a completed segmentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentationStatus {
+    /// No invariant repairs fired, and the run converged within its
+    /// iteration budget whenever a convergence threshold was configured.
+    Ok,
+    /// Corrupted state was detected and repaired (center clamp or
+    /// label-range repair), or a configured convergence threshold was
+    /// still unmet when the iteration budget ran out — the non-convergence
+    /// signature of corruption. The label map is still valid (in-range,
+    /// fully assigned).
+    Degraded,
+}
+
 /// Configured segmentation pipeline: parameters + algorithm + numeric mode.
 ///
 /// # Example
@@ -198,7 +238,7 @@ impl Segmenter {
                 (float::convert_image(img), None)
             }
         });
-        self.run(lab, lab8, breakdown, Some(warm_start.to_vec()))
+        self.run(lab, lab8, breakdown, Some(warm_start.to_vec()), None)
     }
 
     /// Segments an RGB image (runs color conversion first).
@@ -215,7 +255,61 @@ impl Segmenter {
                 (float::convert_image(img), None)
             }
         });
-        self.run(lab, lab8, breakdown, None)
+        self.run(lab, lab8, breakdown, None, None)
+    }
+
+    /// Segments an RGB image with fault-injection hooks active: `faults`
+    /// is consulted at the points documented on [`StepFaults`]. With a
+    /// no-op hook the output is bit-identical to [`Self::segment`].
+    pub fn segment_with_faults(
+        &self,
+        img: &RgbImage,
+        faults: &mut dyn StepFaults,
+    ) -> Segmentation {
+        let mut breakdown = PhaseBreakdown::new();
+        let (lab, lab8) = if self.distance_mode.is_quantized() {
+            let mut lab8 = breakdown.time(Phase::ColorConversion, || {
+                HwColorConverter::paper_default().convert_image(img)
+            });
+            faults.corrupt_lab8(&mut lab8);
+            (lab8.decode(), Some(lab8))
+        } else {
+            (
+                breakdown.time(Phase::ColorConversion, || float::convert_image(img)),
+                None,
+            )
+        };
+        self.run(lab, lab8, breakdown, None, Some(faults))
+    }
+
+    /// Segments a pre-encoded 8-bit CIELAB image — the representation the
+    /// accelerator's channel memories hold. The float working image is
+    /// decoded from the supplied codes, so assignment and sigma
+    /// accumulation see exactly this data; in quantized mode the codes are
+    /// also used directly by the distance datapath. This is the entry
+    /// point for feeding externally converted (or externally corrupted)
+    /// pixel features through the engine.
+    pub fn segment_lab8(&self, lab8: &Lab8Image) -> Segmentation {
+        let breakdown = PhaseBreakdown::new();
+        let lab = lab8.decode();
+        let l8 = self.distance_mode.is_quantized().then(|| lab8.clone());
+        self.run(lab, l8, breakdown, None, None)
+    }
+
+    /// [`Self::segment_lab8`] with fault-injection hooks active; the
+    /// supplied image is corrupted by [`StepFaults::corrupt_lab8`] before
+    /// anything reads it.
+    pub fn segment_lab8_with_faults(
+        &self,
+        lab8: &Lab8Image,
+        faults: &mut dyn StepFaults,
+    ) -> Segmentation {
+        let breakdown = PhaseBreakdown::new();
+        let mut lab8 = lab8.clone();
+        faults.corrupt_lab8(&mut lab8);
+        let lab = lab8.decode();
+        let l8 = self.distance_mode.is_quantized().then_some(lab8);
+        self.run(lab, l8, breakdown, None, Some(faults))
     }
 
     /// Segments a pre-converted CIELAB image (color conversion is charged
@@ -236,7 +330,7 @@ impl Segmenter {
             Some(l8) => l8.decode(),
             None => lab.clone(),
         };
-        self.run(lab, lab8, breakdown, None)
+        self.run(lab, lab8, breakdown, None, None)
     }
 
     fn run(
@@ -245,6 +339,7 @@ impl Segmenter {
         lab8: Option<Lab8Image>,
         mut breakdown: PhaseBreakdown,
         warm_start: Option<Vec<Cluster>>,
+        mut faults: Option<&mut dyn StepFaults>,
     ) -> Segmentation {
         let params = &self.params;
         let (w, h) = (lab.width(), lab.height());
@@ -307,6 +402,8 @@ impl Segmenter {
         };
 
         let mut iterations_run = 0u32;
+        let mut repairs = 0u64;
+        let mut last_movement = 0.0f32;
         for step in 0..params.iterations() {
             let movement = match self.algorithm {
                 Algorithm::SlicCpa => {
@@ -360,6 +457,15 @@ impl Segmenter {
             };
             engine.counters.sub_iterations += 1;
             iterations_run = step + 1;
+            last_movement = movement;
+            if let Some(f) = faults.as_deref_mut() {
+                f.corrupt_centers(step, &mut engine.clusters);
+            }
+            // Invariant guard: runs unconditionally (a no-op on clean
+            // state, preserving bit-identity of the fault-free path) so
+            // corrupted center registers cannot push subsequent window
+            // scans or seed lookups out of the image box.
+            repairs += engine.repair_centers();
             if let Some(threshold) = params.convergence_threshold() {
                 if movement <= threshold {
                     break;
@@ -368,6 +474,18 @@ impl Segmenter {
         }
 
         let mut labels = engine.labels;
+        // Invariant guard: any out-of-range label (possible only via
+        // corruption) is repaired to the pixel's home cluster, keeping the
+        // map a valid index into `clusters` for connectivity and callers.
+        let k = engine.clusters.len() as u32;
+        for y in 0..h {
+            for x in 0..w {
+                if labels[(x, y)] >= k {
+                    labels[(x, y)] = engine.grid.home_cluster_of_pixel(x, y) as u32;
+                    repairs += 1;
+                }
+            }
+        }
         if params.enforce_connectivity() {
             breakdown.time(Phase::Connectivity, || {
                 let min_size =
@@ -377,6 +495,17 @@ impl Segmenter {
         }
 
         let frozen_clusters = engine.active.iter().filter(|&&a| !a).count();
+        // Exhausting the iteration budget while a convergence threshold is
+        // configured and unmet is the non-convergence signature of
+        // corruption: the run terminated (budget bound) but did not settle.
+        let converged = params
+            .convergence_threshold()
+            .map_or(true, |t| last_movement <= t);
+        let status = if repairs > 0 || !converged {
+            SegmentationStatus::Degraded
+        } else {
+            SegmentationStatus::Ok
+        };
         Segmentation {
             labels,
             clusters: engine.clusters,
@@ -385,6 +514,8 @@ impl Segmenter {
             counters: engine.counters,
             spacing,
             frozen_clusters,
+            status,
+            repairs,
         }
     }
 }
@@ -400,6 +531,8 @@ pub struct Segmentation {
     counters: RunCounters,
     spacing: f32,
     frozen_clusters: usize,
+    status: SegmentationStatus,
+    repairs: u64,
 }
 
 impl Segmentation {
@@ -449,6 +582,19 @@ impl Segmentation {
     pub fn frozen_clusters(&self) -> usize {
         self.frozen_clusters
     }
+
+    /// Health of the run — [`SegmentationStatus::Degraded`] when invariant
+    /// repairs fired or a configured convergence threshold went unmet.
+    pub fn status(&self) -> SegmentationStatus {
+        self.status
+    }
+
+    /// Number of invariant repairs applied (center clamps / non-finite
+    /// replacements plus out-of-range label fixes). Always 0 on fault-free
+    /// runs.
+    pub fn invariant_repairs(&self) -> u64 {
+        self.repairs
+    }
 }
 
 // --- the inner engine ------------------------------------------------------
@@ -475,6 +621,53 @@ struct Engine<'a> {
 }
 
 impl Engine<'_> {
+    /// Repairs corrupted center registers in place: non-finite fields are
+    /// replaced (position from the cluster's grid seed, color with neutral
+    /// mid-range CIELAB), then every field is clamped into its
+    /// architectural range — position inside the image box, `L ∈ [0,100]`,
+    /// `a,b ∈ [-128,127]`. Returns the number of clusters changed. A no-op
+    /// (returning 0) on any clean state, so the fault-free path is
+    /// bit-identical with or without the guard.
+    fn repair_centers(&mut self) -> u64 {
+        let (w, h) = (self.grid.width(), self.grid.height());
+        let (xmax, ymax) = ((w - 1) as f32, (h - 1) as f32);
+        let mut repaired = 0u64;
+        for (k, c) in self.clusters.iter_mut().enumerate() {
+            let before = *c;
+            // f32::clamp propagates NaN, so non-finite fields must be
+            // replaced before clamping.
+            if !c.x.is_finite() || !c.y.is_finite() {
+                let (sx, sy) = self.grid.seed_position(k);
+                if !c.x.is_finite() {
+                    c.x = sx;
+                }
+                if !c.y.is_finite() {
+                    c.y = sy;
+                }
+            }
+            if !c.l.is_finite() {
+                c.l = 50.0;
+            }
+            if !c.a.is_finite() {
+                c.a = 0.0;
+            }
+            if !c.b.is_finite() {
+                c.b = 0.0;
+            }
+            c.x = c.x.clamp(0.0, xmax);
+            c.y = c.y.clamp(0.0, ymax);
+            c.l = c.l.clamp(0.0, 100.0);
+            c.a = c.a.clamp(-128.0, 127.0);
+            c.b = c.b.clamp(-128.0, 127.0);
+            // NaN != NaN, so a replaced non-finite field also registers
+            // as a change here.
+            if *c != before {
+                repaired += 1;
+            }
+        }
+        repaired
+    }
+
     /// Refreshes the quantized cluster codes from the float centers
     /// (hardware: centers are loaded into the center registers at the
     /// start of each pass).
@@ -1146,6 +1339,119 @@ mod tests {
     #[should_panic(expected = "subset count")]
     fn zero_subsets_panics() {
         let _ = Segmenter::sslic_ppa(params(60, 2), 0);
+    }
+
+    #[test]
+    fn more_superpixels_than_pixels_yields_valid_degenerate_map() {
+        // K far beyond the pixel count: the grid clamps to one seed per
+        // pixel-ish cell and the run must still produce an in-range, fully
+        // assigned label map instead of panicking.
+        let img = SyntheticImage::builder(4, 4).seed(0).regions(2).build();
+        let p = SlicParams::builder(64).iterations(2).build();
+        let out = Segmenter::slic_ppa(p).segment(&img.rgb);
+        let k = out.cluster_count() as u32;
+        assert!(k >= 1);
+        assert_eq!(out.labels().len(), 16);
+        assert!(out.labels().iter().all(|&l| l < k));
+    }
+
+    #[test]
+    fn noop_fault_hook_is_bit_identical() {
+        struct Noop;
+        impl StepFaults for Noop {}
+        let img = test_image();
+        for seg in [
+            Segmenter::slic_ppa(params(60, 4)),
+            Segmenter::sslic_ppa(params(60, 4), 2)
+                .with_distance_mode(DistanceMode::quantized(8)),
+        ] {
+            let clean = seg.segment(&img.rgb);
+            let hooked = seg.segment_with_faults(&img.rgb, &mut Noop);
+            assert_eq!(clean.labels(), hooked.labels());
+            assert_eq!(clean.clusters(), hooked.clusters());
+            assert_eq!(hooked.status(), SegmentationStatus::Ok);
+            assert_eq!(hooked.invariant_repairs(), 0);
+        }
+    }
+
+    #[test]
+    fn fault_free_runs_report_ok_status() {
+        let img = test_image();
+        let out = Segmenter::slic_ppa(params(60, 3)).segment(&img.rgb);
+        assert_eq!(out.status(), SegmentationStatus::Ok);
+        assert_eq!(out.invariant_repairs(), 0);
+    }
+
+    #[test]
+    fn corrupted_centers_are_repaired_and_flagged() {
+        struct Smash;
+        impl StepFaults for Smash {
+            fn corrupt_centers(&mut self, step: u32, clusters: &mut [Cluster]) {
+                if step == 0 {
+                    clusters[0].x = f32::NAN;
+                    clusters[1].y = 1.0e9;
+                    clusters[2].l = f32::INFINITY;
+                }
+            }
+        }
+        let img = test_image();
+        let out = Segmenter::slic_ppa(params(60, 3)).segment_with_faults(&img.rgb, &mut Smash);
+        assert_eq!(out.status(), SegmentationStatus::Degraded);
+        assert!(out.invariant_repairs() >= 3);
+        for c in out.clusters() {
+            assert!(c.x.is_finite() && (0.0..64.0).contains(&c.x));
+            assert!(c.y.is_finite() && (0.0..48.0).contains(&c.y));
+            assert!(c.l.is_finite() && (0.0..=100.0).contains(&c.l));
+        }
+        let k = out.cluster_count() as u32;
+        assert!(out.labels().iter().all(|&l| l < k));
+    }
+
+    #[test]
+    fn corrupted_lab8_still_yields_valid_labels() {
+        struct Noise;
+        impl StepFaults for Noise {
+            fn corrupt_lab8(&mut self, lab8: &mut Lab8Image) {
+                for (i, v) in lab8.l.as_mut_slice().iter_mut().enumerate() {
+                    if i % 7 == 0 {
+                        *v ^= 0x80;
+                    }
+                }
+            }
+        }
+        let img = test_image();
+        let seg = Segmenter::sslic_ppa(params(60, 4), 2)
+            .with_distance_mode(DistanceMode::quantized(8));
+        let out = seg.segment_with_faults(&img.rgb, &mut Noise);
+        let k = out.cluster_count() as u32;
+        assert!(out.labels().iter().all(|&l| l < k));
+        let clean = seg.segment(&img.rgb);
+        assert_ne!(clean.labels(), out.labels(), "corruption must be visible");
+    }
+
+    #[test]
+    fn segment_lab8_matches_segment_in_quantized_mode() {
+        let img = test_image();
+        let seg = Segmenter::slic_ppa(params(60, 3))
+            .with_distance_mode(DistanceMode::quantized(8));
+        let via_rgb = seg.segment(&img.rgb);
+        let lab8 = HwColorConverter::paper_default().convert_image(&img.rgb);
+        let via_lab8 = seg.segment_lab8(&lab8);
+        assert_eq!(via_rgb.labels(), via_lab8.labels());
+    }
+
+    #[test]
+    fn unmet_convergence_threshold_reports_degraded() {
+        let img = test_image();
+        // An impossible threshold with a tiny budget: terminates (budget
+        // bound) but flags non-convergence.
+        let p = SlicParams::builder(60)
+            .iterations(1)
+            .convergence_threshold(Some(0.0))
+            .build();
+        let out = Segmenter::slic_ppa(p).segment(&img.rgb);
+        assert_eq!(out.iterations_run(), 1);
+        assert_eq!(out.status(), SegmentationStatus::Degraded);
     }
 
     #[test]

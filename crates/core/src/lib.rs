@@ -49,6 +49,6 @@ pub mod subsample;
 pub use cluster::{init_clusters, Cluster};
 pub use connectivity::{compact_labels, component_sizes, enforce_connectivity};
 pub use distance::{dist2_float, ClusterCodes, DistanceMode, QuantKernel};
-pub use engine::{Algorithm, Segmentation, Segmenter};
+pub use engine::{Algorithm, Segmentation, SegmentationStatus, Segmenter, StepFaults};
 pub use grid::SeedGrid;
-pub use params::{SlicParams, SlicParamsBuilder};
+pub use params::{ParamError, SlicParams, SlicParamsBuilder};

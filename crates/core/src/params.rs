@@ -107,6 +107,35 @@ impl SlicParams {
     }
 }
 
+/// A parameter-validation failure from [`SlicParamsBuilder::try_build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParamError {
+    /// `superpixels == 0`: the grid needs at least one cluster.
+    ZeroSuperpixels,
+    /// Compactness `m` is zero, negative, NaN, or infinite.
+    InvalidCompactness,
+    /// `iterations == 0`: at least one center-update step is required.
+    ZeroIterations,
+    /// `min_region_divisor == 0`: the connectivity pass would divide by
+    /// zero.
+    ZeroMinRegionDivisor,
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ParamError::ZeroSuperpixels => "superpixel count must be nonzero",
+            ParamError::InvalidCompactness => "compactness must be positive and finite",
+            ParamError::ZeroIterations => "at least one iteration required",
+            ParamError::ZeroMinRegionDivisor => "min_region_divisor must be nonzero",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
 /// Builder for [`SlicParams`]; see [`SlicParams::builder`].
 #[derive(Debug, Clone)]
 pub struct SlicParamsBuilder {
@@ -165,12 +194,41 @@ impl SlicParamsBuilder {
         self
     }
 
+    /// Validates and returns the parameters, reporting the first violated
+    /// constraint as a typed [`ParamError`] instead of panicking — the
+    /// entry point for callers that receive parameters from untrusted
+    /// input (configuration files, CLI flags, fuzzers).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint among
+    /// [`ParamError::ZeroSuperpixels`], [`ParamError::InvalidCompactness`],
+    /// [`ParamError::ZeroIterations`], and
+    /// [`ParamError::ZeroMinRegionDivisor`].
+    pub fn try_build(self) -> Result<SlicParams, ParamError> {
+        let p = self.params;
+        if p.superpixels == 0 {
+            return Err(ParamError::ZeroSuperpixels);
+        }
+        if !(p.compactness > 0.0 && p.compactness.is_finite()) {
+            return Err(ParamError::InvalidCompactness);
+        }
+        if p.iterations == 0 {
+            return Err(ParamError::ZeroIterations);
+        }
+        if p.min_region_divisor == 0 {
+            return Err(ParamError::ZeroMinRegionDivisor);
+        }
+        Ok(p)
+    }
+
     /// Validates and returns the parameters.
     ///
     /// # Panics
     ///
     /// Panics if `superpixels == 0`, `compactness <= 0`, `iterations == 0`,
-    /// or `min_region_divisor == 0`.
+    /// or `min_region_divisor == 0`. Use [`Self::try_build`] to receive
+    /// these as typed errors instead.
     pub fn build(self) -> SlicParams {
         let p = self.params;
         assert!(p.superpixels > 0, "superpixel count must be nonzero");
@@ -222,6 +280,57 @@ mod tests {
         assert!(!p.perturb_seeds());
         assert!(!p.enforce_connectivity());
         assert_eq!(p.min_region_divisor(), 8);
+    }
+
+    #[test]
+    fn try_build_accepts_valid_params() {
+        let p = SlicParams::builder(900).try_build().unwrap();
+        assert_eq!(p.superpixels(), 900);
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        assert_eq!(
+            SlicParams::builder(0).try_build(),
+            Err(ParamError::ZeroSuperpixels)
+        );
+        assert_eq!(
+            SlicParams::builder(10).compactness(-1.0).try_build(),
+            Err(ParamError::InvalidCompactness)
+        );
+        assert_eq!(
+            SlicParams::builder(10).compactness(f32::NAN).try_build(),
+            Err(ParamError::InvalidCompactness)
+        );
+        assert_eq!(
+            SlicParams::builder(10).compactness(f32::INFINITY).try_build(),
+            Err(ParamError::InvalidCompactness)
+        );
+        assert_eq!(
+            SlicParams::builder(10).iterations(0).try_build(),
+            Err(ParamError::ZeroIterations)
+        );
+        assert_eq!(
+            SlicParams::builder(10).min_region_divisor(0).try_build(),
+            Err(ParamError::ZeroMinRegionDivisor)
+        );
+    }
+
+    #[test]
+    fn param_error_messages_match_build_panics() {
+        // try_build's Display strings are the contract build() panics with.
+        assert_eq!(
+            ParamError::ZeroSuperpixels.to_string(),
+            "superpixel count must be nonzero"
+        );
+        assert_eq!(
+            ParamError::InvalidCompactness.to_string(),
+            "compactness must be positive and finite"
+        );
+        assert_eq!(
+            ParamError::ZeroIterations.to_string(),
+            "at least one iteration required"
+        );
     }
 
     #[test]

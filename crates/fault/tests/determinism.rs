@@ -1,0 +1,89 @@
+//! Determinism contract: the same plan over the same workload reproduces
+//! identical corruption, labels, and byte-identical reports.
+
+use sslic_core::{DistanceMode, Segmenter, SlicParams};
+use sslic_fault::{
+    run_sweep, to_json, to_markdown, EngineFaults, FaultKind, FaultPlan, FaultSite, HwFaults,
+    SweepConfig,
+};
+use sslic_hw::accel::{Accelerator, AcceleratorConfig};
+use sslic_hw::scratchpad::Protection;
+use sslic_image::synthetic::SyntheticImage;
+
+fn noisy_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with(FaultSite::ColorLut, FaultKind::SingleBitFlip, 4_000)
+        .with(FaultSite::PixelFeature, FaultKind::SingleBitFlip, 4_000)
+        .with(FaultSite::SigmaRegister, FaultKind::SingleBitFlip, 500)
+        .with(FaultSite::ScratchpadWord, FaultKind::MultiBitFlip { bits: 2 }, 2_000)
+        .with(FaultSite::DramBurst, FaultKind::Burst { span: 8 }, 500)
+}
+
+#[test]
+fn faulted_engine_runs_replay_bit_identically() {
+    let scene = SyntheticImage::builder(48, 36).seed(5).regions(4).build();
+    let params = SlicParams::builder(40).iterations(4).build();
+    let segmenter =
+        Segmenter::sslic_ppa(params, 2).with_distance_mode(DistanceMode::quantized(8));
+    let plan = noisy_plan(99);
+    let lab8 = sslic_color::hw::HwColorConverter::paper_default().convert_image(&scene.rgb);
+
+    let run = |lab8: &sslic_color::Lab8Image| {
+        let mut faults = EngineFaults::new(&plan);
+        let seg = segmenter.segment_lab8_with_faults(lab8, &mut faults);
+        (seg.labels().as_slice().to_vec(), faults.injected_words)
+    };
+    let (labels_a, words_a) = run(&lab8);
+    let (labels_b, words_b) = run(&lab8);
+    assert_eq!(labels_a, labels_b);
+    assert_eq!(words_a, words_b);
+}
+
+#[test]
+fn faulted_hw_runs_replay_bit_identically() {
+    let scene = SyntheticImage::builder(48, 36).seed(6).regions(4).build();
+    let plan = noisy_plan(7);
+    let mut cfg = AcceleratorConfig::new(40);
+    cfg.iterations = 4;
+    let accel = Accelerator::new(cfg);
+
+    let run = || {
+        let mut faults = HwFaults::new(&plan, Protection::Parity);
+        let out = accel.process_with_faults(&scene.rgb, &mut faults);
+        (out.labels.as_slice().to_vec(), out.retry_bursts, faults.stats)
+    };
+    let (la, ra, sa) = run();
+    let (lb, rb, sb) = run();
+    assert_eq!(la, lb);
+    assert_eq!(ra, rb);
+    assert_eq!(sa, sb);
+}
+
+#[test]
+fn sweep_reports_are_byte_identical_across_runs() {
+    let mut cfg = SweepConfig::smoke(17);
+    cfg.rates_ppm = vec![0, 2_000];
+    let a = run_sweep(&cfg);
+    let b = run_sweep(&cfg);
+    assert_eq!(to_json(&a), to_json(&b));
+    assert_eq!(to_markdown(&a), to_markdown(&b));
+}
+
+#[test]
+fn different_seeds_actually_change_the_injection() {
+    let scene = SyntheticImage::builder(48, 36).seed(5).regions(4).build();
+    let lab8 = sslic_color::hw::HwColorConverter::paper_default().convert_image(&scene.rgb);
+    let corrupt = |seed: u64| {
+        let plan = FaultPlan::new(seed).with(
+            FaultSite::PixelFeature,
+            FaultKind::SingleBitFlip,
+            20_000,
+        );
+        let mut img = lab8.clone();
+        let mut faults = EngineFaults::new(&plan);
+        use sslic_core::StepFaults;
+        faults.corrupt_lab8(&mut img);
+        img.l.as_slice().to_vec()
+    };
+    assert_ne!(corrupt(1), corrupt(2));
+}

@@ -1,0 +1,112 @@
+//! Graceful-degradation stress: over a thousand seeded faulted runs
+//! through the engine and the hardware model (built with overflow checks
+//! in the test profiles) must all terminate with fully assigned, in-range
+//! label maps — no hangs, no panics, no invalid output.
+
+use sslic_core::{DistanceMode, Segmenter, SlicParams};
+use sslic_fault::{
+    corrupt_color_lut, EngineFaults, FaultKind, FaultPlan, FaultSite, HwFaults,
+};
+use sslic_hw::accel::{Accelerator, AcceleratorConfig};
+use sslic_hw::scratchpad::Protection;
+use sslic_image::synthetic::SyntheticImage;
+use sslic_image::Plane;
+
+fn assert_valid_labels(labels: &Plane<u32>, k: usize, ctx: &str) {
+    assert!(labels.len() > 0, "{ctx}: empty label map");
+    for (i, &l) in labels.as_slice().iter().enumerate() {
+        assert!(
+            (l as usize) < k,
+            "{ctx}: label {l} at {i} out of range 0..{k}"
+        );
+    }
+}
+
+/// A plan mixing every fault kind at an aggressive, seed-varied rate.
+fn stress_plan(seed: u64) -> FaultPlan {
+    let rate = 1_000 + (seed % 7) as u32 * 9_000;
+    FaultPlan::new(seed)
+        .with(FaultSite::ColorLut, FaultKind::SingleBitFlip, rate)
+        .with(FaultSite::PixelFeature, FaultKind::SingleBitFlip, rate)
+        .with(FaultSite::SigmaRegister, FaultKind::SingleBitFlip, rate / 2)
+        .with(
+            FaultSite::SigmaRegister,
+            FaultKind::StuckAt {
+                bit: (seed % 32) as u32,
+                value: seed % 2 == 0,
+            },
+            rate / 2,
+        )
+        .with(FaultSite::ScratchpadWord, FaultKind::MultiBitFlip { bits: 2 }, rate)
+        .with(FaultSite::DramBurst, FaultKind::Burst { span: 8 }, rate / 4)
+}
+
+#[test]
+fn six_hundred_faulted_engine_runs_all_terminate_valid() {
+    let scene = SyntheticImage::builder(32, 24).seed(77).regions(4).build();
+    let params = SlicParams::builder(12).iterations(3).build();
+    let segmenter =
+        Segmenter::sslic_ppa(params, 2).with_distance_mode(DistanceMode::quantized(8));
+    for seed in 0..600u64 {
+        let plan = stress_plan(seed);
+        let mut conv = sslic_color::hw::HwColorConverter::paper_default();
+        corrupt_color_lut(&plan, &mut conv);
+        let lab8 = conv.convert_image(&scene.rgb);
+        let mut faults = EngineFaults::new(&plan);
+        let seg = segmenter.segment_lab8_with_faults(&lab8, &mut faults);
+        assert_valid_labels(
+            seg.labels(),
+            seg.cluster_count(),
+            &format!("engine seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn four_hundred_faulted_hw_runs_all_terminate_valid() {
+    let scene = SyntheticImage::builder(32, 24).seed(78).regions(4).build();
+    let schemes = [
+        Protection::Unprotected,
+        Protection::Parity,
+        Protection::Secded,
+    ];
+    let mut cfg = AcceleratorConfig::new(12);
+    cfg.iterations = 3;
+    for seed in 0..400u64 {
+        let protection = schemes[(seed % 3) as usize];
+        cfg.protection = protection;
+        let accel = Accelerator::new(cfg);
+        let plan = stress_plan(seed.wrapping_add(10_000));
+        let mut faults = HwFaults::new(&plan, protection);
+        let run = accel.process_with_faults(&scene.rgb, &mut faults);
+        assert_valid_labels(
+            &run.labels,
+            run.centers.len(),
+            &format!("hw seed {seed} {}", protection.name()),
+        );
+    }
+}
+
+#[test]
+fn saturated_fault_rates_still_terminate() {
+    // Every word corrupted on every access: quality is gone, but the
+    // output must still be a valid label map.
+    let scene = SyntheticImage::builder(24, 18).seed(9).regions(3).build();
+    let plan = FaultPlan::uniform(4, FaultKind::SingleBitFlip, 1_000_000);
+    let params = SlicParams::builder(8).iterations(2).build();
+    let segmenter =
+        Segmenter::sslic_ppa(params, 2).with_distance_mode(DistanceMode::quantized(8));
+    let mut conv = sslic_color::hw::HwColorConverter::paper_default();
+    corrupt_color_lut(&plan, &mut conv);
+    let lab8 = conv.convert_image(&scene.rgb);
+    let mut faults = EngineFaults::new(&plan);
+    let seg = segmenter.segment_lab8_with_faults(&lab8, &mut faults);
+    assert_valid_labels(seg.labels(), seg.cluster_count(), "saturated engine");
+
+    let mut cfg = AcceleratorConfig::new(8);
+    cfg.iterations = 2;
+    let accel = Accelerator::new(cfg);
+    let mut hw_faults = HwFaults::new(&plan, Protection::Unprotected);
+    let run = accel.process_with_faults(&scene.rgb, &mut hw_faults);
+    assert_valid_labels(&run.labels, run.centers.len(), "saturated hw");
+}

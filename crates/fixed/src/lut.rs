@@ -45,6 +45,13 @@ impl Lut256 {
         &self.table
     }
 
+    /// XORs `xor_mask` into the entry for input `code` — the fault-injection
+    /// hook `sslic-fault` uses to model soft errors in the LUT ROM/SRAM
+    /// cells. A second call with the same mask restores the entry.
+    pub fn corrupt(&mut self, code: u8, xor_mask: i32) {
+        self.table[code as usize] ^= xor_mask;
+    }
+
     /// Number of entries (always 256).
     pub fn len(&self) -> usize {
         256

@@ -33,8 +33,13 @@ use sslic_image::{Plane, RgbImage};
 
 use crate::cluster::ClusterUnitConfig;
 use crate::dram::{DramModel, DramTraffic};
+use crate::faults::MemFaults;
 use crate::model;
-use crate::scratchpad::ScratchpadSet;
+use crate::scratchpad::{Protection, ScratchpadSet};
+
+/// DRAM burst charged per detected-error re-fetch (one minimum-size
+/// transfer of the memory model).
+const RETRY_BURST_BYTES: u64 = 32;
 
 /// Configuration of the functional accelerator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,6 +58,10 @@ pub struct AcceleratorConfig {
     pub cluster_config: ClusterUnitConfig,
     /// Width of the distance codes compared by the minimum unit.
     pub distance_bits: u8,
+    /// Word-protection scheme of the four scratchpads (area/energy
+    /// overheads fold into the PPA accounting; detection/correction
+    /// semantics apply under [`Accelerator::process_with_faults`]).
+    pub protection: Protection,
 }
 
 impl AcceleratorConfig {
@@ -68,6 +77,7 @@ impl AcceleratorConfig {
             buffer_bytes_per_channel: 4 * 1024,
             cluster_config: ClusterUnitConfig::c9_9_6(),
             distance_bits: 8,
+            protection: Protection::Unprotected,
         }
     }
 }
@@ -109,6 +119,22 @@ impl Accelerator {
     /// Processes one frame, producing the label map and the full cycle,
     /// traffic, and energy accounting.
     pub fn process(&self, img: &RgbImage) -> AcceleratorRun {
+        self.process_impl(img, None)
+    }
+
+    /// [`Self::process`] with memory fault-injection hooks active: every
+    /// channel-memory read and the final index readout route through
+    /// `faults`. Detected errors are charged one DRAM retry burst plus a
+    /// scratchpad retry; out-of-range labels surviving the readout are
+    /// repaired to the pixel's home cluster (counted in
+    /// [`AcceleratorRun::label_repairs`]). With default (no-op) hooks the
+    /// label map and centers are bit-identical to [`Self::process`]; the
+    /// accounting additionally charges the modeled index readout pass.
+    pub fn process_with_faults(&self, img: &RgbImage, faults: &mut dyn MemFaults) -> AcceleratorRun {
+        self.process_impl(img, Some(faults))
+    }
+
+    fn process_impl(&self, img: &RgbImage, mut faults: Option<&mut dyn MemFaults>) -> AcceleratorRun {
         let cfg = &self.config;
         let (w, h) = (img.width(), img.height());
         let n = (w * h) as u64;
@@ -116,7 +142,10 @@ impl Accelerator {
         let tiles = n.div_ceil(tile_pixels);
 
         let mut traffic = DramTraffic::default();
-        let mut scratchpads = ScratchpadSet::new(cfg.buffer_bytes_per_channel);
+        let mut scratchpads =
+            ScratchpadSet::new(cfg.buffer_bytes_per_channel).with_protection(cfg.protection);
+        let mut retry_bursts = 0u64;
+        let mut label_repairs = 0u64;
 
         // --- Phase 1: color conversion -----------------------------------
         let lab8 = HwColorConverter::paper_default().convert_image(img);
@@ -185,10 +214,31 @@ impl Accelerator {
                     if partition.subset_of(x, y) != subset {
                         continue;
                     }
-                    let px = lab8.pixel(x, y);
+                    let mut px = lab8.pixel(x, y);
                     scratchpads.ch1.record_reads(1);
                     scratchpads.ch2.record_reads(1);
                     scratchpads.ch3.record_reads(1);
+                    if let Some(f) = faults.as_deref_mut() {
+                        let addr = (y * w + x) as u64;
+                        let reads = [
+                            f.channel_read(step, 0, addr, px[0]),
+                            f.channel_read(step, 1, addr, px[1]),
+                            f.channel_read(step, 2, addr, px[2]),
+                        ];
+                        px = [reads[0].value, reads[1].value, reads[2].value];
+                        let pads = [
+                            &mut scratchpads.ch1,
+                            &mut scratchpads.ch2,
+                            &mut scratchpads.ch3,
+                        ];
+                        for (pad, read) in pads.into_iter().zip(&reads) {
+                            if read.retried {
+                                pad.record_retries(1);
+                                traffic.read(RETRY_BURST_BYTES);
+                                retry_bursts += 1;
+                            }
+                        }
+                    }
                     let nine = grid.nine_neighbors_of_pixel(x, y);
                     let mut best = nine[0];
                     let mut best_d = kernel.dist_code(px, (x as i32, y as i32), &centers[nine[0]]);
@@ -233,6 +283,31 @@ impl Accelerator {
             center_cycles += updated as f64 * model::CENTER_UPDATE_CYCLES_PER_SP;
         }
 
+        // Final index readout: the label map leaves through the index
+        // memory, so each word passes the fault/protection filter once
+        // more; any out-of-range survivor is repaired to the pixel's home
+        // cluster so the returned map stays a valid index into `centers`.
+        if let Some(f) = faults.as_deref_mut() {
+            let k = centers.len() as u32;
+            for y in 0..h {
+                for x in 0..w {
+                    let read = f.index_read((y * w + x) as u64, labels[(x, y)]);
+                    scratchpads.index.record_reads(2);
+                    if read.retried {
+                        scratchpads.index.record_retries(1);
+                        traffic.read(RETRY_BURST_BYTES);
+                        retry_bursts += 1;
+                    }
+                    let mut label = read.value;
+                    if label >= k {
+                        label = grid.home_cluster_of_pixel(x, y) as u32;
+                        label_repairs += 1;
+                    }
+                    labels[(x, y)] = label;
+                }
+            }
+        }
+
         let memory_cycles = self.dram.transfer_cycles(traffic.total_bytes(), traffic.bursts);
         let dram_energy_uj = self.dram.transfer_energy_uj(traffic.total_bytes());
 
@@ -246,6 +321,8 @@ impl Accelerator {
             traffic,
             scratchpads,
             dram_energy_uj,
+            retry_bursts,
+            label_repairs,
         }
     }
 }
@@ -272,6 +349,12 @@ pub struct AcceleratorRun {
     pub scratchpads: ScratchpadSet,
     /// External DRAM energy in µJ.
     pub dram_energy_uj: f64,
+    /// DRAM bursts charged to detected-error re-fetches (0 without fault
+    /// hooks).
+    pub retry_bursts: u64,
+    /// Out-of-range labels repaired at final index readout (0 without
+    /// fault hooks).
+    pub label_repairs: u64,
 }
 
 impl AcceleratorRun {
@@ -423,5 +506,87 @@ mod tests {
             iterations: 0,
             ..small_cfg()
         });
+    }
+
+    #[test]
+    fn noop_mem_faults_leave_labels_bit_identical() {
+        struct Noop;
+        impl MemFaults for Noop {}
+        let img = test_image();
+        let clean = Accelerator::new(small_cfg()).process(&img);
+        let hooked = Accelerator::new(small_cfg()).process_with_faults(&img, &mut Noop);
+        assert_eq!(clean.labels, hooked.labels);
+        assert_eq!(clean.centers, hooked.centers);
+        assert_eq!(hooked.retry_bursts, 0);
+        assert_eq!(hooked.label_repairs, 0);
+    }
+
+    #[test]
+    fn corrupting_mem_faults_stay_valid_and_charge_retries() {
+        use crate::faults::{FaultedByte, FaultedLabel};
+        struct Nasty;
+        impl MemFaults for Nasty {
+            fn channel_read(&mut self, _s: u32, _c: u8, addr: u64, value: u8) -> FaultedByte {
+                // Every 13th word: flip the MSB; every 31st: detected
+                // error, value restored after a retry.
+                if addr % 31 == 0 {
+                    FaultedByte {
+                        value,
+                        retried: true,
+                    }
+                } else if addr % 13 == 0 {
+                    FaultedByte {
+                        value: value ^ 0x80,
+                        retried: false,
+                    }
+                } else {
+                    FaultedByte {
+                        value,
+                        retried: false,
+                    }
+                }
+            }
+            fn index_read(&mut self, addr: u64, label: u32) -> FaultedLabel {
+                if addr % 97 == 0 {
+                    // Stuck-high high byte: pushes labels out of range.
+                    FaultedLabel {
+                        value: label | 0xFF00,
+                        retried: false,
+                    }
+                } else {
+                    FaultedLabel {
+                        value: label,
+                        retried: false,
+                    }
+                }
+            }
+        }
+        let img = test_image();
+        let clean = Accelerator::new(small_cfg()).process(&img);
+        let run = Accelerator::new(small_cfg()).process_with_faults(&img, &mut Nasty);
+        let k = run.centers.len() as u32;
+        assert!(run.labels.iter().all(|&l| l < k), "labels stay in range");
+        assert_ne!(clean.labels, run.labels, "corruption must be visible");
+        assert!(run.retry_bursts > 0);
+        assert!(run.label_repairs > 0);
+        assert!(run.scratchpads.total_retries() > 0);
+        assert!(
+            run.traffic.total_bytes() > clean.traffic.total_bytes(),
+            "retries cost DRAM bursts"
+        );
+    }
+
+    #[test]
+    fn protection_config_folds_into_ppa_accounting() {
+        let img = test_image();
+        let raw = Accelerator::new(small_cfg()).process(&img);
+        let ecc = Accelerator::new(AcceleratorConfig {
+            protection: Protection::Secded,
+            ..small_cfg()
+        })
+        .process(&img);
+        assert_eq!(raw.labels, ecc.labels, "protection never changes results");
+        assert!(ecc.scratchpads.area_mm2() > raw.scratchpads.area_mm2());
+        assert!(ecc.sram_energy_uj() > raw.sram_energy_uj());
     }
 }

@@ -52,6 +52,7 @@ pub mod dma;
 pub mod dram;
 pub mod dse;
 pub mod export;
+pub mod faults;
 pub mod floorplan;
 pub mod fsm;
 pub mod gpu;

@@ -7,6 +7,50 @@
 
 use crate::model;
 
+/// Per-word memory-protection scheme of a scratchpad (8 data bits per
+/// word). The check bits widen every physical word, scaling the macro's
+/// area and per-access energy; the detection/correction semantics are
+/// applied by the fault model (`sslic-fault`) on each protected read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protection {
+    /// Raw SRAM cells: every upset is silent data corruption.
+    Unprotected,
+    /// One parity bit per word: any odd number of flipped bits is detected
+    /// and the word is re-fetched from DRAM; even flip counts escape.
+    Parity,
+    /// SECDED Hamming code: single-bit errors are corrected in place,
+    /// double-bit errors are detected (re-fetch), triple and beyond escape.
+    Secded,
+}
+
+impl Protection {
+    /// Check bits appended to a `data_bits`-wide word: 0 (none), 1
+    /// (parity), or the Hamming `p` with `2^p >= data_bits + p + 1` plus
+    /// one extra double-error-detect bit (SECDED) — 5 for 8 data bits.
+    pub fn check_bits(self, data_bits: u32) -> u32 {
+        match self {
+            Protection::Unprotected => 0,
+            Protection::Parity => 1,
+            Protection::Secded => {
+                let mut p = 0u32;
+                while (1u64 << p) < data_bits as u64 + p as u64 + 1 {
+                    p += 1;
+                }
+                p + 1
+            }
+        }
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protection::Unprotected => "unprotected",
+            Protection::Parity => "parity",
+            Protection::Secded => "secded",
+        }
+    }
+}
+
 /// One synchronous SRAM with separate read and write ports, with access
 /// accounting.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,10 +59,12 @@ pub struct Scratchpad {
     capacity_bytes: usize,
     reads: u64,
     writes: u64,
+    protection: Protection,
+    retries: u64,
 }
 
 impl Scratchpad {
-    /// Creates a scratchpad of `capacity_bytes`.
+    /// Creates an unprotected scratchpad of `capacity_bytes`.
     ///
     /// # Panics
     ///
@@ -30,7 +76,37 @@ impl Scratchpad {
             capacity_bytes,
             reads: 0,
             writes: 0,
+            protection: Protection::Unprotected,
+            retries: 0,
         }
+    }
+
+    /// Selects the word-protection scheme (affects area and energy via
+    /// [`Self::physical_bits_per_word`]).
+    pub fn with_protection(mut self, protection: Protection) -> Self {
+        self.protection = protection;
+        self
+    }
+
+    /// The active protection scheme.
+    pub fn protection(&self) -> Protection {
+        self.protection
+    }
+
+    /// Physical bits stored per 8-bit data word, including check bits.
+    pub fn physical_bits_per_word(&self) -> u32 {
+        8 + self.protection.check_bits(8)
+    }
+
+    /// Records `n` detected-error retries; each is charged one extra read
+    /// plus one corrective write at full physical word width.
+    pub fn record_retries(&mut self, n: u64) {
+        self.retries += n;
+    }
+
+    /// Detected-error retries so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     /// The scratchpad's name (e.g. `"ch1"`, `"index"`).
@@ -68,15 +144,21 @@ impl Scratchpad {
         self.writes
     }
 
-    /// Access energy so far, in microjoules.
+    /// Access energy so far, in microjoules. Every access moves the full
+    /// physical word (data + check bits), and each retry adds one read
+    /// plus one corrective write.
     pub fn energy_uj(&self) -> f64 {
-        (self.reads + self.writes) as f64 * model::E_SRAM_BYTE_PJ * 1e-6
+        let accesses = self.reads + self.writes + 2 * self.retries;
+        let width_factor = self.physical_bits_per_word() as f64 / 8.0;
+        accesses as f64 * width_factor * model::E_SRAM_BYTE_PJ * 1e-6
     }
 
     /// Macro area in mm² (calibrated per-kB constant, see
-    /// [`model::SRAM_MM2_PER_KB`]).
+    /// [`model::SRAM_MM2_PER_KB`]), widened by the protection check bits.
     pub fn area_mm2(&self) -> f64 {
-        self.capacity_bytes as f64 / 1024.0 * model::SRAM_MM2_PER_KB
+        self.capacity_bytes as f64 / 1024.0
+            * model::SRAM_MM2_PER_KB
+            * (self.physical_bits_per_word() as f64 / 8.0)
     }
 }
 
@@ -127,9 +209,31 @@ impl ScratchpadSet {
     }
 
     /// SRAM leakage/active power at full utilization, in milliwatts
-    /// (paper §6.3 assumes full utilization).
+    /// (paper §6.3 assumes full utilization), including the check-bit
+    /// columns of protected members.
     pub fn power_mw(&self) -> f64 {
-        self.total_bytes() as f64 / 1024.0 * model::power::SRAM_MW_PER_KB
+        [&self.ch1, &self.ch2, &self.ch3, &self.index]
+            .iter()
+            .map(|sp| {
+                sp.capacity_bytes as f64 / 1024.0
+                    * model::power::SRAM_MW_PER_KB
+                    * (sp.physical_bits_per_word() as f64 / 8.0)
+            })
+            .sum()
+    }
+
+    /// Applies one protection scheme to all four memories.
+    pub fn with_protection(mut self, protection: Protection) -> Self {
+        self.ch1 = self.ch1.with_protection(protection);
+        self.ch2 = self.ch2.with_protection(protection);
+        self.ch3 = self.ch3.with_protection(protection);
+        self.index = self.index.with_protection(protection);
+        self
+    }
+
+    /// Total detected-error retries across the four memories.
+    pub fn total_retries(&self) -> u64 {
+        self.ch1.retries + self.ch2.retries + self.ch3.retries + self.index.retries
     }
 }
 
@@ -180,5 +284,58 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = Scratchpad::new("x", 0);
+    }
+
+    #[test]
+    fn check_bits_match_coding_theory() {
+        assert_eq!(Protection::Unprotected.check_bits(8), 0);
+        assert_eq!(Protection::Parity.check_bits(8), 1);
+        // Hamming needs p=4 for 8 data bits (2^4 = 16 ≥ 8+4+1), plus the
+        // double-error-detect bit.
+        assert_eq!(Protection::Secded.check_bits(8), 5);
+        assert_eq!(Protection::Secded.check_bits(16), 6);
+        assert_eq!(Protection::Secded.check_bits(32), 7);
+    }
+
+    #[test]
+    fn protection_widens_area_and_energy() {
+        let mk = |p| {
+            let mut sp = Scratchpad::new("x", 4096).with_protection(p);
+            sp.record_reads(100);
+            sp
+        };
+        let raw = mk(Protection::Unprotected);
+        let par = mk(Protection::Parity);
+        let ecc = mk(Protection::Secded);
+        assert_eq!(raw.physical_bits_per_word(), 8);
+        assert_eq!(par.physical_bits_per_word(), 9);
+        assert_eq!(ecc.physical_bits_per_word(), 13);
+        assert!(raw.area_mm2() < par.area_mm2());
+        assert!(par.area_mm2() < ecc.area_mm2());
+        assert!((ecc.area_mm2() / raw.area_mm2() - 13.0 / 8.0).abs() < 1e-9);
+        assert!(raw.energy_uj() < par.energy_uj());
+        assert!(par.energy_uj() < ecc.energy_uj());
+    }
+
+    #[test]
+    fn retries_charge_extra_accesses() {
+        let mut clean = Scratchpad::new("x", 1024).with_protection(Protection::Parity);
+        clean.record_reads(100);
+        let mut retried = clean.clone();
+        retried.record_retries(10);
+        assert_eq!(retried.retries(), 10);
+        // 10 retries = 20 extra accesses on 100 reads.
+        assert!((retried.energy_uj() / clean.energy_uj() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_protection_applies_to_all_members_and_scales_power() {
+        let raw = ScratchpadSet::new(1024);
+        let ecc = ScratchpadSet::new(1024).with_protection(Protection::Secded);
+        assert_eq!(ecc.ch2.protection(), Protection::Secded);
+        assert_eq!(ecc.index.protection(), Protection::Secded);
+        assert!((ecc.power_mw() / raw.power_mw() - 13.0 / 8.0).abs() < 1e-9);
+        assert!((ecc.area_mm2() / raw.area_mm2() - 13.0 / 8.0).abs() < 1e-9);
+        assert_eq!(ecc.total_retries(), 0);
     }
 }

@@ -23,6 +23,30 @@ use std::io::{Read, Write};
 
 use crate::{ImageError, Plane, RgbImage};
 
+/// Upper bound on `width × height` accepted by the readers (64 Mpixel —
+/// beyond any sensor this accelerator targets). Headers past the cap, and
+/// headers whose dimensions overflow `usize`, are rejected *before* any
+/// pixel buffer is sized, so an adversarial 4-line file cannot request a
+/// multi-gigabyte allocation.
+pub const MAX_PIXELS: usize = 1 << 26;
+
+/// Validates header dimensions and returns `w * h * samples`, the byte
+/// (or sample) count the reader may then allocate.
+fn checked_pixels(w: usize, h: usize, samples: usize) -> Result<usize, ImageError> {
+    if w == 0 || h == 0 {
+        return Err(ImageError::Format(format!("degenerate dimensions {w}x{h}")));
+    }
+    let pixels = w
+        .checked_mul(h)
+        .filter(|&p| p <= MAX_PIXELS)
+        .ok_or_else(|| {
+            ImageError::Format(format!("image {w}x{h} exceeds the {MAX_PIXELS}-pixel cap"))
+        })?;
+    pixels
+        .checked_mul(samples)
+        .ok_or_else(|| ImageError::Format(format!("image {w}x{h} overflows the sample count")))
+}
+
 /// Writes `img` as a binary PPM (`P6`) stream.
 ///
 /// A `&mut W` may be passed wherever a writer is expected.
@@ -64,9 +88,9 @@ pub fn read_ppm<R: Read>(mut r: R) -> Result<RgbImage, ImageError> {
             "only 8-bit images supported, maxval={maxval}"
         )));
     }
+    let need = checked_pixels(w, h, 3)?;
     match magic {
         "P6" => {
-            let need = w * h * 3;
             if bytes.len() < offset + need {
                 return Err(ImageError::Format(format!(
                     "truncated pixel data: need {need} bytes"
@@ -79,7 +103,7 @@ pub fn read_ppm<R: Read>(mut r: R) -> Result<RgbImage, ImageError> {
                 .map_err(|_| ImageError::Format("non-ascii P3 pixel data".into()))?;
             let data: Vec<u8> = text
                 .split_whitespace()
-                .take(w * h * 3)
+                .take(need)
                 .map(|t| {
                     t.parse::<u16>()
                         .ok()
@@ -90,11 +114,10 @@ pub fn read_ppm<R: Read>(mut r: R) -> Result<RgbImage, ImageError> {
                         })
                 })
                 .collect::<Result<_, _>>()?;
-            if data.len() < w * h * 3 {
+            if data.len() < need {
                 return Err(ImageError::Format(format!(
-                    "truncated P3 data: {} of {} samples",
+                    "truncated P3 data: {} of {need} samples",
                     data.len(),
-                    w * h * 3
                 )));
             }
             RgbImage::from_raw(w, h, data)
@@ -125,7 +148,7 @@ pub fn read_pgm<R: Read>(mut r: R) -> Result<Plane<u8>, ImageError> {
             "only 8-bit images supported, maxval={maxval}"
         )));
     }
-    let need = w * h;
+    let need = checked_pixels(w, h, 1)?;
     if bytes.len() < offset + need {
         return Err(ImageError::Format(format!(
             "truncated pixel data: need {need} bytes"
@@ -175,7 +198,7 @@ pub fn read_pgm16<R: Read>(mut r: R) -> Result<Plane<u32>, ImageError> {
             "8-bit PGM: use read_pgm instead".into(),
         ));
     }
-    let need = w * h * 2;
+    let need = checked_pixels(w, h, 2)?;
     if bytes.len() < offset + need {
         return Err(ImageError::Format(format!(
             "truncated pixel data: need {need} bytes"
@@ -332,6 +355,47 @@ mod tests {
     #[test]
     fn empty_input_is_rejected() {
         assert!(read_ppm(&[][..]).is_err());
+    }
+
+    #[test]
+    fn overflowing_dimensions_are_rejected_before_allocation() {
+        // w * h alone overflows usize; a naive `w * h * 3` would wrap (or
+        // panic under overflow checks) before any truncation test.
+        let huge = format!("P6\n{} {}\n255\n", usize::MAX / 2, 4);
+        assert!(matches!(
+            read_ppm(huge.as_bytes()),
+            Err(ImageError::Format(_))
+        ));
+        let huge16 = format!("P5\n{} {}\n65535\n", usize::MAX / 2, 4);
+        assert!(matches!(
+            read_pgm16(huge16.as_bytes()),
+            Err(ImageError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn images_past_the_pixel_cap_are_rejected() {
+        // 16384 × 8192 = 2^27 pixels: fits usize comfortably but exceeds
+        // MAX_PIXELS, so the reader refuses to size a buffer for it.
+        let big = b"P5\n16384 8192\n255\n".to_vec();
+        assert!(matches!(
+            read_pgm(big.as_slice()),
+            Err(ImageError::Format(_))
+        ));
+        let big_p3 = b"P3\n16384 8192\n255\n0 0 0\n".to_vec();
+        assert!(matches!(
+            read_ppm(big_p3.as_slice()),
+            Err(ImageError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn zero_dimensions_are_rejected() {
+        let buf = b"P6\n0 5\n255\n".to_vec();
+        assert!(matches!(
+            read_ppm(buf.as_slice()),
+            Err(ImageError::Format(_))
+        ));
     }
 
     #[test]

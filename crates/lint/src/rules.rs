@@ -33,6 +33,8 @@ pub const DATAPATH_FILES: &[&str] = &[
     "crates/hw/src/scratchpad.rs",
     "crates/fixed/src/fx.rs",
     "crates/fixed/src/isqrt.rs",
+    "crates/fault/src/plan.rs",
+    "crates/fault/src/inject.rs",
 ];
 
 /// One rule violation (pre-allowlist).

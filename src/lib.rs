@@ -14,6 +14,8 @@
 //! * [`core`] — SLIC / S-SLIC segmentation (pixel- and center-perspective).
 //! * [`metrics`] — undersegmentation error, boundary recall, ASA, …
 //! * [`hw`] — the accelerator performance/energy/area model and DSE driver.
+//! * [`fault`] — deterministic fault injection and parity/ECC protection
+//!   modeling across the datapath and the hardware model.
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@
 
 pub use sslic_color as color;
 pub use sslic_core as core;
+pub use sslic_fault as fault;
 pub use sslic_fixed as fixed;
 pub use sslic_hw as hw;
 pub use sslic_image as image;
