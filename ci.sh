@@ -8,6 +8,12 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> deprecation gate (non-wrapper code must not call segment_*)"
+# The deprecated segment_* wrappers themselves and the wrapper-equivalence
+# test carry local #[allow(deprecated)]; everything else must be migrated
+# to Segmenter::run, so a -D deprecated build of every target must pass.
+RUSTFLAGS="${RUSTFLAGS:-} -D deprecated" cargo build --workspace --all-targets --release
+
 echo "==> cargo test (workspace, overflow-checks on)"
 cargo test --workspace -q
 
@@ -25,5 +31,16 @@ cmp results/fault-sweep-a.md results/fault-sweep-b.md
 mv results/fault-sweep-a.json results/fault-sweep.json
 mv results/fault-sweep-a.md results/fault-sweep.md
 rm -f results/fault-sweep-b.json results/fault-sweep-b.md
+
+echo "==> thread-count invariance (throughput JSON at 1 vs 4 threads must match byte for byte)"
+./target/release/throughput --threads 1 --sizes 160x120,320x240 --frames 1 \
+    --superpixels 150 --iterations 3 \
+    --json results/throughput-1t.json --md results/throughput.md >/dev/null
+./target/release/throughput --threads 4 --sizes 160x120,320x240 --frames 1 \
+    --superpixels 150 --iterations 3 \
+    --json results/throughput-4t.json --md /dev/null >/dev/null
+cmp results/throughput-1t.json results/throughput-4t.json
+mv results/throughput-1t.json results/throughput.json
+rm -f results/throughput-4t.json
 
 echo "CI OK"

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use sslic_core::{Segmenter, SlicParams};
+use sslic_core::{RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic_image::synthetic::SyntheticImage;
 use sslic_metrics::{
     achievable_segmentation_accuracy, boundary_recall, compactness, undersegmentation_error,
@@ -17,7 +17,7 @@ fn bench_metrics(c: &mut Criterion) {
         .regions(9)
         .build();
     let params = SlicParams::builder(224).iterations(3).build();
-    let seg = Segmenter::slic_ppa(params).segment(&img.rgb);
+    let seg = Segmenter::slic_ppa(params).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
     let labels = seg.labels();
     let gt = &img.ground_truth;
 

@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use sslic_core::{Algorithm, DistanceMode, Segmenter, SlicParams};
+use sslic_core::{Algorithm, DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic_image::synthetic::SyntheticImage;
 
 fn bench_image() -> sslic_image::RgbImage {
@@ -36,28 +36,28 @@ fn bench_algorithms(c: &mut Criterion) {
 
     group.bench_function("slic_cpa_4it", |b| {
         let seg = Segmenter::new(params(4), Algorithm::SlicCpa);
-        b.iter(|| black_box(seg.segment(black_box(&img))))
+        b.iter(|| black_box(seg.run(SegmentRequest::Rgb(black_box(&img)), &RunOptions::new())))
     });
     group.bench_function("slic_ppa_4it", |b| {
         let seg = Segmenter::slic_ppa(params(4));
-        b.iter(|| black_box(seg.segment(black_box(&img))))
+        b.iter(|| black_box(seg.run(SegmentRequest::Rgb(black_box(&img)), &RunOptions::new())))
     });
     group.bench_function("sslic_ppa_p2_4steps", |b| {
         let seg = Segmenter::sslic_ppa(params(4), 2);
-        b.iter(|| black_box(seg.segment(black_box(&img))))
+        b.iter(|| black_box(seg.run(SegmentRequest::Rgb(black_box(&img)), &RunOptions::new())))
     });
     group.bench_function("sslic_ppa_p4_4steps", |b| {
         let seg = Segmenter::sslic_ppa(params(4), 4);
-        b.iter(|| black_box(seg.segment(black_box(&img))))
+        b.iter(|| black_box(seg.run(SegmentRequest::Rgb(black_box(&img)), &RunOptions::new())))
     });
     group.bench_function("sslic_cpa_p2_4steps", |b| {
         let seg = Segmenter::sslic_cpa(params(4), 2);
-        b.iter(|| black_box(seg.segment(black_box(&img))))
+        b.iter(|| black_box(seg.run(SegmentRequest::Rgb(black_box(&img)), &RunOptions::new())))
     });
     group.bench_function("sslic_ppa_p2_8bit_4steps", |b| {
         let seg =
             Segmenter::sslic_ppa(params(4), 2).with_distance_mode(DistanceMode::quantized(8));
-        b.iter(|| black_box(seg.segment(black_box(&img))))
+        b.iter(|| black_box(seg.run(SegmentRequest::Rgb(black_box(&img)), &RunOptions::new())))
     });
     group.finish();
 }

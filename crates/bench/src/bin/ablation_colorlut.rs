@@ -7,7 +7,7 @@
 
 use sslic_bench::{corpus, header, rule, Scale};
 use sslic_color::hw::{HwColorConfig, HwColorConverter};
-use sslic_core::{Segmenter, SlicParams};
+use sslic_core::{RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic_fixed::PwlLut;
 use sslic_metrics::undersegmentation_error;
 
@@ -90,7 +90,7 @@ fn main() {
     let float_ref: f64 = data
         .iter()
         .map(|img| {
-            let seg = Segmenter::sslic_ppa(params, 2).segment(&img.rgb);
+            let seg = Segmenter::sslic_ppa(params, 2).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
             undersegmentation_error(seg.labels(), &img.ground_truth)
         })
         .sum::<f64>()
@@ -100,7 +100,7 @@ fn main() {
         .map(|img| {
             let seg = Segmenter::sslic_ppa(params, 2)
                 .with_distance_mode(sslic_core::DistanceMode::quantized(12))
-                .segment(&img.rgb);
+                .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
             undersegmentation_error(seg.labels(), &img.ground_truth)
         })
         .sum::<f64>()

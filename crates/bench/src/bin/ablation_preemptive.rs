@@ -6,7 +6,7 @@
 //! try to cut).
 
 use sslic_bench::{corpus, header, rule, Scale};
-use sslic_core::{Segmenter, SlicParams};
+use sslic_core::{RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic_metrics::{boundary_recall, undersegmentation_error};
 use std::time::Instant;
 
@@ -47,7 +47,7 @@ fn main() {
         let (mut t, mut u, mut br, mut dc, mut frozen) = (0.0f64, 0.0, 0.0, 0u64, 0usize);
         for img in data.iter() {
             let start = Instant::now();
-            let out = seg.segment(&img.rgb);
+            let out = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
             t += start.elapsed().as_secs_f64() * 1e3;
             u += undersegmentation_error(out.labels(), &img.ground_truth);
             br += boundary_recall(out.labels(), &img.ground_truth, sslic_bench::BR_TOLERANCE);

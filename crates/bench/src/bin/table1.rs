@@ -3,7 +3,7 @@
 //! other).
 
 use sslic_bench::{corpus, header, rule, Scale};
-use sslic_core::{Segmenter, SlicParams};
+use sslic_core::{RunOptions, SegmentRequest, Segmenter, SlicParams};
 
 fn main() {
     let scale = Scale::from_env();
@@ -25,7 +25,10 @@ fn main() {
     ] {
         let mut total = sslic_core::profile::PhaseBreakdown::new();
         for img in data.iter() {
-            total.merge(Segmenter::segment(&seg, &img.rgb).breakdown());
+            total.merge(
+                seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new())
+                    .breakdown(),
+            );
         }
         rows.push((name, total.table1_percents()));
     }

@@ -1,0 +1,291 @@
+//! Thread-scaling throughput sweep of the banded parallel engine.
+//!
+//! Sweeps thread count × image size over the paper's primary
+//! configuration (S-SLIC PPA, 2 subsets, quantized 8-bit datapath) and
+//! reports frames/sec and speedup vs 1 thread as markdown. The JSON
+//! report carries only the *deterministic* outputs — the configuration
+//! and one label checksum per image size — so two invocations with
+//! different `--threads` lists produce byte-identical JSON (CI diffs a
+//! 1-thread run against a 4-thread run to enforce the engine's
+//! thread-count-invariance contract). The binary additionally verifies
+//! in-process that every swept thread count reproduces the same checksum.
+//!
+//! Usage:
+//!
+//! ```text
+//! throughput [--threads 1,2,4,8] [--sizes 320x240,1280x720]
+//!            [--frames N] [--superpixels K] [--iterations N]
+//!            [--json PATH] [--md PATH]
+//! ```
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use sslic_core::{DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
+use sslic_image::synthetic::SyntheticImage;
+use sslic_image::Plane;
+
+/// FNV-1a over the label words: stable, order-sensitive, dependency-free
+/// (the same digest the fault regression suite pins).
+fn label_checksum(labels: &Plane<u32>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &l in labels.as_slice() {
+        h ^= l as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Cell {
+    threads: usize,
+    ms_per_frame: f64,
+    fps: f64,
+    speedup: f64,
+}
+
+struct SizeResult {
+    width: usize,
+    height: usize,
+    checksum: u64,
+    cells: Vec<Cell>,
+}
+
+fn parse_threads(spec: &str) -> Option<Vec<usize>> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        match part.trim().parse::<usize>() {
+            Ok(n) if n > 0 => out.push(n),
+            _ => return None,
+        }
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+fn parse_sizes(spec: &str) -> Option<Vec<(usize, usize)>> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let (w, h) = part.trim().split_once('x')?;
+        match (w.parse::<usize>(), h.parse::<usize>()) {
+            (Ok(w), Ok(h)) if w > 0 && h > 0 => out.push((w, h)),
+            _ => return None,
+        }
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+fn main() -> ExitCode {
+    let mut threads = vec![1usize, 2, 4, 8];
+    let mut sizes = vec![(320usize, 240usize), (1280, 720)];
+    let mut frames = 3usize;
+    let mut superpixels = 600usize;
+    let mut iterations = 5u32;
+    let mut json_path: Option<String> = None;
+    let mut md_path: Option<String> = None;
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => match args.next().as_deref().and_then(parse_threads) {
+                Some(t) => threads = t,
+                None => return usage("--threads needs a comma list of positive integers"),
+            },
+            "--sizes" => match args.next().as_deref().and_then(parse_sizes) {
+                Some(s) => sizes = s,
+                None => return usage("--sizes needs a comma list like 320x240,1280x720"),
+            },
+            "--frames" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => frames = n,
+                _ => return usage("--frames needs a positive integer"),
+            },
+            "--superpixels" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => superpixels = n,
+                _ => return usage("--superpixels needs a positive integer"),
+            },
+            "--iterations" => match args.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) if n > 0 => iterations = n,
+                _ => return usage("--iterations needs a positive integer"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => return usage("--json needs a path"),
+            },
+            "--md" => match args.next() {
+                Some(p) => md_path = Some(p),
+                None => return usage("--md needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // 1 thread must always be present: it is the speedup baseline.
+    if !threads.contains(&1) {
+        threads.insert(0, 1);
+    }
+    eprintln!(
+        "throughput: {} sizes × {} thread counts, {frames} frames each, K={superpixels}, {iterations} iters",
+        sizes.len(),
+        threads.len(),
+    );
+
+    let mut results = Vec::new();
+    for &(w, h) in &sizes {
+        let img = SyntheticImage::builder(w, h).seed(2024).regions(12).build();
+        let mut cells: Vec<Cell> = Vec::new();
+        let mut checksum: Option<u64> = None;
+        for &t in &threads {
+            let params = SlicParams::builder(superpixels)
+                .iterations(iterations)
+                .threads(t)
+                .build();
+            let seg = Segmenter::sslic_ppa(params, 2)
+                .with_distance_mode(DistanceMode::quantized(8));
+            // One untimed warm-up run (page-in, allocator steady state);
+            // its labels also feed the cross-thread-count equality check.
+            let out = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+            let sum = label_checksum(out.labels());
+            match checksum {
+                None => checksum = Some(sum),
+                Some(expect) if expect != sum => {
+                    eprintln!(
+                        "throughput: {w}x{h}: labels at {t} threads diverge from baseline \
+                         ({sum:#018x} vs {expect:#018x}) — determinism contract broken"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Some(_) => {}
+            }
+            let start = Instant::now();
+            for _ in 0..frames {
+                let _ = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+            }
+            let ms_per_frame = start.elapsed().as_secs_f64() * 1e3 / frames as f64;
+            let fps = 1e3 / ms_per_frame;
+            let speedup = match cells.first() {
+                Some(base) => base.ms_per_frame / ms_per_frame,
+                None => 1.0,
+            };
+            cells.push(Cell {
+                threads: t,
+                ms_per_frame,
+                fps,
+                speedup,
+            });
+        }
+        results.push(SizeResult {
+            width: w,
+            height: h,
+            checksum: checksum.unwrap_or(0),
+            cells,
+        });
+    }
+
+    let json = to_json(superpixels, iterations, &results);
+    let md = to_markdown(superpixels, iterations, frames, &results);
+
+    if let Some(path) = &json_path {
+        if let Err(e) = fs::write(path, &json) {
+            eprintln!("throughput: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &md_path {
+        if let Err(e) = fs::write(path, &md) {
+            eprintln!("throughput: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if json_path.is_none() && md_path.is_none() {
+        print!("{md}");
+    } else {
+        for r in &results {
+            for c in &r.cells {
+                println!(
+                    "{}x{} threads={} {:.2} ms/frame {:.1} fps speedup={:.2}",
+                    r.width, r.height, c.threads, c.ms_per_frame, c.fps, c.speedup
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Deterministic report: configuration + per-size label checksums only.
+/// Timings and the swept thread list are deliberately excluded so the
+/// bytes depend on nothing but the engine's output.
+fn to_json(superpixels: usize, iterations: u32, results: &[SizeResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"config\": {{\"algorithm\": \"sslic_ppa\", \"subsets\": 2, \"distance\": \"quantized8\", \
+         \"superpixels\": {superpixels}, \"iterations\": {iterations}, \"seed\": 2024}},\n"
+    ));
+    s.push_str("  \"sizes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"width\": {}, \"height\": {}, \"label_checksum\": \"{:#018x}\"}}{}\n",
+            r.width,
+            r.height,
+            r.checksum,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn to_markdown(
+    superpixels: usize,
+    iterations: u32,
+    frames: usize,
+    results: &[SizeResult],
+) -> String {
+    let mut s = String::new();
+    s.push_str("# Thread-scaling throughput\n\n");
+    s.push_str(&format!(
+        "S-SLIC PPA (2 subsets, quantized 8-bit), K = {superpixels}, {iterations} iterations, \
+         {frames} timed frames per cell. Labels are bit-identical across all thread counts \
+         (verified per size, checksum below).\n\n"
+    ));
+    for r in results {
+        s.push_str(&format!(
+            "## {}x{} — label checksum {:#018x}\n\n",
+            r.width, r.height, r.checksum
+        ));
+        s.push_str("| threads | ms/frame | frames/sec | speedup vs 1 thread |\n");
+        s.push_str("|--------:|---------:|-----------:|--------------------:|\n");
+        for c in &r.cells {
+            s.push_str(&format!(
+                "| {} | {:.2} | {:.1} | {:.2}x |\n",
+                c.threads, c.ms_per_frame, c.fps, c.speedup
+            ));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("throughput: {err}");
+    }
+    eprintln!(
+        "usage: throughput [--threads 1,2,4,8] [--sizes 320x240,1280x720] [--frames N] \
+         [--superpixels K] [--iterations N] [--json PATH] [--md PATH]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use sslic_core::{Segmenter, SlicParams};
+use sslic_core::{RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic_image::synthetic::SyntheticDataset;
 use sslic_metrics::{boundary_recall, undersegmentation_error};
 
@@ -120,7 +120,7 @@ pub fn evaluate(segmenter: &Segmenter, corpus: &SyntheticDataset) -> CorpusResul
     let mut time_sum = 0.0;
     for img in corpus.iter() {
         let start = Instant::now();
-        let seg = segmenter.segment(&img.rgb);
+        let seg = segmenter.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         time_sum += start.elapsed().as_secs_f64() * 1e3;
         use_sum += undersegmentation_error(seg.labels(), &img.ground_truth);
         br_sum += boundary_recall(seg.labels(), &img.ground_truth, BR_TOLERANCE);

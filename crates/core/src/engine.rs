@@ -1,3 +1,5 @@
+use std::ops::Range;
+
 use sslic_color::{float, hw::HwColorConverter, Lab8Image, LabImage};
 use sslic_image::{Plane, RgbImage};
 
@@ -5,6 +7,7 @@ use crate::cluster::{init_clusters, Cluster};
 use crate::connectivity::enforce_connectivity;
 use crate::distance::{dist2_float, ClusterCodes, DistanceMode, QuantKernel};
 use crate::instrument::RunCounters;
+use crate::parallel::{band_rows, run_bands};
 use crate::profile::{Phase, PhaseBreakdown};
 use crate::subsample::{SubsetPartition, SubsetStrategy};
 use crate::{SeedGrid, SlicParams};
@@ -59,17 +62,114 @@ impl Algorithm {
 /// unconditionally — corrupted state can degrade quality but never hang or
 /// panic the engine. Any repair marks the result
 /// [`SegmentationStatus::Degraded`].
+/// Hooks take `&self`: injection is expected to be a pure function of the
+/// corrupted addresses (implementations keep any tallies in interior-
+/// mutable cells), which is what makes fault injection compose with the
+/// banded multi-threaded execution layer — the hooks run at serial
+/// synchronization points (before the first iteration, after each center
+/// reduction), never inside a worker, so the corruption they apply is
+/// independent of the thread count by construction.
 pub trait StepFaults {
     /// Called once, before the first iteration, with the quantized pixel
     /// features (the accelerator's channel-memory contents). Only invoked
     /// when the pixel features exist, i.e. in quantized distance mode or
-    /// through [`Segmenter::segment_lab8_with_faults`].
-    fn corrupt_lab8(&mut self, _lab8: &mut Lab8Image) {}
+    /// when the input is a [`SegmentRequest::Lab8`].
+    fn corrupt_lab8(&self, _lab8: &mut Lab8Image) {}
 
     /// Called after the center update of step `step` with the engine's
     /// center registers — the landing spot for bit flips in the sigma
     /// accumulators / center register file between iterations.
-    fn corrupt_centers(&mut self, _step: u32, _clusters: &mut [Cluster]) {}
+    fn corrupt_centers(&self, _step: u32, _clusters: &mut [Cluster]) {}
+}
+
+/// The input of one segmentation run: which color representation the
+/// pixels arrive in. Together with [`RunOptions`] this replaces the six
+/// legacy `segment_*` entry points — every combination of input
+/// representation × warm start × fault hooks is one [`Segmenter::run`]
+/// call.
+#[derive(Debug, Clone, Copy)]
+pub enum SegmentRequest<'a> {
+    /// An RGB image; CIELAB conversion runs first (and is charged to the
+    /// [`Phase::ColorConversion`] breakdown slot). The conversion route
+    /// follows the distance mode: the accelerator's LUT converter in
+    /// quantized mode, the exact float converter otherwise.
+    Rgb(&'a RgbImage),
+    /// A pre-converted float CIELAB image; conversion is charged zero time
+    /// (useful when sweeping algorithms over one corpus). In quantized
+    /// mode the pixels are first encoded to 8-bit codes so the datapath
+    /// sees the representation the accelerator's channel memories hold.
+    Lab(&'a LabImage),
+    /// A pre-encoded 8-bit CIELAB image — exactly the accelerator's
+    /// channel-memory contents. The float working image is decoded from
+    /// the supplied codes, so assignment and sigma accumulation see this
+    /// data bit for bit; in quantized mode the codes also feed the
+    /// distance datapath directly. This is the entry point for externally
+    /// converted (or externally corrupted) pixel features.
+    Lab8(&'a Lab8Image),
+}
+
+/// Cross-cutting options of one segmentation run. The struct is the
+/// extension point for new engine concerns: adding a field here reaches
+/// every input representation at once instead of doubling the
+/// `segment_*` surface.
+///
+/// # Example
+///
+/// ```
+/// use sslic_core::{RunOptions, SegmentRequest, Segmenter, SlicParams};
+/// use sslic_image::synthetic::SyntheticImage;
+///
+/// let img = SyntheticImage::builder(64, 48).seed(2).regions(5).build();
+/// let seg = Segmenter::sslic_ppa(SlicParams::builder(80).iterations(4).build(), 2);
+/// let cold = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+/// // Re-run warm-started from the converged centers.
+/// let warm = seg.run(
+///     SegmentRequest::Rgb(&img.rgb),
+///     &RunOptions::new().with_warm_start(cold.clusters()),
+/// );
+/// assert_eq!(warm.labels().len(), 64 * 48);
+/// ```
+#[derive(Default, Clone, Copy)]
+pub struct RunOptions<'a> {
+    /// Initial cluster centers from a previous frame, replacing grid
+    /// seeding (no gradient perturbation) — the temporal warm start a
+    /// 30 fps video pipeline uses. Must carry exactly
+    /// [`SeedGrid::cluster_count`] clusters for this image's realized
+    /// grid, since the static 9-neighborhood tiling must stay valid.
+    pub warm_start: Option<&'a [Cluster]>,
+    /// Fault-injection hooks, consulted at the points documented on
+    /// [`StepFaults`]. `None` (or hooks that never mutate anything)
+    /// leaves the output bit-identical to the hook-free run.
+    pub faults: Option<&'a dyn StepFaults>,
+}
+
+impl<'a> RunOptions<'a> {
+    /// Default options: cold start, no fault hooks.
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Warm-starts the run from `clusters` (see
+    /// [`RunOptions::warm_start`]).
+    pub fn with_warm_start(mut self, clusters: &'a [Cluster]) -> Self {
+        self.warm_start = Some(clusters);
+        self
+    }
+
+    /// Activates fault-injection hooks (see [`RunOptions::faults`]).
+    pub fn with_faults(mut self, faults: &'a dyn StepFaults) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+}
+
+impl std::fmt::Debug for RunOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("warm_start", &self.warm_start.map(<[Cluster]>::len))
+            .field("faults", &self.faults.is_some())
+            .finish()
+    }
 }
 
 /// Health of a completed segmentation.
@@ -91,7 +191,7 @@ pub enum SegmentationStatus {
 /// # Example
 ///
 /// ```
-/// use sslic_core::{DistanceMode, Segmenter, SlicParams};
+/// use sslic_core::{DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
 /// use sslic_image::synthetic::SyntheticImage;
 ///
 /// let img = SyntheticImage::builder(64, 48).seed(2).regions(5).build();
@@ -99,7 +199,7 @@ pub enum SegmentationStatus {
 /// // The accelerator's datapath: S-SLIC at 8-bit precision.
 /// let seg = Segmenter::sslic_ppa(params, 2)
 ///     .with_distance_mode(DistanceMode::quantized(8))
-///     .segment(&img.rgb);
+///     .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
 /// assert_eq!(seg.labels().len(), 64 * 48);
 /// ```
 #[derive(Debug, Clone)]
@@ -209,6 +309,82 @@ impl Segmenter {
         self.distance_mode
     }
 
+    /// Runs one segmentation: the canonical entry point. `request` names
+    /// the input representation, `options` carries the cross-cutting
+    /// concerns (warm start, fault hooks); every legacy `segment_*`
+    /// method is a thin wrapper over this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`RunOptions::warm_start`] is set and its length does not
+    /// match this image's realized grid (`SeedGrid::cluster_count`), since
+    /// the static 9-neighborhood tiling must stay valid.
+    pub fn run(&self, request: SegmentRequest<'_>, options: &RunOptions<'_>) -> Segmentation {
+        let mut breakdown = PhaseBreakdown::new();
+        let quantized = self.distance_mode.is_quantized();
+        let (lab, lab8) = match request {
+            SegmentRequest::Rgb(img) => {
+                if quantized {
+                    // The accelerator's LUT path produces the 8-bit image
+                    // the quantized datapath operates on; the f32 image is
+                    // derived from it so assignment and sigma see the same
+                    // data.
+                    let mut lab8 = breakdown.time(Phase::ColorConversion, || {
+                        HwColorConverter::paper_default().convert_image(img)
+                    });
+                    if let Some(f) = options.faults {
+                        f.corrupt_lab8(&mut lab8);
+                    }
+                    (lab8.decode(), Some(lab8))
+                } else {
+                    (
+                        breakdown.time(Phase::ColorConversion, || float::convert_image(img)),
+                        None,
+                    )
+                }
+            }
+            SegmentRequest::Lab(lab) => {
+                if quantized {
+                    let mut lab8 = breakdown.time(Phase::ColorConversion, || {
+                        Lab8Image::from_fn(lab.width(), lab.height(), |x, y| {
+                            let [l, a, b] = lab.pixel(x, y);
+                            sslic_color::lab8::encode([l as f64, a as f64, b as f64])
+                        })
+                    });
+                    if let Some(f) = options.faults {
+                        f.corrupt_lab8(&mut lab8);
+                    }
+                    (lab8.decode(), Some(lab8))
+                } else {
+                    (lab.clone(), None)
+                }
+            }
+            SegmentRequest::Lab8(lab8) => {
+                // Conversion happened outside the engine: charged zero
+                // time. The hooks corrupt the codes before anything reads
+                // them.
+                match options.faults {
+                    Some(f) => {
+                        let mut lab8 = lab8.clone();
+                        f.corrupt_lab8(&mut lab8);
+                        (lab8.decode(), quantized.then_some(lab8))
+                    }
+                    None => (lab8.decode(), quantized.then(|| lab8.clone())),
+                }
+            }
+        };
+        if let Some(warm) = options.warm_start {
+            let grid = SeedGrid::new(lab.width(), lab.height(), self.params.superpixels());
+            assert!(
+                warm.len() == grid.cluster_count(),
+                "warm start must carry {} clusters, got {}",
+                grid.cluster_count(),
+                warm.len()
+            );
+        }
+        self.execute(lab, lab8, breakdown, options.warm_start, options.faults)
+    }
+
     /// Segments an RGB image starting from another frame's converged
     /// cluster centers — the temporal warm start a 30 fps video pipeline
     /// uses (the paper's motivating deployment). Centers replace the grid
@@ -221,125 +397,71 @@ impl Segmenter {
     /// Panics if `warm_start` is empty or its length does not match this
     /// image's realized grid (`SeedGrid::cluster_count`), since the static
     /// 9-neighborhood tiling must stay valid.
+    #[deprecated(note = "use Segmenter::run")]
     pub fn segment_warm(&self, img: &RgbImage, warm_start: &[Cluster]) -> Segmentation {
-        let grid = SeedGrid::new(img.width(), img.height(), self.params.superpixels());
-        assert!(
-            warm_start.len() == grid.cluster_count(),
-            "warm start must carry {} clusters, got {}",
-            grid.cluster_count(),
-            warm_start.len()
-        );
-        let mut breakdown = PhaseBreakdown::new();
-        let (lab, lab8) = breakdown.time(Phase::ColorConversion, || {
-            if self.distance_mode.is_quantized() {
-                let lab8 = HwColorConverter::paper_default().convert_image(img);
-                (lab8.decode(), Some(lab8))
-            } else {
-                (float::convert_image(img), None)
-            }
-        });
-        self.run(lab, lab8, breakdown, Some(warm_start.to_vec()), None)
+        self.run(
+            SegmentRequest::Rgb(img),
+            &RunOptions::new().with_warm_start(warm_start),
+        )
     }
 
     /// Segments an RGB image (runs color conversion first).
+    #[deprecated(note = "use Segmenter::run")]
     pub fn segment(&self, img: &RgbImage) -> Segmentation {
-        let mut breakdown = PhaseBreakdown::new();
-        let (lab, lab8) = breakdown.time(Phase::ColorConversion, || {
-            if self.distance_mode.is_quantized() {
-                // The accelerator's LUT path produces the 8-bit image the
-                // quantized datapath operates on; the f32 image is derived
-                // from it so assignment and sigma see the same data.
-                let lab8 = HwColorConverter::paper_default().convert_image(img);
-                (lab8.decode(), Some(lab8))
-            } else {
-                (float::convert_image(img), None)
-            }
-        });
-        self.run(lab, lab8, breakdown, None, None)
+        self.run(SegmentRequest::Rgb(img), &RunOptions::new())
     }
 
     /// Segments an RGB image with fault-injection hooks active: `faults`
     /// is consulted at the points documented on [`StepFaults`]. With a
-    /// no-op hook the output is bit-identical to [`Self::segment`].
+    /// no-op hook the output is bit-identical to a hook-free run.
+    #[deprecated(note = "use Segmenter::run")]
     pub fn segment_with_faults(
         &self,
         img: &RgbImage,
         faults: &mut dyn StepFaults,
     ) -> Segmentation {
-        let mut breakdown = PhaseBreakdown::new();
-        let (lab, lab8) = if self.distance_mode.is_quantized() {
-            let mut lab8 = breakdown.time(Phase::ColorConversion, || {
-                HwColorConverter::paper_default().convert_image(img)
-            });
-            faults.corrupt_lab8(&mut lab8);
-            (lab8.decode(), Some(lab8))
-        } else {
-            (
-                breakdown.time(Phase::ColorConversion, || float::convert_image(img)),
-                None,
-            )
-        };
-        self.run(lab, lab8, breakdown, None, Some(faults))
+        self.run(
+            SegmentRequest::Rgb(img),
+            &RunOptions::new().with_faults(&*faults),
+        )
     }
 
-    /// Segments a pre-encoded 8-bit CIELAB image — the representation the
-    /// accelerator's channel memories hold. The float working image is
-    /// decoded from the supplied codes, so assignment and sigma
-    /// accumulation see exactly this data; in quantized mode the codes are
-    /// also used directly by the distance datapath. This is the entry
-    /// point for feeding externally converted (or externally corrupted)
-    /// pixel features through the engine.
+    /// Segments a pre-encoded 8-bit CIELAB image — see
+    /// [`SegmentRequest::Lab8`].
+    #[deprecated(note = "use Segmenter::run")]
     pub fn segment_lab8(&self, lab8: &Lab8Image) -> Segmentation {
-        let breakdown = PhaseBreakdown::new();
-        let lab = lab8.decode();
-        let l8 = self.distance_mode.is_quantized().then(|| lab8.clone());
-        self.run(lab, l8, breakdown, None, None)
+        self.run(SegmentRequest::Lab8(lab8), &RunOptions::new())
     }
 
-    /// [`Self::segment_lab8`] with fault-injection hooks active; the
+    /// [`SegmentRequest::Lab8`] with fault-injection hooks active; the
     /// supplied image is corrupted by [`StepFaults::corrupt_lab8`] before
     /// anything reads it.
+    #[deprecated(note = "use Segmenter::run")]
     pub fn segment_lab8_with_faults(
         &self,
         lab8: &Lab8Image,
         faults: &mut dyn StepFaults,
     ) -> Segmentation {
-        let breakdown = PhaseBreakdown::new();
-        let mut lab8 = lab8.clone();
-        faults.corrupt_lab8(&mut lab8);
-        let lab = lab8.decode();
-        let l8 = self.distance_mode.is_quantized().then_some(lab8);
-        self.run(lab, l8, breakdown, None, Some(faults))
+        self.run(
+            SegmentRequest::Lab8(lab8),
+            &RunOptions::new().with_faults(&*faults),
+        )
     }
 
     /// Segments a pre-converted CIELAB image (color conversion is charged
     /// zero time; useful when sweeping algorithms over one corpus).
+    #[deprecated(note = "use Segmenter::run")]
     pub fn segment_lab(&self, lab: &LabImage) -> Segmentation {
-        let mut breakdown = PhaseBreakdown::new();
-        let lab8 = if self.distance_mode.is_quantized() {
-            Some(breakdown.time(Phase::ColorConversion, || {
-                Lab8Image::from_fn(lab.width(), lab.height(), |x, y| {
-                    let [l, a, b] = lab.pixel(x, y);
-                    sslic_color::lab8::encode([l as f64, a as f64, b as f64])
-                })
-            }))
-        } else {
-            None
-        };
-        let lab = match &lab8 {
-            Some(l8) => l8.decode(),
-            None => lab.clone(),
-        };
-        self.run(lab, lab8, breakdown, None, None)
+        self.run(SegmentRequest::Lab(lab), &RunOptions::new())
     }
 
-    fn run(
+    fn execute(
         &self,
         lab: LabImage,
         lab8: Option<Lab8Image>,
         mut breakdown: PhaseBreakdown,
-        warm_start: Option<Vec<Cluster>>,
-        mut faults: Option<&mut dyn StepFaults>,
+        warm_start: Option<&[Cluster]>,
+        faults: Option<&dyn StepFaults>,
     ) -> Segmentation {
         let params = &self.params;
         let (w, h) = (lab.width(), lab.height());
@@ -347,8 +469,8 @@ impl Segmenter {
         let (grid, clusters, labels, partition, kernel) =
             breakdown.time(Phase::Init, || {
                 let grid = SeedGrid::new(w, h, params.superpixels());
-                let clusters = match &warm_start {
-                    Some(c) => c.clone(),
+                let clusters = match warm_start {
+                    Some(c) => c.to_vec(),
                     None => init_clusters(&lab, &grid, params.perturb_seeds()),
                 };
                 let labels = Plane::from_fn(w, h, |x, y| {
@@ -399,6 +521,7 @@ impl Segmenter {
             counters: RunCounters::default(),
             active: vec![true; cluster_count],
             preemption: self.preemption,
+            threads: params.threads().get(),
         };
 
         let mut iterations_run = 0u32;
@@ -458,7 +581,7 @@ impl Segmenter {
             engine.counters.sub_iterations += 1;
             iterations_run = step + 1;
             last_movement = movement;
-            if let Some(f) = faults.as_deref_mut() {
+            if let Some(f) = faults {
                 f.corrupt_centers(step, &mut engine.clusters);
             }
             // Invariant guard: runs unconditionally (a no-op on clean
@@ -618,6 +741,9 @@ struct Engine<'a> {
     /// preemption is disabled.
     active: Vec<bool>,
     preemption: Option<f32>,
+    /// Worker count for the banded parallel passes. Affects wall-clock
+    /// time only — never the output (see `parallel`).
+    threads: usize,
 }
 
 impl Engine<'_> {
@@ -717,13 +843,64 @@ impl Engine<'_> {
     }
 
     /// Pixel-perspective assignment pass over all pixels or one subset.
+    ///
+    /// Sharded into the fixed horizontal row bands of [`band_rows`]: each
+    /// band writes its own disjoint stripe of the label plane and returns
+    /// private counters/maxima that are merged in band order, so the
+    /// output is bit-identical for any thread count.
     fn assign_ppa(&mut self, subset: Option<(&SubsetPartition, u32)>) {
         self.refresh_codes();
         let (w, h) = (self.grid.width(), self.grid.height());
+        let preempting = self.preemption.is_some();
+        // Detach the label plane so the worker closures can share `&self`
+        // while each mutates only its own stripe.
+        let mut labels = std::mem::replace(&mut self.labels, Plane::filled(1, 1, 0));
+        let partials = {
+            let mut rest = labels.as_mut_slice();
+            let mut items = Vec::new();
+            for rows in band_rows(h) {
+                let (stripe, tail) = rest.split_at_mut(rows.len() * w);
+                rest = tail;
+                items.push((rows, stripe));
+            }
+            let this = &*self;
+            run_bands(this.threads, items, |_, (rows, stripe)| {
+                this.assign_ppa_band(subset, rows, stripe, preempting)
+            })
+        };
+        self.labels = labels;
         let mut assigned = 0u64;
         let mut new_max = vec![0f32; self.clusters.len()];
-        let preempting = self.preemption.is_some();
-        for y in 0..h {
+        for (band_assigned, band_max) in partials {
+            assigned += band_assigned;
+            for (cur, seen) in new_max.iter_mut().zip(band_max) {
+                *cur = cur.max(seen);
+            }
+        }
+        self.merge_adaptive_maxima(&new_max);
+        self.counters.pixel_color_reads += assigned;
+        self.counters.distance_calcs += assigned * 9;
+        self.counters.label_writes += assigned;
+        // One 9-center register load per tile processed (paper §4.3); under
+        // interleaved subsets every tile is touched each sub-iteration.
+        self.counters.center_reads += self.grid.cluster_count() as u64 * 9;
+    }
+
+    /// One band of PPA assignment over rows `rows`, writing into that
+    /// band's label stripe (row-major, `rows.len() × width`). Returns the
+    /// pixels assigned and the per-cluster color-distance maxima observed
+    /// (SLICO state).
+    fn assign_ppa_band(
+        &self,
+        subset: Option<(&SubsetPartition, u32)>,
+        rows: Range<usize>,
+        stripe: &mut [u32],
+        preempting: bool,
+    ) -> (u64, Vec<f32>) {
+        let w = self.grid.width();
+        let mut assigned = 0u64;
+        let mut new_max = vec![0f32; self.clusters.len()];
+        for y in rows.clone() {
             for x in 0..w {
                 if let Some((part, s)) = subset {
                     if part.subset_of(x, y) != s {
@@ -745,7 +922,7 @@ impl Engine<'_> {
                         best = k;
                     }
                 }
-                self.labels[(x, y)] = best as u32;
+                stripe[(y - rows.start) * w + x] = best as u32;
                 if self.max_dc2.is_some() {
                     let (dc2, _) = self.dc2_ds2(x, y, best);
                     new_max[best] = new_max[best].max(dc2);
@@ -753,13 +930,7 @@ impl Engine<'_> {
                 assigned += 1;
             }
         }
-        self.merge_adaptive_maxima(&new_max);
-        self.counters.pixel_color_reads += assigned;
-        self.counters.distance_calcs += assigned * 9;
-        self.counters.label_writes += assigned;
-        // One 9-center register load per tile processed (paper §4.3); under
-        // interleaved subsets every tile is touched each sub-iteration.
-        self.counters.center_reads += self.grid.cluster_count() as u64 * 9;
+        (assigned, new_max)
     }
 
     /// Center-perspective assignment pass over all clusters or the subset
@@ -840,30 +1011,51 @@ impl Engine<'_> {
         cluster_subset: Option<(u32, u32)>,
     ) -> f32 {
         let (w, h) = (self.grid.width(), self.grid.height());
-        let mut sigma = vec![[0f64; 6]; self.clusters.len()];
+        let cluster_count = self.clusters.len();
+        // Banded sigma accumulation: every band sums its own rows into a
+        // private register file; partials are folded in ascending band
+        // order below. The f64 sums therefore always group the same way —
+        // per band, row-major within a band — no matter how many workers
+        // executed the bands, which is what makes the result bit-identical
+        // across thread counts despite float non-associativity.
+        let this = &*self;
+        let partials = run_bands(this.threads, band_rows(h), |_, rows| {
+            let mut sigma = vec![[0f64; 6]; cluster_count];
+            let mut pixels_seen = 0u64;
+            for y in rows {
+                for x in 0..w {
+                    if let Some((part, s)) = pixel_subset {
+                        if part.subset_of(x, y) != s {
+                            continue;
+                        }
+                    }
+                    let k = this.labels[(x, y)] as usize;
+                    if let Some((p, s)) = cluster_subset {
+                        if k as u32 % p != s {
+                            continue;
+                        }
+                    }
+                    let [l, a, b] = this.lab.pixel(x, y);
+                    let acc = &mut sigma[k];
+                    acc[0] += l as f64;
+                    acc[1] += a as f64;
+                    acc[2] += b as f64;
+                    acc[3] += x as f64;
+                    acc[4] += y as f64;
+                    acc[5] += 1.0;
+                    pixels_seen += 1;
+                }
+            }
+            (sigma, pixels_seen)
+        });
+        let mut sigma = vec![[0f64; 6]; cluster_count];
         let mut pixels_seen = 0u64;
-        for y in 0..h {
-            for x in 0..w {
-                if let Some((part, s)) = pixel_subset {
-                    if part.subset_of(x, y) != s {
-                        continue;
-                    }
+        for (band_sigma, band_seen) in partials {
+            pixels_seen += band_seen;
+            for (acc, part) in sigma.iter_mut().zip(band_sigma) {
+                for (a, p) in acc.iter_mut().zip(part) {
+                    *a += p;
                 }
-                let k = self.labels[(x, y)] as usize;
-                if let Some((p, s)) = cluster_subset {
-                    if k as u32 % p != s {
-                        continue;
-                    }
-                }
-                let [l, a, b] = self.lab.pixel(x, y);
-                let acc = &mut sigma[k];
-                acc[0] += l as f64;
-                acc[1] += a as f64;
-                acc[2] += b as f64;
-                acc[3] += x as f64;
-                acc[4] += y as f64;
-                acc[5] += 1.0;
-                pixels_seen += 1;
             }
         }
         self.counters.label_reads += pixels_seen;
@@ -933,7 +1125,7 @@ mod tests {
             Segmenter::sslic_ppa(params(60, 4), 2),
             Segmenter::sslic_cpa(params(60, 4), 2),
         ] {
-            let out = seg.segment(&img.rgb);
+            let out = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
             assert_eq!(out.labels().width(), 64);
             assert_eq!(out.labels().height(), 48);
             let k = out.cluster_count() as u32;
@@ -946,15 +1138,15 @@ mod tests {
     fn segmentation_is_deterministic() {
         let img = test_image();
         let seg = Segmenter::sslic_ppa(params(60, 4), 2);
-        let a = seg.segment(&img.rgb);
-        let b = seg.segment(&img.rgb);
+        let a = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+        let b = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         assert_eq!(a.labels(), b.labels());
     }
 
     #[test]
     fn clusters_move_toward_member_centroids() {
         let img = test_image();
-        let out = Segmenter::slic_ppa(params(60, 5)).segment(&img.rgb);
+        let out = Segmenter::slic_ppa(params(60, 5)).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         // After convergence iterations, cluster centroids should be inside
         // the image and labels should form compact regions near centers.
         for c in out.clusters() {
@@ -970,7 +1162,7 @@ mod tests {
             .iterations(3)
             .enforce_connectivity(false)
             .build();
-        let out = Segmenter::slic_ppa(p).segment(&img.rgb);
+        let out = Segmenter::slic_ppa(p).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let grid = SeedGrid::new(64, 48, 60);
         for y in 0..48 {
             for x in 0..64 {
@@ -990,14 +1182,14 @@ mod tests {
             .iterations(50)
             .convergence_threshold(Some(1000.0)) // absurdly lax: exit after 1 step
             .build();
-        let out = Segmenter::slic_ppa(p).segment(&img.rgb);
+        let out = Segmenter::slic_ppa(p).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         assert_eq!(out.iterations_run(), 1);
     }
 
     #[test]
     fn sslic_counts_sub_iterations() {
         let img = test_image();
-        let out = Segmenter::sslic_ppa(params(60, 6), 3).segment(&img.rgb);
+        let out = Segmenter::sslic_ppa(params(60, 6), 3).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         assert_eq!(out.counters().sub_iterations, 6);
     }
 
@@ -1005,8 +1197,8 @@ mod tests {
     fn sslic_subset_pass_touches_fraction_of_pixels() {
         let img = test_image();
         let n = (64 * 48) as u64;
-        let full = Segmenter::slic_ppa(params(60, 2)).segment(&img.rgb);
-        let half = Segmenter::sslic_ppa(params(60, 2), 2).segment(&img.rgb);
+        let full = Segmenter::slic_ppa(params(60, 2)).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+        let half = Segmenter::sslic_ppa(params(60, 2), 2).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         // Same number of steps, but each S-SLIC step assigns half the
         // pixels: distance calcs are ~half.
         assert_eq!(full.counters().distance_calcs, 2 * n * 9);
@@ -1023,7 +1215,7 @@ mod tests {
             .perturb_seeds(false)
             .enforce_connectivity(false)
             .build();
-        let out = Segmenter::slic(p).segment(&img.rgb);
+        let out = Segmenter::slic(p).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let per_pixel = out.counters().distance_calcs as f64 / (96.0 * 96.0);
         assert!(
             (3.0..=4.6).contains(&per_pixel),
@@ -1038,7 +1230,7 @@ mod tests {
             .iterations(1)
             .enforce_connectivity(false)
             .build();
-        let out = Segmenter::slic_ppa(p).segment(&img.rgb);
+        let out = Segmenter::slic_ppa(p).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         assert_eq!(out.counters().distance_calcs, 64 * 48 * 9);
     }
 
@@ -1062,10 +1254,10 @@ mod tests {
         // harness on full-size corpora.
         let img = test_image();
         let p = params(60, 4);
-        let float = Segmenter::slic_ppa(p).segment(&img.rgb);
+        let float = Segmenter::slic_ppa(p).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let quant = Segmenter::slic_ppa(p)
             .with_distance_mode(DistanceMode::quantized(8))
-            .segment(&img.rgb);
+            .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let frac = label_agreement(&float, &quant);
         assert!(frac > 0.65, "8-bit agrees with float on {frac} of pixels");
     }
@@ -1081,7 +1273,7 @@ mod tests {
         let run = |bits: u8| {
             Segmenter::slic_ppa(p)
                 .with_distance_mode(DistanceMode::quantized(bits))
-                .segment(&img.rgb)
+                .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new())
         };
         let q12 = run(12);
         let a8 = label_agreement(&q12, &run(8));
@@ -1099,10 +1291,10 @@ mod tests {
         let p = params(60, 4);
         let q8 = Segmenter::slic_ppa(p)
             .with_distance_mode(DistanceMode::quantized(8))
-            .segment(&img.rgb);
+            .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let q3 = Segmenter::slic_ppa(p)
             .with_distance_mode(DistanceMode::quantized(3))
-            .segment(&img.rgb);
+            .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let diff = q8
             .labels()
             .iter()
@@ -1116,9 +1308,9 @@ mod tests {
     fn segment_lab_matches_segment_for_float_mode() {
         let img = test_image();
         let seg = Segmenter::slic_ppa(params(60, 3));
-        let via_rgb = seg.segment(&img.rgb);
+        let via_rgb = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let lab = float::convert_image(&img.rgb);
-        let via_lab = seg.segment_lab(&lab);
+        let via_lab = seg.run(SegmentRequest::Lab(&lab), &RunOptions::new());
         assert_eq!(via_rgb.labels(), via_lab.labels());
     }
 
@@ -1129,7 +1321,7 @@ mod tests {
             .iterations(3)
             .enforce_connectivity(false)
             .build();
-        let out = Segmenter::slic_ppa(p).segment(&img.rgb);
+        let out = Segmenter::slic_ppa(p).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         // With connectivity off the connectivity phase records zero time.
         assert_eq!(
             out.breakdown().phase_time(crate::profile::Phase::Connectivity),
@@ -1140,7 +1332,7 @@ mod tests {
     #[test]
     fn breakdown_records_assignment_and_update_time() {
         let img = test_image();
-        let out = Segmenter::slic_ppa(params(60, 3)).segment(&img.rgb);
+        let out = Segmenter::slic_ppa(params(60, 3)).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         use crate::profile::Phase;
         assert!(out.breakdown().phase_time(Phase::DistanceMin) > std::time::Duration::ZERO);
         assert!(out.breakdown().phase_time(Phase::CenterUpdate) > std::time::Duration::ZERO);
@@ -1157,17 +1349,17 @@ mod tests {
             }
             _ => panic!("wrong algorithm"),
         }
-        let out = seg.segment(&img.rgb);
+        let out = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         assert_eq!(out.labels().len(), 64 * 48);
     }
 
     #[test]
     fn preemption_freezes_clusters_and_cuts_distance_work() {
         let img = test_image();
-        let plain = Segmenter::slic_ppa(params(60, 10)).segment(&img.rgb);
+        let plain = Segmenter::slic_ppa(params(60, 10)).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let preempted = Segmenter::slic_ppa(params(60, 10))
             .with_preemption(0.5)
-            .segment(&img.rgb);
+            .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         assert_eq!(plain.frozen_clusters(), 0);
         assert!(
             preempted.frozen_clusters() > 0,
@@ -1182,10 +1374,10 @@ mod tests {
     #[test]
     fn preemption_barely_changes_the_result() {
         let img = test_image();
-        let plain = Segmenter::slic_ppa(params(60, 10)).segment(&img.rgb);
+        let plain = Segmenter::slic_ppa(params(60, 10)).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let preempted = Segmenter::slic_ppa(params(60, 10))
             .with_preemption(0.25)
-            .segment(&img.rgb);
+            .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let agree = plain
             .labels()
             .iter()
@@ -1202,8 +1394,8 @@ mod tests {
         let img = test_image();
         let combined = Segmenter::sslic_ppa(params(60, 12), 2)
             .with_preemption(0.5)
-            .segment(&img.rgb);
-        let sslic_only = Segmenter::sslic_ppa(params(60, 12), 2).segment(&img.rgb);
+            .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+        let sslic_only = Segmenter::sslic_ppa(params(60, 12), 2).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         assert!(combined.counters().distance_calcs <= sslic_only.counters().distance_calcs);
         let k = combined.cluster_count() as u32;
         assert!(combined.labels().iter().all(|&l| l < k));
@@ -1225,7 +1417,7 @@ mod tests {
                     Segmenter::sslic_ppa(params(60, 5), subsets)
                         .with_subset_strategy(strategy)
                 };
-                let out = seg.segment(&img.rgb);
+                let out = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
                 let predicted =
                     predict_ppa_distance_calcs(64, 48, 5, subsets, strategy);
                 if subsets == 1 {
@@ -1249,11 +1441,11 @@ mod tests {
             .iterations(6)
             .adaptive_compactness(true)
             .build();
-        let seg = Segmenter::slic_ppa(p).segment(&img.rgb);
+        let seg = Segmenter::slic_ppa(p).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let k = seg.cluster_count() as u32;
         assert!(seg.labels().iter().all(|&l| l < k));
         // It must actually differ from fixed-m SLIC after several passes.
-        let fixed = Segmenter::slic_ppa(params(60, 6)).segment(&img.rgb);
+        let fixed = Segmenter::slic_ppa(params(60, 6)).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         assert_ne!(seg.labels(), fixed.labels());
     }
 
@@ -1264,8 +1456,8 @@ mod tests {
             .iterations(5)
             .adaptive_compactness(true)
             .build();
-        let a = Segmenter::slic_ppa(p).segment(&img.rgb);
-        let b = Segmenter::slic_ppa(p).segment(&img.rgb);
+        let a = Segmenter::slic_ppa(p).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+        let b = Segmenter::slic_ppa(p).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         assert_eq!(a.labels(), b.labels());
     }
 
@@ -1279,21 +1471,24 @@ mod tests {
             .build();
         let _ = Segmenter::slic_ppa(p)
             .with_distance_mode(DistanceMode::quantized(8))
-            .segment(&img.rgb);
+            .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
     }
 
     #[test]
     fn warm_start_converges_immediately_on_the_same_frame() {
         let img = test_image();
         let seg = Segmenter::slic_ppa(params(60, 10));
-        let cold = seg.segment(&img.rgb);
+        let cold = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         // Re-segment the identical frame from the converged centers with a
         // tight convergence threshold: it should stop almost at once.
         let p = SlicParams::builder(60)
             .iterations(10)
             .convergence_threshold(Some(0.1))
             .build();
-        let warm = Segmenter::slic_ppa(p).segment_warm(&img.rgb, cold.clusters());
+        let warm = Segmenter::slic_ppa(p).run(
+            SegmentRequest::Rgb(&img.rgb),
+            &RunOptions::new().with_warm_start(cold.clusters()),
+        );
         assert!(
             warm.iterations_run() <= 3,
             "warm start on an identical frame converges fast: {} steps",
@@ -1311,9 +1506,12 @@ mod tests {
             .noise_sigma(7.0)
             .build();
         let seg10 = Segmenter::slic_ppa(params(60, 10));
-        let cold1 = seg10.segment(&frame1.rgb);
-        let prev = seg10.segment(&frame0.rgb);
-        let warm1 = Segmenter::slic_ppa(params(60, 2)).segment_warm(&frame1.rgb, prev.clusters());
+        let cold1 = seg10.run(SegmentRequest::Rgb(&frame1.rgb), &RunOptions::new());
+        let prev = seg10.run(SegmentRequest::Rgb(&frame0.rgb), &RunOptions::new());
+        let warm1 = Segmenter::slic_ppa(params(60, 2)).run(
+            SegmentRequest::Rgb(&frame1.rgb),
+            &RunOptions::new().with_warm_start(prev.clusters()),
+        );
         let agree = warm1
             .labels()
             .iter()
@@ -1332,7 +1530,10 @@ mod tests {
     fn warm_start_with_wrong_cluster_count_panics() {
         let img = test_image();
         let seg = Segmenter::slic_ppa(params(60, 2));
-        let _ = seg.segment_warm(&img.rgb, &[Cluster::default(); 3]);
+        let _ = seg.run(
+            SegmentRequest::Rgb(&img.rgb),
+            &RunOptions::new().with_warm_start(&[Cluster::default(); 3]),
+        );
     }
 
     #[test]
@@ -1348,7 +1549,7 @@ mod tests {
         // assigned label map instead of panicking.
         let img = SyntheticImage::builder(4, 4).seed(0).regions(2).build();
         let p = SlicParams::builder(64).iterations(2).build();
-        let out = Segmenter::slic_ppa(p).segment(&img.rgb);
+        let out = Segmenter::slic_ppa(p).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let k = out.cluster_count() as u32;
         assert!(k >= 1);
         assert_eq!(out.labels().len(), 16);
@@ -1365,8 +1566,11 @@ mod tests {
             Segmenter::sslic_ppa(params(60, 4), 2)
                 .with_distance_mode(DistanceMode::quantized(8)),
         ] {
-            let clean = seg.segment(&img.rgb);
-            let hooked = seg.segment_with_faults(&img.rgb, &mut Noop);
+            let clean = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+            let hooked = seg.run(
+                SegmentRequest::Rgb(&img.rgb),
+                &RunOptions::new().with_faults(&Noop),
+            );
             assert_eq!(clean.labels(), hooked.labels());
             assert_eq!(clean.clusters(), hooked.clusters());
             assert_eq!(hooked.status(), SegmentationStatus::Ok);
@@ -1377,7 +1581,7 @@ mod tests {
     #[test]
     fn fault_free_runs_report_ok_status() {
         let img = test_image();
-        let out = Segmenter::slic_ppa(params(60, 3)).segment(&img.rgb);
+        let out = Segmenter::slic_ppa(params(60, 3)).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         assert_eq!(out.status(), SegmentationStatus::Ok);
         assert_eq!(out.invariant_repairs(), 0);
     }
@@ -1386,7 +1590,7 @@ mod tests {
     fn corrupted_centers_are_repaired_and_flagged() {
         struct Smash;
         impl StepFaults for Smash {
-            fn corrupt_centers(&mut self, step: u32, clusters: &mut [Cluster]) {
+            fn corrupt_centers(&self, step: u32, clusters: &mut [Cluster]) {
                 if step == 0 {
                     clusters[0].x = f32::NAN;
                     clusters[1].y = 1.0e9;
@@ -1395,7 +1599,10 @@ mod tests {
             }
         }
         let img = test_image();
-        let out = Segmenter::slic_ppa(params(60, 3)).segment_with_faults(&img.rgb, &mut Smash);
+        let out = Segmenter::slic_ppa(params(60, 3)).run(
+            SegmentRequest::Rgb(&img.rgb),
+            &RunOptions::new().with_faults(&Smash),
+        );
         assert_eq!(out.status(), SegmentationStatus::Degraded);
         assert!(out.invariant_repairs() >= 3);
         for c in out.clusters() {
@@ -1411,7 +1618,7 @@ mod tests {
     fn corrupted_lab8_still_yields_valid_labels() {
         struct Noise;
         impl StepFaults for Noise {
-            fn corrupt_lab8(&mut self, lab8: &mut Lab8Image) {
+            fn corrupt_lab8(&self, lab8: &mut Lab8Image) {
                 for (i, v) in lab8.l.as_mut_slice().iter_mut().enumerate() {
                     if i % 7 == 0 {
                         *v ^= 0x80;
@@ -1422,10 +1629,13 @@ mod tests {
         let img = test_image();
         let seg = Segmenter::sslic_ppa(params(60, 4), 2)
             .with_distance_mode(DistanceMode::quantized(8));
-        let out = seg.segment_with_faults(&img.rgb, &mut Noise);
+        let out = seg.run(
+            SegmentRequest::Rgb(&img.rgb),
+            &RunOptions::new().with_faults(&Noise),
+        );
         let k = out.cluster_count() as u32;
         assert!(out.labels().iter().all(|&l| l < k));
-        let clean = seg.segment(&img.rgb);
+        let clean = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         assert_ne!(clean.labels(), out.labels(), "corruption must be visible");
     }
 
@@ -1434,9 +1644,9 @@ mod tests {
         let img = test_image();
         let seg = Segmenter::slic_ppa(params(60, 3))
             .with_distance_mode(DistanceMode::quantized(8));
-        let via_rgb = seg.segment(&img.rgb);
+        let via_rgb = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let lab8 = HwColorConverter::paper_default().convert_image(&img.rgb);
-        let via_lab8 = seg.segment_lab8(&lab8);
+        let via_lab8 = seg.run(SegmentRequest::Lab8(&lab8), &RunOptions::new());
         assert_eq!(via_rgb.labels(), via_lab8.labels());
     }
 
@@ -1449,7 +1659,7 @@ mod tests {
             .iterations(1)
             .convergence_threshold(Some(0.0))
             .build();
-        let out = Segmenter::slic_ppa(p).segment(&img.rgb);
+        let out = Segmenter::slic_ppa(p).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         assert_eq!(out.iterations_run(), 1);
         assert_eq!(out.status(), SegmentationStatus::Degraded);
     }
@@ -1465,5 +1675,51 @@ mod tests {
             .steps_per_full_pass(),
             4
         );
+    }
+
+    /// The six legacy entry points must stay exact aliases of `run` for
+    /// as long as they exist.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_run() {
+        let img = test_image();
+        let seg = Segmenter::sslic_ppa(params(60, 4), 2);
+        let via_run = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+        let via_wrapper = seg.segment(&img.rgb);
+        assert_eq!(via_run.labels(), via_wrapper.labels());
+        assert_eq!(via_run.clusters(), via_wrapper.clusters());
+
+        let warm_run = seg.run(
+            SegmentRequest::Rgb(&img.rgb),
+            &RunOptions::new().with_warm_start(via_run.clusters()),
+        );
+        let warm_wrapper = seg.segment_warm(&img.rgb, via_run.clusters());
+        assert_eq!(warm_run.labels(), warm_wrapper.labels());
+
+        let lab = float::convert_image(&img.rgb);
+        assert_eq!(
+            seg.run(SegmentRequest::Lab(&lab), &RunOptions::new()).labels(),
+            seg.segment_lab(&lab).labels()
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let img = test_image();
+        let mut baseline: Option<Segmentation> = None;
+        for threads in [1usize, 2, 3, 8] {
+            let p = SlicParams::builder(60)
+                .iterations(4)
+                .threads(threads)
+                .build();
+            let out =
+                Segmenter::sslic_ppa(p, 2).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+            if let Some(base) = &baseline {
+                assert_eq!(base.labels(), out.labels(), "threads = {threads}");
+                assert_eq!(base.clusters(), out.clusters(), "threads = {threads}");
+            } else {
+                baseline = Some(out);
+            }
+        }
     }
 }

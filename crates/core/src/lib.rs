@@ -20,12 +20,13 @@
 //! # Quickstart
 //!
 //! ```
-//! use sslic_core::{Segmenter, SlicParams};
+//! use sslic_core::{RunOptions, SegmentRequest, Segmenter, SlicParams};
 //! use sslic_image::synthetic::SyntheticImage;
 //!
 //! let img = SyntheticImage::builder(96, 64).seed(1).regions(6).build();
 //! let params = SlicParams::builder(150).compactness(10.0).iterations(4).build();
-//! let seg = Segmenter::sslic_ppa(params, 2).segment(&img.rgb);
+//! let seg = Segmenter::sslic_ppa(params, 2)
+//!     .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
 //! assert_eq!(seg.labels().width(), 96);
 //! assert!(seg.cluster_count() > 0);
 //! ```
@@ -38,6 +39,7 @@ mod connectivity;
 mod distance;
 mod engine;
 mod grid;
+mod parallel;
 mod params;
 
 pub mod features;
@@ -49,6 +51,8 @@ pub mod subsample;
 pub use cluster::{init_clusters, Cluster};
 pub use connectivity::{compact_labels, component_sizes, enforce_connectivity};
 pub use distance::{dist2_float, ClusterCodes, DistanceMode, QuantKernel};
-pub use engine::{Algorithm, Segmentation, SegmentationStatus, Segmenter, StepFaults};
+pub use engine::{
+    Algorithm, RunOptions, SegmentRequest, Segmentation, SegmentationStatus, Segmenter, StepFaults,
+};
 pub use grid::SeedGrid;
 pub use params::{ParamError, SlicParams, SlicParamsBuilder};

@@ -1,3 +1,5 @@
+use std::num::NonZeroUsize;
+
 /// Parameters shared by every SLIC variant.
 ///
 /// Construct via [`SlicParams::builder`]; the builder supplies the paper's
@@ -12,9 +14,11 @@
 ///     .compactness(10.0)
 ///     .iterations(10)
 ///     .convergence_threshold(Some(0.25))
+///     .threads(4)
 ///     .build();
 /// assert_eq!(p.superpixels(), 900);
 /// assert_eq!(p.compactness(), 10.0);
+/// assert_eq!(p.threads().get(), 4);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlicParams {
@@ -26,6 +30,7 @@ pub struct SlicParams {
     enforce_connectivity: bool,
     min_region_divisor: u32,
     adaptive_compactness: bool,
+    threads: NonZeroUsize,
 }
 
 impl SlicParams {
@@ -47,7 +52,9 @@ impl SlicParams {
                 enforce_connectivity: true,
                 min_region_divisor: 4,
                 adaptive_compactness: false,
+                threads: NonZeroUsize::MIN,
             },
+            threads: 1,
         }
     }
 
@@ -101,6 +108,14 @@ impl SlicParams {
         self.adaptive_compactness
     }
 
+    /// Worker-thread count for the banded parallel execution layer of the
+    /// engine (see DESIGN.md §5d). The segmentation output is bit-identical
+    /// for every thread count; this knob trades wall-clock time only.
+    /// Default 1 (fully serial).
+    pub fn threads(&self) -> NonZeroUsize {
+        self.threads
+    }
+
     /// Grid spacing `S = sqrt(N / K)` for an image of `pixels` pixels.
     pub fn grid_spacing(&self, pixels: usize) -> f32 {
         (pixels as f32 / self.superpixels as f32).sqrt()
@@ -120,6 +135,9 @@ pub enum ParamError {
     /// `min_region_divisor == 0`: the connectivity pass would divide by
     /// zero.
     ZeroMinRegionDivisor,
+    /// `threads == 0`: the banded execution layer needs at least one
+    /// worker.
+    ZeroThreads,
 }
 
 impl std::fmt::Display for ParamError {
@@ -129,6 +147,7 @@ impl std::fmt::Display for ParamError {
             ParamError::InvalidCompactness => "compactness must be positive and finite",
             ParamError::ZeroIterations => "at least one iteration required",
             ParamError::ZeroMinRegionDivisor => "min_region_divisor must be nonzero",
+            ParamError::ZeroThreads => "thread count must be nonzero",
         };
         f.write_str(msg)
     }
@@ -140,6 +159,8 @@ impl std::error::Error for ParamError {}
 #[derive(Debug, Clone)]
 pub struct SlicParamsBuilder {
     params: SlicParams,
+    /// Raw thread request; validated to be nonzero at build time.
+    threads: usize,
 }
 
 impl SlicParamsBuilder {
@@ -194,6 +215,18 @@ impl SlicParamsBuilder {
         self
     }
 
+    /// Sets the worker-thread count of the engine's banded parallel
+    /// execution layer (see [`SlicParams::threads`]). The output is
+    /// bit-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// `build` panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Validates and returns the parameters, reporting the first violated
     /// constraint as a typed [`ParamError`] instead of panicking — the
     /// entry point for callers that receive parameters from untrusted
@@ -203,10 +236,11 @@ impl SlicParamsBuilder {
     ///
     /// Returns the first violated constraint among
     /// [`ParamError::ZeroSuperpixels`], [`ParamError::InvalidCompactness`],
-    /// [`ParamError::ZeroIterations`], and
-    /// [`ParamError::ZeroMinRegionDivisor`].
+    /// [`ParamError::ZeroIterations`],
+    /// [`ParamError::ZeroMinRegionDivisor`], and
+    /// [`ParamError::ZeroThreads`].
     pub fn try_build(self) -> Result<SlicParams, ParamError> {
-        let p = self.params;
+        let mut p = self.params;
         if p.superpixels == 0 {
             return Err(ParamError::ZeroSuperpixels);
         }
@@ -219,6 +253,7 @@ impl SlicParamsBuilder {
         if p.min_region_divisor == 0 {
             return Err(ParamError::ZeroMinRegionDivisor);
         }
+        p.threads = NonZeroUsize::new(self.threads).ok_or(ParamError::ZeroThreads)?;
         Ok(p)
     }
 
@@ -227,10 +262,10 @@ impl SlicParamsBuilder {
     /// # Panics
     ///
     /// Panics if `superpixels == 0`, `compactness <= 0`, `iterations == 0`,
-    /// or `min_region_divisor == 0`. Use [`Self::try_build`] to receive
-    /// these as typed errors instead.
+    /// `min_region_divisor == 0`, or `threads == 0`. Use
+    /// [`Self::try_build`] to receive these as typed errors instead.
     pub fn build(self) -> SlicParams {
-        let p = self.params;
+        let mut p = self.params;
         assert!(p.superpixels > 0, "superpixel count must be nonzero");
         assert!(
             p.compactness > 0.0 && p.compactness.is_finite(),
@@ -238,6 +273,8 @@ impl SlicParamsBuilder {
         );
         assert!(p.iterations > 0, "at least one iteration required");
         assert!(p.min_region_divisor > 0, "min_region_divisor must be nonzero");
+        assert!(self.threads > 0, "thread count must be nonzero");
+        p.threads = NonZeroUsize::new(self.threads).unwrap_or(NonZeroUsize::MIN);
         p
     }
 }
@@ -331,6 +368,33 @@ mod tests {
             ParamError::ZeroIterations.to_string(),
             "at least one iteration required"
         );
+    }
+
+    #[test]
+    fn threads_default_to_one_and_round_trip() {
+        assert_eq!(SlicParams::builder(10).build().threads().get(), 1);
+        let p = SlicParams::builder(10).threads(8).build();
+        assert_eq!(p.threads().get(), 8);
+        let p = SlicParams::builder(10).threads(3).try_build().unwrap();
+        assert_eq!(p.threads().get(), 3);
+    }
+
+    #[test]
+    fn try_build_rejects_zero_threads() {
+        assert_eq!(
+            SlicParams::builder(10).threads(0).try_build(),
+            Err(ParamError::ZeroThreads)
+        );
+        assert_eq!(
+            ParamError::ZeroThreads.to_string(),
+            "thread count must be nonzero"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_panics() {
+        let _ = SlicParams::builder(10).threads(0).build();
     }
 
     #[test]

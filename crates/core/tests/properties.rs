@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use sslic_core::{Algorithm, DistanceMode, Segmenter, SlicParams};
+use sslic_core::{Algorithm, DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic_core::subsample::SubsetStrategy;
 use sslic_image::synthetic::SyntheticImage;
 
@@ -53,7 +53,7 @@ proptest! {
             .build();
         let seg = Segmenter::new(params, algorithm)
             .with_distance_mode(mode)
-            .segment(&img.rgb);
+            .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
 
         // Geometry is preserved.
         prop_assert_eq!(seg.labels().width(), 48);
@@ -83,8 +83,8 @@ proptest! {
         let img = SyntheticImage::builder(40, 32).seed(seed).regions(4).build();
         let params = SlicParams::builder(24).iterations(3).build();
         let seg = Segmenter::new(params, algorithm);
-        let a = seg.segment(&img.rgb);
-        let b = seg.segment(&img.rgb);
+        let a = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+        let b = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         prop_assert_eq!(a.labels(), b.labels());
         prop_assert_eq!(a.clusters(), b.clusters());
         prop_assert_eq!(a.counters(), b.counters());
@@ -99,7 +99,7 @@ proptest! {
         let params = SlicParams::builder(24).iterations(6).build();
         let seg = Segmenter::slic_ppa(params)
             .with_preemption(threshold)
-            .segment(&img.rgb);
+            .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let count = seg.cluster_count() as u32;
         prop_assert!(seg.labels().iter().all(|&l| l < count));
         prop_assert!(seg.frozen_clusters() <= seg.cluster_count());
@@ -114,8 +114,11 @@ proptest! {
         let frame_b = SyntheticImage::builder(40, 32).seed(seed_b).regions(4).build();
         let params = SlicParams::builder(24).iterations(2).build();
         let seg = Segmenter::sslic_ppa(params, 2);
-        let first = seg.segment(&frame_a.rgb);
-        let second = seg.segment_warm(&frame_b.rgb, first.clusters());
+        let first = seg.run(SegmentRequest::Rgb(&frame_a.rgb), &RunOptions::new());
+        let second = seg.run(
+            SegmentRequest::Rgb(&frame_b.rgb),
+            &RunOptions::new().with_warm_start(first.clusters()),
+        );
         let count = second.cluster_count() as u32;
         prop_assert_eq!(second.cluster_count(), first.cluster_count());
         prop_assert!(second.labels().iter().all(|&l| l < count));
@@ -130,7 +133,7 @@ proptest! {
         let params = SlicParams::builder(24).iterations(2).build();
         let seg = Segmenter::sslic_ppa(params, 2)
             .with_distance_mode(DistanceMode::quantized(bits))
-            .segment(&img.rgb);
+            .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let count = seg.cluster_count() as u32;
         prop_assert!(seg.labels().iter().all(|&l| l < count));
     }

@@ -1,0 +1,124 @@
+//! Thread-count invariance: the banded parallel engine must produce
+//! bit-identical labels for every thread count, pinned by checksums on a
+//! fixed scene so any drift (in the band layout, the reduction order, or
+//! the accumulation itself) fails loudly. Runs under the workspace's
+//! overflow-checked test profile.
+
+use sslic_core::{DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
+use sslic_image::synthetic::SyntheticImage;
+use sslic_image::Plane;
+
+/// The thread counts the determinism contract is pinned over: serial, an
+/// even band split, an uneven one, and more workers than most heights'
+/// bands-per-worker.
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// FNV-1a over the label words (the digest the fault regression suite
+/// also pins).
+fn label_checksum(labels: &Plane<u32>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &l in labels.as_slice() {
+        h ^= l as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fixed_scene() -> SyntheticImage {
+    SyntheticImage::builder(64, 48).seed(2024).regions(5).build()
+}
+
+fn checksum_at(threads: usize, cpa: bool, quantized: bool) -> u64 {
+    let params = SlicParams::builder(60)
+        .iterations(5)
+        .threads(threads)
+        .build();
+    let seg = if cpa {
+        Segmenter::sslic_cpa(params, 2)
+    } else {
+        Segmenter::sslic_ppa(params, 2)
+    };
+    let seg = if quantized {
+        seg.with_distance_mode(DistanceMode::quantized(8))
+    } else {
+        seg
+    };
+    let out = seg.run(SegmentRequest::Rgb(&fixed_scene().rgb), &RunOptions::new());
+    label_checksum(out.labels())
+}
+
+/// Same scene and configuration as the fault crate's pinned regression —
+/// the two suites deliberately share this value.
+const PINNED_PPA_QUANTIZED: u64 = 0x8a1b_9b35_ba38_48cc;
+const PINNED_PPA_FLOAT: u64 = 0xa416_4089_577b_ac01;
+const PINNED_CPA_FLOAT: u64 = 0x1de9_c5e4_8cb9_bffb;
+const PINNED_CPA_QUANTIZED: u64 = 0x1f96_3143_2ca2_8643;
+
+#[test]
+fn ppa_quantized_is_pinned_for_every_thread_count() {
+    for t in THREADS {
+        let sum = checksum_at(t, false, true);
+        assert_eq!(
+            sum, PINNED_PPA_QUANTIZED,
+            "PPA quantized at {t} threads drifted: got {sum:#018x}"
+        );
+    }
+}
+
+#[test]
+fn ppa_float_is_pinned_for_every_thread_count() {
+    for t in THREADS {
+        let sum = checksum_at(t, false, false);
+        assert_eq!(
+            sum, PINNED_PPA_FLOAT,
+            "PPA float at {t} threads drifted: got {sum:#018x}"
+        );
+    }
+}
+
+#[test]
+fn cpa_float_is_pinned_for_every_thread_count() {
+    for t in THREADS {
+        let sum = checksum_at(t, true, false);
+        assert_eq!(
+            sum, PINNED_CPA_FLOAT,
+            "CPA float at {t} threads drifted: got {sum:#018x}"
+        );
+    }
+}
+
+#[test]
+fn cpa_quantized_is_pinned_for_every_thread_count() {
+    for t in THREADS {
+        let sum = checksum_at(t, true, true);
+        assert_eq!(
+            sum, PINNED_CPA_QUANTIZED,
+            "CPA quantized at {t} threads drifted: got {sum:#018x}"
+        );
+    }
+}
+
+#[test]
+fn warm_start_is_thread_count_invariant() {
+    // Warm starts change the sigma state the banded reduction sees; pin
+    // their invariance too (relative, not absolute: the cold result is
+    // itself pinned above).
+    let cold = Segmenter::sslic_ppa(
+        SlicParams::builder(60).iterations(5).build(),
+        2,
+    )
+    .run(SegmentRequest::Rgb(&fixed_scene().rgb), &RunOptions::new());
+    let mut baseline = None;
+    for t in THREADS {
+        let params = SlicParams::builder(60).iterations(2).threads(t).build();
+        let warm = Segmenter::sslic_ppa(params, 2).run(
+            SegmentRequest::Rgb(&fixed_scene().rgb),
+            &RunOptions::new().with_warm_start(cold.clusters()),
+        );
+        let sum = label_checksum(warm.labels());
+        match baseline {
+            None => baseline = Some(sum),
+            Some(expect) => assert_eq!(sum, expect, "warm start at {t} threads"),
+        }
+    }
+}

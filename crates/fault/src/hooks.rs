@@ -8,6 +8,8 @@
 //! [`crate::inject::effect_at`], so the adapters inherit its determinism
 //! and order-independence.
 
+use std::cell::Cell;
+
 use sslic_color::hw::HwColorConverter;
 use sslic_color::Lab8Image;
 use sslic_core::{Cluster, StepFaults};
@@ -35,7 +37,9 @@ const INDEX_WORD_BITS: u32 = 16;
 pub struct EngineFaults<'a> {
     plan: &'a FaultPlan,
     /// Words actually corrupted so far (pixel bytes + center fields).
-    pub injected_words: u64,
+    /// Interior-mutable because the [`StepFaults`] hooks take `&self`
+    /// (the engine shares the hook object by shared reference).
+    injected_words: Cell<u64>,
 }
 
 impl<'a> EngineFaults<'a> {
@@ -43,13 +47,18 @@ impl<'a> EngineFaults<'a> {
     pub fn new(plan: &'a FaultPlan) -> Self {
         EngineFaults {
             plan,
-            injected_words: 0,
+            injected_words: Cell::new(0),
         }
+    }
+
+    /// Words actually corrupted so far (pixel bytes + center fields).
+    pub fn injected_words(&self) -> u64 {
+        self.injected_words.get()
     }
 }
 
 impl StepFaults for EngineFaults<'_> {
-    fn corrupt_lab8(&mut self, lab8: &mut Lab8Image) {
+    fn corrupt_lab8(&self, lab8: &mut Lab8Image) {
         if self.plan.is_empty() {
             return;
         }
@@ -64,13 +73,13 @@ impl StepFaults for EngineFaults<'_> {
                 let was = *byte;
                 *byte = (eff.apply(was as u64) & 0xFF) as u8;
                 if *byte != was {
-                    self.injected_words += 1;
+                    self.injected_words.set(self.injected_words.get() + 1);
                 }
             }
         }
     }
 
-    fn corrupt_centers(&mut self, step: u32, clusters: &mut [Cluster]) {
+    fn corrupt_centers(&self, step: u32, clusters: &mut [Cluster]) {
         if self.plan.is_empty() {
             return;
         }
@@ -92,7 +101,7 @@ impl StepFaults for EngineFaults<'_> {
                 let now = (eff.apply(was as u64) & 0xFFFF_FFFF) as u32;
                 if now != was {
                     *field = f32::from_bits(now);
-                    self.injected_words += 1;
+                    self.injected_words.set(self.injected_words.get() + 1);
                 }
             }
         }
@@ -102,8 +111,9 @@ impl StepFaults for EngineFaults<'_> {
 /// Applies a plan's [`FaultSite::ColorLut`] entries to a converter's
 /// gamma LUT, returning the number of entries corrupted. The corrupted
 /// converter then feeds faulty codes into every subsequent conversion —
-/// pair with [`sslic_core::Segmenter::segment_lab8_with_faults`] to push
-/// the result through the engine.
+/// pair with [`sslic_core::Segmenter::run`] over a
+/// [`sslic_core::SegmentRequest::Lab8`] to push the result through the
+/// engine.
 pub fn corrupt_color_lut(plan: &FaultPlan, conv: &mut HwColorConverter) -> u64 {
     let mut corrupted = 0u64;
     for code in 0..=255u16 {
@@ -195,10 +205,10 @@ mod tests {
         let img = SyntheticImage::builder(16, 12).seed(0).regions(3).build();
         let mut lab8 = HwColorConverter::paper_default().convert_image(&img.rgb);
         let before = lab8.clone();
-        let mut ef = EngineFaults::new(&plan);
+        let ef = EngineFaults::new(&plan);
         ef.corrupt_lab8(&mut lab8);
         assert_eq!(lab8.l.as_slice(), before.l.as_slice());
-        assert_eq!(ef.injected_words, 0);
+        assert_eq!(ef.injected_words(), 0);
 
         let mut conv = HwColorConverter::paper_default();
         assert_eq!(corrupt_color_lut(&plan, &mut conv), 0);

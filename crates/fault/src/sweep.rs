@@ -8,7 +8,7 @@
 //! [`SweepResult`]s (and, through [`crate::report`], byte-identical
 //! reports).
 
-use sslic_core::{SegmentationStatus, Segmenter};
+use sslic_core::{RunOptions, SegmentRequest, SegmentationStatus, Segmenter};
 use sslic_hw::accel::{Accelerator, AcceleratorConfig};
 use sslic_hw::scratchpad::Protection;
 use sslic_image::synthetic::SyntheticImage;
@@ -204,8 +204,11 @@ pub fn run_sweep(config: &SweepConfig) -> SweepResult {
         let mut conv = HwColorConverter::paper_default();
         let lut_entries_corrupted = corrupt_color_lut(&plan, &mut conv);
         let lab8 = conv.convert_image(&scene.rgb);
-        let mut faults = EngineFaults::new(&plan);
-        let seg = segmenter.segment_lab8_with_faults(&lab8, &mut faults);
+        let faults = EngineFaults::new(&plan);
+        let seg = segmenter.run(
+            SegmentRequest::Lab8(&lab8),
+            &RunOptions::new().with_faults(&faults),
+        );
         engine.push(EnginePoint {
             rate_ppm: rate,
             undersegmentation_error: undersegmentation_error(seg.labels(), &scene.ground_truth),
@@ -213,7 +216,7 @@ pub fn run_sweep(config: &SweepConfig) -> SweepResult {
             degraded: seg.status() == SegmentationStatus::Degraded,
             repairs: seg.invariant_repairs(),
             lut_entries_corrupted,
-            injected_words: faults.injected_words,
+            injected_words: faults.injected_words(),
         });
     }
 

@@ -1,7 +1,7 @@
 //! Determinism contract: the same plan over the same workload reproduces
 //! identical corruption, labels, and byte-identical reports.
 
-use sslic_core::{DistanceMode, Segmenter, SlicParams};
+use sslic_core::{DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic_fault::{
     run_sweep, to_json, to_markdown, EngineFaults, FaultKind, FaultPlan, FaultSite, HwFaults,
     SweepConfig,
@@ -29,9 +29,12 @@ fn faulted_engine_runs_replay_bit_identically() {
     let lab8 = sslic_color::hw::HwColorConverter::paper_default().convert_image(&scene.rgb);
 
     let run = |lab8: &sslic_color::Lab8Image| {
-        let mut faults = EngineFaults::new(&plan);
-        let seg = segmenter.segment_lab8_with_faults(lab8, &mut faults);
-        (seg.labels().as_slice().to_vec(), faults.injected_words)
+        let faults = EngineFaults::new(&plan);
+        let seg = segmenter.run(
+            SegmentRequest::Lab8(lab8),
+            &RunOptions::new().with_faults(&faults),
+        );
+        (seg.labels().as_slice().to_vec(), faults.injected_words())
     };
     let (labels_a, words_a) = run(&lab8);
     let (labels_b, words_b) = run(&lab8);
@@ -80,7 +83,7 @@ fn different_seeds_actually_change_the_injection() {
             20_000,
         );
         let mut img = lab8.clone();
-        let mut faults = EngineFaults::new(&plan);
+        let faults = EngineFaults::new(&plan);
         use sslic_core::StepFaults;
         faults.corrupt_lab8(&mut img);
         img.l.as_slice().to_vec()

@@ -3,7 +3,9 @@
 //! a label-map checksum on a fixed synthetic scene.
 
 use sslic_color::hw::HwColorConverter;
-use sslic_core::{DistanceMode, SegmentationStatus, Segmenter, SlicParams};
+use sslic_core::{
+    DistanceMode, RunOptions, SegmentRequest, SegmentationStatus, Segmenter, SlicParams,
+};
 use sslic_fault::{corrupt_color_lut, EngineFaults, FaultPlan};
 use sslic_image::Plane;
 use sslic_image::synthetic::SyntheticImage;
@@ -33,7 +35,10 @@ fn quantized_segmenter() -> Segmenter {
 
 #[test]
 fn fault_free_labels_match_the_pinned_checksum() {
-    let seg = quantized_segmenter().segment(&fixed_scene().rgb);
+    let seg = quantized_segmenter().run(
+        SegmentRequest::Rgb(&fixed_scene().rgb),
+        &RunOptions::new(),
+    );
     assert_eq!(
         label_checksum(seg.labels()),
         PINNED_QUANTIZED_CHECKSUM,
@@ -47,19 +52,22 @@ fn empty_plan_is_bit_identical_to_the_unhooked_path() {
     let segmenter = quantized_segmenter();
     let plan = FaultPlan::new(123);
 
-    let clean = segmenter.segment(&scene.rgb);
+    let clean = segmenter.run(SegmentRequest::Rgb(&scene.rgb), &RunOptions::new());
 
     let mut conv = HwColorConverter::paper_default();
     assert_eq!(corrupt_color_lut(&plan, &mut conv), 0);
     let lab8 = conv.convert_image(&scene.rgb);
-    let mut faults = EngineFaults::new(&plan);
-    let hooked = segmenter.segment_lab8_with_faults(&lab8, &mut faults);
+    let faults = EngineFaults::new(&plan);
+    let hooked = segmenter.run(
+        SegmentRequest::Lab8(&lab8),
+        &RunOptions::new().with_faults(&faults),
+    );
 
     assert_eq!(clean.labels().as_slice(), hooked.labels().as_slice());
     assert_eq!(label_checksum(hooked.labels()), PINNED_QUANTIZED_CHECKSUM);
     assert_eq!(hooked.status(), SegmentationStatus::Ok);
     assert_eq!(hooked.invariant_repairs(), 0);
-    assert_eq!(faults.injected_words, 0);
+    assert_eq!(faults.injected_words(), 0);
 }
 
 #[test]
@@ -67,9 +75,12 @@ fn direct_and_faultless_hooked_apis_agree_in_float_mode_too() {
     let scene = fixed_scene();
     let params = SlicParams::builder(60).iterations(5).build();
     let segmenter = Segmenter::sslic_ppa(params, 2);
-    let clean = segmenter.segment(&scene.rgb);
+    let clean = segmenter.run(SegmentRequest::Rgb(&scene.rgb), &RunOptions::new());
     let plan = FaultPlan::new(0);
-    let mut faults = EngineFaults::new(&plan);
-    let hooked = segmenter.segment_with_faults(&scene.rgb, &mut faults);
+    let faults = EngineFaults::new(&plan);
+    let hooked = segmenter.run(
+        SegmentRequest::Rgb(&scene.rgb),
+        &RunOptions::new().with_faults(&faults),
+    );
     assert_eq!(clean.labels().as_slice(), hooked.labels().as_slice());
 }

@@ -3,7 +3,7 @@
 //! in the test profiles) must all terminate with fully assigned, in-range
 //! label maps — no hangs, no panics, no invalid output.
 
-use sslic_core::{DistanceMode, Segmenter, SlicParams};
+use sslic_core::{DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic_fault::{
     corrupt_color_lut, EngineFaults, FaultKind, FaultPlan, FaultSite, HwFaults,
 };
@@ -52,8 +52,11 @@ fn six_hundred_faulted_engine_runs_all_terminate_valid() {
         let mut conv = sslic_color::hw::HwColorConverter::paper_default();
         corrupt_color_lut(&plan, &mut conv);
         let lab8 = conv.convert_image(&scene.rgb);
-        let mut faults = EngineFaults::new(&plan);
-        let seg = segmenter.segment_lab8_with_faults(&lab8, &mut faults);
+        let faults = EngineFaults::new(&plan);
+        let seg = segmenter.run(
+            SegmentRequest::Lab8(&lab8),
+            &RunOptions::new().with_faults(&faults),
+        );
         assert_valid_labels(
             seg.labels(),
             seg.cluster_count(),
@@ -99,8 +102,11 @@ fn saturated_fault_rates_still_terminate() {
     let mut conv = sslic_color::hw::HwColorConverter::paper_default();
     corrupt_color_lut(&plan, &mut conv);
     let lab8 = conv.convert_image(&scene.rgb);
-    let mut faults = EngineFaults::new(&plan);
-    let seg = segmenter.segment_lab8_with_faults(&lab8, &mut faults);
+    let faults = EngineFaults::new(&plan);
+    let seg = segmenter.run(
+        SegmentRequest::Lab8(&lab8),
+        &RunOptions::new().with_faults(&faults),
+    );
     assert_valid_labels(seg.labels(), seg.cluster_count(), "saturated engine");
 
     let mut cfg = AcceleratorConfig::new(8);

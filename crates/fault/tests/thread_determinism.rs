@@ -1,0 +1,94 @@
+//! Thread-count invariance under active fault injection: corruption is a
+//! stateless address hash and the engine's hooks fire only at serial
+//! synchronization points, so a faulted run must stay bit-identical for
+//! every thread count — pinned by checksums on a fixed scene. Runs under
+//! the workspace's overflow-checked test profile.
+
+use sslic_core::{DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
+use sslic_fault::{EngineFaults, FaultKind, FaultPlan, FaultSite};
+use sslic_image::synthetic::SyntheticImage;
+use sslic_image::Plane;
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// FNV-1a over the label words (shared with the regression suite).
+fn label_checksum(labels: &Plane<u32>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &l in labels.as_slice() {
+        h ^= l as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fixed_scene() -> SyntheticImage {
+    SyntheticImage::builder(64, 48).seed(2024).regions(5).build()
+}
+
+/// An aggressive plan hitting both engine fault sites.
+fn active_plan() -> FaultPlan {
+    FaultPlan::new(4242)
+        .with(FaultSite::PixelFeature, FaultKind::SingleBitFlip, 8_000)
+        .with(FaultSite::SigmaRegister, FaultKind::SingleBitFlip, 1_000)
+}
+
+fn faulted_checksum(threads: usize, cpa: bool) -> (u64, u64) {
+    let params = SlicParams::builder(60)
+        .iterations(5)
+        .threads(threads)
+        .build();
+    let seg = if cpa {
+        Segmenter::sslic_cpa(params, 2)
+    } else {
+        Segmenter::sslic_ppa(params, 2)
+    };
+    let seg = seg.with_distance_mode(DistanceMode::quantized(8));
+    let plan = active_plan();
+    let faults = EngineFaults::new(&plan);
+    let out = seg.run(
+        SegmentRequest::Rgb(&fixed_scene().rgb),
+        &RunOptions::new().with_faults(&faults),
+    );
+    (label_checksum(out.labels()), faults.injected_words())
+}
+
+const PINNED_FAULTED_PPA: u64 = 0xb07d_2607_bd02_fd5e;
+const PINNED_FAULTED_CPA: u64 = 0x5421_7005_f627_af3b;
+
+#[test]
+fn faulted_ppa_is_pinned_for_every_thread_count() {
+    let mut words = None;
+    for t in THREADS {
+        let (sum, injected) = faulted_checksum(t, false);
+        assert_eq!(
+            sum, PINNED_FAULTED_PPA,
+            "faulted PPA at {t} threads drifted: got {sum:#018x}"
+        );
+        assert!(injected > 0, "the plan must actually corrupt something");
+        match words {
+            None => words = Some(injected),
+            Some(expect) => assert_eq!(injected, expect, "injection count at {t} threads"),
+        }
+    }
+}
+
+#[test]
+fn faulted_cpa_is_pinned_for_every_thread_count() {
+    for t in THREADS {
+        let (sum, injected) = faulted_checksum(t, true);
+        assert_eq!(
+            sum, PINNED_FAULTED_CPA,
+            "faulted CPA at {t} threads drifted: got {sum:#018x}"
+        );
+        assert!(injected > 0, "the plan must actually corrupt something");
+    }
+}
+
+#[test]
+fn faulted_and_clean_runs_differ() {
+    // Guard against the pins accidentally pinning a no-op plan.
+    let params = SlicParams::builder(60).iterations(5).build();
+    let seg = Segmenter::sslic_ppa(params, 2).with_distance_mode(DistanceMode::quantized(8));
+    let clean = seg.run(SegmentRequest::Rgb(&fixed_scene().rgb), &RunOptions::new());
+    assert_ne!(label_checksum(clean.labels()), PINNED_FAULTED_PPA);
+}

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use sslic::core::{DistanceMode, Segmenter, SlicParams};
+use sslic::core::{DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic::image::synthetic::SyntheticImage;
 use sslic::metrics::{
     achievable_segmentation_accuracy, boundary_recall, compactness, undersegmentation_error,
@@ -65,7 +65,7 @@ fn main() {
         let (mut t, mut u, mut br, mut asa, mut co) = (0.0, 0.0, 0.0, 0.0, 0.0);
         for img in &corpus {
             let start = Instant::now();
-            let out = seg.segment(&img.rgb);
+            let out = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
             t += start.elapsed().as_secs_f64() * 1e3;
             u += undersegmentation_error(out.labels(), &img.ground_truth);
             br += boundary_recall(out.labels(), &img.ground_truth, 0);

@@ -14,7 +14,7 @@ use std::io::BufWriter;
 
 use sslic::core::features::extract_features;
 use sslic::core::graph::RegionAdjacency;
-use sslic::core::{Segmenter, SlicParams};
+use sslic::core::{RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic::image::synthetic::SyntheticImage;
 use sslic::image::{draw, ppm, Plane, Rgb};
 use sslic::metrics::achievable_segmentation_accuracy;
@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stage 1: superpixels (the accelerator's job).
     let params = SlicParams::builder(400).compactness(20.0).iterations(8).build();
-    let seg = Segmenter::sslic_ppa(params, 2).segment(&img.rgb);
+    let seg = Segmenter::sslic_ppa(params, 2).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
     println!(
         "stage 1: {} pixels -> {} superpixels",
         img.rgb.pixel_count(),

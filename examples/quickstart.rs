@@ -8,7 +8,7 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use sslic::core::{Segmenter, SlicParams};
+use sslic::core::{RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic::image::synthetic::SyntheticImage;
 use sslic::image::{draw, ppm, Rgb};
 use sslic::metrics::{boundary_recall, undersegmentation_error};
@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let segmenter = Segmenter::sslic_ppa(params, 2);
 
     // 3. Segment.
-    let seg = segmenter.segment(&img.rgb);
+    let seg = segmenter.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
     println!(
         "segmented {}x{} into {} superpixels in {} steps",
         img.rgb.width(),

@@ -12,7 +12,7 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
-use sslic::core::{DistanceMode, Segmenter, SlicParams};
+use sslic::core::{DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic::image::{draw, ppm, Rgb, RgbImage};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let start = std::time::Instant::now();
-    let seg = segmenter.segment(&img);
+    let seg = segmenter.run(SegmentRequest::Rgb(&img), &RunOptions::new());
     println!(
         "{algo}: {} superpixels over {}x{} in {:.1} ms",
         seg.cluster_count(),

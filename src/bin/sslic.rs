@@ -11,7 +11,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
-use sslic::core::{DistanceMode, Segmenter, SlicParams};
+use sslic::core::{DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic::hw::export;
 use sslic::hw::sim::{FrameSimulator, Resolution};
 use sslic::image::synthetic::SyntheticImage;
@@ -118,7 +118,7 @@ fn cmd_segment(args: &[String]) -> CliResult {
     };
 
     let start = std::time::Instant::now();
-    let seg = segmenter.segment(&img);
+    let seg = segmenter.run(SegmentRequest::Rgb(&img), &RunOptions::new());
     let elapsed = start.elapsed().as_secs_f64() * 1e3;
     println!(
         "{algo}: {}x{} -> {} superpixels in {elapsed:.1} ms ({} steps)",

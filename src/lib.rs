@@ -20,7 +20,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use sslic::core::{Segmenter, SlicParams};
+//! use sslic::core::{RunOptions, SegmentRequest, Segmenter, SlicParams};
 //! use sslic::image::synthetic::SyntheticImage;
 //! use sslic::metrics::undersegmentation_error;
 //!
@@ -29,7 +29,8 @@
 //!     .compactness(10.0)
 //!     .iterations(5)
 //!     .build();
-//! let seg = Segmenter::sslic_ppa(params, 2).segment(&img.rgb);
+//! let seg = Segmenter::sslic_ppa(params, 2)
+//!     .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
 //! let use_err = undersegmentation_error(seg.labels(), &img.ground_truth);
 //! assert!(use_err >= 0.0);
 //! ```

@@ -4,7 +4,7 @@
 //! quantized distances, static 9-neighborhoods, no seed perturbation, no
 //! connectivity post-pass).
 
-use sslic::core::{DistanceMode, Segmenter, SlicParams};
+use sslic::core::{DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic::hw::accel::{Accelerator, AcceleratorConfig};
 use sslic::image::synthetic::SyntheticImage;
 
@@ -42,7 +42,7 @@ fn accelerator_labels_match_software_model() {
     // must therefore be near-total but is not guaranteed bit-exact.
     for seed in [1u64, 2, 3] {
         let img = SyntheticImage::builder(96, 72).seed(seed).regions(6).build();
-        let sw = software_twin(60, 6, 2).segment(&img.rgb);
+        let sw = software_twin(60, 6, 2).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let hw = accel(60, 6, 2).process(&img.rgb);
         let frac = agreement(sw.labels(), &hw.labels);
         assert!(
@@ -55,7 +55,7 @@ fn accelerator_labels_match_software_model() {
 #[test]
 fn equivalence_holds_without_subsampling_too() {
     let img = SyntheticImage::builder(96, 72).seed(9).regions(5).build();
-    let sw = software_twin(60, 4, 1).segment(&img.rgb);
+    let sw = software_twin(60, 4, 1).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
     let hw = accel(60, 4, 1).process(&img.rgb);
     assert!(agreement(sw.labels(), &hw.labels) >= 0.995);
 }
@@ -86,7 +86,7 @@ fn quantized_software_engine_counts_match_hw_work() {
     // The software engine's distance-calc counter must equal the number of
     // distance evaluations the hardware performs: 9 per assigned pixel.
     let img = SyntheticImage::builder(96, 72).seed(7).regions(6).build();
-    let sw = software_twin(60, 6, 2).segment(&img.rgb);
+    let sw = software_twin(60, 6, 2).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
     let n = (96 * 72) as u64;
     assert_eq!(sw.counters().distance_calcs, 6 * (n / 2) * 9);
 }

@@ -2,7 +2,7 @@
 //! driven with real distance codes from a real image, must select the same
 //! winning clusters as the software engine's first assignment pass.
 
-use sslic::core::{DistanceMode, QuantKernel, SeedGrid, Segmenter, SlicParams};
+use sslic::core::{DistanceMode, QuantKernel, RunOptions, SeedGrid, SegmentRequest, Segmenter, SlicParams};
 use sslic::hw::cluster::ClusterUnitConfig;
 use sslic::hw::pipeline::ClusterPipeline;
 use sslic::image::synthetic::SyntheticImage;
@@ -20,7 +20,7 @@ fn pipeline_winners_match_engine_first_pass() {
         .build();
     let engine = Segmenter::slic_ppa(params)
         .with_distance_mode(DistanceMode::quantized(8))
-        .segment(&img.rgb);
+        .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
 
     // Hardware: the same distance codes through the cycle-level pipeline.
     let grid = SeedGrid::new(w, h, 40);

@@ -3,7 +3,7 @@
 //! pin the *shape* of each result so regressions are caught by
 //! `cargo test --workspace`.
 
-use sslic::core::{DistanceMode, Segmenter, SlicParams};
+use sslic::core::{DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic::hw::gpu::{efficiency_ratio, GpuBaseline};
 use sslic::hw::sim::{FrameSimulator, Resolution};
 use sslic::image::synthetic::SyntheticImage;
@@ -48,8 +48,8 @@ fn claim_sslic_matches_slic_quality_at_half_the_step_cost() {
     let slic_params = SlicParams::builder(224).compactness(30.0).iterations(8).build();
     let sslic_params = SlicParams::builder(224).compactness(30.0).iterations(16).build();
 
-    let slic = Segmenter::slic_ppa(slic_params).segment(&img.rgb);
-    let sslic = Segmenter::sslic_ppa(sslic_params, 2).segment(&img.rgb);
+    let slic = Segmenter::slic_ppa(slic_params).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+    let sslic = Segmenter::sslic_ppa(sslic_params, 2).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
 
     // Identical total assignment work (16 half-passes = 8 full passes)…
     assert_eq!(
@@ -81,7 +81,7 @@ fn claim_8bit_is_free_below_8_is_not() {
     let run = |mode: DistanceMode| {
         let seg = Segmenter::sslic_ppa(params, 2)
             .with_distance_mode(mode)
-            .segment(&img.rgb);
+            .run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         undersegmentation_error(seg.labels(), &img.ground_truth)
     };
     let float = run(DistanceMode::Float);
@@ -152,8 +152,8 @@ fn claim_cpa_vs_ppa_tradeoff() {
         .enforce_connectivity(false)
         .build();
     let model = TrafficModel::sw_double();
-    let cpa = Segmenter::new(params, Algorithm::SlicCpa).segment(&img.rgb);
-    let ppa = Segmenter::new(params, Algorithm::SlicPpa).segment(&img.rgb);
+    let cpa = Segmenter::new(params, Algorithm::SlicCpa).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+    let ppa = Segmenter::new(params, Algorithm::SlicPpa).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
     let mem_ratio = model.bytes(cpa.counters()).total() as f64
         / model.bytes(ppa.counters()).total() as f64;
     let ops_ratio =

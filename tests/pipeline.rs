@@ -1,7 +1,7 @@
 //! Cross-crate integration: synthetic image → color conversion →
 //! segmentation → metrics, through the `sslic` facade.
 
-use sslic::core::{Algorithm, Segmenter, SlicParams};
+use sslic::core::{Algorithm, RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic::image::synthetic::{SyntheticDataset, SyntheticImage};
 use sslic::image::{draw, ppm};
 use sslic::metrics::{
@@ -34,7 +34,7 @@ fn every_variant_beats_a_horizontal_bands_strawman() {
         },
         Algorithm::SSlicCpa { subsets: 2 },
     ] {
-        let seg = Segmenter::new(params(120, 6), algorithm).segment(&img.rgb);
+        let seg = Segmenter::new(params(120, 6), algorithm).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
         let use_err = undersegmentation_error(seg.labels(), &img.ground_truth);
         assert!(
             use_err < strawman_use / 2.0,
@@ -48,8 +48,8 @@ fn every_variant_beats_a_horizontal_bands_strawman() {
 #[test]
 fn more_superpixels_recall_boundaries_at_least_as_well() {
     let img = SyntheticImage::builder(160, 120).seed(9).regions(8).build();
-    let coarse = Segmenter::slic_ppa(params(40, 6)).segment(&img.rgb);
-    let fine = Segmenter::slic_ppa(params(250, 6)).segment(&img.rgb);
+    let coarse = Segmenter::slic_ppa(params(40, 6)).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+    let fine = Segmenter::slic_ppa(params(250, 6)).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
     let br_coarse = boundary_recall(coarse.labels(), &img.ground_truth, 1);
     let br_fine = boundary_recall(fine.labels(), &img.ground_truth, 1);
     assert!(
@@ -61,7 +61,7 @@ fn more_superpixels_recall_boundaries_at_least_as_well() {
 #[test]
 fn label_maps_survive_a_ppm_round_trip_visualisation() {
     let img = SyntheticImage::builder(96, 64).seed(2).regions(5).build();
-    let seg = Segmenter::sslic_ppa(params(60, 4), 2).segment(&img.rgb);
+    let seg = Segmenter::sslic_ppa(params(60, 4), 2).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
     let overlay =
         draw::overlay_boundaries(&img.rgb, seg.labels(), sslic::image::Rgb::new(255, 0, 0));
     let mut buf = Vec::new();
@@ -78,7 +78,7 @@ fn corpus_evaluation_is_reproducible_across_runs() {
         corpus
             .iter()
             .map(|img| {
-                let s = seg.segment(&img.rgb);
+                let s = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
                 undersegmentation_error(s.labels(), &img.ground_truth)
             })
             .collect()
@@ -98,7 +98,7 @@ fn connectivity_leaves_no_small_fragments() {
         .iterations(6)
         .min_region_divisor(4)
         .build();
-    let seg = Segmenter::slic_ppa(p).segment(&img.rgb);
+    let seg = Segmenter::slic_ppa(p).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
     let min_size = ((seg.spacing() * seg.spacing()) / 4.0) as usize;
     let sizes = sslic::core::component_sizes(seg.labels());
     let too_small = sizes.iter().filter(|&&s| s < min_size).count();
@@ -113,7 +113,7 @@ fn object_scenes_segment_as_well_as_voronoi_scenes() {
     // The alternative generator (elliptical objects over background) must
     // be segmentable too: superpixels should recover object boundaries.
     let scene = sslic::image::synthetic::objects_scene(160, 120, 5, 21);
-    let seg = Segmenter::sslic_ppa(params(150, 8), 2).segment(&scene.rgb);
+    let seg = Segmenter::sslic_ppa(params(150, 8), 2).run(SegmentRequest::Rgb(&scene.rgb), &RunOptions::new());
     let asa = achievable_segmentation_accuracy(seg.labels(), &scene.ground_truth);
     assert!(asa > 0.95, "ASA on object scene = {asa}");
     let br = boundary_recall(seg.labels(), &scene.ground_truth, 2);
@@ -124,7 +124,7 @@ fn object_scenes_segment_as_well_as_voronoi_scenes() {
 fn compacted_labels_preserve_metric_values() {
     // Metrics must be invariant under label renumbering.
     let img = SyntheticImage::builder(120, 90).seed(3).regions(6).build();
-    let seg = Segmenter::slic_ppa(params(100, 5)).segment(&img.rgb);
+    let seg = Segmenter::slic_ppa(params(100, 5)).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
     let (dense, n) = sslic::core::compact_labels(seg.labels());
     assert!(n <= seg.cluster_count());
     let before = undersegmentation_error(seg.labels(), &img.ground_truth);
@@ -135,13 +135,13 @@ fn compacted_labels_preserve_metric_values() {
 #[test]
 fn convergence_threshold_stops_early_and_preserves_quality() {
     let img = SyntheticImage::builder(160, 120).seed(4).regions(6).build();
-    let free_running = Segmenter::slic_ppa(params(120, 15)).segment(&img.rgb);
+    let free_running = Segmenter::slic_ppa(params(120, 15)).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
     let p = SlicParams::builder(120)
         .compactness(30.0)
         .iterations(15)
         .convergence_threshold(Some(0.1))
         .build();
-    let early = Segmenter::slic_ppa(p).segment(&img.rgb);
+    let early = Segmenter::slic_ppa(p).run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
     assert!(early.iterations_run() < 15, "threshold should trigger");
     let use_free = undersegmentation_error(free_running.labels(), &img.ground_truth);
     let use_early = undersegmentation_error(early.labels(), &img.ground_truth);
