@@ -23,24 +23,52 @@ cargo run -q -p sslic-lint -- --json results/lint-report.json
 echo "==> fault-injection smoke (determinism: two sweeps must match byte for byte)"
 mkdir -p results
 ./target/release/fault_sweep --seed 7 --small \
-    --json results/fault-sweep-a.json --md results/fault-sweep-a.md >/dev/null
+    --json results/fault-sweep-a.json --md results/fault-sweep-a.md \
+    --report results/fault-report-a.json >/dev/null
 ./target/release/fault_sweep --seed 7 --small \
-    --json results/fault-sweep-b.json --md results/fault-sweep-b.md >/dev/null
+    --json results/fault-sweep-b.json --md results/fault-sweep-b.md \
+    --report results/fault-report-b.json >/dev/null
 cmp results/fault-sweep-a.json results/fault-sweep-b.json
 cmp results/fault-sweep-a.md results/fault-sweep-b.md
+cmp results/fault-report-a.json results/fault-report-b.json
 mv results/fault-sweep-a.json results/fault-sweep.json
 mv results/fault-sweep-a.md results/fault-sweep.md
-rm -f results/fault-sweep-b.json results/fault-sweep-b.md
+mv results/fault-report-a.json results/fault-report.json
+rm -f results/fault-sweep-b.json results/fault-sweep-b.md results/fault-report-b.json
 
 echo "==> thread-count invariance (throughput JSON at 1 vs 4 threads must match byte for byte)"
 ./target/release/throughput --threads 1 --sizes 160x120,320x240 --frames 1 \
     --superpixels 150 --iterations 3 \
-    --json results/throughput-1t.json --md results/throughput.md >/dev/null
+    --json results/throughput-1t.json --md results/throughput.md \
+    --report results/throughput-report-1t.json >/dev/null
 ./target/release/throughput --threads 4 --sizes 160x120,320x240 --frames 1 \
     --superpixels 150 --iterations 3 \
-    --json results/throughput-4t.json --md /dev/null >/dev/null
+    --json results/throughput-4t.json --md /dev/null \
+    --report results/throughput-report-4t.json >/dev/null
 cmp results/throughput-1t.json results/throughput-4t.json
+cmp results/throughput-report-1t.json results/throughput-report-4t.json
 mv results/throughput-1t.json results/throughput.json
-rm -f results/throughput-4t.json
+mv results/throughput-report-1t.json results/throughput-report.json
+rm -f results/throughput-4t.json results/throughput-report-4t.json
+
+echo "==> trace determinism (JSONL + Chrome traces must be byte-identical across repeats and 1 vs 4 threads)"
+./target/release/sslic dataset results/trace-ds --count 1 --width 160 --height 120 >/dev/null
+trace_seg() {
+    ./target/release/sslic segment results/trace-ds/000.ppm \
+        --superpixels 150 --iterations 3 --algo hw8 --threads "$1" \
+        --out "results/trace-ds/seg-$2" \
+        --trace "results/trace-$2.jsonl" \
+        --chrome-trace "results/trace-$2.chrome.json" >/dev/null
+}
+trace_seg 1 1a
+trace_seg 1 1b
+trace_seg 4 4t
+cmp results/trace-1a.jsonl results/trace-1b.jsonl
+cmp results/trace-1a.jsonl results/trace-4t.jsonl
+cmp results/trace-1a.chrome.json results/trace-4t.chrome.json
+mv results/trace-1a.jsonl results/trace.jsonl
+mv results/trace-1a.chrome.json results/trace.chrome.json
+rm -rf results/trace-ds results/trace-1b.jsonl results/trace-1b.chrome.json \
+    results/trace-4t.jsonl results/trace-4t.chrome.json
 
 echo "CI OK"

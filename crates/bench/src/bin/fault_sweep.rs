@@ -9,22 +9,36 @@
 //!
 //! ```text
 //! fault_sweep [--seed N] [--small | --full] [--json PATH] [--md PATH]
+//!             [--report PATH]
 //! ```
 //!
 //! Two invocations with the same seed and scale produce byte-identical
 //! reports (CI diffs them to enforce the determinism contract).
+//! `--report` additionally writes a structured [`sslic_obs::RunReport`]
+//! from one traced deterministic engine run under pixel-feature fault
+//! injection at the sweep's seed — its `injected_words` field carries the
+//! number of corrupted words, and timings are zeroed, so the report bytes
+//! are deterministic too.
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use sslic_fault::{run_sweep, to_json, to_markdown, SweepConfig};
+use sslic_core::{
+    build_run_report, DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams,
+};
+use sslic_fault::{
+    run_sweep, to_json, to_markdown, EngineFaults, FaultKind, FaultPlan, FaultSite, SweepConfig,
+};
+use sslic_image::synthetic::SyntheticImage;
+use sslic_obs::Recorder;
 
 fn main() -> ExitCode {
     let mut seed = 1u64;
     let mut full = false;
     let mut json_path: Option<String> = None;
     let mut md_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,6 +56,10 @@ fn main() -> ExitCode {
             "--md" => match args.next() {
                 Some(p) => md_path = Some(p),
                 None => return usage("--md needs a path"),
+            },
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(p),
+                None => return usage("--report needs a path"),
             },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument `{other}`")),
@@ -70,6 +88,33 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &md_path {
         if let Err(e) = fs::write(path, to_markdown(&result)) {
+            eprintln!("fault_sweep: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &report_path {
+        // One traced engine run under pixel-feature corruption: the
+        // RunReport carries the run's counters, the trace's histograms,
+        // and the injected-word tally from the fault adapter.
+        let img = SyntheticImage::builder(160, 120).seed(seed).regions(8).build();
+        let plan = FaultPlan::new(seed).with(
+            FaultSite::PixelFeature,
+            FaultKind::SingleBitFlip,
+            10_000,
+        );
+        let rec = Recorder::deterministic();
+        let hooks = EngineFaults::new(&plan).with_recorder(&rec);
+        let params = SlicParams::builder(150).iterations(5).threads(1).build();
+        // Quantized datapath: pixel-feature corruption strikes the 8-bit
+        // Lab codes, which only exist on the accelerator's LUT path.
+        let seg = Segmenter::sslic_ppa(params, 2)
+            .with_distance_mode(DistanceMode::quantized(8));
+        let out = seg.run(
+            SegmentRequest::Rgb(&img.rgb),
+            &RunOptions::new().with_faults(&hooks).with_recorder(&rec),
+        );
+        let report = build_run_report(&seg, &out, true, Some(&rec), hooks.injected_words());
+        if let Err(e) = fs::write(path, report.to_json()) {
             eprintln!("fault_sweep: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -107,7 +152,10 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("fault_sweep: {err}");
     }
-    eprintln!("usage: fault_sweep [--seed N] [--small | --full] [--json PATH] [--md PATH]");
+    eprintln!(
+        "usage: fault_sweep [--seed N] [--small | --full] [--json PATH] [--md PATH] \
+         [--report PATH]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

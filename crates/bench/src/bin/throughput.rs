@@ -15,17 +15,23 @@
 //! ```text
 //! throughput [--threads 1,2,4,8] [--sizes 320x240,1280x720]
 //!            [--frames N] [--superpixels K] [--iterations N]
-//!            [--json PATH] [--md PATH]
+//!            [--json PATH] [--md PATH] [--report PATH]
 //! ```
+//!
+//! `--report` additionally writes a structured [`sslic_obs::RunReport`]
+//! (schema `sslic-run-report-v1`) from one traced deterministic 1-thread
+//! run of the first size — wall-clock phase timings are zeroed, so the
+//! report bytes, like the JSON report, depend only on the workload.
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use sslic_core::{DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
+use sslic_core::{build_run_report, DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic_image::synthetic::SyntheticImage;
 use sslic_image::Plane;
+use sslic_obs::Recorder;
 
 /// FNV-1a over the label words: stable, order-sensitive, dependency-free
 /// (the same digest the fault regression suite pins).
@@ -91,6 +97,7 @@ fn main() -> ExitCode {
     let mut iterations = 5u32;
     let mut json_path: Option<String> = None;
     let mut md_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -122,6 +129,10 @@ fn main() -> ExitCode {
             "--md" => match args.next() {
                 Some(p) => md_path = Some(p),
                 None => return usage("--md needs a path"),
+            },
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(p),
+                None => return usage("--report needs a path"),
             },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument `{other}`")),
@@ -205,6 +216,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = &report_path {
+        // Pinned to 1 thread regardless of the swept list, so the report
+        // bytes are invariant across invocations (CI byte-diffs them).
+        let (w, h) = sizes[0];
+        let img = SyntheticImage::builder(w, h).seed(2024).regions(12).build();
+        let params = SlicParams::builder(superpixels)
+            .iterations(iterations)
+            .threads(1)
+            .build();
+        let seg = Segmenter::sslic_ppa(params, 2).with_distance_mode(DistanceMode::quantized(8));
+        let rec = Recorder::deterministic();
+        let out = seg.run(
+            SegmentRequest::Rgb(&img.rgb),
+            &RunOptions::new().with_recorder(&rec),
+        );
+        let report = build_run_report(&seg, &out, true, Some(&rec), 0);
+        if let Err(e) = fs::write(path, report.to_json()) {
+            eprintln!("throughput: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if json_path.is_none() && md_path.is_none() {
         print!("{md}");
     } else {
@@ -281,7 +313,7 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: throughput [--threads 1,2,4,8] [--sizes 320x240,1280x720] [--frames N] \
-         [--superpixels K] [--iterations N] [--json PATH] [--md PATH]"
+         [--superpixels K] [--iterations N] [--json PATH] [--md PATH] [--report PATH]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

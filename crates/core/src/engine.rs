@@ -2,6 +2,7 @@ use std::ops::Range;
 
 use sslic_color::{float, hw::HwColorConverter, Lab8Image, LabImage};
 use sslic_image::{Plane, RgbImage};
+use sslic_obs::{LogicalClock, Recorder, Value};
 
 use crate::cluster::{init_clusters, Cluster};
 use crate::connectivity::enforce_connectivity;
@@ -45,6 +46,16 @@ impl Algorithm {
         match self {
             Algorithm::SlicCpa | Algorithm::SlicPpa => 1,
             Algorithm::SSlicPpa { subsets, .. } | Algorithm::SSlicCpa { subsets } => *subsets,
+        }
+    }
+
+    /// Stable snake_case identifier used by trace events and run reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::SlicCpa => "slic_cpa",
+            Algorithm::SlicPpa => "slic_ppa",
+            Algorithm::SSlicPpa { .. } => "sslic_ppa",
+            Algorithm::SSlicCpa { .. } => "sslic_cpa",
         }
     }
 }
@@ -141,6 +152,15 @@ pub struct RunOptions<'a> {
     /// [`StepFaults`]. `None` (or hooks that never mutate anything)
     /// leaves the output bit-identical to the hook-free run.
     pub faults: Option<&'a dyn StepFaults>,
+    /// Observability recorder. When set, the engine emits spans and
+    /// events keyed by logical clocks (step, band) at its serial
+    /// synchronization points: a `core.run` span, per-step `core.step`
+    /// spans, per-band counter events from the assignment and
+    /// center-update passes, phase attribution, and repair events. The
+    /// emission schedule is a pure function of the workload, so a
+    /// deterministic-mode trace is byte-identical across repeats and
+    /// thread counts. Recording never changes the segmentation output.
+    pub recorder: Option<&'a Recorder>,
 }
 
 impl<'a> RunOptions<'a> {
@@ -161,6 +181,12 @@ impl<'a> RunOptions<'a> {
         self.faults = Some(faults);
         self
     }
+
+    /// Attaches an observability recorder (see [`RunOptions::recorder`]).
+    pub fn with_recorder(mut self, recorder: &'a Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
 }
 
 impl std::fmt::Debug for RunOptions<'_> {
@@ -168,6 +194,7 @@ impl std::fmt::Debug for RunOptions<'_> {
         f.debug_struct("RunOptions")
             .field("warm_start", &self.warm_start.map(<[Cluster]>::len))
             .field("faults", &self.faults.is_some())
+            .field("recorder", &self.recorder.is_some())
             .finish()
     }
 }
@@ -382,7 +409,14 @@ impl Segmenter {
                 warm.len()
             );
         }
-        self.execute(lab, lab8, breakdown, options.warm_start, options.faults)
+        self.execute(
+            lab,
+            lab8,
+            breakdown,
+            options.warm_start,
+            options.faults,
+            options.recorder,
+        )
     }
 
     /// Segments an RGB image starting from another frame's converged
@@ -462,6 +496,7 @@ impl Segmenter {
         mut breakdown: PhaseBreakdown,
         warm_start: Option<&[Cluster]>,
         faults: Option<&dyn StepFaults>,
+        recorder: Option<&Recorder>,
     ) -> Segmentation {
         let params = &self.params;
         let (w, h) = (lab.width(), lab.height());
@@ -504,6 +539,21 @@ impl Segmenter {
             "adaptive compactness is a float-datapath feature"
         );
         let cluster_count = clusters.len();
+        if let Some(rec) = recorder {
+            rec.span_begin(
+                "core.run",
+                LogicalClock::ZERO,
+                vec![
+                    ("algorithm", Value::from(self.algorithm.name())),
+                    ("width", Value::U64(w as u64)),
+                    ("height", Value::U64(h as u64)),
+                    ("clusters", Value::U64(cluster_count as u64)),
+                    ("iterations", Value::U64(u64::from(params.iterations()))),
+                    // Deliberately NOT the thread count: the determinism
+                    // contract byte-diffs traces across worker counts.
+                ],
+            );
+        }
         let mut engine = Engine {
             grid,
             lab: &lab,
@@ -522,12 +572,25 @@ impl Segmenter {
             active: vec![true; cluster_count],
             preemption: self.preemption,
             threads: params.threads().get(),
+            recorder,
+            step: 0,
         };
 
         let mut iterations_run = 0u32;
         let mut repairs = 0u64;
         let mut last_movement = 0.0f32;
         for step in 0..params.iterations() {
+            engine.step = step;
+            if let Some(rec) = recorder {
+                rec.span_begin(
+                    "core.step",
+                    LogicalClock::step(step),
+                    vec![(
+                        "subset",
+                        Value::U64(u64::from(step % self.algorithm.steps_per_full_pass())),
+                    )],
+                );
+            }
             let movement = match self.algorithm {
                 Algorithm::SlicCpa => {
                     breakdown.time(Phase::DistanceMin, || {
@@ -588,7 +651,22 @@ impl Segmenter {
             // state, preserving bit-identity of the fault-free path) so
             // corrupted center registers cannot push subsequent window
             // scans or seed lookups out of the image box.
-            repairs += engine.repair_centers();
+            let step_repairs = engine.repair_centers();
+            repairs += step_repairs;
+            if let Some(rec) = recorder {
+                if step_repairs > 0 {
+                    rec.instant(
+                        "core.repair.centers",
+                        LogicalClock::step(step),
+                        vec![("repaired", Value::U64(step_repairs))],
+                    );
+                }
+                rec.span_end(
+                    "core.step",
+                    LogicalClock::step(step),
+                    vec![("sub_iterations", Value::U64(1))],
+                );
+            }
             if let Some(threshold) = params.convergence_threshold() {
                 if movement <= threshold {
                     break;
@@ -601,12 +679,23 @@ impl Segmenter {
         // corruption) is repaired to the pixel's home cluster, keeping the
         // map a valid index into `clusters` for connectivity and callers.
         let k = engine.clusters.len() as u32;
+        let mut label_repairs = 0u64;
         for y in 0..h {
             for x in 0..w {
                 if labels[(x, y)] >= k {
                     labels[(x, y)] = engine.grid.home_cluster_of_pixel(x, y) as u32;
-                    repairs += 1;
+                    label_repairs += 1;
                 }
+            }
+        }
+        repairs += label_repairs;
+        if let Some(rec) = recorder {
+            if label_repairs > 0 {
+                rec.instant(
+                    "core.repair.labels",
+                    LogicalClock::step(iterations_run.saturating_sub(1)),
+                    vec![("repaired", Value::U64(label_repairs))],
+                );
             }
         }
         if params.enforce_connectivity() {
@@ -629,6 +718,46 @@ impl Segmenter {
         } else {
             SegmentationStatus::Ok
         };
+        if let Some(rec) = recorder {
+            // Phase attribution: wall-clock durations pass through
+            // Recorder::duration_ns, which zeroes them in deterministic
+            // mode so the trace bytes stay workload-pure.
+            for phase in crate::profile::PHASES {
+                rec.instant(
+                    "core.phase",
+                    LogicalClock::step(iterations_run.saturating_sub(1)),
+                    vec![
+                        ("phase", Value::from(phase.key())),
+                        (
+                            "nanos",
+                            Value::U64(rec.duration_ns(breakdown.phase_time(phase))),
+                        ),
+                    ],
+                );
+            }
+            let c = &engine.counters;
+            rec.counter_add("core.distance_calcs", c.distance_calcs);
+            rec.counter_add("core.pixel_color_reads", c.pixel_color_reads);
+            rec.counter_add("core.sigma_updates", c.sigma_updates);
+            rec.counter_add("core.center_updates", c.center_updates);
+            rec.counter_add("core.sub_iterations", c.sub_iterations);
+            rec.counter_add("core.invariant_repairs", repairs);
+            rec.span_end(
+                "core.run",
+                LogicalClock::step(iterations_run.saturating_sub(1)),
+                vec![
+                    ("iterations_run", Value::U64(u64::from(iterations_run))),
+                    ("repairs", Value::U64(repairs)),
+                    (
+                        "status",
+                        Value::from(match status {
+                            SegmentationStatus::Ok => "ok",
+                            SegmentationStatus::Degraded => "degraded",
+                        }),
+                    ),
+                ],
+            );
+        }
         Segmentation {
             labels,
             clusters: engine.clusters,
@@ -744,7 +873,17 @@ struct Engine<'a> {
     /// Worker count for the banded parallel passes. Affects wall-clock
     /// time only — never the output (see `parallel`).
     threads: usize,
+    /// Observability recorder; consulted only at serial synchronization
+    /// points (after band folds), so the emission schedule is independent
+    /// of the worker count.
+    recorder: Option<&'a Recorder>,
+    /// Current center-update step, stamped into emitted logical clocks.
+    step: u32,
 }
+
+/// Fixed bucket boundaries of the per-band assigned-pixel histogram
+/// (`core.band.pixels`): powers of four from 256 to 64k pixels.
+const BAND_PIXEL_BOUNDS: [u64; 5] = [1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16];
 
 impl Engine<'_> {
     /// Repairs corrupted center registers in place: non-finite fields are
@@ -869,34 +1008,62 @@ impl Engine<'_> {
             })
         };
         self.labels = labels;
-        let mut assigned = 0u64;
         let mut new_max = vec![0f32; self.clusters.len()];
-        for (band_assigned, band_max) in partials {
-            assigned += band_assigned;
+        let mut band_counters = Vec::with_capacity(partials.len());
+        for (band_part, band_max) in partials {
             for (cur, seen) in new_max.iter_mut().zip(band_max) {
                 *cur = cur.max(seen);
             }
+            band_counters.push(band_part);
         }
         self.merge_adaptive_maxima(&new_max);
-        self.counters.pixel_color_reads += assigned;
-        self.counters.distance_calcs += assigned * 9;
-        self.counters.label_writes += assigned;
+        // Per-band counter partials fold in ascending band order at this
+        // serial sync point: the totals depend only on the band layout
+        // (a pure function of the image height), never the thread count.
+        for part in &band_counters {
+            self.counters += *part;
+        }
         // One 9-center register load per tile processed (paper §4.3); under
         // interleaved subsets every tile is touched each sub-iteration.
-        self.counters.center_reads += self.grid.cluster_count() as u64 * 9;
+        let center_reads = self.grid.cluster_count() as u64 * 9;
+        self.counters.center_reads += center_reads;
+        if let Some(rec) = self.recorder {
+            for (b, part) in band_counters.iter().enumerate() {
+                rec.instant(
+                    "core.assign.band",
+                    LogicalClock::band(self.step, b as u32),
+                    vec![
+                        ("pixel_color_reads", Value::U64(part.pixel_color_reads)),
+                        ("distance_calcs", Value::U64(part.distance_calcs)),
+                        ("label_writes", Value::U64(part.label_writes)),
+                    ],
+                );
+                rec.histogram_observe(
+                    "core.band.pixels",
+                    &BAND_PIXEL_BOUNDS,
+                    part.pixel_color_reads,
+                );
+            }
+            rec.instant(
+                "core.assign.step",
+                LogicalClock::step(self.step),
+                vec![("center_reads", Value::U64(center_reads))],
+            );
+        }
     }
 
     /// One band of PPA assignment over rows `rows`, writing into that
     /// band's label stripe (row-major, `rows.len() × width`). Returns the
-    /// pixels assigned and the per-cluster color-distance maxima observed
-    /// (SLICO state).
+    /// band's private counter partial and the per-cluster color-distance
+    /// maxima observed (SLICO state); both are folded in ascending band
+    /// order by the caller.
     fn assign_ppa_band(
         &self,
         subset: Option<(&SubsetPartition, u32)>,
         rows: Range<usize>,
         stripe: &mut [u32],
         preempting: bool,
-    ) -> (u64, Vec<f32>) {
+    ) -> (RunCounters, Vec<f32>) {
         let w = self.grid.width();
         let mut assigned = 0u64;
         let mut new_max = vec![0f32; self.clusters.len()];
@@ -930,7 +1097,13 @@ impl Engine<'_> {
                 assigned += 1;
             }
         }
-        (assigned, new_max)
+        let part = RunCounters {
+            pixel_color_reads: assigned,
+            distance_calcs: assigned * 9,
+            label_writes: assigned,
+            ..RunCounters::default()
+        };
+        (part, new_max)
     }
 
     /// Center-perspective assignment pass over all clusters or the subset
@@ -983,6 +1156,22 @@ impl Engine<'_> {
         self.counters.dist_buffer_writes += improvements;
         self.counters.label_writes += improvements;
         self.counters.center_reads += clusters_processed;
+        if let Some(rec) = self.recorder {
+            // CPA is a serial window scan (not banded): the whole pass
+            // reports as one step-level counter event.
+            rec.instant(
+                "core.assign.step",
+                LogicalClock::step(self.step),
+                vec![
+                    ("distance_calcs", Value::U64(visits)),
+                    ("pixel_color_reads", Value::U64(visits)),
+                    ("dist_buffer_reads", Value::U64(visits)),
+                    ("dist_buffer_writes", Value::U64(improvements)),
+                    ("label_writes", Value::U64(improvements)),
+                    ("center_reads", Value::U64(clusters_processed)),
+                ],
+            );
+        }
     }
 
     /// Folds a pass's observed per-cluster color-distance maxima into the
@@ -1046,21 +1235,42 @@ impl Engine<'_> {
                     pixels_seen += 1;
                 }
             }
-            (sigma, pixels_seen)
+            let part = RunCounters {
+                label_reads: pixels_seen,
+                pixel_color_reads: pixels_seen,
+                sigma_updates: pixels_seen,
+                ..RunCounters::default()
+            };
+            (sigma, part)
         });
         let mut sigma = vec![[0f64; 6]; cluster_count];
-        let mut pixels_seen = 0u64;
-        for (band_sigma, band_seen) in partials {
-            pixels_seen += band_seen;
+        let mut band_counters = Vec::with_capacity(partials.len());
+        for (band_sigma, band_part) in partials {
             for (acc, part) in sigma.iter_mut().zip(band_sigma) {
                 for (a, p) in acc.iter_mut().zip(part) {
                     *a += p;
                 }
             }
+            band_counters.push(band_part);
         }
-        self.counters.label_reads += pixels_seen;
-        self.counters.pixel_color_reads += pixels_seen;
-        self.counters.sigma_updates += pixels_seen;
+        // Like assignment: per-band counter partials fold in ascending
+        // band order at the serial sync point.
+        for part in &band_counters {
+            self.counters += *part;
+        }
+        if let Some(rec) = self.recorder {
+            for (b, part) in band_counters.iter().enumerate() {
+                rec.instant(
+                    "core.update.band",
+                    LogicalClock::band(self.step, b as u32),
+                    vec![
+                        ("label_reads", Value::U64(part.label_reads)),
+                        ("pixel_color_reads", Value::U64(part.pixel_color_reads)),
+                        ("sigma_updates", Value::U64(part.sigma_updates)),
+                    ],
+                );
+            }
+        }
 
         let mut movement = 0.0f32;
         let mut updated = 0u64;
@@ -1095,6 +1305,13 @@ impl Engine<'_> {
             }
         }
         self.counters.center_updates += updated;
+        if let Some(rec) = self.recorder {
+            rec.instant(
+                "core.update.step",
+                LogicalClock::step(self.step),
+                vec![("center_updates", Value::U64(updated))],
+            );
+        }
         if updated == 0 {
             0.0
         } else {

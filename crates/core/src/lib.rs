@@ -46,7 +46,12 @@ pub mod features;
 pub mod graph;
 pub mod instrument;
 pub mod profile;
+pub mod report;
 pub mod subsample;
+
+/// The observability layer (re-exported so downstream crates reach the
+/// [`obs::Recorder`] and [`obs::RunReport`] without a direct dependency).
+pub use sslic_obs as obs;
 
 pub use cluster::{init_clusters, Cluster};
 pub use connectivity::{compact_labels, component_sizes, enforce_connectivity};
@@ -56,3 +61,4 @@ pub use engine::{
 };
 pub use grid::SeedGrid;
 pub use params::{ParamError, SlicParams, SlicParamsBuilder};
+pub use report::build_run_report;

@@ -49,6 +49,17 @@ impl Phase {
             Phase::Connectivity => "connectivity",
         }
     }
+
+    /// Stable snake_case identifier used by trace events and run reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            Phase::ColorConversion => "color_conversion",
+            Phase::Init => "init",
+            Phase::DistanceMin => "distance_min",
+            Phase::CenterUpdate => "center_update",
+            Phase::Connectivity => "connectivity",
+        }
+    }
 }
 
 /// Accumulated time per [`Phase`].
@@ -157,9 +168,15 @@ mod tests {
     #[test]
     fn time_returns_closure_result_and_records() {
         let mut b = PhaseBreakdown::new();
-        let v = b.time(Phase::Init, || 41 + 1);
+        // Sleep inside the timed closure so the recorded duration has a
+        // deterministic lower bound the assertion can actually check.
+        let v = b.time(Phase::Init, || {
+            std::thread::sleep(Duration::from_millis(1));
+            41 + 1
+        });
         assert_eq!(v, 42);
-        assert!(b.phase_time(Phase::Init) > Duration::ZERO || true);
+        assert!(b.phase_time(Phase::Init) >= Duration::from_millis(1));
+        assert_eq!(b.phase_time(Phase::DistanceMin), Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Building an [`sslic_obs::RunReport`] from a finished segmentation.
+//!
+//! The report is the serializable cap of a traced run: parameters,
+//! counters, phase attribution, recorder histograms, fault summary, and
+//! modeled DRAM traffic under each element-width convention.
+
+use sslic_obs::{PhaseNanos, Recorder, ReportCounters, RunReport, TrafficEntry};
+
+use crate::engine::{Segmentation, SegmentationStatus, Segmenter};
+use crate::instrument::{RunCounters, TrafficModel};
+use crate::profile::PHASES;
+
+/// Converts the engine's [`RunCounters`] into the report mirror.
+pub fn report_counters(c: &RunCounters) -> ReportCounters {
+    ReportCounters {
+        distance_calcs: c.distance_calcs,
+        pixel_color_reads: c.pixel_color_reads,
+        dist_buffer_reads: c.dist_buffer_reads,
+        dist_buffer_writes: c.dist_buffer_writes,
+        label_reads: c.label_reads,
+        label_writes: c.label_writes,
+        center_reads: c.center_reads,
+        sigma_updates: c.sigma_updates,
+        center_updates: c.center_updates,
+        sub_iterations: c.sub_iterations,
+    }
+}
+
+/// Builds a [`RunReport`] for a completed run of `seg`.
+///
+/// With `deterministic = true` every timing field is zeroed so the report
+/// bytes are a pure function of the workload (the mode CI byte-diffs);
+/// otherwise the phase times carry real nanoseconds. `recorder`, when
+/// given, contributes its histogram snapshots; `injected_words` is the
+/// fault-campaign tally (0 for clean runs).
+pub fn build_run_report(
+    seg: &Segmenter,
+    out: &Segmentation,
+    deterministic: bool,
+    recorder: Option<&Recorder>,
+    injected_words: u64,
+) -> RunReport {
+    let params = seg.params();
+    let phases = PHASES
+        .iter()
+        .map(|&p| PhaseNanos {
+            name: p.key().to_string(),
+            nanos: if deterministic {
+                0
+            } else {
+                u64::try_from(out.breakdown().phase_time(p).as_nanos()).unwrap_or(u64::MAX)
+            },
+        })
+        .collect();
+    let traffic = [
+        ("sw_double", TrafficModel::sw_double()),
+        ("sw_float", TrafficModel::sw_float()),
+        ("hw_8bit", TrafficModel::hw_8bit()),
+    ]
+    .iter()
+    .map(|(name, model)| {
+        let bytes = model.bytes(out.counters());
+        TrafficEntry {
+            model: name.to_string(),
+            read_bytes: bytes.read,
+            written_bytes: bytes.written,
+        }
+    })
+    .collect();
+    let mut report = RunReport {
+        algorithm: seg.algorithm().name().to_string(),
+        width: out.labels().width() as u64,
+        height: out.labels().height() as u64,
+        superpixels: params.superpixels() as u64,
+        iterations: u64::from(params.iterations()),
+        subsets: u64::from(seg.algorithm().steps_per_full_pass()),
+        threads: params.threads().get() as u64,
+        compactness: f64::from(params.compactness()),
+        distance_mode: if seg.distance_mode().is_quantized() {
+            "quantized".to_string()
+        } else {
+            "float".to_string()
+        },
+        iterations_run: u64::from(out.iterations_run()),
+        status: match out.status() {
+            SegmentationStatus::Ok => "ok".to_string(),
+            SegmentationStatus::Degraded => "degraded".to_string(),
+        },
+        repairs: out.invariant_repairs(),
+        injected_words,
+        counters: report_counters(out.counters()),
+        phases,
+        histograms: Vec::new(),
+        traffic: Vec::new(),
+    };
+    report.traffic = traffic;
+    if let Some(rec) = recorder {
+        report.set_histograms(&rec.metrics());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RunOptions, SegmentRequest, SlicParams};
+    use sslic_image::synthetic::SyntheticImage;
+
+    #[test]
+    fn report_mirrors_counters_and_round_trips() {
+        let img = SyntheticImage::builder(64, 48).seed(7).regions(4).build();
+        let seg = Segmenter::sslic_ppa(SlicParams::builder(60).iterations(4).build(), 2);
+        let rec = Recorder::deterministic();
+        let out = seg.run(
+            SegmentRequest::Rgb(&img.rgb),
+            &RunOptions::new().with_recorder(&rec),
+        );
+        let report = build_run_report(&seg, &out, true, Some(&rec), 0);
+        assert_eq!(report.counters, report_counters(out.counters()));
+        assert_eq!(report.iterations_run, 4);
+        assert_eq!(report.algorithm, "sslic_ppa");
+        assert!(report.phases.iter().all(|p| p.nanos == 0));
+        // Traffic entries match the models exactly.
+        let hw = TrafficModel::hw_8bit().bytes(out.counters());
+        let entry = report
+            .traffic
+            .iter()
+            .find(|t| t.model == "hw_8bit")
+            .expect("hw entry");
+        assert_eq!((entry.read_bytes, entry.written_bytes), (hw.read, hw.written));
+        // Round trip.
+        let back = RunReport::from_json(&report.to_json()).expect("parse");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn wallclock_report_carries_phase_nanos() {
+        let img = SyntheticImage::builder(64, 48).seed(7).regions(4).build();
+        let seg = Segmenter::slic_ppa(SlicParams::builder(60).iterations(3).build());
+        let out = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+        let report = build_run_report(&seg, &out, false, None, 0);
+        let total: u64 = report.phases.iter().map(|p| p.nanos).sum();
+        assert!(total > 0, "non-deterministic report keeps real timings");
+    }
+}

@@ -99,6 +99,50 @@ fn cpa_quantized_is_pinned_for_every_thread_count() {
 }
 
 #[test]
+fn run_counters_are_bit_identical_across_thread_counts() {
+    // The op/traffic counters accumulate per band and fold in ascending
+    // band order at the serial sync point, so every field must be exactly
+    // equal — not approximately — at any worker count.
+    for (cpa, quantized) in [(false, false), (false, true), (true, false)] {
+        let baseline = {
+            let params = SlicParams::builder(60).iterations(5).threads(1).build();
+            let seg = if cpa {
+                Segmenter::sslic_cpa(params, 2)
+            } else {
+                Segmenter::sslic_ppa(params, 2)
+            };
+            let seg = if quantized {
+                seg.with_distance_mode(DistanceMode::quantized(8))
+            } else {
+                seg
+            };
+            *seg.run(SegmentRequest::Rgb(&fixed_scene().rgb), &RunOptions::new())
+                .counters()
+        };
+        assert!(baseline.distance_calcs > 0);
+        for t in [2usize, 8] {
+            let params = SlicParams::builder(60).iterations(5).threads(t).build();
+            let seg = if cpa {
+                Segmenter::sslic_cpa(params, 2)
+            } else {
+                Segmenter::sslic_ppa(params, 2)
+            };
+            let seg = if quantized {
+                seg.with_distance_mode(DistanceMode::quantized(8))
+            } else {
+                seg
+            };
+            let out = seg.run(SegmentRequest::Rgb(&fixed_scene().rgb), &RunOptions::new());
+            assert_eq!(
+                out.counters(),
+                &baseline,
+                "counters drifted at {t} threads (cpa={cpa}, quantized={quantized})"
+            );
+        }
+    }
+}
+
+#[test]
 fn warm_start_is_thread_count_invariant() {
     // Warm starts change the sigma state the banded reduction sees; pin
     // their invariance too (relative, not absolute: the cold result is

@@ -15,6 +15,7 @@ use sslic_color::Lab8Image;
 use sslic_core::{Cluster, StepFaults};
 use sslic_hw::faults::{FaultedByte, FaultedLabel, MemFaults};
 use sslic_hw::scratchpad::Protection;
+use sslic_obs::{LogicalClock, Recorder, Value};
 
 use crate::inject::effect_at;
 use crate::plan::{FaultPlan, FaultSite};
@@ -40,6 +41,7 @@ pub struct EngineFaults<'a> {
     /// Interior-mutable because the [`StepFaults`] hooks take `&self`
     /// (the engine shares the hook object by shared reference).
     injected_words: Cell<u64>,
+    recorder: Option<&'a Recorder>,
 }
 
 impl<'a> EngineFaults<'a> {
@@ -48,7 +50,17 @@ impl<'a> EngineFaults<'a> {
         EngineFaults {
             plan,
             injected_words: Cell::new(0),
+            recorder: None,
         }
+    }
+
+    /// Attaches an observability recorder: each injection pass that
+    /// corrupts at least one word emits a `fault.inject.*` instant, and
+    /// the corrupted-word total accumulates in the
+    /// `fault.injected_words` metric counter.
+    pub fn with_recorder(mut self, recorder: &'a Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Words actually corrupted so far (pixel bytes + center fields).
@@ -62,6 +74,7 @@ impl StepFaults for EngineFaults<'_> {
         if self.plan.is_empty() {
             return;
         }
+        let mut corrupted = 0u64;
         let planes = [&mut lab8.l, &mut lab8.a, &mut lab8.b];
         for (channel, plane) in planes.into_iter().enumerate() {
             for (i, byte) in plane.as_mut_slice().iter_mut().enumerate() {
@@ -73,8 +86,20 @@ impl StepFaults for EngineFaults<'_> {
                 let was = *byte;
                 *byte = (eff.apply(was as u64) & 0xFF) as u8;
                 if *byte != was {
-                    self.injected_words.set(self.injected_words.get() + 1);
+                    corrupted += 1;
                 }
+            }
+        }
+        self.injected_words
+            .set(self.injected_words.get() + corrupted);
+        if corrupted > 0 {
+            if let Some(rec) = self.recorder {
+                rec.instant(
+                    "fault.inject.lab8",
+                    LogicalClock::ZERO,
+                    vec![("corrupted_words", Value::U64(corrupted))],
+                );
+                rec.counter_add("fault.injected_words", corrupted);
             }
         }
     }
@@ -83,6 +108,7 @@ impl StepFaults for EngineFaults<'_> {
         if self.plan.is_empty() {
             return;
         }
+        let mut corrupted = 0u64;
         for (k, cluster) in clusters.iter_mut().enumerate() {
             let fields: [&mut f32; 5] = [
                 &mut cluster.l,
@@ -101,8 +127,20 @@ impl StepFaults for EngineFaults<'_> {
                 let now = (eff.apply(was as u64) & 0xFFFF_FFFF) as u32;
                 if now != was {
                     *field = f32::from_bits(now);
-                    self.injected_words.set(self.injected_words.get() + 1);
+                    corrupted += 1;
                 }
+            }
+        }
+        self.injected_words
+            .set(self.injected_words.get() + corrupted);
+        if corrupted > 0 {
+            if let Some(rec) = self.recorder {
+                rec.instant(
+                    "fault.inject.centers",
+                    LogicalClock::step(step),
+                    vec![("corrupted_fields", Value::U64(corrupted))],
+                );
+                rec.counter_add("fault.injected_words", corrupted);
             }
         }
     }
@@ -146,6 +184,7 @@ pub struct HwFaults<'a> {
     protection: Protection,
     /// Outcome tallies across all hooked reads.
     pub stats: ProtectionStats,
+    recorder: Option<&'a Recorder>,
 }
 
 impl<'a> HwFaults<'a> {
@@ -156,12 +195,35 @@ impl<'a> HwFaults<'a> {
             plan,
             protection,
             stats: ProtectionStats::default(),
+            recorder: None,
         }
+    }
+
+    /// Attaches an observability recorder: every non-clean read outcome
+    /// bumps a `fault.hw.*` metric counter (`silent`, `corrected`,
+    /// `detected_retries`). Per-word instants are deliberately not
+    /// emitted — heavy plans would produce millions of events.
+    pub fn with_recorder(mut self, recorder: &'a Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The protection scheme in force.
     pub fn protection(&self) -> Protection {
         self.protection
+    }
+
+    fn record(&mut self, outcome: MemOutcome) {
+        self.stats.record(outcome);
+        if let Some(rec) = self.recorder {
+            match outcome {
+                MemOutcome::Clean => {}
+                MemOutcome::Silent => rec.counter_add("fault.hw.silent", 1),
+                MemOutcome::Corrected => rec.counter_add("fault.hw.corrected", 1),
+                MemOutcome::DetectedRetry => rec.counter_add("fault.hw.detected_retries", 1),
+                MemOutcome::Undetected => rec.counter_add("fault.hw.undetected", 1),
+            }
+        }
     }
 }
 
@@ -171,7 +233,7 @@ impl MemFaults for HwFaults<'_> {
         let eff = effect_at(self.plan, FaultSite::ScratchpadWord, a, CHANNEL_WORD_BITS)
             .merged(effect_at(self.plan, FaultSite::DramBurst, a, CHANNEL_WORD_BITS));
         let (v, outcome) = filter_word(self.protection, value as u64, &eff);
-        self.stats.record(outcome);
+        self.record(outcome);
         FaultedByte {
             value: (v & 0xFF) as u8,
             retried: outcome == MemOutcome::DetectedRetry,
@@ -185,7 +247,7 @@ impl MemFaults for HwFaults<'_> {
         let eff = effect_at(self.plan, FaultSite::ScratchpadWord, a, INDEX_WORD_BITS)
             .merged(effect_at(self.plan, FaultSite::DramBurst, a, INDEX_WORD_BITS));
         let (v, outcome) = filter_word(self.protection, label as u64, &eff);
-        self.stats.record(outcome);
+        self.record(outcome);
         FaultedLabel {
             value: (v & 0xFFFF) as u32,
             retried: outcome == MemOutcome::DetectedRetry,
@@ -252,6 +314,54 @@ mod tests {
         for c in 0..=255u8 {
             assert_eq!(conv.gamma_entry(c), reference.gamma_entry(c));
         }
+    }
+
+    #[test]
+    fn traced_injection_emits_events_and_metric_counters() {
+        let plan = FaultPlan::new(77).with(
+            FaultSite::PixelFeature,
+            FaultKind::SingleBitFlip,
+            30_000,
+        );
+        let img = SyntheticImage::builder(32, 24).seed(1).regions(4).build();
+        let mut lab8 = HwColorConverter::paper_default().convert_image(&img.rgb);
+        let rec = Recorder::deterministic();
+        let ef = EngineFaults::new(&plan).with_recorder(&rec);
+        ef.corrupt_lab8(&mut lab8);
+        assert!(ef.injected_words() > 0);
+        let events = rec.events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == "fault.inject.lab8")
+                .count(),
+            1
+        );
+        assert_eq!(
+            events[0].attr_u64("corrupted_words"),
+            ef.injected_words(),
+            "instant carries the corrupted-word count"
+        );
+        assert_eq!(
+            rec.metrics().counter("fault.injected_words"),
+            ef.injected_words()
+        );
+
+        let hw_plan = FaultPlan::new(9).with(
+            FaultSite::ScratchpadWord,
+            FaultKind::SingleBitFlip,
+            300_000,
+        );
+        let rec2 = Recorder::deterministic();
+        let mut hf = HwFaults::new(&hw_plan, Protection::Parity).with_recorder(&rec2);
+        for addr in 0..2048u64 {
+            let _ = hf.channel_read(0, 0, addr, 0x5A);
+        }
+        assert!(hf.stats.detected_retries > 0);
+        assert_eq!(
+            rec2.metrics().counter("fault.hw.detected_retries"),
+            hf.stats.detected_retries
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ use sslic_color::hw::HwColorConverter;
 use sslic_core::subsample::{SubsetPartition, SubsetStrategy};
 use sslic_core::{ClusterCodes, QuantKernel, SeedGrid};
 use sslic_image::{Plane, RgbImage};
+use sslic_obs::{LogicalClock, Recorder, Value};
 
 use crate::cluster::ClusterUnitConfig;
 use crate::dram::{DramModel, DramTraffic};
@@ -119,7 +120,18 @@ impl Accelerator {
     /// Processes one frame, producing the label map and the full cycle,
     /// traffic, and energy accounting.
     pub fn process(&self, img: &RgbImage) -> AcceleratorRun {
-        self.process_impl(img, None)
+        self.process_impl(img, None, None)
+    }
+
+    /// [`Self::process`] with an observability recorder attached: the FSM
+    /// phases emit spans stamped with the modeled cycle counter, each
+    /// streaming step emits a `hw.dma.stream` traffic event and a
+    /// `hw.stall` estimate (DMA cycles not hidden behind compute), and the
+    /// scratchpads report occupancy counters. The simulator is serial, so
+    /// the emission schedule — and a deterministic-mode trace — is a pure
+    /// function of the frame. Recording never changes the run output.
+    pub fn process_traced(&self, img: &RgbImage, recorder: &Recorder) -> AcceleratorRun {
+        self.process_impl(img, None, Some(recorder))
     }
 
     /// [`Self::process`] with memory fault-injection hooks active: every
@@ -131,10 +143,26 @@ impl Accelerator {
     /// label map and centers are bit-identical to [`Self::process`]; the
     /// accounting additionally charges the modeled index readout pass.
     pub fn process_with_faults(&self, img: &RgbImage, faults: &mut dyn MemFaults) -> AcceleratorRun {
-        self.process_impl(img, Some(faults))
+        self.process_impl(img, Some(faults), None)
     }
 
-    fn process_impl(&self, img: &RgbImage, mut faults: Option<&mut dyn MemFaults>) -> AcceleratorRun {
+    /// [`Self::process_with_faults`] with an observability recorder (see
+    /// [`Self::process_traced`]).
+    pub fn process_traced_with_faults(
+        &self,
+        img: &RgbImage,
+        faults: &mut dyn MemFaults,
+        recorder: &Recorder,
+    ) -> AcceleratorRun {
+        self.process_impl(img, Some(faults), Some(recorder))
+    }
+
+    fn process_impl(
+        &self,
+        img: &RgbImage,
+        mut faults: Option<&mut dyn MemFaults>,
+        recorder: Option<&Recorder>,
+    ) -> AcceleratorRun {
         let cfg = &self.config;
         let (w, h) = (img.width(), img.height());
         let n = (w * h) as u64;
@@ -146,6 +174,24 @@ impl Accelerator {
             ScratchpadSet::new(cfg.buffer_bytes_per_channel).with_protection(cfg.protection);
         let mut retry_bursts = 0u64;
         let mut label_repairs = 0u64;
+
+        // The simulator is serial, so every emission below happens at a
+        // fixed point of the FSM schedule; clocks carry the modeled cycle
+        // counter (truncated to whole cycles), never wall time.
+        if let Some(rec) = recorder {
+            rec.span_begin(
+                "hw.frame",
+                LogicalClock::cycle(0),
+                vec![
+                    ("width", Value::U64(w as u64)),
+                    ("height", Value::U64(h as u64)),
+                    ("superpixels", Value::U64(cfg.superpixels as u64)),
+                    ("tiles", Value::U64(tiles)),
+                    ("tile_pixels", Value::U64(tile_pixels)),
+                ],
+            );
+            rec.span_begin("hw.color", LogicalClock::cycle(0), Vec::new());
+        }
 
         // --- Phase 1: color conversion -----------------------------------
         let lab8 = HwColorConverter::paper_default().convert_image(img);
@@ -164,6 +210,25 @@ impl Accelerator {
             traffic.write(3 * tile_pixels); // planar Lab out
         }
         let color_cycles = n as f64 + tiles as f64 * 10.0;
+
+        if let Some(rec) = recorder {
+            let clock = LogicalClock::cycle(color_cycles as u64);
+            rec.instant(
+                "hw.dma.stream",
+                clock,
+                vec![
+                    ("phase", Value::from("color")),
+                    ("read_bytes", Value::U64(traffic.bytes_read)),
+                    ("written_bytes", Value::U64(traffic.bytes_written)),
+                    ("bursts", Value::U64(traffic.bursts)),
+                ],
+            );
+            rec.span_end(
+                "hw.color",
+                clock,
+                vec![("cycles", Value::U64(color_cycles as u64))],
+            );
+        }
 
         // --- Phase 2: static initialization ------------------------------
         let grid = SeedGrid::new(w, h, cfg.superpixels);
@@ -197,6 +262,18 @@ impl Accelerator {
                 *s = [0; 6];
             }
             let step_pixels = partition.subset_len(subset) as u64;
+            let step_start_cycles = color_cycles + assign_cycles + center_cycles;
+            let step_traffic = traffic;
+            if let Some(rec) = recorder {
+                rec.span_begin(
+                    "hw.step",
+                    LogicalClock::step(step).with_cycle(step_start_cycles as u64),
+                    vec![
+                        ("subset", Value::U64(subset as u64)),
+                        ("step_pixels", Value::U64(step_pixels)),
+                    ],
+                );
+            }
 
             // Stream tiles: Lab + index in, index out.
             for _ in 0..tiles {
@@ -281,6 +358,43 @@ impl Accelerator {
                 updated += 1;
             }
             center_cycles += updated as f64 * model::CENTER_UPDATE_CYCLES_PER_SP;
+
+            if let Some(rec) = recorder {
+                let end_cycles = color_cycles + assign_cycles + center_cycles;
+                let clock = LogicalClock::step(step).with_cycle(end_cycles as u64);
+                let read = traffic.bytes_read - step_traffic.bytes_read;
+                let written = traffic.bytes_written - step_traffic.bytes_written;
+                let bursts = traffic.bursts - step_traffic.bursts;
+                rec.instant(
+                    "hw.dma.stream",
+                    clock,
+                    vec![
+                        ("phase", Value::from("cluster_update")),
+                        ("read_bytes", Value::U64(read)),
+                        ("written_bytes", Value::U64(written)),
+                        ("bursts", Value::U64(bursts)),
+                    ],
+                );
+                // Stall estimate: DMA cycles the double-buffered streaming
+                // cannot hide behind this step's compute.
+                let dma_cycles = self.dram.transfer_cycles(read + written, bursts);
+                let compute_cycles = end_cycles - step_start_cycles;
+                let stall_cycles = (dma_cycles - compute_cycles).max(0.0);
+                rec.instant(
+                    "hw.stall",
+                    clock,
+                    vec![
+                        ("dma_cycles", Value::U64(dma_cycles as u64)),
+                        ("compute_cycles", Value::U64(compute_cycles as u64)),
+                        ("stall_cycles", Value::U64(stall_cycles as u64)),
+                    ],
+                );
+                rec.span_end(
+                    "hw.step",
+                    clock,
+                    vec![("updated_centers", Value::U64(updated))],
+                );
+            }
         }
 
         // Final index readout: the label map leaves through the index
@@ -310,6 +424,43 @@ impl Accelerator {
 
         let memory_cycles = self.dram.transfer_cycles(traffic.total_bytes(), traffic.bursts);
         let dram_energy_uj = self.dram.transfer_energy_uj(traffic.total_bytes());
+
+        if let Some(rec) = recorder {
+            let total = color_cycles + assign_cycles + center_cycles + memory_cycles;
+            let clock = LogicalClock::cycle(total as u64);
+            for pad in [
+                &scratchpads.ch1,
+                &scratchpads.ch2,
+                &scratchpads.ch3,
+                &scratchpads.index,
+            ] {
+                rec.counter(
+                    "hw.scratchpad",
+                    clock,
+                    vec![
+                        ("pad", Value::from(pad.name())),
+                        ("reads", Value::U64(pad.reads())),
+                        ("writes", Value::U64(pad.writes())),
+                        ("retries", Value::U64(pad.retries())),
+                        ("capacity_bytes", Value::U64(pad.capacity_bytes() as u64)),
+                    ],
+                );
+            }
+            rec.counter_add("hw.dram.bytes_read", traffic.bytes_read);
+            rec.counter_add("hw.dram.bytes_written", traffic.bytes_written);
+            rec.counter_add("hw.dram.bursts", traffic.bursts);
+            rec.counter_add("hw.retry_bursts", retry_bursts);
+            rec.counter_add("hw.label_repairs", label_repairs);
+            rec.span_end(
+                "hw.frame",
+                clock,
+                vec![
+                    ("memory_cycles", Value::U64(memory_cycles as u64)),
+                    ("retry_bursts", Value::U64(retry_bursts)),
+                    ("label_repairs", Value::U64(label_repairs)),
+                ],
+            );
+        }
 
         AcceleratorRun {
             labels,
@@ -574,6 +725,86 @@ mod tests {
             run.traffic.total_bytes() > clean.traffic.total_bytes(),
             "retries cost DRAM bursts"
         );
+    }
+
+    #[test]
+    fn tracing_never_changes_the_run_and_is_deterministic() {
+        let img = test_image();
+        let plain = Accelerator::new(small_cfg()).process(&img);
+        let rec = Recorder::deterministic();
+        let traced = Accelerator::new(small_cfg()).process_traced(&img, &rec);
+        assert_eq!(plain.labels, traced.labels);
+        assert_eq!(plain.centers, traced.centers);
+        assert_eq!(plain.traffic, traced.traffic);
+
+        let rec2 = Recorder::deterministic();
+        let _ = Accelerator::new(small_cfg()).process_traced(&img, &rec2);
+        assert_eq!(rec.to_jsonl(), rec2.to_jsonl(), "repeat traces byte-identical");
+        assert_eq!(rec.to_chrome_trace(), rec2.to_chrome_trace());
+    }
+
+    #[test]
+    fn trace_covers_every_fsm_phase_and_step() {
+        let img = test_image();
+        let rec = Recorder::deterministic();
+        let run = Accelerator::new(small_cfg()).process_traced(&img, &rec);
+        let events = rec.events();
+        assert_eq!(events.first().map(|e| e.name), Some("hw.frame"));
+        assert_eq!(events.last().map(|e| e.name), Some("hw.frame"));
+        let steps = events.iter().filter(|e| e.name == "hw.step").count();
+        assert_eq!(steps, 2 * 4, "begin+end per iteration");
+        // One DMA event for color plus one per step; their byte totals
+        // reconstruct the run's DRAM traffic exactly.
+        let dma: Vec<_> = events.iter().filter(|e| e.name == "hw.dma.stream").collect();
+        assert_eq!(dma.len(), 1 + 4);
+        let read: u64 = dma.iter().map(|e| e.attr_u64("read_bytes")).sum();
+        let written: u64 = dma.iter().map(|e| e.attr_u64("written_bytes")).sum();
+        assert_eq!(read, run.traffic.bytes_read);
+        assert_eq!(written, run.traffic.bytes_written);
+        assert_eq!(
+            events.iter().filter(|e| e.name == "hw.stall").count(),
+            4,
+            "one stall estimate per step"
+        );
+        // Scratchpad counters mirror the run's access accounting.
+        let pads: Vec<_> = events.iter().filter(|e| e.name == "hw.scratchpad").collect();
+        assert_eq!(pads.len(), 4);
+        let reads: u64 = pads.iter().map(|e| e.attr_u64("reads")).sum();
+        assert_eq!(
+            reads,
+            run.scratchpads.ch1.reads()
+                + run.scratchpads.ch2.reads()
+                + run.scratchpads.ch3.reads()
+                + run.scratchpads.index.reads()
+        );
+        let m = rec.metrics();
+        assert_eq!(m.counter("hw.dram.bytes_read"), run.traffic.bytes_read);
+        assert_eq!(m.counter("hw.dram.bursts"), run.traffic.bursts);
+    }
+
+    #[test]
+    fn traced_fault_run_reports_retries_in_metrics() {
+        struct Flaky;
+        impl MemFaults for Flaky {
+            fn channel_read(
+                &mut self,
+                _s: u32,
+                _c: u8,
+                addr: u64,
+                value: u8,
+            ) -> crate::faults::FaultedByte {
+                crate::faults::FaultedByte {
+                    value,
+                    retried: addr % 61 == 0,
+                }
+            }
+        }
+        let img = test_image();
+        let rec = Recorder::deterministic();
+        let run =
+            Accelerator::new(small_cfg()).process_traced_with_faults(&img, &mut Flaky, &rec);
+        assert!(run.retry_bursts > 0);
+        assert_eq!(rec.metrics().counter("hw.retry_bursts"), run.retry_bursts);
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub const DATAPATH_FILES: &[&str] = &[
     "crates/fixed/src/isqrt.rs",
     "crates/fault/src/plan.rs",
     "crates/fault/src/inject.rs",
+    // Observability clocks and metrics are integer-only by contract: a
+    // float anywhere in them could leak nondeterministic formatting into
+    // byte-diffed traces.
+    "crates/obs/src/clock.rs",
+    "crates/obs/src/metrics.rs",
 ];
 
 /// One rule violation (pre-allowlist).

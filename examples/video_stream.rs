@@ -4,13 +4,19 @@
 //!
 //! ```text
 //! cargo run --release --example video_stream
+//! cargo run --release --example video_stream -- --trace stream
 //! ```
+//!
+//! With `--trace PREFIX`, the warm pipeline records every frame into one
+//! deterministic trace and writes `PREFIX.jsonl` (structured events) and
+//! `PREFIX.chrome.json` (load in Perfetto / `chrome://tracing`).
 
 use std::time::Instant;
 
 use sslic::core::{RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic::image::synthetic::SyntheticImage;
 use sslic::metrics::undersegmentation_error;
+use sslic::obs::Recorder;
 
 fn frame(t: usize) -> SyntheticImage {
     // Same scene geometry each frame; the warp phase comes from the seed,
@@ -25,6 +31,14 @@ fn frame(t: usize) -> SyntheticImage {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_prefix: Option<String> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let recorder = trace_prefix.as_ref().map(|_| Recorder::deterministic());
+
     let frames: Vec<SyntheticImage> = (0..12).map(frame).collect();
     let k = 600;
 
@@ -57,12 +71,19 @@ fn main() {
         // Warm pipeline: the previous frame's converged centers ride in
         // through RunOptions; frame 0 has no predecessor and runs cold.
         let start = Instant::now();
-        let warm = match &prev_clusters {
-            None => cold_seg.run(SegmentRequest::Rgb(&f.rgb), &RunOptions::new()),
-            Some(prev) => warm_seg.run(
-                SegmentRequest::Rgb(&f.rgb),
-                &RunOptions::new().with_warm_start(prev),
-            ),
+        // The warm pipeline is the deployment path, so it is the one the
+        // trace records: each frame's spans land in the same recorder,
+        // distinguishable by their position in the event stream.
+        let warm = {
+            let mut options = match &prev_clusters {
+                None => RunOptions::new(),
+                Some(prev) => RunOptions::new().with_warm_start(prev),
+            };
+            if let Some(rec) = recorder.as_ref() {
+                options = options.with_recorder(rec);
+            }
+            let seg = if prev_clusters.is_none() { &cold_seg } else { &warm_seg };
+            seg.run(SegmentRequest::Rgb(&f.rgb), &options)
         };
         let warm_ms = start.elapsed().as_secs_f64() * 1e3;
         warm_total += warm_ms;
@@ -96,4 +117,19 @@ fn main() {
         warm_total,
         cold_total / warm_total
     );
+
+    if let (Some(prefix), Some(rec)) = (trace_prefix, recorder) {
+        let jsonl = format!("{prefix}.jsonl");
+        let chrome = format!("{prefix}.chrome.json");
+        if let Err(e) = std::fs::write(&jsonl, rec.to_jsonl()) {
+            eprintln!("failed to write {jsonl}: {e}");
+        }
+        if let Err(e) = std::fs::write(&chrome, rec.to_chrome_trace()) {
+            eprintln!("failed to write {chrome}: {e}");
+        }
+        println!(
+            "trace: {} events across the warm stream -> {jsonl}, {chrome}",
+            rec.event_count()
+        );
+    }
 }

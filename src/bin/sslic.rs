@@ -11,12 +11,13 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
-use sslic::core::{DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
+use sslic::core::{build_run_report, DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic::hw::export;
 use sslic::hw::sim::{FrameSimulator, Resolution};
 use sslic::image::synthetic::SyntheticImage;
 use sslic::image::{draw, ppm, Rgb};
 use sslic::metrics::explained_variation;
+use sslic::obs::Recorder;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,9 +49,15 @@ fn print_help() {
          USAGE:\n\
          \x20 sslic segment <input.ppm> [--superpixels K] [--compactness M]\n\
          \x20               [--iterations N] [--subsets P] [--algo slic|ppa|sslic|hw8]\n\
-         \x20               [--out PREFIX]\n\
+         \x20               [--threads T] [--out PREFIX]\n\
+         \x20               [--trace out.jsonl] [--chrome-trace out.json]\n\
+         \x20               [--report out.json] [--wallclock]\n\
          \x20     Segment a binary PPM; writes PREFIX.boundaries.ppm,\n\
          \x20     PREFIX.mosaic.ppm, and PREFIX.labels.pgm (16-bit).\n\
+         \x20     --trace writes a JSONL event trace, --chrome-trace a\n\
+         \x20     Perfetto/chrome://tracing file, --report a RunReport JSON.\n\
+         \x20     Traces are deterministic (logical clocks, byte-identical\n\
+         \x20     across runs and thread counts) unless --wallclock is given.\n\
          \n\
          \x20 sslic dataset <dir> [--count N] [--width W] [--height H] [--seed S]\n\
          \x20     Generate a synthetic evaluation corpus with exact ground truth\n\
@@ -102,11 +109,17 @@ fn cmd_segment(args: &[String]) -> CliResult {
     let subsets: u32 = flag(args, "--subsets")?.unwrap_or(2);
     let algo: String = flag(args, "--algo")?.unwrap_or_else(|| "sslic".to_string());
     let out: String = flag(args, "--out")?.unwrap_or_else(|| input.clone());
+    let threads: usize = flag(args, "--threads")?.unwrap_or(1);
+    let trace_path: Option<String> = flag(args, "--trace")?;
+    let chrome_path: Option<String> = flag(args, "--chrome-trace")?;
+    let report_path: Option<String> = flag(args, "--report")?;
+    let wallclock = args.iter().any(|a| a == "--wallclock");
 
     let img = ppm::read_ppm(BufReader::new(File::open(input)?))?;
     let params = SlicParams::builder(k)
         .compactness(m)
         .iterations(iterations)
+        .threads(threads)
         .build();
     let segmenter = match algo.as_str() {
         "slic" => Segmenter::slic(params),
@@ -117,8 +130,21 @@ fn cmd_segment(args: &[String]) -> CliResult {
         other => return Err(format!("unknown --algo '{other}'").into()),
     };
 
+    let tracing = trace_path.is_some() || chrome_path.is_some() || report_path.is_some();
+    let recorder = tracing.then(|| {
+        if wallclock {
+            Recorder::wallclock()
+        } else {
+            Recorder::deterministic()
+        }
+    });
+    let mut options = RunOptions::new();
+    if let Some(rec) = recorder.as_ref() {
+        options = options.with_recorder(rec);
+    }
+
     let start = std::time::Instant::now();
-    let seg = segmenter.run(SegmentRequest::Rgb(&img), &RunOptions::new());
+    let seg = segmenter.run(SegmentRequest::Rgb(&img), &options);
     let elapsed = start.elapsed().as_secs_f64() * 1e3;
     println!(
         "{algo}: {}x{} -> {} superpixels in {elapsed:.1} ms ({} steps)",
@@ -147,6 +173,22 @@ fn cmd_segment(args: &[String]) -> CliResult {
         seg.labels(),
     )?;
     println!("wrote {out}.boundaries.ppm, {out}.mosaic.ppm, {out}.labels.pgm");
+
+    if let Some(rec) = recorder.as_ref() {
+        if let Some(path) = &trace_path {
+            std::fs::write(path, rec.to_jsonl())?;
+            println!("wrote {path} ({} events)", rec.event_count());
+        }
+        if let Some(path) = &chrome_path {
+            std::fs::write(path, rec.to_chrome_trace())?;
+            println!("wrote {path} (load in Perfetto or chrome://tracing)");
+        }
+        if let Some(path) = &report_path {
+            let report = build_run_report(&segmenter, &seg, !wallclock, Some(rec), 0);
+            std::fs::write(path, report.to_json())?;
+            println!("wrote {path}");
+        }
+    }
     Ok(())
 }
 

@@ -16,6 +16,8 @@
 //! * [`hw`] — the accelerator performance/energy/area model and DSE driver.
 //! * [`fault`] — deterministic fault injection and parity/ECC protection
 //!   modeling across the datapath and the hardware model.
+//! * [`obs`] — structured observability: logical-clock spans and events,
+//!   metrics, JSONL / Chrome-trace sinks, and the [`obs::RunReport`].
 //!
 //! # Quickstart
 //!
@@ -44,3 +46,4 @@ pub use sslic_fixed as fixed;
 pub use sslic_hw as hw;
 pub use sslic_image as image;
 pub use sslic_metrics as metrics;
+pub use sslic_obs as obs;
