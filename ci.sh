@@ -8,14 +8,20 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> deprecation gate (non-wrapper code must not call segment_*)"
-# The deprecated segment_* wrappers themselves and the wrapper-equivalence
-# test carry local #[allow(deprecated)]; everything else must be migrated
-# to Segmenter::run, so a -D deprecated build of every target must pass.
+echo "==> deprecation gate (the workspace carries zero deprecated items)"
+# The legacy segment_* wrappers are gone — Segmenter::run and
+# SegmenterSession are the only entry points — so a -D deprecated build of
+# every target must pass with no #[allow(deprecated)] escape hatches left.
 RUSTFLAGS="${RUSTFLAGS:-} -D deprecated" cargo build --workspace --all-targets --release
 
 echo "==> cargo test (workspace, overflow-checks on)"
 cargo test --workspace -q
+
+echo "==> zero-allocation gate (steady-state session frames must not touch the heap)"
+# Runs under a counting global allocator; kept as a named gate so an
+# allocation regression fails CI with this banner even if someone trims
+# the workspace test sweep above.
+cargo test -q --test zero_alloc
 
 echo "==> sslic-lint"
 cargo run -q -p sslic-lint -- --json results/lint-report.json
@@ -47,9 +53,16 @@ echo "==> thread-count invariance (throughput JSON at 1 vs 4 threads must match 
     --report results/throughput-report-4t.json >/dev/null
 cmp results/throughput-1t.json results/throughput-4t.json
 cmp results/throughput-report-1t.json results/throughput-report-4t.json
+
+echo "==> session-vs-oneshot invariance (throughput JSON across API modes must match byte for byte)"
+./target/release/throughput --threads 2 --sizes 160x120,320x240 --frames 1 \
+    --superpixels 150 --iterations 3 --mode session \
+    --json results/throughput-session.json --md /dev/null >/dev/null
+cmp results/throughput-1t.json results/throughput-session.json
 mv results/throughput-1t.json results/throughput.json
 mv results/throughput-report-1t.json results/throughput-report.json
-rm -f results/throughput-4t.json results/throughput-report-4t.json
+rm -f results/throughput-4t.json results/throughput-report-4t.json \
+    results/throughput-session.json
 
 echo "==> trace determinism (JSONL + Chrome traces must be byte-identical across repeats and 1 vs 4 threads)"
 ./target/release/sslic dataset results/trace-ds --count 1 --width 160 --height 120 >/dev/null

@@ -15,8 +15,16 @@
 //! ```text
 //! throughput [--threads 1,2,4,8] [--sizes 320x240,1280x720]
 //!            [--frames N] [--superpixels K] [--iterations N]
+//!            [--mode oneshot|session]
 //!            [--json PATH] [--md PATH] [--report PATH]
 //! ```
+//!
+//! `--mode session` drives every frame through a persistent
+//! [`sslic_core::SegmenterSession`] via `run_into` (cold per frame, zero
+//! steady-state allocations) instead of the one-shot `Segmenter::run`.
+//! Both modes are bit-identical by contract, so the JSON report is
+//! byte-identical across modes as well as thread lists — CI diffs a
+//! session run against a one-shot run to enforce it.
 //!
 //! `--report` additionally writes a structured [`sslic_obs::RunReport`]
 //! (schema `sslic-run-report-v1`) from one traced deterministic 1-thread
@@ -28,7 +36,9 @@ use std::fs;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use sslic_core::{build_run_report, DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
+use sslic_core::{
+    build_run_report, DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams,
+};
 use sslic_image::synthetic::SyntheticImage;
 use sslic_image::Plane;
 use sslic_obs::Recorder;
@@ -95,6 +105,7 @@ fn main() -> ExitCode {
     let mut frames = 3usize;
     let mut superpixels = 600usize;
     let mut iterations = 5u32;
+    let mut session_mode = false;
     let mut json_path: Option<String> = None;
     let mut md_path: Option<String> = None;
     let mut report_path: Option<String> = None;
@@ -122,6 +133,11 @@ fn main() -> ExitCode {
                 Some(Ok(n)) if n > 0 => iterations = n,
                 _ => return usage("--iterations needs a positive integer"),
             },
+            "--mode" => match args.next().as_deref() {
+                Some("oneshot") => session_mode = false,
+                Some("session") => session_mode = true,
+                _ => return usage("--mode needs `oneshot` or `session`"),
+            },
             "--json" => match args.next() {
                 Some(p) => json_path = Some(p),
                 None => return usage("--json needs a path"),
@@ -144,9 +160,11 @@ fn main() -> ExitCode {
         threads.insert(0, 1);
     }
     eprintln!(
-        "throughput: {} sizes × {} thread counts, {frames} frames each, K={superpixels}, {iterations} iters",
+        "throughput: {} sizes × {} thread counts, {frames} frames each, K={superpixels}, \
+         {iterations} iters, {} mode",
         sizes.len(),
         threads.len(),
+        if session_mode { "session" } else { "oneshot" },
     );
 
     let mut results = Vec::new();
@@ -161,10 +179,21 @@ fn main() -> ExitCode {
                 .build();
             let seg = Segmenter::sslic_ppa(params, 2)
                 .with_distance_mode(DistanceMode::quantized(8));
+            let mut session = session_mode.then(|| {
+                (seg.session(w, h), Plane::filled(w, h, 0u32))
+            });
             // One untimed warm-up run (page-in, allocator steady state);
             // its labels also feed the cross-thread-count equality check.
-            let out = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
-            let sum = label_checksum(out.labels());
+            let sum = match session.as_mut() {
+                Some((sess, out)) => {
+                    sess.run_into(SegmentRequest::Rgb(&img.rgb), &RunOptions::new(), out);
+                    label_checksum(out)
+                }
+                None => {
+                    let out = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+                    label_checksum(out.labels())
+                }
+            };
             match checksum {
                 None => checksum = Some(sum),
                 Some(expect) if expect != sum => {
@@ -178,7 +207,14 @@ fn main() -> ExitCode {
             }
             let start = Instant::now();
             for _ in 0..frames {
-                let _ = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+                match session.as_mut() {
+                    Some((sess, out)) => {
+                        sess.run_into(SegmentRequest::Rgb(&img.rgb), &RunOptions::new(), out);
+                    }
+                    None => {
+                        let _ = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+                    }
+                }
             }
             let ms_per_frame = start.elapsed().as_secs_f64() * 1e3 / frames as f64;
             let fps = 1e3 / ms_per_frame;
@@ -313,7 +349,8 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: throughput [--threads 1,2,4,8] [--sizes 320x240,1280x720] [--frames N] \
-         [--superpixels K] [--iterations N] [--json PATH] [--md PATH] [--report PATH]"
+         [--superpixels K] [--iterations N] [--mode oneshot|session] [--json PATH] \
+         [--md PATH] [--report PATH]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -148,10 +148,30 @@ pub fn lab_to_rgb8(lab: [f64; 3]) -> Rgb {
 
 /// Converts a whole image to planar `f32` CIELAB.
 pub fn convert_image(img: &RgbImage) -> LabImage {
-    LabImage::from_fn(img.width(), img.height(), |x, y| {
-        let [l, a, b] = rgb8_to_lab(img.pixel(x, y));
-        [l as f32, a as f32, b as f32]
-    })
+    let mut out = LabImage::from_fn(img.width(), img.height(), |_, _| [0.0; 3]);
+    convert_image_into(img, &mut out);
+    out
+}
+
+/// Converts a whole image into a caller-owned planar `f32` CIELAB image
+/// (no allocation); per-pixel values are identical to [`convert_image`].
+///
+/// # Panics
+///
+/// Panics if `out` differs in geometry from `img`.
+pub fn convert_image_into(img: &RgbImage, out: &mut LabImage) {
+    assert!(
+        out.width() == img.width() && out.height() == img.height(),
+        "convert_image_into requires matching image geometry"
+    );
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let [l, a, b] = rgb8_to_lab(img.pixel(x, y));
+            out.l[(x, y)] = l as f32;
+            out.a[(x, y)] = a as f32;
+            out.b[(x, y)] = b as f32;
+        }
+    }
 }
 
 #[cfg(test)]

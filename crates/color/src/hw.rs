@@ -174,9 +174,32 @@ impl HwColorConverter {
     /// layout, exactly what the accelerator's color-conversion pass writes
     /// back to channel memories 1–3 (paper §4.3).
     pub fn convert_image(&self, img: &RgbImage) -> Lab8Image {
-        Lab8Image::from_fn(img.width(), img.height(), |x, y| {
-            self.convert(img.pixel(x, y))
-        })
+        let mut out = Lab8Image::from_fn(img.width(), img.height(), |_, _| [0; 3]);
+        self.convert_image_into(img, &mut out);
+        out
+    }
+
+    /// Converts a whole image into a caller-owned planar 8-bit CIELAB
+    /// image (no allocation); per-pixel codes are identical to
+    /// [`HwColorConverter::convert_image`]. This is the streaming-session
+    /// entry point: the session reuses one `Lab8Image` across frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` differs in geometry from `img`.
+    pub fn convert_image_into(&self, img: &RgbImage, out: &mut Lab8Image) {
+        assert!(
+            out.width() == img.width() && out.height() == img.height(),
+            "convert_image_into requires matching image geometry"
+        );
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let [l, a, b] = self.convert(img.pixel(x, y));
+                out.l[(x, y)] = l;
+                out.a[(x, y)] = a;
+                out.b[(x, y)] = b;
+            }
+        }
     }
 
     /// Maximum per-channel absolute deviation (in 8-bit code units) from
@@ -210,9 +233,33 @@ impl HwColorConverter {
     }
 }
 
+/// Free-function form of [`HwColorConverter::convert_image_into`]: runs the
+/// accelerator's LUT conversion of `img` into the caller-owned `out`
+/// planes without allocating. Streaming callers build the converter once
+/// (its LUTs are the only allocation) and reuse `out` across frames.
+///
+/// # Panics
+///
+/// Panics if `out` differs in geometry from `img`.
+pub fn rgb_to_lab8_into(converter: &HwColorConverter, img: &RgbImage, out: &mut Lab8Image) {
+    converter.convert_image_into(img, out);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn convert_image_into_matches_convert_image_bit_for_bit() {
+        let img = RgbImage::from_fn(7, 5, |x, y| {
+            Rgb::new((x * 31) as u8, (y * 47) as u8, ((x + y) * 13) as u8)
+        });
+        let conv = HwColorConverter::paper_default();
+        let fresh = conv.convert_image(&img);
+        let mut reused = Lab8Image::from_fn(7, 5, |_, _| [1; 3]);
+        rgb_to_lab8_into(&conv, &img, &mut reused);
+        assert_eq!(fresh, reused);
+    }
 
     #[test]
     fn black_and_white_are_exact() {

@@ -12,6 +12,44 @@
 
 use sslic_image::Plane;
 
+/// Reusable working memory of the connectivity pass: the component-id
+/// plane, the flood-fill stack, and the member list. A streaming session
+/// allocates one `ConnScratch` per geometry and reuses it every frame, so
+/// steady-state connectivity enforcement is allocation-free: both queues
+/// are pre-sized to their worst case (every pixel of one component is
+/// pushed exactly once, so neither ever exceeds `width × height` entries).
+#[derive(Debug)]
+pub struct ConnScratch {
+    component: Plane<i64>,
+    stack: Vec<(usize, usize)>,
+    members: Vec<(usize, usize)>,
+}
+
+impl ConnScratch {
+    /// Allocates scratch for `width × height` label maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        ConnScratch {
+            component: Plane::filled(width, height, -1),
+            stack: Vec::with_capacity(width * height),
+            members: Vec::with_capacity(width * height),
+        }
+    }
+
+    /// Width the scratch was sized for.
+    pub fn width(&self) -> usize {
+        self.component.width()
+    }
+
+    /// Height the scratch was sized for.
+    pub fn height(&self) -> usize {
+        self.component.height()
+    }
+}
+
 /// Rewrites `labels` in place so stray fragments smaller than `min_size`
 /// pixels are absorbed by an adjacent region, and returns the number of
 /// absorbed components.
@@ -43,15 +81,42 @@ use sslic_image::Plane;
 /// assert_eq!(labels[(4, 4)], 0);
 /// ```
 pub fn enforce_connectivity(labels: &mut Plane<u32>, min_size: usize) -> usize {
+    let mut scratch = ConnScratch::new(labels.width(), labels.height());
+    enforce_connectivity_with(labels, min_size, &mut scratch)
+}
+
+/// [`enforce_connectivity`] operating through caller-owned scratch: the
+/// pass allocates nothing, which is what lets a streaming session run its
+/// connectivity post-pass every frame with zero heap traffic. The result
+/// is identical to [`enforce_connectivity`].
+///
+/// # Panics
+///
+/// Panics if `min_size == 0` or `scratch` was sized for a different
+/// geometry.
+pub fn enforce_connectivity_with(
+    labels: &mut Plane<u32>,
+    min_size: usize,
+    scratch: &mut ConnScratch,
+) -> usize {
     assert!(min_size > 0, "min_size must be nonzero");
     let w = labels.width();
     let h = labels.height();
+    assert!(
+        scratch.width() == w && scratch.height() == h,
+        "connectivity scratch sized for {}x{}, labels are {}x{}",
+        scratch.width(),
+        scratch.height(),
+        w,
+        h
+    );
     // -1 = unvisited; otherwise the component id of the pixel.
-    let mut component: Plane<i64> = Plane::filled(w, h, -1);
+    let component = &mut scratch.component;
+    component.reset_to(-1);
+    let stack = &mut scratch.stack;
+    let members = &mut scratch.members;
     let mut absorbed = 0usize;
     let mut next_component: i64 = 0;
-    let mut stack: Vec<(usize, usize)> = Vec::new();
-    let mut members: Vec<(usize, usize)> = Vec::new();
 
     for sy in 0..h {
         for sx in 0..w {
@@ -83,7 +148,7 @@ pub fn enforce_connectivity(labels: &mut Plane<u32>, min_size: usize) -> usize {
 
             if members.len() < min_size {
                 if let Some(new_label) = adjacent {
-                    for &(x, y) in &members {
+                    for &(x, y) in members.iter() {
                         labels[(x, y)] = new_label;
                         // Merge into the neighbor's component so later
                         // fragments of the same original label are handled
@@ -277,6 +342,27 @@ mod tests {
     fn zero_min_size_panics() {
         let mut labels = Plane::filled(2, 2, 0u32);
         let _ = enforce_connectivity(&mut labels, 0);
+    }
+
+    #[test]
+    fn scratch_variant_matches_and_is_reusable() {
+        let mut scratch = ConnScratch::new(16, 16);
+        for seed in 0..4u32 {
+            let mut fresh = Plane::from_fn(16, 16, |x, y| ((x * 7 + y * 13 + seed as usize) % 5) as u32);
+            let mut reused = fresh.clone();
+            let a = enforce_connectivity(&mut fresh, 6);
+            let b = enforce_connectivity_with(&mut reused, 6, &mut scratch);
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(fresh, reused, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "connectivity scratch sized for")]
+    fn scratch_geometry_mismatch_panics() {
+        let mut labels = Plane::filled(4, 4, 0u32);
+        let mut scratch = ConnScratch::new(5, 4);
+        let _ = enforce_connectivity_with(&mut labels, 2, &mut scratch);
     }
 
     #[test]

@@ -1,17 +1,14 @@
-use std::ops::Range;
-
-use sslic_color::{float, hw::HwColorConverter, Lab8Image, LabImage};
+use sslic_color::{Lab8Image, LabImage};
 use sslic_image::{Plane, RgbImage};
-use sslic_obs::{LogicalClock, Recorder, Value};
+use sslic_obs::Recorder;
 
-use crate::cluster::{init_clusters, Cluster};
-use crate::connectivity::enforce_connectivity;
-use crate::distance::{dist2_float, ClusterCodes, DistanceMode, QuantKernel};
+use crate::cluster::Cluster;
+use crate::distance::DistanceMode;
 use crate::instrument::RunCounters;
-use crate::parallel::{band_rows, run_bands};
-use crate::profile::{Phase, PhaseBreakdown};
-use crate::subsample::{SubsetPartition, SubsetStrategy};
-use crate::{SeedGrid, SlicParams};
+use crate::profile::PhaseBreakdown;
+use crate::session::FrameReport;
+use crate::subsample::SubsetStrategy;
+use crate::SlicParams;
 
 /// Which SLIC variant the [`Segmenter`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,14 +91,14 @@ pub trait StepFaults {
 }
 
 /// The input of one segmentation run: which color representation the
-/// pixels arrive in. Together with [`RunOptions`] this replaces the six
-/// legacy `segment_*` entry points — every combination of input
-/// representation × warm start × fault hooks is one [`Segmenter::run`]
-/// call.
+/// pixels arrive in. Together with [`RunOptions`], every combination of
+/// input representation × warm start × fault hooks is one
+/// [`Segmenter::run`] (or session) call.
 #[derive(Debug, Clone, Copy)]
 pub enum SegmentRequest<'a> {
     /// An RGB image; CIELAB conversion runs first (and is charged to the
-    /// [`Phase::ColorConversion`] breakdown slot). The conversion route
+    /// [`crate::profile::Phase::ColorConversion`] breakdown slot). The
+    /// conversion route
     /// follows the distance mode: the accelerator's LUT converter in
     /// quantized mode, the exact float converter otherwise.
     Rgb(&'a RgbImage),
@@ -121,8 +118,8 @@ pub enum SegmentRequest<'a> {
 
 /// Cross-cutting options of one segmentation run. The struct is the
 /// extension point for new engine concerns: adding a field here reaches
-/// every input representation at once instead of doubling the
-/// `segment_*` surface.
+/// every input representation and entry point (one-shot and streaming
+/// session alike) at once.
 ///
 /// # Example
 ///
@@ -145,8 +142,9 @@ pub struct RunOptions<'a> {
     /// Initial cluster centers from a previous frame, replacing grid
     /// seeding (no gradient perturbation) — the temporal warm start a
     /// 30 fps video pipeline uses. Must carry exactly
-    /// [`SeedGrid::cluster_count`] clusters for this image's realized
-    /// grid, since the static 9-neighborhood tiling must stay valid.
+    /// [`crate::SeedGrid::cluster_count`] clusters for this image's
+    /// realized grid, since the static 9-neighborhood tiling must stay
+    /// valid.
     pub warm_start: Option<&'a [Cluster]>,
     /// Fault-injection hooks, consulted at the points documented on
     /// [`StepFaults`]. `None` (or hooks that never mutate anything)
@@ -336,440 +334,6 @@ impl Segmenter {
         self.distance_mode
     }
 
-    /// Runs one segmentation: the canonical entry point. `request` names
-    /// the input representation, `options` carries the cross-cutting
-    /// concerns (warm start, fault hooks); every legacy `segment_*`
-    /// method is a thin wrapper over this.
-    ///
-    /// # Panics
-    ///
-    /// Panics if [`RunOptions::warm_start`] is set and its length does not
-    /// match this image's realized grid (`SeedGrid::cluster_count`), since
-    /// the static 9-neighborhood tiling must stay valid.
-    pub fn run(&self, request: SegmentRequest<'_>, options: &RunOptions<'_>) -> Segmentation {
-        let mut breakdown = PhaseBreakdown::new();
-        let quantized = self.distance_mode.is_quantized();
-        let (lab, lab8) = match request {
-            SegmentRequest::Rgb(img) => {
-                if quantized {
-                    // The accelerator's LUT path produces the 8-bit image
-                    // the quantized datapath operates on; the f32 image is
-                    // derived from it so assignment and sigma see the same
-                    // data.
-                    let mut lab8 = breakdown.time(Phase::ColorConversion, || {
-                        HwColorConverter::paper_default().convert_image(img)
-                    });
-                    if let Some(f) = options.faults {
-                        f.corrupt_lab8(&mut lab8);
-                    }
-                    (lab8.decode(), Some(lab8))
-                } else {
-                    (
-                        breakdown.time(Phase::ColorConversion, || float::convert_image(img)),
-                        None,
-                    )
-                }
-            }
-            SegmentRequest::Lab(lab) => {
-                if quantized {
-                    let mut lab8 = breakdown.time(Phase::ColorConversion, || {
-                        Lab8Image::from_fn(lab.width(), lab.height(), |x, y| {
-                            let [l, a, b] = lab.pixel(x, y);
-                            sslic_color::lab8::encode([l as f64, a as f64, b as f64])
-                        })
-                    });
-                    if let Some(f) = options.faults {
-                        f.corrupt_lab8(&mut lab8);
-                    }
-                    (lab8.decode(), Some(lab8))
-                } else {
-                    (lab.clone(), None)
-                }
-            }
-            SegmentRequest::Lab8(lab8) => {
-                // Conversion happened outside the engine: charged zero
-                // time. The hooks corrupt the codes before anything reads
-                // them.
-                match options.faults {
-                    Some(f) => {
-                        let mut lab8 = lab8.clone();
-                        f.corrupt_lab8(&mut lab8);
-                        (lab8.decode(), quantized.then_some(lab8))
-                    }
-                    None => (lab8.decode(), quantized.then(|| lab8.clone())),
-                }
-            }
-        };
-        if let Some(warm) = options.warm_start {
-            let grid = SeedGrid::new(lab.width(), lab.height(), self.params.superpixels());
-            assert!(
-                warm.len() == grid.cluster_count(),
-                "warm start must carry {} clusters, got {}",
-                grid.cluster_count(),
-                warm.len()
-            );
-        }
-        self.execute(
-            lab,
-            lab8,
-            breakdown,
-            options.warm_start,
-            options.faults,
-            options.recorder,
-        )
-    }
-
-    /// Segments an RGB image starting from another frame's converged
-    /// cluster centers — the temporal warm start a 30 fps video pipeline
-    /// uses (the paper's motivating deployment). Centers replace the grid
-    /// seeding (no gradient perturbation); everything else is identical,
-    /// so a warm-started run typically converges in 1–2 center-update
-    /// steps on slowly changing scenes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `warm_start` is empty or its length does not match this
-    /// image's realized grid (`SeedGrid::cluster_count`), since the static
-    /// 9-neighborhood tiling must stay valid.
-    #[deprecated(note = "use Segmenter::run")]
-    pub fn segment_warm(&self, img: &RgbImage, warm_start: &[Cluster]) -> Segmentation {
-        self.run(
-            SegmentRequest::Rgb(img),
-            &RunOptions::new().with_warm_start(warm_start),
-        )
-    }
-
-    /// Segments an RGB image (runs color conversion first).
-    #[deprecated(note = "use Segmenter::run")]
-    pub fn segment(&self, img: &RgbImage) -> Segmentation {
-        self.run(SegmentRequest::Rgb(img), &RunOptions::new())
-    }
-
-    /// Segments an RGB image with fault-injection hooks active: `faults`
-    /// is consulted at the points documented on [`StepFaults`]. With a
-    /// no-op hook the output is bit-identical to a hook-free run.
-    #[deprecated(note = "use Segmenter::run")]
-    pub fn segment_with_faults(
-        &self,
-        img: &RgbImage,
-        faults: &mut dyn StepFaults,
-    ) -> Segmentation {
-        self.run(
-            SegmentRequest::Rgb(img),
-            &RunOptions::new().with_faults(&*faults),
-        )
-    }
-
-    /// Segments a pre-encoded 8-bit CIELAB image — see
-    /// [`SegmentRequest::Lab8`].
-    #[deprecated(note = "use Segmenter::run")]
-    pub fn segment_lab8(&self, lab8: &Lab8Image) -> Segmentation {
-        self.run(SegmentRequest::Lab8(lab8), &RunOptions::new())
-    }
-
-    /// [`SegmentRequest::Lab8`] with fault-injection hooks active; the
-    /// supplied image is corrupted by [`StepFaults::corrupt_lab8`] before
-    /// anything reads it.
-    #[deprecated(note = "use Segmenter::run")]
-    pub fn segment_lab8_with_faults(
-        &self,
-        lab8: &Lab8Image,
-        faults: &mut dyn StepFaults,
-    ) -> Segmentation {
-        self.run(
-            SegmentRequest::Lab8(lab8),
-            &RunOptions::new().with_faults(&*faults),
-        )
-    }
-
-    /// Segments a pre-converted CIELAB image (color conversion is charged
-    /// zero time; useful when sweeping algorithms over one corpus).
-    #[deprecated(note = "use Segmenter::run")]
-    pub fn segment_lab(&self, lab: &LabImage) -> Segmentation {
-        self.run(SegmentRequest::Lab(lab), &RunOptions::new())
-    }
-
-    fn execute(
-        &self,
-        lab: LabImage,
-        lab8: Option<Lab8Image>,
-        mut breakdown: PhaseBreakdown,
-        warm_start: Option<&[Cluster]>,
-        faults: Option<&dyn StepFaults>,
-        recorder: Option<&Recorder>,
-    ) -> Segmentation {
-        let params = &self.params;
-        let (w, h) = (lab.width(), lab.height());
-
-        let (grid, clusters, labels, partition, kernel) =
-            breakdown.time(Phase::Init, || {
-                let grid = SeedGrid::new(w, h, params.superpixels());
-                let clusters = match warm_start {
-                    Some(c) => c.to_vec(),
-                    None => init_clusters(&lab, &grid, params.perturb_seeds()),
-                };
-                let labels = Plane::from_fn(w, h, |x, y| {
-                    grid.home_cluster_of_pixel(x, y) as u32
-                });
-                let partition = match self.algorithm {
-                    Algorithm::SSlicPpa { subsets, strategy } => {
-                        Some(SubsetPartition::new(w, h, subsets, strategy))
-                    }
-                    _ => None,
-                };
-                let kernel = match self.distance_mode {
-                    DistanceMode::Float => None,
-                    DistanceMode::Quantized {
-                        channel_bits,
-                        distance_bits,
-                    } => Some(QuantKernel::new(
-                        channel_bits,
-                        distance_bits,
-                        params.compactness(),
-                        grid.spacing(),
-                    )),
-                };
-                (grid, clusters, labels, partition, kernel)
-            });
-
-        let spacing = grid.spacing();
-        let m = params.compactness();
-        assert!(
-            !(params.adaptive_compactness() && self.distance_mode.is_quantized()),
-            "adaptive compactness is a float-datapath feature"
-        );
-        let cluster_count = clusters.len();
-        if let Some(rec) = recorder {
-            rec.span_begin(
-                "core.run",
-                LogicalClock::ZERO,
-                vec![
-                    ("algorithm", Value::from(self.algorithm.name())),
-                    ("width", Value::U64(w as u64)),
-                    ("height", Value::U64(h as u64)),
-                    ("clusters", Value::U64(cluster_count as u64)),
-                    ("iterations", Value::U64(u64::from(params.iterations()))),
-                    // Deliberately NOT the thread count: the determinism
-                    // contract byte-diffs traces across worker counts.
-                ],
-            );
-        }
-        let mut engine = Engine {
-            grid,
-            lab: &lab,
-            lab8: lab8.as_ref(),
-            clusters,
-            labels,
-            dist: Plane::filled(w, h, f32::INFINITY),
-            kernel,
-            codes: Vec::new(),
-            m2_over_s2: (m * m) / (spacing * spacing),
-            max_dc2: params
-                .adaptive_compactness()
-                .then(|| vec![m * m; cluster_count]),
-            inv_s2: 1.0 / (spacing * spacing),
-            counters: RunCounters::default(),
-            active: vec![true; cluster_count],
-            preemption: self.preemption,
-            threads: params.threads().get(),
-            recorder,
-            step: 0,
-        };
-
-        let mut iterations_run = 0u32;
-        let mut repairs = 0u64;
-        let mut last_movement = 0.0f32;
-        for step in 0..params.iterations() {
-            engine.step = step;
-            if let Some(rec) = recorder {
-                rec.span_begin(
-                    "core.step",
-                    LogicalClock::step(step),
-                    vec![(
-                        "subset",
-                        Value::U64(u64::from(step % self.algorithm.steps_per_full_pass())),
-                    )],
-                );
-            }
-            let movement = match self.algorithm {
-                Algorithm::SlicCpa => {
-                    breakdown.time(Phase::DistanceMin, || {
-                        engine.dist.as_mut_slice().fill(f32::INFINITY);
-                        engine.assign_cpa(None);
-                    });
-                    breakdown.time(Phase::CenterUpdate, || engine.update_centers(None, None))
-                }
-                Algorithm::SlicPpa => {
-                    breakdown.time(Phase::DistanceMin, || engine.assign_ppa(None));
-                    breakdown.time(Phase::CenterUpdate, || engine.update_centers(None, None))
-                }
-                Algorithm::SSlicPpa { subsets, .. } => {
-                    // init() builds the partition for every SSlic* run; if
-                    // it were ever absent, degrade to full-density PPA for
-                    // this step instead of aborting the segmentation.
-                    debug_assert!(partition.is_some(), "partition built in init");
-                    match partition.as_ref() {
-                        Some(part) => {
-                            let subset = step % subsets;
-                            breakdown.time(Phase::DistanceMin, || {
-                                engine.assign_ppa(Some((part, subset)));
-                            });
-                            breakdown.time(Phase::CenterUpdate, || {
-                                engine.update_centers(Some((part, subset)), None)
-                            })
-                        }
-                        None => {
-                            breakdown.time(Phase::DistanceMin, || engine.assign_ppa(None));
-                            breakdown
-                                .time(Phase::CenterUpdate, || engine.update_centers(None, None))
-                        }
-                    }
-                }
-                Algorithm::SSlicCpa { subsets } => {
-                    let subset = step % subsets;
-                    breakdown.time(Phase::DistanceMin, || {
-                        if subset == 0 {
-                            // New round: clusters compete afresh so stale
-                            // distances to long-moved centers cannot pin
-                            // labels forever.
-                            engine.dist.as_mut_slice().fill(f32::INFINITY);
-                        }
-                        engine.assign_cpa(Some((subsets, subset)));
-                    });
-                    breakdown.time(Phase::CenterUpdate, || {
-                        engine.update_centers(None, Some((subsets, subset)))
-                    })
-                }
-            };
-            engine.counters.sub_iterations += 1;
-            iterations_run = step + 1;
-            last_movement = movement;
-            if let Some(f) = faults {
-                f.corrupt_centers(step, &mut engine.clusters);
-            }
-            // Invariant guard: runs unconditionally (a no-op on clean
-            // state, preserving bit-identity of the fault-free path) so
-            // corrupted center registers cannot push subsequent window
-            // scans or seed lookups out of the image box.
-            let step_repairs = engine.repair_centers();
-            repairs += step_repairs;
-            if let Some(rec) = recorder {
-                if step_repairs > 0 {
-                    rec.instant(
-                        "core.repair.centers",
-                        LogicalClock::step(step),
-                        vec![("repaired", Value::U64(step_repairs))],
-                    );
-                }
-                rec.span_end(
-                    "core.step",
-                    LogicalClock::step(step),
-                    vec![("sub_iterations", Value::U64(1))],
-                );
-            }
-            if let Some(threshold) = params.convergence_threshold() {
-                if movement <= threshold {
-                    break;
-                }
-            }
-        }
-
-        let mut labels = engine.labels;
-        // Invariant guard: any out-of-range label (possible only via
-        // corruption) is repaired to the pixel's home cluster, keeping the
-        // map a valid index into `clusters` for connectivity and callers.
-        let k = engine.clusters.len() as u32;
-        let mut label_repairs = 0u64;
-        for y in 0..h {
-            for x in 0..w {
-                if labels[(x, y)] >= k {
-                    labels[(x, y)] = engine.grid.home_cluster_of_pixel(x, y) as u32;
-                    label_repairs += 1;
-                }
-            }
-        }
-        repairs += label_repairs;
-        if let Some(rec) = recorder {
-            if label_repairs > 0 {
-                rec.instant(
-                    "core.repair.labels",
-                    LogicalClock::step(iterations_run.saturating_sub(1)),
-                    vec![("repaired", Value::U64(label_repairs))],
-                );
-            }
-        }
-        if params.enforce_connectivity() {
-            breakdown.time(Phase::Connectivity, || {
-                let min_size =
-                    ((spacing * spacing) / params.min_region_divisor() as f32).max(1.0) as usize;
-                enforce_connectivity(&mut labels, min_size.max(1));
-            });
-        }
-
-        let frozen_clusters = engine.active.iter().filter(|&&a| !a).count();
-        // Exhausting the iteration budget while a convergence threshold is
-        // configured and unmet is the non-convergence signature of
-        // corruption: the run terminated (budget bound) but did not settle.
-        let converged = params
-            .convergence_threshold()
-            .map_or(true, |t| last_movement <= t);
-        let status = if repairs > 0 || !converged {
-            SegmentationStatus::Degraded
-        } else {
-            SegmentationStatus::Ok
-        };
-        if let Some(rec) = recorder {
-            // Phase attribution: wall-clock durations pass through
-            // Recorder::duration_ns, which zeroes them in deterministic
-            // mode so the trace bytes stay workload-pure.
-            for phase in crate::profile::PHASES {
-                rec.instant(
-                    "core.phase",
-                    LogicalClock::step(iterations_run.saturating_sub(1)),
-                    vec![
-                        ("phase", Value::from(phase.key())),
-                        (
-                            "nanos",
-                            Value::U64(rec.duration_ns(breakdown.phase_time(phase))),
-                        ),
-                    ],
-                );
-            }
-            let c = &engine.counters;
-            rec.counter_add("core.distance_calcs", c.distance_calcs);
-            rec.counter_add("core.pixel_color_reads", c.pixel_color_reads);
-            rec.counter_add("core.sigma_updates", c.sigma_updates);
-            rec.counter_add("core.center_updates", c.center_updates);
-            rec.counter_add("core.sub_iterations", c.sub_iterations);
-            rec.counter_add("core.invariant_repairs", repairs);
-            rec.span_end(
-                "core.run",
-                LogicalClock::step(iterations_run.saturating_sub(1)),
-                vec![
-                    ("iterations_run", Value::U64(u64::from(iterations_run))),
-                    ("repairs", Value::U64(repairs)),
-                    (
-                        "status",
-                        Value::from(match status {
-                            SegmentationStatus::Ok => "ok",
-                            SegmentationStatus::Degraded => "degraded",
-                        }),
-                    ),
-                ],
-            );
-        }
-        Segmentation {
-            labels,
-            clusters: engine.clusters,
-            iterations_run,
-            breakdown,
-            counters: engine.counters,
-            spacing,
-            frozen_clusters,
-            status,
-            repairs,
-        }
-    }
 }
 
 /// The result of a segmentation run: the label map, final cluster centers,
@@ -788,6 +352,26 @@ pub struct Segmentation {
 }
 
 impl Segmentation {
+    /// Assembles a result from a finished session frame (the one-shot
+    /// entry points route through here).
+    pub(crate) fn from_parts(
+        labels: Plane<u32>,
+        clusters: Vec<Cluster>,
+        report: FrameReport,
+    ) -> Segmentation {
+        Segmentation {
+            labels,
+            clusters,
+            iterations_run: report.iterations_run,
+            breakdown: report.breakdown,
+            counters: report.counters,
+            spacing: report.spacing,
+            frozen_clusters: report.frozen_clusters,
+            status: report.status,
+            repairs: report.repairs,
+        }
+    }
+
     /// Superpixel index per pixel (indices address [`Self::clusters`]).
     pub fn labels(&self) -> &Plane<u32> {
         &self.labels
@@ -849,480 +433,11 @@ impl Segmentation {
     }
 }
 
-// --- the inner engine ------------------------------------------------------
-
-struct Engine<'a> {
-    grid: SeedGrid,
-    lab: &'a LabImage,
-    lab8: Option<&'a Lab8Image>,
-    clusters: Vec<Cluster>,
-    labels: Plane<u32>,
-    dist: Plane<f32>,
-    kernel: Option<QuantKernel>,
-    codes: Vec<ClusterCodes>,
-    m2_over_s2: f32,
-    /// SLICO adaptive-compactness state: per-cluster maximum squared color
-    /// distance observed in the previous pass (`None` when disabled).
-    max_dc2: Option<Vec<f32>>,
-    inv_s2: f32,
-    counters: RunCounters,
-    /// Per-cluster activity for Preemptive-SLIC halting; all `true` when
-    /// preemption is disabled.
-    active: Vec<bool>,
-    preemption: Option<f32>,
-    /// Worker count for the banded parallel passes. Affects wall-clock
-    /// time only — never the output (see `parallel`).
-    threads: usize,
-    /// Observability recorder; consulted only at serial synchronization
-    /// points (after band folds), so the emission schedule is independent
-    /// of the worker count.
-    recorder: Option<&'a Recorder>,
-    /// Current center-update step, stamped into emitted logical clocks.
-    step: u32,
-}
-
-/// Fixed bucket boundaries of the per-band assigned-pixel histogram
-/// (`core.band.pixels`): powers of four from 256 to 64k pixels.
-const BAND_PIXEL_BOUNDS: [u64; 5] = [1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16];
-
-impl Engine<'_> {
-    /// Repairs corrupted center registers in place: non-finite fields are
-    /// replaced (position from the cluster's grid seed, color with neutral
-    /// mid-range CIELAB), then every field is clamped into its
-    /// architectural range — position inside the image box, `L ∈ [0,100]`,
-    /// `a,b ∈ [-128,127]`. Returns the number of clusters changed. A no-op
-    /// (returning 0) on any clean state, so the fault-free path is
-    /// bit-identical with or without the guard.
-    fn repair_centers(&mut self) -> u64 {
-        let (w, h) = (self.grid.width(), self.grid.height());
-        let (xmax, ymax) = ((w - 1) as f32, (h - 1) as f32);
-        let mut repaired = 0u64;
-        for (k, c) in self.clusters.iter_mut().enumerate() {
-            let before = *c;
-            // f32::clamp propagates NaN, so non-finite fields must be
-            // replaced before clamping.
-            if !c.x.is_finite() || !c.y.is_finite() {
-                let (sx, sy) = self.grid.seed_position(k);
-                if !c.x.is_finite() {
-                    c.x = sx;
-                }
-                if !c.y.is_finite() {
-                    c.y = sy;
-                }
-            }
-            if !c.l.is_finite() {
-                c.l = 50.0;
-            }
-            if !c.a.is_finite() {
-                c.a = 0.0;
-            }
-            if !c.b.is_finite() {
-                c.b = 0.0;
-            }
-            c.x = c.x.clamp(0.0, xmax);
-            c.y = c.y.clamp(0.0, ymax);
-            c.l = c.l.clamp(0.0, 100.0);
-            c.a = c.a.clamp(-128.0, 127.0);
-            c.b = c.b.clamp(-128.0, 127.0);
-            // NaN != NaN, so a replaced non-finite field also registers
-            // as a change here.
-            if *c != before {
-                repaired += 1;
-            }
-        }
-        repaired
-    }
-
-    /// Refreshes the quantized cluster codes from the float centers
-    /// (hardware: centers are loaded into the center registers at the
-    /// start of each pass).
-    fn refresh_codes(&mut self) {
-        if let Some(kernel) = &self.kernel {
-            self.codes = self
-                .clusters
-                .iter()
-                .map(|c| kernel.encode_cluster(c))
-                .collect();
-        }
-    }
-
-    /// Distance between pixel `(x, y)` and cluster `k`, in whichever
-    /// numeric mode is active. Returned values are only compared against
-    /// each other within one pixel's candidate set.
-    #[inline]
-    fn distance(&self, x: usize, y: usize, k: usize) -> f32 {
-        if let Some(max_dc2) = &self.max_dc2 {
-            // SLICO objective: color and space each normalized by their
-            // per-cluster / grid maxima.
-            let (dc2, ds2) = self.dc2_ds2(x, y, k);
-            return dc2 / max_dc2[k] + ds2 * self.inv_s2;
-        }
-        match (&self.kernel, self.lab8) {
-            (Some(kernel), Some(lab8)) => {
-                let px = lab8.pixel(x, y);
-                kernel.dist_code(px, (x as i32, y as i32), &self.codes[k]) as f32
-            }
-            _ => dist2_float(
-                self.lab.pixel(x, y),
-                (x as f32, y as f32),
-                &self.clusters[k],
-                self.m2_over_s2,
-            ),
-        }
-    }
-
-    /// Squared color and spatial distances separately (float path).
-    #[inline]
-    fn dc2_ds2(&self, x: usize, y: usize, k: usize) -> (f32, f32) {
-        let [l, a, b] = self.lab.pixel(x, y);
-        let c = &self.clusters[k];
-        let (dl, da, db) = (l - c.l, a - c.a, b - c.b);
-        let (dx, dy) = (x as f32 - c.x, y as f32 - c.y);
-        (dl * dl + da * da + db * db, dx * dx + dy * dy)
-    }
-
-    /// Pixel-perspective assignment pass over all pixels or one subset.
-    ///
-    /// Sharded into the fixed horizontal row bands of [`band_rows`]: each
-    /// band writes its own disjoint stripe of the label plane and returns
-    /// private counters/maxima that are merged in band order, so the
-    /// output is bit-identical for any thread count.
-    fn assign_ppa(&mut self, subset: Option<(&SubsetPartition, u32)>) {
-        self.refresh_codes();
-        let (w, h) = (self.grid.width(), self.grid.height());
-        let preempting = self.preemption.is_some();
-        // Detach the label plane so the worker closures can share `&self`
-        // while each mutates only its own stripe.
-        let mut labels = std::mem::replace(&mut self.labels, Plane::filled(1, 1, 0));
-        let partials = {
-            let mut rest = labels.as_mut_slice();
-            let mut items = Vec::new();
-            for rows in band_rows(h) {
-                let (stripe, tail) = rest.split_at_mut(rows.len() * w);
-                rest = tail;
-                items.push((rows, stripe));
-            }
-            let this = &*self;
-            run_bands(this.threads, items, |_, (rows, stripe)| {
-                this.assign_ppa_band(subset, rows, stripe, preempting)
-            })
-        };
-        self.labels = labels;
-        let mut new_max = vec![0f32; self.clusters.len()];
-        let mut band_counters = Vec::with_capacity(partials.len());
-        for (band_part, band_max) in partials {
-            for (cur, seen) in new_max.iter_mut().zip(band_max) {
-                *cur = cur.max(seen);
-            }
-            band_counters.push(band_part);
-        }
-        self.merge_adaptive_maxima(&new_max);
-        // Per-band counter partials fold in ascending band order at this
-        // serial sync point: the totals depend only on the band layout
-        // (a pure function of the image height), never the thread count.
-        for part in &band_counters {
-            self.counters += *part;
-        }
-        // One 9-center register load per tile processed (paper §4.3); under
-        // interleaved subsets every tile is touched each sub-iteration.
-        let center_reads = self.grid.cluster_count() as u64 * 9;
-        self.counters.center_reads += center_reads;
-        if let Some(rec) = self.recorder {
-            for (b, part) in band_counters.iter().enumerate() {
-                rec.instant(
-                    "core.assign.band",
-                    LogicalClock::band(self.step, b as u32),
-                    vec![
-                        ("pixel_color_reads", Value::U64(part.pixel_color_reads)),
-                        ("distance_calcs", Value::U64(part.distance_calcs)),
-                        ("label_writes", Value::U64(part.label_writes)),
-                    ],
-                );
-                rec.histogram_observe(
-                    "core.band.pixels",
-                    &BAND_PIXEL_BOUNDS,
-                    part.pixel_color_reads,
-                );
-            }
-            rec.instant(
-                "core.assign.step",
-                LogicalClock::step(self.step),
-                vec![("center_reads", Value::U64(center_reads))],
-            );
-        }
-    }
-
-    /// One band of PPA assignment over rows `rows`, writing into that
-    /// band's label stripe (row-major, `rows.len() × width`). Returns the
-    /// band's private counter partial and the per-cluster color-distance
-    /// maxima observed (SLICO state); both are folded in ascending band
-    /// order by the caller.
-    fn assign_ppa_band(
-        &self,
-        subset: Option<(&SubsetPartition, u32)>,
-        rows: Range<usize>,
-        stripe: &mut [u32],
-        preempting: bool,
-    ) -> (RunCounters, Vec<f32>) {
-        let w = self.grid.width();
-        let mut assigned = 0u64;
-        let mut new_max = vec![0f32; self.clusters.len()];
-        for y in rows.clone() {
-            for x in 0..w {
-                if let Some((part, s)) = subset {
-                    if part.subset_of(x, y) != s {
-                        continue;
-                    }
-                }
-                let nine = self.grid.nine_neighbors_of_pixel(x, y);
-                // Preemption: if every candidate is frozen, the pixel's
-                // assignment cannot change — skip the 9 distances.
-                if preempting && nine.iter().all(|&k| !self.active[k]) {
-                    continue;
-                }
-                let mut best = nine[0];
-                let mut best_d = self.distance(x, y, nine[0]);
-                for &k in &nine[1..] {
-                    let d = self.distance(x, y, k);
-                    if d < best_d {
-                        best_d = d;
-                        best = k;
-                    }
-                }
-                stripe[(y - rows.start) * w + x] = best as u32;
-                if self.max_dc2.is_some() {
-                    let (dc2, _) = self.dc2_ds2(x, y, best);
-                    new_max[best] = new_max[best].max(dc2);
-                }
-                assigned += 1;
-            }
-        }
-        let part = RunCounters {
-            pixel_color_reads: assigned,
-            distance_calcs: assigned * 9,
-            label_writes: assigned,
-            ..RunCounters::default()
-        };
-        (part, new_max)
-    }
-
-    /// Center-perspective assignment pass over all clusters or the subset
-    /// `k % p == s`.
-    #[allow(clippy::needless_range_loop)] // k indexes clusters, labels, and new_max
-    fn assign_cpa(&mut self, subset: Option<(u32, u32)>) {
-        self.refresh_codes();
-        let (w, h) = (self.grid.width(), self.grid.height());
-        let radius = self.grid.spacing().ceil() as isize; // 2S×2S window
-        let mut new_max = vec![0f32; self.clusters.len()];
-        let mut visits = 0u64;
-        let mut improvements = 0u64;
-        let mut clusters_processed = 0u64;
-        for k in 0..self.clusters.len() {
-            if let Some((p, s)) = subset {
-                if k as u32 % p != s {
-                    continue;
-                }
-            }
-            if !self.active[k] {
-                continue; // preempted: this cluster's window no longer scans
-            }
-            clusters_processed += 1;
-            let cx = self.clusters[k].x.round() as isize;
-            let cy = self.clusters[k].y.round() as isize;
-            let x0 = (cx - radius).max(0) as usize;
-            let x1 = ((cx + radius) as usize).min(w - 1);
-            let y0 = (cy - radius).max(0) as usize;
-            let y1 = ((cy + radius) as usize).min(h - 1);
-            for y in y0..=y1 {
-                for x in x0..=x1 {
-                    let d = self.distance(x, y, k);
-                    visits += 1;
-                    if d < self.dist[(x, y)] {
-                        self.dist[(x, y)] = d;
-                        self.labels[(x, y)] = k as u32;
-                        improvements += 1;
-                        if self.max_dc2.is_some() {
-                            let (dc2, _) = self.dc2_ds2(x, y, k);
-                            new_max[k] = new_max[k].max(dc2);
-                        }
-                    }
-                }
-            }
-        }
-        self.merge_adaptive_maxima(&new_max);
-        self.counters.distance_calcs += visits;
-        self.counters.pixel_color_reads += visits;
-        self.counters.dist_buffer_reads += visits;
-        self.counters.dist_buffer_writes += improvements;
-        self.counters.label_writes += improvements;
-        self.counters.center_reads += clusters_processed;
-        if let Some(rec) = self.recorder {
-            // CPA is a serial window scan (not banded): the whole pass
-            // reports as one step-level counter event.
-            rec.instant(
-                "core.assign.step",
-                LogicalClock::step(self.step),
-                vec![
-                    ("distance_calcs", Value::U64(visits)),
-                    ("pixel_color_reads", Value::U64(visits)),
-                    ("dist_buffer_reads", Value::U64(visits)),
-                    ("dist_buffer_writes", Value::U64(improvements)),
-                    ("label_writes", Value::U64(improvements)),
-                    ("center_reads", Value::U64(clusters_processed)),
-                ],
-            );
-        }
-    }
-
-    /// Folds a pass's observed per-cluster color-distance maxima into the
-    /// SLICO state (clusters with no observations keep their previous
-    /// maximum; a floor of 1.0 avoids division blow-ups in flat regions).
-    fn merge_adaptive_maxima(&mut self, new_max: &[f32]) {
-        if let Some(max_dc2) = &mut self.max_dc2 {
-            for (cur, &seen) in max_dc2.iter_mut().zip(new_max) {
-                if seen > 0.0 {
-                    *cur = seen.max(1.0);
-                }
-            }
-        }
-    }
-
-    /// Recomputes centers from member pixels and returns the mean L1
-    /// center movement (pixels) over the updated clusters.
-    ///
-    /// * `pixel_subset` restricts the sigma accumulation to one pixel
-    ///   subset (S-SLIC PPA).
-    /// * `cluster_subset = (p, s)` restricts which clusters are updated
-    ///   (S-SLIC CPA).
-    fn update_centers(
-        &mut self,
-        pixel_subset: Option<(&SubsetPartition, u32)>,
-        cluster_subset: Option<(u32, u32)>,
-    ) -> f32 {
-        let (w, h) = (self.grid.width(), self.grid.height());
-        let cluster_count = self.clusters.len();
-        // Banded sigma accumulation: every band sums its own rows into a
-        // private register file; partials are folded in ascending band
-        // order below. The f64 sums therefore always group the same way —
-        // per band, row-major within a band — no matter how many workers
-        // executed the bands, which is what makes the result bit-identical
-        // across thread counts despite float non-associativity.
-        let this = &*self;
-        let partials = run_bands(this.threads, band_rows(h), |_, rows| {
-            let mut sigma = vec![[0f64; 6]; cluster_count];
-            let mut pixels_seen = 0u64;
-            for y in rows {
-                for x in 0..w {
-                    if let Some((part, s)) = pixel_subset {
-                        if part.subset_of(x, y) != s {
-                            continue;
-                        }
-                    }
-                    let k = this.labels[(x, y)] as usize;
-                    if let Some((p, s)) = cluster_subset {
-                        if k as u32 % p != s {
-                            continue;
-                        }
-                    }
-                    let [l, a, b] = this.lab.pixel(x, y);
-                    let acc = &mut sigma[k];
-                    acc[0] += l as f64;
-                    acc[1] += a as f64;
-                    acc[2] += b as f64;
-                    acc[3] += x as f64;
-                    acc[4] += y as f64;
-                    acc[5] += 1.0;
-                    pixels_seen += 1;
-                }
-            }
-            let part = RunCounters {
-                label_reads: pixels_seen,
-                pixel_color_reads: pixels_seen,
-                sigma_updates: pixels_seen,
-                ..RunCounters::default()
-            };
-            (sigma, part)
-        });
-        let mut sigma = vec![[0f64; 6]; cluster_count];
-        let mut band_counters = Vec::with_capacity(partials.len());
-        for (band_sigma, band_part) in partials {
-            for (acc, part) in sigma.iter_mut().zip(band_sigma) {
-                for (a, p) in acc.iter_mut().zip(part) {
-                    *a += p;
-                }
-            }
-            band_counters.push(band_part);
-        }
-        // Like assignment: per-band counter partials fold in ascending
-        // band order at the serial sync point.
-        for part in &band_counters {
-            self.counters += *part;
-        }
-        if let Some(rec) = self.recorder {
-            for (b, part) in band_counters.iter().enumerate() {
-                rec.instant(
-                    "core.update.band",
-                    LogicalClock::band(self.step, b as u32),
-                    vec![
-                        ("label_reads", Value::U64(part.label_reads)),
-                        ("pixel_color_reads", Value::U64(part.pixel_color_reads)),
-                        ("sigma_updates", Value::U64(part.sigma_updates)),
-                    ],
-                );
-            }
-        }
-
-        let mut movement = 0.0f32;
-        let mut updated = 0u64;
-        for (k, acc) in sigma.iter().enumerate() {
-            if let Some((p, s)) = cluster_subset {
-                if k as u32 % p != s {
-                    continue;
-                }
-            }
-            if !self.active[k] {
-                continue; // preempted: center is frozen
-            }
-            if acc[5] == 0.0 {
-                continue; // no members seen this step: keep the old center
-            }
-            let n = acc[5];
-            let new = Cluster::new(
-                (acc[0] / n) as f32,
-                (acc[1] / n) as f32,
-                (acc[2] / n) as f32,
-                (acc[3] / n) as f32,
-                (acc[4] / n) as f32,
-            );
-            let moved = new.movement_from(&self.clusters[k]);
-            movement += moved;
-            self.clusters[k] = new;
-            updated += 1;
-            if let Some(threshold) = self.preemption {
-                if moved < threshold {
-                    self.active[k] = false;
-                }
-            }
-        }
-        self.counters.center_updates += updated;
-        if let Some(rec) = self.recorder {
-            rec.instant(
-                "core.update.step",
-                LogicalClock::step(self.step),
-                vec![("center_updates", Value::U64(updated))],
-            );
-        }
-        if updated == 0 {
-            0.0
-        } else {
-            movement / updated as f32
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SeedGrid;
+    use sslic_color::{float, hw::HwColorConverter};
     use sslic_image::synthetic::SyntheticImage;
 
     fn test_image() -> SyntheticImage {
@@ -1857,7 +972,7 @@ mod tests {
     }
 
     #[test]
-    fn segment_lab8_matches_segment_in_quantized_mode() {
+    fn lab8_request_matches_rgb_in_quantized_mode() {
         let img = test_image();
         let seg = Segmenter::slic_ppa(params(60, 3))
             .with_distance_mode(DistanceMode::quantized(8));
@@ -1891,32 +1006,6 @@ mod tests {
             }
             .steps_per_full_pass(),
             4
-        );
-    }
-
-    /// The six legacy entry points must stay exact aliases of `run` for
-    /// as long as they exist.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_run() {
-        let img = test_image();
-        let seg = Segmenter::sslic_ppa(params(60, 4), 2);
-        let via_run = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
-        let via_wrapper = seg.segment(&img.rgb);
-        assert_eq!(via_run.labels(), via_wrapper.labels());
-        assert_eq!(via_run.clusters(), via_wrapper.clusters());
-
-        let warm_run = seg.run(
-            SegmentRequest::Rgb(&img.rgb),
-            &RunOptions::new().with_warm_start(via_run.clusters()),
-        );
-        let warm_wrapper = seg.segment_warm(&img.rgb, via_run.clusters());
-        assert_eq!(warm_run.labels(), warm_wrapper.labels());
-
-        let lab = float::convert_image(&img.rgb);
-        assert_eq!(
-            seg.run(SegmentRequest::Lab(&lab), &RunOptions::new()).labels(),
-            seg.segment_lab(&lab).labels()
         );
     }
 

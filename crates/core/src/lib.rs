@@ -16,6 +16,10 @@
 //!   §6.1 bit-width exploration.
 //! * **Instrumentation**: per-phase wall-clock breakdown (Table 1) and
 //!   analytic operation/memory-traffic accounting (Table 2).
+//! * **Streaming sessions** ([`SegmenterSession`]): a persistent per-frame
+//!   scratch arena + parked worker pool for video pipelines — zero heap
+//!   allocations per steady-state frame, bit-identical to the one-shot
+//!   [`Segmenter::run`].
 //!
 //! # Quickstart
 //!
@@ -34,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod cluster;
 mod connectivity;
 mod distance;
@@ -41,6 +46,7 @@ mod engine;
 mod grid;
 mod parallel;
 mod params;
+mod session;
 
 pub mod features;
 pub mod graph;
@@ -54,7 +60,9 @@ pub mod subsample;
 pub use sslic_obs as obs;
 
 pub use cluster::{init_clusters, Cluster};
-pub use connectivity::{compact_labels, component_sizes, enforce_connectivity};
+pub use connectivity::{
+    compact_labels, component_sizes, enforce_connectivity, enforce_connectivity_with, ConnScratch,
+};
 pub use distance::{dist2_float, ClusterCodes, DistanceMode, QuantKernel};
 pub use engine::{
     Algorithm, RunOptions, SegmentRequest, Segmentation, SegmentationStatus, Segmenter, StepFaults,
@@ -62,3 +70,4 @@ pub use engine::{
 pub use grid::SeedGrid;
 pub use params::{ParamError, SlicParams, SlicParamsBuilder};
 pub use report::build_run_report;
+pub use session::{FrameReport, SegmentError, SegmenterSession};

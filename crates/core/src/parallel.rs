@@ -10,12 +10,17 @@
 //! segmentation output is bit-identical for every thread count; threads
 //! trade wall-clock time only. See DESIGN.md §5d for the full argument.
 //!
-//! Workers are `std::thread::scope` scoped threads (the workspace is
-//! zero-dependency by policy); band `b` is executed by worker
-//! `b % threads`, a static round-robin schedule that needs no atomics and
-//! keeps the band→output mapping trivially deterministic.
+//! Execution runs on a persistent [`BandPool`]: workers are spawned once
+//! per session and parked on a condvar between dispatches, and every
+//! band's output buffer lives in a pre-allocated per-band slot. This is
+//! what makes multi-threaded steady-state frames allocation-free — the
+//! previous `std::thread::scope` executor allocated stacks, queues, and
+//! result vectors on every pass. Band `b` is executed by worker
+//! `b % workers` (the caller doubles as worker 0), a static round-robin
+//! schedule that keeps the band→output mapping trivially deterministic.
 
 use std::ops::Range;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Upper bound on the number of row bands. Small enough that per-band
 /// sigma accumulators stay cheap (`bands × K × 48` bytes per update step),
@@ -39,55 +44,265 @@ pub(crate) fn band_rows(height: usize) -> Vec<Range<usize>> {
     ranges
 }
 
-/// Runs `f(band_index, item)` for every item, distributing bands over
-/// `threads` scoped workers (band `b` runs on worker `b % threads`), and
-/// returns the outputs in band order. With `threads == 1` no thread is
-/// spawned. The output vector is identical for every `threads` value; only
-/// wall-clock time changes.
-pub(crate) fn run_bands<I, T>(
-    threads: usize,
-    items: Vec<I>,
-    f: impl Fn(usize, I) -> T + Sync,
-) -> Vec<T>
-where
-    I: Send,
-    T: Send,
-{
-    let n = items.len();
-    if threads <= 1 || n <= 1 {
-        return items.into_iter().enumerate().map(|(b, it)| f(b, it)).collect();
+/// Per-dispatch coordination state, guarded by one mutex.
+struct DispatchState<C> {
+    /// Incremented once per dispatch; workers track the last generation
+    /// they executed so a spurious condvar wakeup never re-runs a command.
+    generation: u64,
+    /// The command of the current dispatch (`None` between dispatches).
+    /// Workers clone it (an `Arc`-field bump, no heap traffic) so the
+    /// caller can reclaim unique ownership of the shared state after the
+    /// barrier.
+    cmd: Option<C>,
+    /// Spawned workers still running the current dispatch.
+    remaining: usize,
+    /// Total workers including the caller; fixed after construction.
+    workers: usize,
+    shutdown: bool,
+    /// Set by a worker's completion guard when its kernel panicked; the
+    /// caller surfaces it as a panic at the barrier.
+    panicked: bool,
+}
+
+struct Shared<C, S> {
+    state: Mutex<DispatchState<C>>,
+    /// Signaled by the caller when a new generation (or shutdown) is
+    /// posted.
+    work: Condvar,
+    /// Signaled by workers when `remaining` reaches zero.
+    done: Condvar,
+    bands: Vec<Range<usize>>,
+    /// One pre-allocated output slot per band. A slot is only ever locked
+    /// by the one worker that owns the band during a dispatch and by the
+    /// caller during the fold, so the locks never contend.
+    slots: Vec<Mutex<S>>,
+    kernel: fn(&C, usize, Range<usize>, &mut S),
+}
+
+/// Recovers the guard from a poisoned lock: pool state is plain data that
+/// stays consistent under panic (the completion guard below repairs the
+/// counters), so continuing with the inner value is safe.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
     }
-    let workers = threads.min(n);
-    // Deal the (band, item) pairs round-robin into per-worker queues.
-    let mut queues: Vec<Vec<(usize, I)>> = (0..workers).map(|_| Vec::new()).collect();
-    for (b, item) in items.into_iter().enumerate() {
-        queues[b % workers].push((b, item));
+}
+
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
     }
-    let f = &f;
-    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = queues
-            .into_iter()
-            .map(|queue| {
-                scope.spawn(move || {
-                    queue
-                        .into_iter()
-                        .map(|(b, item)| (b, f(b, item)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(mut part) => tagged.append(&mut part),
-                // A worker panicked (e.g. an overflow check tripped):
-                // surface the original panic on the caller.
-                Err(payload) => std::panic::resume_unwind(payload),
+}
+
+/// Decrements `remaining` when a worker finishes a dispatch — including by
+/// panic, in which case the flag is raised so the caller's barrier fails
+/// instead of deadlocking.
+struct DoneGuard<'a, C, S> {
+    shared: &'a Shared<C, S>,
+}
+
+impl<C, S> Drop for DoneGuard<'_, C, S> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.shared.state);
+        if std::thread::panicking() {
+            st.panicked = true;
+        }
+        st.remaining = st.remaining.saturating_sub(1);
+        if st.remaining == 0 || st.panicked {
+            self.shared.done.notify_all();
+        }
+    }
+}
+
+fn worker_loop<C: Clone, S>(shared: Arc<Shared<C, S>>, index: usize) {
+    let mut seen = 0u64;
+    loop {
+        let (cmd, generation, workers) = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation > seen {
+                    if let Some(cmd) = st.cmd.clone() {
+                        break (cmd, st.generation, st.workers);
+                    }
+                }
+                st = wait(&shared.work, st);
+            }
+        };
+        seen = generation;
+        let guard = DoneGuard { shared: &shared };
+        for (b, rows) in shared.bands.iter().enumerate() {
+            if b % workers == index {
+                let mut slot = lock(&shared.slots[b]);
+                (shared.kernel)(&cmd, b, rows.clone(), &mut slot);
             }
         }
-    });
-    tagged.sort_by_key(|&(b, _)| b);
-    tagged.into_iter().map(|(_, out)| out).collect()
+        // Release the command's shared handles (Arc refs) *before*
+        // signaling completion, so the caller observes unique ownership at
+        // the barrier and its copy-on-write accesses never actually copy.
+        drop(cmd);
+        drop(guard);
+    }
+}
+
+/// A persistent pool of banded workers plus their per-band output slots.
+///
+/// Created once per session with a fixed kernel and slot layout; each
+/// [`BandPool::run`] dispatches one command to every band and returns
+/// after all bands completed (the caller executes worker 0's bands
+/// itself). Steady-state dispatch allocates nothing: commands travel by
+/// `Clone` (callers pass `Arc`-built commands), outputs land in the
+/// pre-allocated slots, and workers park on a condvar between frames.
+///
+/// With one worker no threads are spawned and `run` degenerates to a
+/// serial in-order loop; the band decomposition and ascending-band fold
+/// order are fixed either way, so outputs are bit-identical for every
+/// worker count.
+pub(crate) struct BandPool<C: Clone + Send + 'static, S: Send + 'static> {
+    shared: Arc<Shared<C, S>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Spawned workers (total workers = spawned + 1; the caller is
+    /// worker 0).
+    spawned: usize,
+    workers: usize,
+}
+
+impl<C: Clone + Send + 'static, S: Send + 'static> BandPool<C, S> {
+    /// Builds a pool for images of `height` rows, with `make_slot(b, rows)`
+    /// pre-allocating band `b`'s output slot. At most
+    /// `min(threads, bands) - 1` workers are spawned; if a spawn fails the
+    /// pool degrades to fewer workers (output unchanged — only wall-clock
+    /// time depends on the worker count).
+    pub(crate) fn new(
+        threads: usize,
+        height: usize,
+        kernel: fn(&C, usize, Range<usize>, &mut S),
+        mut make_slot: impl FnMut(usize, &Range<usize>) -> S,
+    ) -> Self {
+        let bands = band_rows(height);
+        let slots: Vec<Mutex<S>> = bands
+            .iter()
+            .enumerate()
+            .map(|(b, rows)| Mutex::new(make_slot(b, rows)))
+            .collect();
+        let target = threads.max(1).min(bands.len());
+        let shared = Arc::new(Shared {
+            state: Mutex::new(DispatchState {
+                generation: 0,
+                cmd: None,
+                remaining: 0,
+                workers: target,
+                shutdown: false,
+                panicked: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            bands,
+            slots,
+            kernel,
+        });
+        let mut handles = Vec::new();
+        for index in 1..target {
+            let shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("sslic-band-{index}"))
+                .spawn(move || worker_loop(shared, index));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                // Degrade gracefully: the remaining bands fall to the
+                // workers that did spawn (plus the caller).
+                Err(_) => break,
+            }
+        }
+        let workers = handles.len() + 1;
+        if workers != target {
+            lock(&shared.state).workers = workers;
+        }
+        BandPool {
+            shared,
+            spawned: handles.len(),
+            workers,
+            handles,
+        }
+    }
+
+    /// Number of bands (and slots).
+    pub(crate) fn band_count(&self) -> usize {
+        self.shared.bands.len()
+    }
+
+    /// The fixed band decomposition, in ascending band order.
+    pub(crate) fn bands(&self) -> &[Range<usize>] {
+        &self.shared.bands
+    }
+
+    /// Locks band `b`'s output slot. Outside a dispatch the lock is always
+    /// free; during one it is held only by the band's owning worker.
+    pub(crate) fn slot(&self, b: usize) -> MutexGuard<'_, S> {
+        lock(&self.shared.slots[b])
+    }
+
+    /// Runs `kernel(&cmd, b, rows, &mut slot_b)` for every band and
+    /// returns once all bands completed (a full barrier). The caller
+    /// executes the bands of worker 0 itself. Steady state allocates
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker's kernel panicked (this dispatch or an earlier
+    /// one); the pool must not be reused afterwards.
+    pub(crate) fn run(&self, cmd: C) {
+        if self.spawned == 0 {
+            for (b, rows) in self.shared.bands.iter().enumerate() {
+                let mut slot = lock(&self.shared.slots[b]);
+                (self.shared.kernel)(&cmd, b, rows.clone(), &mut slot);
+            }
+            return;
+        }
+        {
+            let mut st = lock(&self.shared.state);
+            assert!(
+                !st.panicked,
+                "a band worker panicked in an earlier dispatch"
+            );
+            st.generation += 1;
+            st.cmd = Some(cmd.clone());
+            st.remaining = self.spawned;
+            self.shared.work.notify_all();
+        }
+        for (b, rows) in self.shared.bands.iter().enumerate() {
+            if b % self.workers == 0 {
+                let mut slot = lock(&self.shared.slots[b]);
+                (self.shared.kernel)(&cmd, b, rows.clone(), &mut slot);
+            }
+        }
+        let panicked = {
+            let mut st = lock(&self.shared.state);
+            while st.remaining > 0 && !st.panicked {
+                st = wait(&self.shared.done, st);
+            }
+            st.cmd = None;
+            st.panicked
+        };
+        assert!(!panicked, "a band worker panicked");
+    }
+}
+
+impl<C: Clone + Send + 'static, S: Send + 'static> Drop for BandPool<C, S> {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -117,33 +332,73 @@ mod tests {
         assert_eq!(band_rows(720), band_rows(720));
     }
 
+    /// Kernel under test: records which band ran over which rows, scaled
+    /// by the command value.
+    fn record_kernel(cmd: &u64, band: usize, rows: Range<usize>, slot: &mut (u64, usize, usize)) {
+        *slot = (cmd * (band as u64 + 1), rows.start, rows.end);
+    }
+
+    fn collect(pool: &BandPool<u64, (u64, usize, usize)>) -> Vec<(u64, usize, usize)> {
+        (0..pool.band_count()).map(|b| *pool.slot(b)).collect()
+    }
+
     #[test]
-    fn run_bands_outputs_are_ordered_and_thread_count_invariant() {
-        let items: Vec<usize> = (0..23).collect();
-        let serial = run_bands(1, items.clone(), |b, it| (b, it * it));
-        for threads in [2usize, 3, 8, 16] {
-            let parallel = run_bands(threads, items.clone(), |b, it| (b, it * it));
-            assert_eq!(serial, parallel, "threads = {threads}");
+    fn pool_outputs_are_ordered_and_worker_count_invariant() {
+        let serial = {
+            let pool = BandPool::new(1, 23, record_kernel, |_, _| (0, 0, 0));
+            pool.run(3);
+            collect(&pool)
+        };
+        assert_eq!(serial.len(), 23);
+        for (b, &(v, start, end)) in serial.iter().enumerate() {
+            assert_eq!(v, 3 * (b as u64 + 1));
+            assert_eq!(end - start, 1);
         }
-        for (b, (idx, sq)) in serial.iter().enumerate() {
-            assert_eq!(*idx, b);
-            assert_eq!(*sq, b * b);
+        for threads in [2usize, 3, 8, 16] {
+            let pool = BandPool::new(threads, 23, record_kernel, |_, _| (0, 0, 0));
+            pool.run(3);
+            assert_eq!(collect(&pool), serial, "threads = {threads}");
         }
     }
 
     #[test]
-    fn run_bands_handles_more_threads_than_bands() {
-        let out = run_bands(64, vec![10, 20], |b, it| b + it);
-        assert_eq!(out, vec![10, 21]);
+    fn pool_redispatches_across_generations() {
+        let pool = BandPool::new(4, 8, record_kernel, |_, _| (0, 0, 0));
+        for cmd in [1u64, 5, 9] {
+            pool.run(cmd);
+            for b in 0..pool.band_count() {
+                assert_eq!(pool.slot(b).0, cmd * (b as u64 + 1), "cmd {cmd}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_handles_more_threads_than_bands() {
+        let pool = BandPool::new(64, 2, record_kernel, |_, _| (0, 0, 0));
+        pool.run(7);
+        assert_eq!(collect(&pool), vec![(7, 0, 1), (14, 1, 2)]);
     }
 
     #[test]
     fn worker_panics_propagate() {
+        fn boom(_: &u64, band: usize, _: Range<usize>, _: &mut ()) {
+            assert!(band != 2, "boom");
+        }
         let caught = std::panic::catch_unwind(|| {
-            run_bands(2, vec![0u32, 1, 2, 3], |_, it| {
-                assert!(it != 2, "boom");
-                it
-            })
+            let pool = BandPool::new(2, 4, boom, |_, _| ());
+            pool.run(0);
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn caller_panics_propagate_serially_too() {
+        fn boom(_: &u64, band: usize, _: Range<usize>, _: &mut ()) {
+            assert!(band != 1, "boom");
+        }
+        let caught = std::panic::catch_unwind(|| {
+            let pool = BandPool::new(1, 4, boom, |_, _| ());
+            pool.run(0);
         });
         assert!(caught.is_err());
     }

@@ -1,0 +1,1748 @@
+//! Streaming segmentation sessions: persistent per-frame scratch and the
+//! zero-allocation steady-state execution engine.
+//!
+//! A [`SegmenterSession`] is created once from a [`Segmenter`] and a frame
+//! geometry. It owns every piece of per-frame working memory — the CIELAB
+//! feature planes, the label plane, the distance buffer, per-band sigma
+//! register files, the connectivity flood-fill queues, the cluster slots —
+//! plus a persistent [`BandPool`] of parked workers. Each
+//! [`SegmenterSession::run_into`] call segments one frame by *reusing* that
+//! memory: after the first (cold) frame, a steady-state frame performs zero
+//! heap allocations at any thread count (pinned by `tests/zero_alloc.rs` at
+//! the workspace root).
+//!
+//! The one-shot [`Segmenter::run`] is itself a thin wrapper that builds a
+//! transient session and runs a single frame through it, so session output
+//! is bit-identical to one-shot output **by construction** — there is only
+//! one execution engine. Determinism across thread counts is inherited
+//! from the banded execution model (see [`crate::parallel`] and
+//! DESIGN.md §5d/§5f): band layout, per-band partials, and ascending-band
+//! folds never depend on the worker count.
+//!
+//! Shared state crosses the worker boundary as `Arc`s inside a per-dispatch
+//! [`FrameCtx`] command; workers drop their command clones before signaling
+//! the dispatch barrier, so the session's `Arc::make_mut` calls at the
+//! serial sync points always find a unique reference and mutate in place
+//! (copy-on-write never actually copies on the steady-state path).
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use sslic_color::{float, hw::HwColorConverter, Lab8Image, LabImage};
+use sslic_image::Plane;
+use sslic_obs::{LogicalClock, Recorder, Value};
+
+use crate::arena::AllocLedger;
+use crate::cluster::{init_clusters, Cluster};
+use crate::connectivity::{enforce_connectivity_with, ConnScratch};
+use crate::distance::{dist2_float, ClusterCodes, DistanceMode, QuantKernel};
+use crate::engine::{
+    Algorithm, RunOptions, Segmentation, SegmentationStatus, SegmentRequest, Segmenter, StepFaults,
+};
+use crate::instrument::RunCounters;
+use crate::parallel::BandPool;
+use crate::profile::{Phase, PhaseBreakdown};
+use crate::subsample::SubsetPartition;
+use crate::SeedGrid;
+
+/// Fixed bucket boundaries of the per-band assigned-pixel histogram
+/// (`core.band.pixels`): powers of four from 256 to 64k pixels.
+const BAND_PIXEL_BOUNDS: [u64; 5] = [1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16];
+
+/// Why a segmentation request could not run. Returned by the fallible
+/// entry points ([`Segmenter::try_run`], [`SegmenterSession::try_run`],
+/// [`SegmenterSession::try_run_into`]); the panicking twins raise the same
+/// conditions as panics carrying the [`std::fmt::Display`] message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SegmentError {
+    /// The frame has a zero-sized dimension; there is nothing to segment
+    /// (and no valid seed grid).
+    EmptyFrame {
+        /// Requested frame width.
+        width: usize,
+        /// Requested frame height.
+        height: usize,
+    },
+    /// The request's frame (or the caller's output plane) does not match
+    /// the geometry this session's scratch was sized for. Sessions are
+    /// fixed-geometry: build a new session to change resolution.
+    GeometryMismatch {
+        /// `(width, height)` the session was built for.
+        expected: (usize, usize),
+        /// `(width, height)` actually supplied.
+        actual: (usize, usize),
+    },
+    /// A warm start carried the wrong number of clusters for this frame's
+    /// realized seed grid, which would invalidate the static
+    /// 9-neighborhood tiling.
+    WarmStartLen {
+        /// `SeedGrid::cluster_count` of the realized grid.
+        expected: usize,
+        /// Length of the supplied warm-start slice.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::EmptyFrame { width, height } => {
+                write!(f, "cannot segment an empty {width}x{height} frame")
+            }
+            SegmentError::GeometryMismatch { expected, actual } => write!(
+                f,
+                "session scratch is sized for {}x{} frames, got {}x{}",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            SegmentError::WarmStartLen { expected, actual } => {
+                write!(f, "warm start must carry {expected} clusters, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+/// Funnels a [`SegmentError`] into a panic with the same message the
+/// fallible API reports, for the panicking convenience wrappers.
+fn raise(error: SegmentError) -> ! {
+    assert!(false, "{error}");
+    unreachable!()
+}
+
+/// Per-frame result metadata: everything [`Segmentation`] carries except
+/// the label map and cluster centers, which live in (or are borrowed from)
+/// the session's reusable buffers.
+#[derive(Debug, Clone)]
+pub struct FrameReport {
+    pub(crate) iterations_run: u32,
+    pub(crate) breakdown: PhaseBreakdown,
+    pub(crate) counters: RunCounters,
+    pub(crate) spacing: f32,
+    pub(crate) frozen_clusters: usize,
+    pub(crate) status: SegmentationStatus,
+    pub(crate) repairs: u64,
+    pub(crate) scratch_allocs: u64,
+    pub(crate) scratch_bytes: u64,
+}
+
+impl FrameReport {
+    /// Center-update steps actually executed this frame.
+    pub fn iterations_run(&self) -> u32 {
+        self.iterations_run
+    }
+
+    /// Wall-clock time per pipeline phase for this frame.
+    pub fn breakdown(&self) -> &PhaseBreakdown {
+        &self.breakdown
+    }
+
+    /// Recorded event counts for this frame.
+    pub fn counters(&self) -> &RunCounters {
+        &self.counters
+    }
+
+    /// Grid spacing `S` of the session geometry.
+    pub fn spacing(&self) -> f32 {
+        self.spacing
+    }
+
+    /// Clusters frozen by Preemptive-SLIC halting at frame end.
+    pub fn frozen_clusters(&self) -> usize {
+        self.frozen_clusters
+    }
+
+    /// Health of the frame (see [`SegmentationStatus`]).
+    pub fn status(&self) -> SegmentationStatus {
+        self.status
+    }
+
+    /// Invariant repairs applied this frame (0 on fault-free frames).
+    pub fn invariant_repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Scratch buffers logically established during this frame. The full
+    /// inventory on the session's first frame; **zero** on every
+    /// steady-state frame — the streaming contract.
+    pub fn scratch_allocs(&self) -> u64 {
+        self.scratch_allocs
+    }
+
+    /// Bytes of scratch logically established during this frame (see
+    /// [`FrameReport::scratch_allocs`]).
+    pub fn scratch_bytes(&self) -> u64 {
+        self.scratch_bytes
+    }
+}
+
+/// Everything a band worker needs to execute one dispatch, shared by `Arc`:
+/// cloning a `FrameCtx` bumps reference counts and copies plain scalars —
+/// it never touches the heap. Workers drop their clone before signaling
+/// completion, restoring unique ownership to the session.
+#[derive(Clone)]
+struct FrameCtx {
+    grid: SeedGrid,
+    lab: Arc<LabImage>,
+    /// `Some` only in quantized distance mode (mirrors the one-shot
+    /// engine's `(kernel, lab8)` pairing).
+    lab8: Option<Arc<Lab8Image>>,
+    labels: Arc<Plane<u32>>,
+    clusters: Arc<Vec<Cluster>>,
+    codes: Arc<Vec<ClusterCodes>>,
+    active: Arc<Vec<bool>>,
+    max_dc2: Option<Arc<Vec<f32>>>,
+    partition: Option<Arc<SubsetPartition>>,
+    kernel: Option<QuantKernel>,
+    m2_over_s2: f32,
+    inv_s2: f32,
+}
+
+/// One dispatch to the band pool.
+#[derive(Clone)]
+enum Cmd {
+    /// Pixel-perspective assignment over all pixels or one subset.
+    Assign {
+        ctx: FrameCtx,
+        subset: Option<u32>,
+        preempting: bool,
+    },
+    /// Banded sigma accumulation for the center update.
+    Update {
+        ctx: FrameCtx,
+        pixel_subset: Option<u32>,
+        cluster_subset: Option<(u32, u32)>,
+    },
+}
+
+/// Pre-allocated per-band output slot: the band's label stripe (PPA
+/// algorithms only), its private sigma register file and SLICO maxima, and
+/// its counter partial. Reused across every dispatch of the session.
+struct BandSlot {
+    stripe: Vec<u32>,
+    sigma: Vec<[f64; 6]>,
+    new_max: Vec<f32>,
+    counters: RunCounters,
+}
+
+/// Borrowed distance-datapath view over a [`FrameCtx`] — the exact logic
+/// of the one-shot engine's `distance`/`dc2_ds2`, shared by the banded
+/// kernels and the serial CPA scan.
+struct DistCtx<'a> {
+    lab: &'a LabImage,
+    lab8: Option<&'a Lab8Image>,
+    clusters: &'a [Cluster],
+    codes: &'a [ClusterCodes],
+    kernel: Option<&'a QuantKernel>,
+    max_dc2: Option<&'a [f32]>,
+    m2_over_s2: f32,
+    inv_s2: f32,
+}
+
+impl<'a> DistCtx<'a> {
+    fn of(ctx: &'a FrameCtx) -> Self {
+        DistCtx {
+            lab: &ctx.lab,
+            lab8: ctx.lab8.as_deref(),
+            clusters: &ctx.clusters,
+            codes: &ctx.codes,
+            kernel: ctx.kernel.as_ref(),
+            max_dc2: ctx.max_dc2.as_deref().map(Vec::as_slice),
+            m2_over_s2: ctx.m2_over_s2,
+            inv_s2: ctx.inv_s2,
+        }
+    }
+
+    /// Distance between pixel `(x, y)` and cluster `k`, in whichever
+    /// numeric mode is active. Returned values are only compared against
+    /// each other within one pixel's candidate set.
+    #[inline]
+    fn distance(&self, x: usize, y: usize, k: usize) -> f32 {
+        if let Some(max_dc2) = self.max_dc2 {
+            // SLICO objective: color and space each normalized by their
+            // per-cluster / grid maxima.
+            let (dc2, ds2) = self.dc2_ds2(x, y, k);
+            return dc2 / max_dc2[k] + ds2 * self.inv_s2;
+        }
+        match (self.kernel, self.lab8) {
+            (Some(kernel), Some(lab8)) => {
+                let px = lab8.pixel(x, y);
+                kernel.dist_code(px, (x as i32, y as i32), &self.codes[k]) as f32
+            }
+            _ => dist2_float(
+                self.lab.pixel(x, y),
+                (x as f32, y as f32),
+                &self.clusters[k],
+                self.m2_over_s2,
+            ),
+        }
+    }
+
+    /// Squared color and spatial distances separately (float path).
+    #[inline]
+    fn dc2_ds2(&self, x: usize, y: usize, k: usize) -> (f32, f32) {
+        let [l, a, b] = self.lab.pixel(x, y);
+        let c = &self.clusters[k];
+        let (dl, da, db) = (l - c.l, a - c.a, b - c.b);
+        let (dx, dy) = (x as f32 - c.x, y as f32 - c.y);
+        (dl * dl + da * da + db * db, dx * dx + dy * dy)
+    }
+}
+
+/// The band-pool kernel: decodes one dispatch command for one band.
+fn band_kernel(cmd: &Cmd, _band: usize, rows: Range<usize>, slot: &mut BandSlot) {
+    match cmd {
+        Cmd::Assign {
+            ctx,
+            subset,
+            preempting,
+        } => assign_band(ctx, *subset, rows, slot, *preempting),
+        Cmd::Update {
+            ctx,
+            pixel_subset,
+            cluster_subset,
+        } => update_band(ctx, *pixel_subset, *cluster_subset, rows, slot),
+    }
+}
+
+/// One band of PPA assignment over `rows`, writing the band's label stripe
+/// and private counters/maxima into its slot. Skipped pixels (subset
+/// mismatch, all-frozen neighborhoods) keep the stripe's previous value,
+/// which the session keeps synchronized with the central label plane — so
+/// the stripe write-back is identical to the one-shot engine's in-place
+/// label writes.
+fn assign_band(
+    ctx: &FrameCtx,
+    subset: Option<u32>,
+    rows: Range<usize>,
+    slot: &mut BandSlot,
+    preempting: bool,
+) {
+    let w = ctx.grid.width();
+    let dist = DistCtx::of(ctx);
+    slot.new_max.fill(0.0);
+    let mut assigned = 0u64;
+    for y in rows.clone() {
+        for x in 0..w {
+            if let (Some(s), Some(part)) = (subset, ctx.partition.as_deref()) {
+                if part.subset_of(x, y) != s {
+                    continue;
+                }
+            }
+            let nine = ctx.grid.nine_neighbors_of_pixel(x, y);
+            // Preemption: if every candidate is frozen, the pixel's
+            // assignment cannot change — skip the 9 distances.
+            if preempting && nine.iter().all(|&k| !ctx.active[k]) {
+                continue;
+            }
+            let mut best = nine[0];
+            let mut best_d = dist.distance(x, y, nine[0]);
+            for &k in &nine[1..] {
+                let d = dist.distance(x, y, k);
+                if d < best_d {
+                    best_d = d;
+                    best = k;
+                }
+            }
+            slot.stripe[(y - rows.start) * w + x] = best as u32;
+            if ctx.max_dc2.is_some() {
+                let (dc2, _) = dist.dc2_ds2(x, y, best);
+                slot.new_max[best] = slot.new_max[best].max(dc2);
+            }
+            assigned += 1;
+        }
+    }
+    slot.counters = RunCounters {
+        pixel_color_reads: assigned,
+        distance_calcs: assigned * 9,
+        label_writes: assigned,
+        ..RunCounters::default()
+    };
+}
+
+/// One band of sigma accumulation over `rows` into the slot's private
+/// register file (zeroed on entry; folded in ascending band order by the
+/// session, which is what keeps the f64 sums bit-identical across thread
+/// counts despite float non-associativity).
+fn update_band(
+    ctx: &FrameCtx,
+    pixel_subset: Option<u32>,
+    cluster_subset: Option<(u32, u32)>,
+    rows: Range<usize>,
+    slot: &mut BandSlot,
+) {
+    let w = ctx.grid.width();
+    for acc in slot.sigma.iter_mut() {
+        *acc = [0.0; 6];
+    }
+    let mut pixels_seen = 0u64;
+    for y in rows {
+        for x in 0..w {
+            if let (Some(s), Some(part)) = (pixel_subset, ctx.partition.as_deref()) {
+                if part.subset_of(x, y) != s {
+                    continue;
+                }
+            }
+            let k = ctx.labels[(x, y)] as usize;
+            if let Some((p, s)) = cluster_subset {
+                if k as u32 % p != s {
+                    continue;
+                }
+            }
+            let [l, a, b] = ctx.lab.pixel(x, y);
+            let acc = &mut slot.sigma[k];
+            acc[0] += l as f64;
+            acc[1] += a as f64;
+            acc[2] += b as f64;
+            acc[3] += x as f64;
+            acc[4] += y as f64;
+            acc[5] += 1.0;
+            pixels_seen += 1;
+        }
+    }
+    slot.counters = RunCounters {
+        label_reads: pixels_seen,
+        pixel_color_reads: pixels_seen,
+        sigma_updates: pixels_seen,
+        ..RunCounters::default()
+    };
+}
+
+/// Where a frame's final label map lands.
+enum Target<'a> {
+    /// A caller-owned plane (`run_into`).
+    Caller(&'a mut Plane<u32>),
+    /// The session's own output plane (`run`, and the one-shot wrapper).
+    Internal,
+}
+
+/// How the frame resolves its initial cluster centers when
+/// [`RunOptions::warm_start`] is absent.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WarmMode {
+    /// `run`/`try_run`: frame 0 seeds cold, later frames recycle the
+    /// previous frame's converged centers in place (the 30 fps video
+    /// pipeline of the paper).
+    Auto,
+    /// `run_into`/`try_run_into` and the one-shot wrapper: every frame
+    /// seeds cold unless a warm start is supplied, mirroring
+    /// [`Segmenter::run`] semantics exactly.
+    OneShot,
+}
+
+/// A persistent streaming segmentation session: a [`Segmenter`]
+/// configuration bound to one frame geometry, owning all per-frame working
+/// memory and a parked worker pool.
+///
+/// After the first (cold) frame, segmenting a steady-state frame performs
+/// **zero heap allocations** at any thread count, and the output is
+/// bit-identical to running [`Segmenter::run`] on the same inputs.
+///
+/// # Example
+///
+/// ```
+/// use sslic_core::{RunOptions, SegmentRequest, Segmenter, SlicParams};
+/// use sslic_image::synthetic::SyntheticImage;
+///
+/// let seg = Segmenter::sslic_ppa(SlicParams::builder(80).iterations(4).build(), 2);
+/// let mut session = seg.session(64, 48);
+/// for seed in 0..3 {
+///     let img = SyntheticImage::builder(64, 48).seed(seed).regions(5).build();
+///     let report = session.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+///     assert_eq!(session.labels().len(), 64 * 48);
+///     if seed > 0 {
+///         // Steady state: the scratch inventory was established on frame 0.
+///         assert_eq!(report.scratch_allocs(), 0);
+///     }
+/// }
+/// ```
+pub struct SegmenterSession {
+    config: Segmenter,
+    grid: SeedGrid,
+    quantized: bool,
+    lab: Arc<LabImage>,
+    lab8: Arc<Lab8Image>,
+    labels: Arc<Plane<u32>>,
+    clusters: Arc<Vec<Cluster>>,
+    codes: Arc<Vec<ClusterCodes>>,
+    active: Arc<Vec<bool>>,
+    max_dc2: Option<Arc<Vec<f32>>>,
+    partition: Option<Arc<SubsetPartition>>,
+    kernel: Option<QuantKernel>,
+    converter: Option<HwColorConverter>,
+    dist: Plane<f32>,
+    out: Plane<u32>,
+    conn: ConnScratch,
+    pool: BandPool<Cmd, BandSlot>,
+    fold_max: Vec<f32>,
+    fold_sigma: Vec<[f64; 6]>,
+    band_counters: Vec<RunCounters>,
+    counters: RunCounters,
+    m2_over_s2: f32,
+    inv_s2: f32,
+    ledger: AllocLedger,
+    frames: u64,
+}
+
+impl std::fmt::Debug for SegmenterSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmenterSession")
+            .field("width", &self.grid.width())
+            .field("height", &self.grid.height())
+            .field("algorithm", &self.config.algorithm().name())
+            .field("clusters", &self.clusters.len())
+            .field("frames", &self.frames)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SegmenterSession {
+    /// Builds a session for `width × height` frames, pre-allocating every
+    /// per-frame buffer and spawning the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::EmptyFrame`] if either dimension is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration combines adaptive compactness with a
+    /// quantized distance mode ("adaptive compactness is a float-datapath
+    /// feature").
+    pub fn try_new(
+        config: Segmenter,
+        width: usize,
+        height: usize,
+    ) -> Result<SegmenterSession, SegmentError> {
+        if width == 0 || height == 0 {
+            return Err(SegmentError::EmptyFrame { width, height });
+        }
+        let params = *config.params();
+        assert!(
+            !(params.adaptive_compactness() && config.distance_mode().is_quantized()),
+            "adaptive compactness is a float-datapath feature"
+        );
+        let grid = SeedGrid::new(width, height, params.superpixels());
+        let k = grid.cluster_count();
+        let spacing = grid.spacing();
+        let m = params.compactness();
+        let quantized = config.distance_mode().is_quantized();
+        let kernel = match config.distance_mode() {
+            DistanceMode::Float => None,
+            DistanceMode::Quantized {
+                channel_bits,
+                distance_bits,
+            } => Some(QuantKernel::new(
+                channel_bits,
+                distance_bits,
+                params.compactness(),
+                spacing,
+            )),
+        };
+        let partition = match config.algorithm() {
+            Algorithm::SSlicPpa { subsets, strategy } => {
+                Some(Arc::new(SubsetPartition::new(width, height, subsets, strategy)))
+            }
+            _ => None,
+        };
+        let banded_labels = matches!(
+            config.algorithm(),
+            Algorithm::SlicPpa | Algorithm::SSlicPpa { .. }
+        );
+        let pixels = (width * height) as u64;
+
+        // Every logical scratch buffer is recorded in the ledger as it is
+        // established, so frame 0 reports the full inventory and every
+        // later frame reports zero (`core.alloc.*` counters).
+        let mut ledger = AllocLedger::new();
+        let cluster_bytes = std::mem::size_of::<Cluster>() as u64;
+        let code_bytes = std::mem::size_of::<ClusterCodes>() as u64;
+        ledger.record(pixels * 12); // f32 CIELAB feature planes
+        let lab = Arc::new(LabImage::from_fn(width, height, |_, _| [0.0; 3]));
+        ledger.record(pixels * 3); // 8-bit CIELAB code planes
+        let lab8 = Arc::new(Lab8Image::from_fn(width, height, |_, _| [0; 3]));
+        ledger.record(pixels * 4); // working label plane
+        let labels = Arc::new(Plane::filled(width, height, 0u32));
+        ledger.record(pixels * 4); // finished output plane
+        let out = Plane::filled(width, height, 0u32);
+        ledger.record(pixels * 4); // CPA distance buffer
+        let dist = Plane::filled(width, height, f32::INFINITY);
+        ledger.record(pixels * (8 + 16 + 16)); // connectivity component plane + queues
+        let conn = ConnScratch::new(width, height);
+        ledger.record(k as u64 * cluster_bytes); // cluster center registers
+        let clusters = Arc::new(vec![Cluster::default(); k]);
+        ledger.record(k as u64 * code_bytes); // quantized center codes
+        let codes = Arc::new(Vec::with_capacity(k));
+        ledger.record(k as u64); // preemption activity flags
+        let active = Arc::new(vec![true; k]);
+        let max_dc2 = if params.adaptive_compactness() {
+            ledger.record(k as u64 * 4); // SLICO per-cluster maxima
+            Some(Arc::new(vec![m * m; k]))
+        } else {
+            None
+        };
+        ledger.record(k as u64 * 4); // fold buffer: SLICO maxima
+        let fold_max = vec![0f32; k];
+        ledger.record(k as u64 * 48); // fold buffer: sigma register file
+        let fold_sigma = vec![[0f64; 6]; k];
+        let pool = BandPool::new(
+            params.threads().get(),
+            height,
+            band_kernel,
+            |_, rows: &Range<usize>| {
+                let stripe_len = if banded_labels { rows.len() * width } else { 0 };
+                ledger.record((stripe_len * 4) as u64 + k as u64 * (48 + 4));
+                BandSlot {
+                    stripe: vec![0u32; stripe_len],
+                    sigma: vec![[0f64; 6]; k],
+                    new_max: vec![0f32; k],
+                    counters: RunCounters::default(),
+                }
+            },
+        );
+        let band_count = pool.band_count();
+        ledger.record(band_count as u64 * std::mem::size_of::<RunCounters>() as u64);
+        let band_counters = Vec::with_capacity(band_count);
+
+        Ok(SegmenterSession {
+            config,
+            grid,
+            quantized,
+            lab,
+            lab8,
+            labels,
+            clusters,
+            codes,
+            active,
+            max_dc2,
+            partition,
+            kernel,
+            converter: quantized.then(HwColorConverter::paper_default),
+            dist,
+            out,
+            conn,
+            pool,
+            fold_max,
+            fold_sigma,
+            band_counters,
+            counters: RunCounters::default(),
+            m2_over_s2: (m * m) / (spacing * spacing),
+            inv_s2: 1.0 / (spacing * spacing),
+            ledger,
+            frames: 0,
+        })
+    }
+
+    /// Panicking convenience over [`SegmenterSession::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SegmentError`] condition, with the error's
+    /// [`std::fmt::Display`] message.
+    pub fn new(config: Segmenter, width: usize, height: usize) -> SegmenterSession {
+        match SegmenterSession::try_new(config, width, height) {
+            Ok(session) => session,
+            Err(e) => raise(e),
+        }
+    }
+
+    /// Frame width this session is bound to.
+    pub fn width(&self) -> usize {
+        self.grid.width()
+    }
+
+    /// Frame height this session is bound to.
+    pub fn height(&self) -> usize {
+        self.grid.height()
+    }
+
+    /// Frames segmented so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Total scratch inventory of this session as `(buffers, bytes)` — a
+    /// pure function of the frame geometry and configuration, established
+    /// once at construction and reused for every frame.
+    pub fn scratch_inventory(&self) -> (u64, u64) {
+        (self.ledger.total_count(), self.ledger.total_bytes())
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &Segmenter {
+        &self.config
+    }
+
+    /// The label map of the most recent [`SegmenterSession::run`] /
+    /// [`SegmenterSession::try_run`] frame (all zeros before the first).
+    pub fn labels(&self) -> &Plane<u32> {
+        &self.out
+    }
+
+    /// The current cluster centers — after a frame, that frame's converged
+    /// centers (the warm-start state the next [`SegmenterSession::run`]
+    /// recycles).
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Segments one frame into the session's own output plane (readable
+    /// via [`SegmenterSession::labels`]). The first frame seeds cold;
+    /// every later frame recycles the previous frame's converged centers
+    /// as a warm start (unless [`RunOptions::warm_start`] overrides it),
+    /// and performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::GeometryMismatch`] if the request's frame differs
+    /// from the session geometry; [`SegmentError::WarmStartLen`] if an
+    /// explicit warm start has the wrong cluster count.
+    pub fn try_run(
+        &mut self,
+        request: SegmentRequest<'_>,
+        options: &RunOptions<'_>,
+    ) -> Result<FrameReport, SegmentError> {
+        self.frame(request, options, WarmMode::Auto, Target::Internal)
+    }
+
+    /// Panicking convenience over [`SegmenterSession::try_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SegmentError`] condition, with the error's
+    /// [`std::fmt::Display`] message.
+    pub fn run(&mut self, request: SegmentRequest<'_>, options: &RunOptions<'_>) -> FrameReport {
+        match self.try_run(request, options) {
+            Ok(report) => report,
+            Err(e) => raise(e),
+        }
+    }
+
+    /// Segments one frame into a caller-owned label plane, with one-shot
+    /// warm semantics: cold seeding unless [`RunOptions::warm_start`] is
+    /// supplied — exactly [`Segmenter::run`], minus the per-call
+    /// allocations. The output is bit-identical to the one-shot API by
+    /// construction (they share this engine).
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::GeometryMismatch`] if the request's frame *or*
+    /// `out` differs from the session geometry;
+    /// [`SegmentError::WarmStartLen`] as in
+    /// [`SegmenterSession::try_run`].
+    pub fn try_run_into(
+        &mut self,
+        request: SegmentRequest<'_>,
+        options: &RunOptions<'_>,
+        out: &mut Plane<u32>,
+    ) -> Result<FrameReport, SegmentError> {
+        self.frame(request, options, WarmMode::OneShot, Target::Caller(out))
+    }
+
+    /// Panicking convenience over [`SegmenterSession::try_run_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SegmentError`] condition, with the error's
+    /// [`std::fmt::Display`] message.
+    pub fn run_into(
+        &mut self,
+        request: SegmentRequest<'_>,
+        options: &RunOptions<'_>,
+        out: &mut Plane<u32>,
+    ) -> FrameReport {
+        match self.try_run_into(request, options, out) {
+            Ok(report) => report,
+            Err(e) => raise(e),
+        }
+    }
+
+    /// Consumes the session, assembling a full [`Segmentation`] from the
+    /// most recent frame's output plane and cluster state. `report` is the
+    /// [`FrameReport`] that frame returned; pairing it with any other
+    /// frame's report produces a `Segmentation` whose labels and summary
+    /// disagree. Backs the one-shot [`Segmenter::run`], and lets streaming
+    /// callers hand the final frame of a session to `Segmentation`-based
+    /// consumers without a copy.
+    pub fn into_segmentation(self, report: FrameReport) -> Segmentation {
+        let SegmenterSession { out, clusters, .. } = self;
+        let clusters = match Arc::try_unwrap(clusters) {
+            Ok(v) => v,
+            // A worker kept a stale handle (cannot happen after a clean
+            // frame barrier); fall back to a copy rather than failing.
+            Err(shared) => (*shared).clone(),
+        };
+        Segmentation::from_parts(out, clusters, report)
+    }
+
+    // --- the frame engine --------------------------------------------------
+
+    /// Runs one frame end to end. This is the single execution engine
+    /// behind every public entry point (session and one-shot alike).
+    fn frame(
+        &mut self,
+        request: SegmentRequest<'_>,
+        options: &RunOptions<'_>,
+        warm_mode: WarmMode,
+        target: Target<'_>,
+    ) -> Result<FrameReport, SegmentError> {
+        let (w, h) = (self.grid.width(), self.grid.height());
+        let (rw, rh) = request_dims(&request);
+        if (rw, rh) != (w, h) {
+            return Err(SegmentError::GeometryMismatch {
+                expected: (w, h),
+                actual: (rw, rh),
+            });
+        }
+        if let Target::Caller(out) = &target {
+            if (out.width(), out.height()) != (w, h) {
+                return Err(SegmentError::GeometryMismatch {
+                    expected: (w, h),
+                    actual: (out.width(), out.height()),
+                });
+            }
+        }
+        if let Some(warm) = options.warm_start {
+            if warm.len() != self.grid.cluster_count() {
+                return Err(SegmentError::WarmStartLen {
+                    expected: self.grid.cluster_count(),
+                    actual: warm.len(),
+                });
+            }
+        }
+        let params = *self.config.params();
+        let algorithm = self.config.algorithm();
+        let preemption = self.config.preemption();
+        let recorder = options.recorder;
+        let spacing = self.grid.spacing();
+        let mut breakdown = PhaseBreakdown::new();
+
+        self.convert_into(request, options.faults, &mut breakdown);
+
+        // Initial centers: explicit warm start > recycled session state
+        // (Auto, frames ≥ 1) > cold grid seeding.
+        let cold = options.warm_start.is_none()
+            && (warm_mode == WarmMode::OneShot || self.frames == 0);
+        breakdown.time(Phase::Init, || {
+            match options.warm_start {
+                Some(warm) => {
+                    let clusters = Arc::make_mut(&mut self.clusters);
+                    clusters.clear();
+                    clusters.extend_from_slice(warm);
+                }
+                None if cold => {
+                    let fresh = init_clusters(&self.lab, &self.grid, params.perturb_seeds());
+                    let clusters = Arc::make_mut(&mut self.clusters);
+                    clusters.clear();
+                    clusters.extend_from_slice(&fresh);
+                }
+                None => {} // Auto steady state: centers stay in place.
+            }
+            let labels = Arc::make_mut(&mut self.labels);
+            for y in 0..h {
+                for x in 0..w {
+                    labels[(x, y)] = self.grid.home_cluster_of_pixel(x, y) as u32;
+                }
+            }
+            // PPA algorithms: re-sync every band's stripe with the central
+            // labels so skipped pixels keep their previous assignment,
+            // exactly like the one-shot engine's in-place label writes.
+            for b in 0..self.pool.band_count() {
+                let rows = self.pool.bands()[b].clone();
+                let mut slot = self.pool.slot(b);
+                if !slot.stripe.is_empty() {
+                    slot.stripe
+                        .copy_from_slice(&labels.as_slice()[rows.start * w..rows.end * w]);
+                }
+            }
+        });
+
+        let cluster_count = self.clusters.len();
+        if let Some(rec) = recorder {
+            rec.span_begin(
+                "core.run",
+                LogicalClock::ZERO,
+                vec![
+                    ("algorithm", Value::from(algorithm.name())),
+                    ("width", Value::U64(w as u64)),
+                    ("height", Value::U64(h as u64)),
+                    ("clusters", Value::U64(cluster_count as u64)),
+                    ("iterations", Value::U64(u64::from(params.iterations()))),
+                    // Deliberately NOT the thread count: the determinism
+                    // contract byte-diffs traces across worker counts.
+                ],
+            );
+        }
+
+        // Per-frame scratch resets — all in place, no allocation.
+        Arc::make_mut(&mut self.active).fill(true);
+        let m = params.compactness();
+        if let Some(max_dc2) = &mut self.max_dc2 {
+            Arc::make_mut(max_dc2).fill(m * m);
+        }
+        self.counters = RunCounters::default();
+        self.dist.reset_to(f32::INFINITY);
+
+        let mut iterations_run = 0u32;
+        let mut repairs = 0u64;
+        let mut last_movement = 0.0f32;
+        for step in 0..params.iterations() {
+            if let Some(rec) = recorder {
+                rec.span_begin(
+                    "core.step",
+                    LogicalClock::step(step),
+                    vec![(
+                        "subset",
+                        Value::U64(u64::from(step % algorithm.steps_per_full_pass())),
+                    )],
+                );
+            }
+            let movement = match algorithm {
+                Algorithm::SlicCpa => {
+                    breakdown.time(Phase::DistanceMin, || {
+                        self.dist.reset_to(f32::INFINITY);
+                        self.assign_cpa(None, recorder, step);
+                    });
+                    breakdown.time(Phase::CenterUpdate, || {
+                        self.update_centers(None, None, preemption, recorder, step)
+                    })
+                }
+                Algorithm::SlicPpa => {
+                    breakdown.time(Phase::DistanceMin, || {
+                        self.assign_ppa(None, preemption.is_some(), recorder, step);
+                    });
+                    breakdown.time(Phase::CenterUpdate, || {
+                        self.update_centers(None, None, preemption, recorder, step)
+                    })
+                }
+                Algorithm::SSlicPpa { subsets, .. } => {
+                    let subset = step % subsets;
+                    breakdown.time(Phase::DistanceMin, || {
+                        self.assign_ppa(Some(subset), preemption.is_some(), recorder, step);
+                    });
+                    breakdown.time(Phase::CenterUpdate, || {
+                        self.update_centers(Some(subset), None, preemption, recorder, step)
+                    })
+                }
+                Algorithm::SSlicCpa { subsets } => {
+                    let subset = step % subsets;
+                    breakdown.time(Phase::DistanceMin, || {
+                        if subset == 0 {
+                            // New round: clusters compete afresh so stale
+                            // distances to long-moved centers cannot pin
+                            // labels forever.
+                            self.dist.reset_to(f32::INFINITY);
+                        }
+                        self.assign_cpa(Some((subsets, subset)), recorder, step);
+                    });
+                    breakdown.time(Phase::CenterUpdate, || {
+                        self.update_centers(None, Some((subsets, subset)), preemption, recorder, step)
+                    })
+                }
+            };
+            self.counters.sub_iterations += 1;
+            iterations_run = step + 1;
+            last_movement = movement;
+            if let Some(f) = options.faults {
+                f.corrupt_centers(step, Arc::make_mut(&mut self.clusters).as_mut_slice());
+            }
+            // Invariant guard: runs unconditionally (a no-op on clean
+            // state, preserving bit-identity of the fault-free path) so
+            // corrupted center registers cannot push subsequent window
+            // scans or seed lookups out of the image box.
+            let step_repairs = self.repair_centers();
+            repairs += step_repairs;
+            if let Some(rec) = recorder {
+                if step_repairs > 0 {
+                    rec.instant(
+                        "core.repair.centers",
+                        LogicalClock::step(step),
+                        vec![("repaired", Value::U64(step_repairs))],
+                    );
+                }
+                rec.span_end(
+                    "core.step",
+                    LogicalClock::step(step),
+                    vec![("sub_iterations", Value::U64(1))],
+                );
+            }
+            if let Some(threshold) = params.convergence_threshold() {
+                if movement <= threshold {
+                    break;
+                }
+            }
+        }
+
+        // The finished label map lands in the target plane; the working
+        // plane stays untouched by the post-passes (it is re-seeded from
+        // home clusters next frame anyway).
+        let out: &mut Plane<u32> = match target {
+            Target::Caller(p) => p,
+            Target::Internal => &mut self.out,
+        };
+        out.copy_from(&self.labels);
+        // Invariant guard: any out-of-range label (possible only via
+        // corruption) is repaired to the pixel's home cluster, keeping the
+        // map a valid index into `clusters` for connectivity and callers.
+        let k = self.clusters.len() as u32;
+        let mut label_repairs = 0u64;
+        for y in 0..h {
+            for x in 0..w {
+                if out[(x, y)] >= k {
+                    out[(x, y)] = self.grid.home_cluster_of_pixel(x, y) as u32;
+                    label_repairs += 1;
+                }
+            }
+        }
+        repairs += label_repairs;
+        if let Some(rec) = recorder {
+            if label_repairs > 0 {
+                rec.instant(
+                    "core.repair.labels",
+                    LogicalClock::step(iterations_run.saturating_sub(1)),
+                    vec![("repaired", Value::U64(label_repairs))],
+                );
+            }
+        }
+        if params.enforce_connectivity() {
+            let conn = &mut self.conn;
+            breakdown.time(Phase::Connectivity, || {
+                let min_size =
+                    ((spacing * spacing) / params.min_region_divisor() as f32).max(1.0) as usize;
+                enforce_connectivity_with(out, min_size.max(1), conn);
+            });
+        }
+
+        let frozen_clusters = self.active.iter().filter(|&&a| !a).count();
+        // Exhausting the iteration budget while a convergence threshold is
+        // configured and unmet is the non-convergence signature of
+        // corruption: the run terminated (budget bound) but did not settle.
+        let converged = params
+            .convergence_threshold()
+            .map_or(true, |t| last_movement <= t);
+        let status = if repairs > 0 || !converged {
+            SegmentationStatus::Degraded
+        } else {
+            SegmentationStatus::Ok
+        };
+        let (scratch_allocs, scratch_bytes) = self.ledger.take_frame_delta();
+        if let Some(rec) = recorder {
+            // Phase attribution: wall-clock durations pass through
+            // Recorder::duration_ns, which zeroes them in deterministic
+            // mode so the trace bytes stay workload-pure.
+            for phase in crate::profile::PHASES {
+                rec.instant(
+                    "core.phase",
+                    LogicalClock::step(iterations_run.saturating_sub(1)),
+                    vec![
+                        ("phase", Value::from(phase.key())),
+                        (
+                            "nanos",
+                            Value::U64(rec.duration_ns(breakdown.phase_time(phase))),
+                        ),
+                    ],
+                );
+            }
+            let c = &self.counters;
+            rec.counter_add("core.distance_calcs", c.distance_calcs);
+            rec.counter_add("core.pixel_color_reads", c.pixel_color_reads);
+            rec.counter_add("core.sigma_updates", c.sigma_updates);
+            rec.counter_add("core.center_updates", c.center_updates);
+            rec.counter_add("core.sub_iterations", c.sub_iterations);
+            rec.counter_add("core.invariant_repairs", repairs);
+            // Scratch establishments this frame: the full inventory on the
+            // session's first frame, zero in steady state. Geometry-pure
+            // (never thread- or timing-dependent), so deterministic traces
+            // stay byte-identical across worker counts.
+            rec.counter_add("core.alloc.scratch", scratch_allocs);
+            rec.counter_add("core.alloc.scratch_bytes", scratch_bytes);
+            rec.span_end(
+                "core.run",
+                LogicalClock::step(iterations_run.saturating_sub(1)),
+                vec![
+                    ("iterations_run", Value::U64(u64::from(iterations_run))),
+                    ("repairs", Value::U64(repairs)),
+                    (
+                        "status",
+                        Value::from(match status {
+                            SegmentationStatus::Ok => "ok",
+                            SegmentationStatus::Degraded => "degraded",
+                        }),
+                    ),
+                ],
+            );
+        }
+        self.frames += 1;
+        Ok(FrameReport {
+            iterations_run,
+            breakdown,
+            counters: self.counters,
+            spacing,
+            frozen_clusters,
+            status,
+            repairs,
+            scratch_allocs,
+            scratch_bytes,
+        })
+    }
+
+    /// Converts the request's pixels into the session's reusable feature
+    /// planes, applying pixel-feature fault hooks exactly where the
+    /// one-shot engine did.
+    fn convert_into(
+        &mut self,
+        request: SegmentRequest<'_>,
+        faults: Option<&dyn StepFaults>,
+        breakdown: &mut PhaseBreakdown,
+    ) {
+        let (w, h) = (self.grid.width(), self.grid.height());
+        match request {
+            SegmentRequest::Rgb(img) => {
+                if self.quantized {
+                    // The accelerator's LUT path produces the 8-bit image
+                    // the quantized datapath operates on; the f32 image is
+                    // derived from it so assignment and sigma see the same
+                    // data.
+                    let lab8 = Arc::make_mut(&mut self.lab8);
+                    if let Some(conv) = &self.converter {
+                        breakdown.time(Phase::ColorConversion, || {
+                            conv.convert_image_into(img, lab8);
+                        });
+                    }
+                    if let Some(f) = faults {
+                        f.corrupt_lab8(lab8);
+                    }
+                    lab8.decode_into(Arc::make_mut(&mut self.lab));
+                } else {
+                    let lab = Arc::make_mut(&mut self.lab);
+                    breakdown.time(Phase::ColorConversion, || {
+                        float::convert_image_into(img, lab);
+                    });
+                }
+            }
+            SegmentRequest::Lab(src) => {
+                if self.quantized {
+                    let lab8 = Arc::make_mut(&mut self.lab8);
+                    breakdown.time(Phase::ColorConversion, || {
+                        for y in 0..h {
+                            for x in 0..w {
+                                let [l, a, b] = src.pixel(x, y);
+                                let code =
+                                    sslic_color::lab8::encode([l as f64, a as f64, b as f64]);
+                                lab8.l[(x, y)] = code[0];
+                                lab8.a[(x, y)] = code[1];
+                                lab8.b[(x, y)] = code[2];
+                            }
+                        }
+                    });
+                    if let Some(f) = faults {
+                        f.corrupt_lab8(lab8);
+                    }
+                    lab8.decode_into(Arc::make_mut(&mut self.lab));
+                } else {
+                    Arc::make_mut(&mut self.lab).copy_from(src);
+                }
+            }
+            SegmentRequest::Lab8(src) => {
+                // Conversion happened outside the engine: charged zero
+                // time. The hooks corrupt the codes before anything reads
+                // them.
+                let lab8 = Arc::make_mut(&mut self.lab8);
+                lab8.copy_from(src);
+                if let Some(f) = faults {
+                    f.corrupt_lab8(lab8);
+                }
+                lab8.decode_into(Arc::make_mut(&mut self.lab));
+            }
+        }
+    }
+
+    /// Assembles the per-dispatch shared view (`Arc` bumps and scalar
+    /// copies only — no heap traffic).
+    fn frame_ctx(&self) -> FrameCtx {
+        FrameCtx {
+            grid: self.grid.clone(),
+            lab: Arc::clone(&self.lab),
+            lab8: self.quantized.then(|| Arc::clone(&self.lab8)),
+            labels: Arc::clone(&self.labels),
+            clusters: Arc::clone(&self.clusters),
+            codes: Arc::clone(&self.codes),
+            active: Arc::clone(&self.active),
+            max_dc2: self.max_dc2.as_ref().map(Arc::clone),
+            partition: self.partition.as_ref().map(Arc::clone),
+            kernel: self.kernel.clone(),
+            m2_over_s2: self.m2_over_s2,
+            inv_s2: self.inv_s2,
+        }
+    }
+
+    /// Refreshes the quantized cluster codes from the float centers in
+    /// place (hardware: centers are loaded into the center registers at
+    /// the start of each pass).
+    fn refresh_codes(&mut self) {
+        if let Some(kernel) = &self.kernel {
+            let codes = Arc::make_mut(&mut self.codes);
+            codes.clear();
+            codes.extend(self.clusters.iter().map(|c| kernel.encode_cluster(c)));
+        }
+    }
+
+    /// Repairs corrupted center registers in place; see the one-shot
+    /// engine's invariant-guard documentation. Returns clusters changed.
+    fn repair_centers(&mut self) -> u64 {
+        let (w, h) = (self.grid.width(), self.grid.height());
+        let (xmax, ymax) = ((w - 1) as f32, (h - 1) as f32);
+        let mut repaired = 0u64;
+        let clusters = Arc::make_mut(&mut self.clusters);
+        for (k, c) in clusters.iter_mut().enumerate() {
+            let before = *c;
+            // f32::clamp propagates NaN, so non-finite fields must be
+            // replaced before clamping.
+            if !c.x.is_finite() || !c.y.is_finite() {
+                let (sx, sy) = self.grid.seed_position(k);
+                if !c.x.is_finite() {
+                    c.x = sx;
+                }
+                if !c.y.is_finite() {
+                    c.y = sy;
+                }
+            }
+            if !c.l.is_finite() {
+                c.l = 50.0;
+            }
+            if !c.a.is_finite() {
+                c.a = 0.0;
+            }
+            if !c.b.is_finite() {
+                c.b = 0.0;
+            }
+            c.x = c.x.clamp(0.0, xmax);
+            c.y = c.y.clamp(0.0, ymax);
+            c.l = c.l.clamp(0.0, 100.0);
+            c.a = c.a.clamp(-128.0, 127.0);
+            c.b = c.b.clamp(-128.0, 127.0);
+            // NaN != NaN, so a replaced non-finite field also registers
+            // as a change here.
+            if *c != before {
+                repaired += 1;
+            }
+        }
+        repaired
+    }
+
+    /// Pixel-perspective assignment: one pool dispatch, then the serial
+    /// fold — stripes copy back into the label plane in ascending band
+    /// order, SLICO maxima and counters merge the same way.
+    fn assign_ppa(
+        &mut self,
+        subset: Option<u32>,
+        preempting: bool,
+        recorder: Option<&Recorder>,
+        step: u32,
+    ) {
+        self.refresh_codes();
+        let w = self.grid.width();
+        self.pool.run(Cmd::Assign {
+            ctx: self.frame_ctx(),
+            subset,
+            preempting,
+        });
+        self.fold_max.fill(0.0);
+        self.band_counters.clear();
+        let labels = Arc::make_mut(&mut self.labels);
+        for b in 0..self.pool.band_count() {
+            let rows = self.pool.bands()[b].clone();
+            let slot = self.pool.slot(b);
+            labels.as_mut_slice()[rows.start * w..rows.end * w].copy_from_slice(&slot.stripe);
+            for (cur, &seen) in self.fold_max.iter_mut().zip(&slot.new_max) {
+                *cur = cur.max(seen);
+            }
+            self.band_counters.push(slot.counters);
+        }
+        self.merge_adaptive_maxima();
+        // Per-band counter partials fold in ascending band order at this
+        // serial sync point: the totals depend only on the band layout
+        // (a pure function of the image height), never the thread count.
+        for part in &self.band_counters {
+            self.counters += *part;
+        }
+        // One 9-center register load per tile processed (paper §4.3); under
+        // interleaved subsets every tile is touched each sub-iteration.
+        let center_reads = self.grid.cluster_count() as u64 * 9;
+        self.counters.center_reads += center_reads;
+        if let Some(rec) = recorder {
+            for (b, part) in self.band_counters.iter().enumerate() {
+                rec.instant(
+                    "core.assign.band",
+                    LogicalClock::band(step, b as u32),
+                    vec![
+                        ("pixel_color_reads", Value::U64(part.pixel_color_reads)),
+                        ("distance_calcs", Value::U64(part.distance_calcs)),
+                        ("label_writes", Value::U64(part.label_writes)),
+                    ],
+                );
+                rec.histogram_observe(
+                    "core.band.pixels",
+                    &BAND_PIXEL_BOUNDS,
+                    part.pixel_color_reads,
+                );
+            }
+            rec.instant(
+                "core.assign.step",
+                LogicalClock::step(step),
+                vec![("center_reads", Value::U64(center_reads))],
+            );
+        }
+    }
+
+    /// Center-perspective assignment: a serial window scan over all
+    /// clusters or the subset `k % p == s`, against the persistent
+    /// distance buffer.
+    fn assign_cpa(&mut self, subset: Option<(u32, u32)>, recorder: Option<&Recorder>, step: u32) {
+        self.refresh_codes();
+        let (w, h) = (self.grid.width(), self.grid.height());
+        let radius = self.grid.spacing().ceil() as isize; // 2S×2S window
+        self.fold_max.fill(0.0);
+        let labels = Arc::make_mut(&mut self.labels);
+        let dist_buffer = &mut self.dist;
+        let dctx = DistCtx {
+            lab: &self.lab,
+            lab8: self.quantized.then_some(&*self.lab8),
+            clusters: &self.clusters,
+            codes: &self.codes,
+            kernel: self.kernel.as_ref(),
+            max_dc2: self.max_dc2.as_deref().map(Vec::as_slice),
+            m2_over_s2: self.m2_over_s2,
+            inv_s2: self.inv_s2,
+        };
+        let adaptive = dctx.max_dc2.is_some();
+        let mut visits = 0u64;
+        let mut improvements = 0u64;
+        let mut clusters_processed = 0u64;
+        for k in 0..dctx.clusters.len() {
+            if let Some((p, s)) = subset {
+                if k as u32 % p != s {
+                    continue;
+                }
+            }
+            if !self.active[k] {
+                continue; // preempted: this cluster's window no longer scans
+            }
+            clusters_processed += 1;
+            let cx = dctx.clusters[k].x.round() as isize;
+            let cy = dctx.clusters[k].y.round() as isize;
+            let x0 = (cx - radius).max(0) as usize;
+            let x1 = ((cx + radius) as usize).min(w - 1);
+            let y0 = (cy - radius).max(0) as usize;
+            let y1 = ((cy + radius) as usize).min(h - 1);
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    let d = dctx.distance(x, y, k);
+                    visits += 1;
+                    if d < dist_buffer[(x, y)] {
+                        dist_buffer[(x, y)] = d;
+                        labels[(x, y)] = k as u32;
+                        improvements += 1;
+                        if adaptive {
+                            let (dc2, _) = dctx.dc2_ds2(x, y, k);
+                            self.fold_max[k] = self.fold_max[k].max(dc2);
+                        }
+                    }
+                }
+            }
+        }
+        self.merge_adaptive_maxima();
+        self.counters.distance_calcs += visits;
+        self.counters.pixel_color_reads += visits;
+        self.counters.dist_buffer_reads += visits;
+        self.counters.dist_buffer_writes += improvements;
+        self.counters.label_writes += improvements;
+        self.counters.center_reads += clusters_processed;
+        if let Some(rec) = recorder {
+            // CPA is a serial window scan (not banded): the whole pass
+            // reports as one step-level counter event.
+            rec.instant(
+                "core.assign.step",
+                LogicalClock::step(step),
+                vec![
+                    ("distance_calcs", Value::U64(visits)),
+                    ("pixel_color_reads", Value::U64(visits)),
+                    ("dist_buffer_reads", Value::U64(visits)),
+                    ("dist_buffer_writes", Value::U64(improvements)),
+                    ("label_writes", Value::U64(improvements)),
+                    ("center_reads", Value::U64(clusters_processed)),
+                ],
+            );
+        }
+    }
+
+    /// Folds the pass's observed per-cluster color-distance maxima
+    /// (accumulated in `fold_max`) into the SLICO state — clusters with no
+    /// observations keep their previous maximum; a floor of 1.0 avoids
+    /// division blow-ups in flat regions.
+    fn merge_adaptive_maxima(&mut self) {
+        if let Some(max_dc2) = &mut self.max_dc2 {
+            let cur = Arc::make_mut(max_dc2);
+            for (cur, &seen) in cur.iter_mut().zip(&self.fold_max) {
+                if seen > 0.0 {
+                    *cur = seen.max(1.0);
+                }
+            }
+        }
+    }
+
+    /// Center update: one banded sigma-accumulation dispatch, the
+    /// ascending-band fold, then the serial center recomputation. Returns
+    /// the mean L1 center movement over the updated clusters.
+    fn update_centers(
+        &mut self,
+        pixel_subset: Option<u32>,
+        cluster_subset: Option<(u32, u32)>,
+        preemption: Option<f32>,
+        recorder: Option<&Recorder>,
+        step: u32,
+    ) -> f32 {
+        self.pool.run(Cmd::Update {
+            ctx: self.frame_ctx(),
+            pixel_subset,
+            cluster_subset,
+        });
+        // Banded sigma fold in ascending band order: the f64 sums always
+        // group the same way — per band, row-major within a band — no
+        // matter how many workers executed the bands, which is what makes
+        // the result bit-identical across thread counts despite float
+        // non-associativity.
+        for acc in self.fold_sigma.iter_mut() {
+            *acc = [0.0; 6];
+        }
+        self.band_counters.clear();
+        for b in 0..self.pool.band_count() {
+            let slot = self.pool.slot(b);
+            for (acc, part) in self.fold_sigma.iter_mut().zip(&slot.sigma) {
+                for (a, p) in acc.iter_mut().zip(part) {
+                    *a += p;
+                }
+            }
+            self.band_counters.push(slot.counters);
+        }
+        for part in &self.band_counters {
+            self.counters += *part;
+        }
+        if let Some(rec) = recorder {
+            for (b, part) in self.band_counters.iter().enumerate() {
+                rec.instant(
+                    "core.update.band",
+                    LogicalClock::band(step, b as u32),
+                    vec![
+                        ("label_reads", Value::U64(part.label_reads)),
+                        ("pixel_color_reads", Value::U64(part.pixel_color_reads)),
+                        ("sigma_updates", Value::U64(part.sigma_updates)),
+                    ],
+                );
+            }
+        }
+
+        let clusters = Arc::make_mut(&mut self.clusters);
+        let active = Arc::make_mut(&mut self.active);
+        let mut movement = 0.0f32;
+        let mut updated = 0u64;
+        for (k, acc) in self.fold_sigma.iter().enumerate() {
+            if let Some((p, s)) = cluster_subset {
+                if k as u32 % p != s {
+                    continue;
+                }
+            }
+            if !active[k] {
+                continue; // preempted: center is frozen
+            }
+            if acc[5] == 0.0 {
+                continue; // no members seen this step: keep the old center
+            }
+            let n = acc[5];
+            let new = Cluster::new(
+                (acc[0] / n) as f32,
+                (acc[1] / n) as f32,
+                (acc[2] / n) as f32,
+                (acc[3] / n) as f32,
+                (acc[4] / n) as f32,
+            );
+            let moved = new.movement_from(&clusters[k]);
+            movement += moved;
+            clusters[k] = new;
+            updated += 1;
+            if let Some(threshold) = preemption {
+                if moved < threshold {
+                    active[k] = false;
+                }
+            }
+        }
+        self.counters.center_updates += updated;
+        if let Some(rec) = recorder {
+            rec.instant(
+                "core.update.step",
+                LogicalClock::step(step),
+                vec![("center_updates", Value::U64(updated))],
+            );
+        }
+        if updated == 0 {
+            0.0
+        } else {
+            movement / updated as f32
+        }
+    }
+}
+
+fn request_dims(request: &SegmentRequest<'_>) -> (usize, usize) {
+    match request {
+        SegmentRequest::Rgb(img) => (img.width(), img.height()),
+        SegmentRequest::Lab(lab) => (lab.width(), lab.height()),
+        SegmentRequest::Lab8(lab8) => (lab8.width(), lab8.height()),
+    }
+}
+
+impl Segmenter {
+    /// Runs one segmentation: the canonical one-shot entry point.
+    /// `request` names the input representation, `options` carries the
+    /// cross-cutting concerns (warm start, fault hooks, recorder).
+    ///
+    /// Internally this builds a transient [`SegmenterSession`] and runs a
+    /// single frame through it — the session API is the engine, so
+    /// streaming and one-shot outputs are bit-identical by construction.
+    /// For video-rate workloads, hold a session instead and amortize the
+    /// setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SegmentError`] condition — notably a
+    /// [`RunOptions::warm_start`] whose length does not match the image's
+    /// realized grid ("warm start must carry … clusters").
+    pub fn run(&self, request: SegmentRequest<'_>, options: &RunOptions<'_>) -> Segmentation {
+        match self.try_run(request, options) {
+            Ok(segmentation) => segmentation,
+            Err(e) => raise(e),
+        }
+    }
+
+    /// Fallible twin of [`Segmenter::run`]: every precondition surfaces as
+    /// a [`SegmentError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::EmptyFrame`] for a zero-sized frame,
+    /// [`SegmentError::WarmStartLen`] for a warm start that does not match
+    /// the realized grid.
+    pub fn try_run(
+        &self,
+        request: SegmentRequest<'_>,
+        options: &RunOptions<'_>,
+    ) -> Result<Segmentation, SegmentError> {
+        let (w, h) = request_dims(&request);
+        let mut session = SegmenterSession::try_new(self.clone(), w, h)?;
+        let report = session.frame(request, options, WarmMode::OneShot, Target::Internal)?;
+        Ok(session.into_segmentation(report))
+    }
+
+    /// Builds a streaming [`SegmenterSession`] for `width × height` frames
+    /// from this configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::EmptyFrame`] if either dimension is zero.
+    pub fn try_session(
+        &self,
+        width: usize,
+        height: usize,
+    ) -> Result<SegmenterSession, SegmentError> {
+        SegmenterSession::try_new(self.clone(), width, height)
+    }
+
+    /// Panicking convenience over [`Segmenter::try_session`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SegmentError`] condition, with the error's
+    /// [`std::fmt::Display`] message.
+    pub fn session(&self, width: usize, height: usize) -> SegmenterSession {
+        SegmenterSession::new(self.clone(), width, height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SlicParams;
+    use sslic_image::synthetic::SyntheticImage;
+
+    fn params(k: usize, iters: u32) -> SlicParams {
+        SlicParams::builder(k).iterations(iters).build()
+    }
+
+    fn frames(n: u64) -> Vec<SyntheticImage> {
+        (0..n)
+            .map(|i| {
+                SyntheticImage::builder(64, 48)
+                    .seed(100 + i)
+                    .regions(5)
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_into_matches_one_shot_for_every_algorithm() {
+        let configs = [
+            Segmenter::slic(params(48, 4)),
+            Segmenter::slic_ppa(params(48, 4)),
+            Segmenter::sslic_ppa(params(48, 4), 2)
+                .with_distance_mode(DistanceMode::quantized(8)),
+            Segmenter::sslic_cpa(params(48, 4), 2),
+        ];
+        for seg in configs {
+            let mut session = seg.session(64, 48);
+            let mut out = Plane::filled(64, 48, 0u32);
+            for img in frames(3) {
+                let one_shot = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+                let report =
+                    session.run_into(SegmentRequest::Rgb(&img.rgb), &RunOptions::new(), &mut out);
+                assert_eq!(
+                    out.as_slice(),
+                    one_shot.labels().as_slice(),
+                    "{} labels diverged",
+                    seg.algorithm().name()
+                );
+                assert_eq!(report.counters(), one_shot.counters());
+                assert_eq!(report.iterations_run(), one_shot.iterations_run());
+                assert_eq!(report.status(), one_shot.status());
+            }
+        }
+    }
+
+    #[test]
+    fn auto_warm_matches_explicit_warm_chain() {
+        let seg = Segmenter::sslic_ppa(params(60, 5), 2);
+        let imgs = frames(3);
+        let mut session = seg.session(64, 48);
+        // One-shot chain: each frame warm-started from the previous result.
+        let mut warm: Option<Vec<Cluster>> = None;
+        for img in &imgs {
+            let mut options = RunOptions::new();
+            if let Some(w) = &warm {
+                options = options.with_warm_start(w);
+            }
+            let one_shot = seg.run(SegmentRequest::Rgb(&img.rgb), &options);
+            session.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+            assert_eq!(session.labels().as_slice(), one_shot.labels().as_slice());
+            assert_eq!(session.clusters(), one_shot.clusters());
+            warm = Some(one_shot.clusters().to_vec());
+        }
+    }
+
+    #[test]
+    fn steady_state_frames_report_zero_scratch() {
+        let seg = Segmenter::slic_ppa(params(48, 4));
+        let mut session = seg.session(64, 48);
+        let imgs = frames(3);
+        let first = session.run(SegmentRequest::Rgb(&imgs[0].rgb), &RunOptions::new());
+        assert!(first.scratch_allocs() > 0, "frame 0 reports the inventory");
+        assert!(first.scratch_bytes() > 0);
+        for img in &imgs[1..] {
+            let report = session.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+            assert_eq!(report.scratch_allocs(), 0);
+            assert_eq!(report.scratch_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn geometry_mismatch_is_an_error_not_a_panic() {
+        let seg = Segmenter::slic_ppa(params(48, 3));
+        let mut session = seg.session(64, 48);
+        let wrong = SyntheticImage::builder(32, 24).seed(1).regions(3).build();
+        let err = session
+            .try_run(SegmentRequest::Rgb(&wrong.rgb), &RunOptions::new())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SegmentError::GeometryMismatch {
+                expected: (64, 48),
+                actual: (32, 24),
+            }
+        );
+        // A mis-sized output plane is caught the same way.
+        let img = SyntheticImage::builder(64, 48).seed(1).regions(3).build();
+        let mut out = Plane::filled(10, 10, 0u32);
+        let err = session
+            .try_run_into(SegmentRequest::Rgb(&img.rgb), &RunOptions::new(), &mut out)
+            .unwrap_err();
+        assert!(matches!(err, SegmentError::GeometryMismatch { .. }));
+        assert!(err.to_string().contains("session scratch is sized for"));
+    }
+
+    #[test]
+    fn warm_start_length_mismatch_is_an_error() {
+        let seg = Segmenter::slic_ppa(params(48, 3));
+        let mut session = seg.session(64, 48);
+        let img = SyntheticImage::builder(64, 48).seed(1).regions(3).build();
+        let bad = vec![Cluster::default(); 3];
+        let err = session
+            .try_run(
+                SegmentRequest::Rgb(&img.rgb),
+                &RunOptions::new().with_warm_start(&bad),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SegmentError::WarmStartLen { actual: 3, .. }
+        ));
+        assert!(err.to_string().contains("warm start must carry"));
+    }
+
+    #[test]
+    fn empty_frame_is_an_error() {
+        let seg = Segmenter::slic_ppa(params(48, 3));
+        assert_eq!(
+            SegmenterSession::try_new(seg, 0, 48).unwrap_err(),
+            SegmentError::EmptyFrame {
+                width: 0,
+                height: 48
+            }
+        );
+    }
+
+    #[test]
+    fn try_run_is_fallible_one_shot() {
+        let img = SyntheticImage::builder(64, 48).seed(7).regions(4).build();
+        let seg = Segmenter::slic(params(48, 3));
+        let ok = seg
+            .try_run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new())
+            .expect("valid request segments");
+        assert_eq!(ok.labels().len(), 64 * 48);
+        let bad = vec![Cluster::default(); 5];
+        let err = seg
+            .try_run(
+                SegmentRequest::Rgb(&img.rgb),
+                &RunOptions::new().with_warm_start(&bad),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SegmentError::WarmStartLen { .. }));
+    }
+
+    #[test]
+    fn session_respects_explicit_warm_start_override() {
+        let seg = Segmenter::slic_ppa(params(48, 4));
+        let imgs = frames(2);
+        let cold = seg.run(SegmentRequest::Rgb(&imgs[0].rgb), &RunOptions::new());
+        let warmed_one_shot = seg.run(
+            SegmentRequest::Rgb(&imgs[1].rgb),
+            &RunOptions::new().with_warm_start(cold.clusters()),
+        );
+        let mut session = seg.session(64, 48);
+        let mut out = Plane::filled(64, 48, 0u32);
+        session.run_into(
+            SegmentRequest::Rgb(&imgs[1].rgb),
+            &RunOptions::new().with_warm_start(cold.clusters()),
+            &mut out,
+        );
+        assert_eq!(out.as_slice(), warmed_one_shot.labels().as_slice());
+    }
+}

@@ -92,3 +92,44 @@ fn faulted_and_clean_runs_differ() {
     let clean = seg.run(SegmentRequest::Rgb(&fixed_scene().rgb), &RunOptions::new());
     assert_ne!(label_checksum(clean.labels()), PINNED_FAULTED_PPA);
 }
+
+#[test]
+fn faulted_session_frames_match_the_one_shot_pins() {
+    // The streaming session shares the one-shot execution engine, so an
+    // actively faulted frame must land on the same pinned checksums — at
+    // any thread count, and on a reused session (frame > 0) just as on a
+    // fresh one.
+    use sslic_image::Plane as P;
+    let scene = fixed_scene();
+    for (cpa, pinned) in [(false, PINNED_FAULTED_PPA), (true, PINNED_FAULTED_CPA)] {
+        for t in [1usize, 2, 8] {
+            let params = SlicParams::builder(60)
+                .iterations(5)
+                .threads(t)
+                .build();
+            let seg = if cpa {
+                Segmenter::sslic_cpa(params, 2)
+            } else {
+                Segmenter::sslic_ppa(params, 2)
+            };
+            let seg = seg.with_distance_mode(DistanceMode::quantized(8));
+            let plan = active_plan();
+            let faults = EngineFaults::new(&plan);
+            let mut session = seg.session(64, 48);
+            let mut out = P::filled(64, 48, 0u32);
+            for frame in 0..2 {
+                session.run_into(
+                    SegmentRequest::Rgb(&scene.rgb),
+                    &RunOptions::new().with_faults(&faults),
+                    &mut out,
+                );
+                let sum = label_checksum(&out);
+                assert_eq!(
+                    sum, pinned,
+                    "faulted session frame {frame} (cpa={cpa}, {t} threads) \
+                     drifted: got {sum:#018x}"
+                );
+            }
+        }
+    }
+}

@@ -120,6 +120,27 @@ impl<T: Copy> Plane<T> {
             data: self.data.iter().map(|&v| f(v)).collect(),
         }
     }
+
+    /// Overwrites every sample with `value` in place, keeping the buffer —
+    /// the reuse primitive of the streaming session layer (no allocation).
+    #[inline]
+    pub fn reset_to(&mut self, value: T) {
+        self.data.fill(value);
+    }
+
+    /// Copies every sample of `src` into this plane in place (no
+    /// allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two planes differ in geometry.
+    pub fn copy_from(&mut self, src: &Plane<T>) {
+        assert!(
+            self.width == src.width && self.height == src.height,
+            "copy_from requires matching plane geometry"
+        );
+        self.data.copy_from_slice(&src.data);
+    }
 }
 
 impl<T> Plane<T> {
@@ -317,6 +338,30 @@ mod tests {
     fn oversized_crop_panics() {
         let p = Plane::filled(4, 4, 0u8);
         let _ = p.crop(2, 2, 3, 3);
+    }
+
+    #[test]
+    fn reset_to_overwrites_in_place() {
+        let mut p = Plane::from_fn(3, 2, |x, y| (x + y) as u8);
+        p.reset_to(9);
+        assert!(p.iter().all(|&v| v == 9));
+        assert_eq!(p.width(), 3);
+    }
+
+    #[test]
+    fn copy_from_replicates_content() {
+        let src = Plane::from_fn(4, 3, |x, y| (x * 10 + y) as u16);
+        let mut dst = Plane::filled(4, 3, 0u16);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching plane geometry")]
+    fn copy_from_rejects_geometry_mismatch() {
+        let src = Plane::filled(4, 3, 0u16);
+        let mut dst = Plane::filled(3, 4, 0u16);
+        dst.copy_from(&src);
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub const DATAPATH_FILES: &[&str] = &[
     // byte-diffed traces.
     "crates/obs/src/clock.rs",
     "crates/obs/src/metrics.rs",
+    // The session allocation ledger feeds the same byte-diffed traces
+    // (core.alloc.* counters) and must stay integer-only for the same
+    // reason.
+    "crates/core/src/arena.rs",
 ];
 
 /// One rule violation (pre-allowlist).

@@ -11,7 +11,10 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
-use sslic::core::{build_run_report, DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
+use sslic::core::{
+    build_run_report, DistanceMode, RunOptions, SegmentRequest, Segmenter, SegmenterSession,
+    SlicParams,
+};
 use sslic::hw::export;
 use sslic::hw::sim::{FrameSimulator, Resolution};
 use sslic::image::synthetic::SyntheticImage;
@@ -47,13 +50,17 @@ fn print_help() {
         "sslic — Subsampled SLIC superpixels and the DAC'16 accelerator models\n\
          \n\
          USAGE:\n\
-         \x20 sslic segment <input.ppm> [--superpixels K] [--compactness M]\n\
+         \x20 sslic segment <input.ppm>... [--superpixels K] [--compactness M]\n\
          \x20               [--iterations N] [--subsets P] [--algo slic|ppa|sslic|hw8]\n\
          \x20               [--threads T] [--out PREFIX]\n\
          \x20               [--trace out.jsonl] [--chrome-trace out.json]\n\
          \x20               [--report out.json] [--wallclock]\n\
-         \x20     Segment a binary PPM; writes PREFIX.boundaries.ppm,\n\
-         \x20     PREFIX.mosaic.ppm, and PREFIX.labels.pgm (16-bit).\n\
+         \x20     Segment binary PPMs; writes PREFIX.boundaries.ppm,\n\
+         \x20     PREFIX.mosaic.ppm, and PREFIX.labels.pgm (16-bit) per input.\n\
+         \x20     Several inputs stream through one persistent session:\n\
+         \x20     each frame warm-starts from the previous frame's centers\n\
+         \x20     and reuses the same scratch (zero steady-state allocations,\n\
+         \x20     reported per frame).\n\
          \x20     --trace writes a JSONL event trace, --chrome-trace a\n\
          \x20     Perfetto/chrome://tracing file, --report a RunReport JSON.\n\
          \x20     Traces are deterministic (logical clocks, byte-identical\n\
@@ -99,23 +106,35 @@ where
 }
 
 fn cmd_segment(args: &[String]) -> CliResult {
-    let input = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .ok_or("segment needs an input .ppm path")?;
+    // Positionals are the arguments that are neither flags nor flag
+    // values (`--wallclock` is the only value-less flag).
+    let mut inputs: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--wallclock" {
+            i += 1;
+        } else if args[i].starts_with("--") {
+            i += 2; // skip the flag and its value
+        } else {
+            inputs.push(&args[i]);
+            i += 1;
+        }
+    }
+    if inputs.is_empty() {
+        return Err("segment needs at least one input .ppm path".into());
+    }
     let k: usize = flag(args, "--superpixels")?.unwrap_or(900);
     let m: f32 = flag(args, "--compactness")?.unwrap_or(10.0);
     let iterations: u32 = flag(args, "--iterations")?.unwrap_or(10);
     let subsets: u32 = flag(args, "--subsets")?.unwrap_or(2);
     let algo: String = flag(args, "--algo")?.unwrap_or_else(|| "sslic".to_string());
-    let out: String = flag(args, "--out")?.unwrap_or_else(|| input.clone());
+    let out: Option<String> = flag(args, "--out")?;
     let threads: usize = flag(args, "--threads")?.unwrap_or(1);
     let trace_path: Option<String> = flag(args, "--trace")?;
     let chrome_path: Option<String> = flag(args, "--chrome-trace")?;
     let report_path: Option<String> = flag(args, "--report")?;
     let wallclock = args.iter().any(|a| a == "--wallclock");
 
-    let img = ppm::read_ppm(BufReader::new(File::open(input)?))?;
     let params = SlicParams::builder(k)
         .compactness(m)
         .iterations(iterations)
@@ -143,36 +162,63 @@ fn cmd_segment(args: &[String]) -> CliResult {
         options = options.with_recorder(rec);
     }
 
-    let start = std::time::Instant::now();
-    let seg = segmenter.run(SegmentRequest::Rgb(&img), &options);
-    let elapsed = start.elapsed().as_secs_f64() * 1e3;
-    println!(
-        "{algo}: {}x{} -> {} superpixels in {elapsed:.1} ms ({} steps)",
-        img.width(),
-        img.height(),
-        seg.cluster_count(),
-        seg.iterations_run()
-    );
-    println!(
-        "explained variation: {:.4}",
-        explained_variation(&img, seg.labels())
-    );
+    // One input or many, every frame goes through a persistent session:
+    // for a single frame this is bit-identical to the one-shot API, and a
+    // sequence of equally-sized frames reuses the same scratch (and the
+    // previous frame's centers) with zero steady-state allocations.
+    let mut session: Option<SegmenterSession> = None;
+    let mut last_report = None;
+    for (i, input) in inputs.iter().enumerate() {
+        let img = ppm::read_ppm(BufReader::new(File::open(input)?))?;
+        let sess = match session.as_mut() {
+            Some(s) if (s.width(), s.height()) == (img.width(), img.height()) => s,
+            stale => {
+                if stale.is_some() {
+                    println!("resolution changed; re-establishing session scratch");
+                }
+                session = Some(segmenter.session(img.width(), img.height()));
+                session.as_mut().expect("just created")
+            }
+        };
+        let start = std::time::Instant::now();
+        let report = sess.run(SegmentRequest::Rgb(&img), &options);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{algo}: {input} {}x{} -> {} superpixels in {elapsed:.1} ms \
+             ({} steps, {} scratch allocs)",
+            img.width(),
+            img.height(),
+            sess.clusters().len(),
+            report.iterations_run(),
+            report.scratch_allocs()
+        );
+        println!(
+            "explained variation: {:.4}",
+            explained_variation(&img, sess.labels())
+        );
 
-    let boundaries = draw::overlay_boundaries(&img, seg.labels(), Rgb::new(255, 220, 0));
-    ppm::write_ppm(
-        BufWriter::new(File::create(format!("{out}.boundaries.ppm"))?),
-        &boundaries,
-    )?;
-    let mosaic = draw::mean_color_image(&img, seg.labels());
-    ppm::write_ppm(
-        BufWriter::new(File::create(format!("{out}.mosaic.ppm"))?),
-        &mosaic,
-    )?;
-    ppm::write_pgm16(
-        BufWriter::new(File::create(format!("{out}.labels.pgm"))?),
-        seg.labels(),
-    )?;
-    println!("wrote {out}.boundaries.ppm, {out}.mosaic.ppm, {out}.labels.pgm");
+        let prefix = match (&out, inputs.len()) {
+            (Some(prefix), 1) => prefix.clone(),
+            (Some(prefix), _) => format!("{prefix}.{i:03}"),
+            (None, _) => (*input).clone(),
+        };
+        let boundaries = draw::overlay_boundaries(&img, sess.labels(), Rgb::new(255, 220, 0));
+        ppm::write_ppm(
+            BufWriter::new(File::create(format!("{prefix}.boundaries.ppm"))?),
+            &boundaries,
+        )?;
+        let mosaic = draw::mean_color_image(&img, sess.labels());
+        ppm::write_ppm(
+            BufWriter::new(File::create(format!("{prefix}.mosaic.ppm"))?),
+            &mosaic,
+        )?;
+        ppm::write_pgm16(
+            BufWriter::new(File::create(format!("{prefix}.labels.pgm"))?),
+            sess.labels(),
+        )?;
+        println!("wrote {prefix}.boundaries.ppm, {prefix}.mosaic.ppm, {prefix}.labels.pgm");
+        last_report = Some(report);
+    }
 
     if let Some(rec) = recorder.as_ref() {
         if let Some(path) = &trace_path {
@@ -184,6 +230,11 @@ fn cmd_segment(args: &[String]) -> CliResult {
             println!("wrote {path} (load in Perfetto or chrome://tracing)");
         }
         if let Some(path) = &report_path {
+            // The RunReport covers the last frame the session retired.
+            let seg = session
+                .take()
+                .expect("at least one input ran")
+                .into_segmentation(last_report.expect("at least one input ran"));
             let report = build_run_report(&segmenter, &seg, !wallclock, Some(rec), 0);
             std::fs::write(path, report.to_json())?;
             println!("wrote {path}");

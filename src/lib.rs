@@ -47,3 +47,17 @@ pub use sslic_hw as hw;
 pub use sslic_image as image;
 pub use sslic_metrics as metrics;
 pub use sslic_obs as obs;
+
+/// The segmentation API most programs need, importable in one line:
+/// `use sslic::prelude::*;`.
+///
+/// One-shot: configure a [`prelude::Segmenter`] and call `run`. Streaming:
+/// derive a [`prelude::SegmenterSession`] from it (`seg.session(w, h)`)
+/// and run frames through the reusable scratch with zero steady-state
+/// allocations.
+pub mod prelude {
+    pub use sslic_core::{
+        FrameReport, RunOptions, SegmentError, SegmentRequest, Segmentation, SegmentationStatus,
+        Segmenter, SegmenterSession, SlicParams, SlicParamsBuilder,
+    };
+}

@@ -1,0 +1,114 @@
+//! The streaming contract, pinned at the real allocator: a steady-state
+//! [`SegmenterSession`](sslic::prelude::SegmenterSession) frame performs
+//! **zero** heap allocations, for every algorithm, at one and at several
+//! threads.
+//!
+//! The binary installs a counting wrapper around the system allocator;
+//! frame 0 of each session is allowed to allocate (cold seeding computes
+//! the initial centers), frames 1 and 2 must leave the counter untouched.
+//! Worker threads park on a condvar between dispatches and the futex-based
+//! `Mutex`/`Condvar` never allocate on use, so the assertion holds at any
+//! thread count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sslic::core::DistanceMode;
+use sslic::image::synthetic::SyntheticImage;
+use sslic::prelude::*;
+
+/// Counts every allocation and reallocation routed through the global
+/// allocator. Deallocations are deliberately not counted: a steady-state
+/// frame must not acquire memory; releasing none follows from that.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn scenarios() -> Vec<(&'static str, Segmenter)> {
+    let p = |threads: usize| {
+        SlicParams::builder(60)
+            .iterations(5)
+            .threads(threads)
+            .build()
+    };
+    let mut out = Vec::new();
+    for threads in [1usize, 4] {
+        out.push(("slic_cpa/float", Segmenter::slic(p(threads))));
+        out.push(("slic_ppa/float", Segmenter::slic_ppa(p(threads))));
+        out.push((
+            "sslic_ppa/quantized8",
+            Segmenter::sslic_ppa(p(threads), 2).with_distance_mode(DistanceMode::quantized(8)),
+        ));
+        out.push(("sslic_cpa/float", Segmenter::sslic_cpa(p(threads), 2)));
+        let adaptive = SlicParams::builder(60)
+            .iterations(5)
+            .threads(threads)
+            .adaptive_compactness(true)
+            .build();
+        out.push((
+            "slic_ppa/adaptive+preemption",
+            Segmenter::slic_ppa(adaptive).with_preemption(0.25),
+        ));
+    }
+    out
+}
+
+#[test]
+fn steady_state_frames_never_touch_the_heap() {
+    // All frames are synthesized before any measurement begins.
+    let frames: Vec<SyntheticImage> = (0..3)
+        .map(|i| {
+            SyntheticImage::builder(64, 48)
+                .seed(900 + i)
+                .regions(5)
+                .build()
+        })
+        .collect();
+    for (name, seg) in scenarios() {
+        let threads = seg.params().threads().get();
+        let mut session = seg.session(64, 48);
+        // Frame 0: cold seeding — allocations are expected and irrelevant.
+        let first = session.run(SegmentRequest::Rgb(&frames[0].rgb), &RunOptions::new());
+        assert!(
+            first.scratch_allocs() > 0,
+            "{name} x{threads}: frame 0 reports the scratch inventory"
+        );
+        for (i, img) in frames[1..].iter().enumerate() {
+            let before = ALLOCS.load(Ordering::SeqCst);
+            let report = session.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+            let delta = ALLOCS.load(Ordering::SeqCst) - before;
+            assert_eq!(
+                delta,
+                0,
+                "{name} x{threads}: steady-state frame {} performed {delta} heap allocations",
+                i + 1
+            );
+            assert_eq!(report.scratch_allocs(), 0, "{name} x{threads}: ledger agrees");
+            assert_eq!(report.status(), SegmentationStatus::Ok);
+        }
+    }
+}
