@@ -23,8 +23,21 @@ echo "==> zero-allocation gate (steady-state session frames must not touch the h
 # the workspace test sweep above.
 cargo test -q --test zero_alloc
 
-echo "==> sslic-lint"
-cargo run -q -p sslic-lint -- --json results/lint-report.json
+echo "==> sslic-analyze (token rules + overflow/alloc/determinism passes)"
+mkdir -p results
+# Run twice and byte-diff: the analyzer's own output is part of the
+# workspace determinism contract. The SARIF log is archived for CI upload.
+cargo run -q -p sslic-analyze -- \
+    --json results/analyze-report-a.json \
+    --format sarif --out results/analyze-a.sarif
+cargo run -q -p sslic-analyze -- \
+    --json results/analyze-report-b.json \
+    --format sarif --out results/analyze-b.sarif >/dev/null
+cmp results/analyze-report-a.json results/analyze-report-b.json
+cmp results/analyze-a.sarif results/analyze-b.sarif
+mv results/analyze-report-a.json results/analyze-report.json
+mv results/analyze-a.sarif results/analyze.sarif
+rm -f results/analyze-report-b.json results/analyze-b.sarif
 
 echo "==> fault-injection smoke (determinism: two sweeps must match byte for byte)"
 mkdir -p results

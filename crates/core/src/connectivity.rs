@@ -227,7 +227,11 @@ fn neighbors4(
 /// assert_eq!(dense.as_slice(), &[0, 1, 0, 2]);
 /// ```
 pub fn compact_labels(labels: &Plane<u32>) -> (Plane<u32>, usize) {
-    let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    // BTreeMap, not HashMap: remap *insertion* follows scan order either
+    // way, but the determinism contract bans hash-ordered containers from
+    // result-producing code outright so audits never have to reason about
+    // which iteration orders happen to be benign.
+    let mut remap: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
     let mut next = 0u32;
     let dense = labels.map(|l| {
         *remap.entry(l).or_insert_with(|| {

@@ -1,0 +1,2224 @@
+//! The width/overflow interval-analysis pass, plus the [`Workspace`]
+//! index shared with the call-graph pass.
+//!
+//! The pass walks each in-scope function body statement by statement,
+//! carrying an environment of `name -> (declared type, value interval)`
+//! bindings, and checks every integer-typed arithmetic site whose operand
+//! intervals are known against the concrete type's bounds. Intervals come
+//! from three sources, in priority order:
+//!
+//! 1. `[[range]]` seeds in `lint.toml` (scope-wide invariants, re-applied
+//!    on every binding of the seeded name);
+//! 2. declared narrow integer types (`u8`/`i8`/`u16`/`i16` values always
+//!    sit inside their type bounds, so the full type range is a sound
+//!    seed; wider types are left unknown to avoid flooding every 32-bit
+//!    multiply with findings);
+//! 3. literal values and interval arithmetic over (1) and (2).
+//!
+//! Sites with unknown operand intervals are **counted as skipped**, never
+//! silently ignored — `analyze.overflow.skipped_sites` makes the coverage
+//! hole visible. Documented approximations (see DESIGN.md §6c):
+//!
+//! * `if`/`match` conditions and `match` bodies are not evaluated;
+//!   `if` branch blocks are.
+//! * Loop accumulators (`x += e` inside a loop) are bounded by
+//!   `base + MAX_PIXELS * |e|`, modeling the hardware's
+//!   once-per-pixel sigma/counter registers; the base is assumed zero
+//!   when unknown (accumulators in scope are zeroed each frame).
+//! * `f64`/`f32` accumulators are checked against the 2^53 / 2^24
+//!   exact-integer thresholds (rule `float-inexact`) — the sigma fold
+//!   must behave like the paper's wide hardware registers.
+//! * `(x >> s) << s` with a syntactically identical `s` is recognized as
+//!   a truncation and bounded by the pre-shift interval (this proves
+//!   `truncate_channel` stays in `[0, 255]`).
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::config::{path_suffix_matches, AnalyzerConfig};
+use crate::interval::Interval;
+use crate::lexer::{Token, TokenKind};
+use crate::parse::{
+    match_brace, match_delim, parse_type, split_top_level, top_level_position, FnDef, ParsedFile,
+    StructDef, Ty,
+};
+use crate::rules::Finding;
+
+/// Fallback total-iteration bound when the workspace does not define
+/// `MAX_PIXELS`: 2^26 pixels (8K video is ~2^25).
+pub const DEFAULT_LOOP_BOUND: i128 = 1 << 26;
+
+/// Largest integer magnitude `f64` represents exactly.
+const F64_EXACT: i128 = 1 << 53;
+/// Largest integer magnitude `f32` represents exactly.
+const F32_EXACT: i128 = 1 << 24;
+
+// ---------------------------------------------------------------------------
+// Workspace index
+// ---------------------------------------------------------------------------
+
+/// Every parsed file of the workspace plus item indexes, shared by the
+/// overflow and allocation passes.
+pub struct Workspace {
+    /// Parsed files in sorted path order.
+    pub files: Vec<ParsedFile>,
+    /// `(owner-or-empty, name)` -> first matching fn as `(file, fn)`.
+    fn_index: BTreeMap<(String, String), (usize, usize)>,
+    /// fn name -> every definition as `(file, fn)`.
+    by_name: BTreeMap<String, Vec<(usize, usize)>>,
+    /// struct name -> first definition as `(file, struct)`.
+    struct_index: BTreeMap<String, (usize, usize)>,
+    /// const/static name -> first definition as `(file, const)`.
+    const_index: BTreeMap<String, (usize, usize)>,
+}
+
+impl Workspace {
+    /// Builds the index. Duplicate keys keep the first definition in file
+    /// order, which is deterministic because `files` is path-sorted.
+    pub fn new(files: Vec<ParsedFile>) -> Self {
+        let mut ws = Workspace {
+            files,
+            fn_index: BTreeMap::new(),
+            by_name: BTreeMap::new(),
+            struct_index: BTreeMap::new(),
+            const_index: BTreeMap::new(),
+        };
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (di, def) in file.fns.iter().enumerate() {
+                let owner = def.owner.clone().unwrap_or_default();
+                ws.fn_index.entry((owner, def.name.clone())).or_insert((fi, di));
+                ws.by_name.entry(def.name.clone()).or_default().push((fi, di));
+            }
+            for (si, s) in file.structs.iter().enumerate() {
+                ws.struct_index.entry(s.name.clone()).or_insert((fi, si));
+            }
+            for (ci, c) in file.consts.iter().enumerate() {
+                ws.const_index.entry(c.name.clone()).or_insert((fi, ci));
+            }
+        }
+        ws
+    }
+
+    /// Finds a fn by owner and name; an owner mismatch does not fall back
+    /// to free fns (callers try both explicitly).
+    pub fn resolve_fn(&self, owner: Option<&str>, name: &str) -> Option<(usize, &FnDef)> {
+        let key = (owner.unwrap_or_default().to_string(), name.to_string());
+        let (fi, di) = *self.fn_index.get(&key)?;
+        Some((fi, self.files.get(fi)?.fns.get(di)?))
+    }
+
+    /// Every definition of `name`, regardless of owner.
+    pub fn fns_named(&self, name: &str) -> &[(usize, usize)] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// First struct definition of `name`.
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        let (fi, si) = *self.struct_index.get(name)?;
+        self.files.get(fi)?.structs.get(si)
+    }
+
+    /// Declared type of `owner.field`.
+    pub fn field_ty(&self, owner: &str, field: &str) -> Option<Ty> {
+        self.struct_def(owner)?
+            .fields
+            .iter()
+            .find(|(n, _)| n == field)
+            .map(|(_, t)| t.clone())
+    }
+
+    /// Evaluates a const/static initializer to an interval, following
+    /// const-to-const references up to a small depth.
+    pub fn const_interval(&self, name: &str) -> Option<Interval> {
+        self.const_value(name, 0).map(|(iv, _)| iv)
+    }
+
+    fn const_value(&self, name: &str, depth: u32) -> Option<(Interval, bool)> {
+        if depth > 4 {
+            return None;
+        }
+        let (fi, ci) = *self.const_index.get(name)?;
+        let file = self.files.get(fi)?;
+        let def = file.consts.get(ci)?;
+        let toks = file.tokens.get(def.value.clone())?;
+        self.const_expr(toks, depth)
+    }
+
+    /// Tiny const-expression evaluator: literals, const refs, parens, and
+    /// `<< >> + - * /`. Float division widens by one to stay a sound
+    /// magnitude bound.
+    fn const_expr(&self, toks: &[Token], depth: u32) -> Option<(Interval, bool)> {
+        // Lowest precedence first: shifts, additive, multiplicative.
+        for ops in [&['<', '>'][..], &['+', '-'][..], &['*', '/'][..]] {
+            let mut brackets = 0i32;
+            let mut split = None;
+            let mut i = 0;
+            while i < toks.len() {
+                let t = &toks[i];
+                if t.is_punct('(') {
+                    brackets += 1;
+                } else if t.is_punct(')') {
+                    brackets -= 1;
+                } else if brackets == 0 {
+                    if let TokenKind::Punct(c) = t.kind {
+                        let shift_level = ops.contains(&'<');
+                        let doubled = toks.get(i + 1).is_some_and(|n| n.is_punct(c));
+                        if shift_level && (c == '<' || c == '>') && doubled {
+                            split = Some((i, 2, c));
+                            i += 2;
+                            continue;
+                        }
+                        if !shift_level && ops.contains(&c) && i > 0 && operand_end(&toks[i - 1])
+                        {
+                            split = Some((i, 1, c));
+                        }
+                    }
+                }
+                i += 1;
+            }
+            if let Some((at, len, op)) = split {
+                let (l, lf) = self.const_expr(&toks[..at], depth)?;
+                let (r, rf) = self.const_expr(&toks[at + len..], depth)?;
+                let float = lf || rf;
+                let iv = match op {
+                    '<' => l.shl(r),
+                    '>' => l.shr(r),
+                    '+' => l.add(r),
+                    '-' => l.sub(r),
+                    '*' => l.mul(r),
+                    '/' => {
+                        let d = l.div(r)?;
+                        if float {
+                            Interval::new(d.lo.saturating_sub(1), d.hi.saturating_add(1))
+                        } else {
+                            d
+                        }
+                    }
+                    _ => return None,
+                };
+                return Some((iv, float));
+            }
+        }
+        match toks {
+            [t] if matches!(t.kind, TokenKind::Number { .. }) => {
+                let v = parse_number(t)?;
+                Some((v.iv?, matches!(v.ty, Ty::F32 | Ty::F64)))
+            }
+            [t] if t.kind == TokenKind::Ident => self.const_value(&t.text, depth + 1),
+            [t, rest @ ..] if t.is_punct('-') => {
+                let (iv, f) = self.const_expr(rest, depth)?;
+                Some((iv.neg(), f))
+            }
+            _ => {
+                if toks.first().is_some_and(|t| t.is_punct('(')) {
+                    let close = match_delim(toks, 0, '(', ')');
+                    if close + 1 == toks.len() {
+                        return self.const_expr(&toks[1..close], depth);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Total loop-iteration bound: the workspace's `MAX_PIXELS` const, or
+    /// [`DEFAULT_LOOP_BOUND`].
+    pub fn loop_bound(&self) -> i128 {
+        self.const_interval("MAX_PIXELS")
+            .map(|iv| iv.hi.max(1))
+            .unwrap_or(DEFAULT_LOOP_BOUND)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass entry point
+// ---------------------------------------------------------------------------
+
+/// Coverage counters for the overflow pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverflowStats {
+    /// Non-test fns with bodies analyzed in scope.
+    pub fns_analyzed: usize,
+    /// Integer/float sites with known intervals actually checked.
+    pub checked_sites: usize,
+    /// Typed sites whose operand intervals were unknown (coverage holes).
+    pub skipped_sites: usize,
+    /// `[[prove]]` obligations successfully discharged.
+    pub proofs: usize,
+}
+
+/// Runs the overflow pass over every in-scope file (`in_scope` parallels
+/// `ws.files`). Returns findings plus coverage stats.
+pub fn check_overflow(
+    ws: &Workspace,
+    cfg: &AnalyzerConfig,
+    in_scope: &[bool],
+) -> (Vec<Finding>, OverflowStats) {
+    let loop_bound = ws.loop_bound();
+    let mut summaries: BTreeMap<(String, String), Val> = BTreeMap::new();
+
+    // Two warm-up passes build return summaries regardless of definition
+    // order (depth-2 call chains converge); the final pass records.
+    for _ in 0..2 {
+        for (fi, file) in ws.files.iter().enumerate() {
+            if !in_scope.get(fi).copied().unwrap_or(false) {
+                continue;
+            }
+            let field_seeds = field_seeds_for(cfg, &file.path);
+            for def in &file.fns {
+                if def.test_only || def.body.is_empty() {
+                    continue;
+                }
+                let mut ctx = Ctx::new(ws, file, def, cfg, &field_seeds, &summaries, loop_bound);
+                let summary = ctx.run();
+                if let Some(v) = summary {
+                    let key = (def.owner.clone().unwrap_or_default(), def.name.clone());
+                    summaries.insert(key, v);
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut stats = OverflowStats::default();
+    // (file path, bare name, qualified name, checked sites, finding count)
+    let mut per_fn: Vec<(String, String, String, usize, usize, u32)> = Vec::new();
+
+    for (fi, file) in ws.files.iter().enumerate() {
+        if !in_scope.get(fi).copied().unwrap_or(false) {
+            continue;
+        }
+        let field_seeds = field_seeds_for(cfg, &file.path);
+        for def in &file.fns {
+            if def.test_only || def.body.is_empty() {
+                continue;
+            }
+            let mut ctx = Ctx::new(ws, file, def, cfg, &field_seeds, &summaries, loop_bound);
+            ctx.run();
+            stats.fns_analyzed += 1;
+            stats.checked_sites += ctx.checked;
+            stats.skipped_sites += ctx.skipped;
+            per_fn.push((
+                file.path.clone(),
+                def.name.clone(),
+                def.qualified(),
+                ctx.checked,
+                ctx.findings.len(),
+                def.line,
+            ));
+            findings.append(&mut ctx.findings);
+        }
+    }
+
+    // Discharge the [[prove]] obligations.
+    for p in &cfg.proofs {
+        let hit = per_fn
+            .iter()
+            .find(|(path, name, qual, ..)| {
+                path_suffix_matches(path, &p.path) && (name == &p.item || qual == &p.item)
+            });
+        let problem = match hit {
+            None => Some(("fn was not analyzed (missing, test-only, or out of scope)", 1)),
+            Some((_, _, _, checked, nfind, line)) => {
+                if *nfind > 0 {
+                    Some(("overflow findings were raised inside the fn", *line))
+                } else if *checked == 0 {
+                    Some(("no site could be value-checked, so the proof is vacuous", *line))
+                } else {
+                    None
+                }
+            }
+        };
+        match problem {
+            Some((why, line)) => findings.push(Finding {
+                file: p.path.clone(),
+                line,
+                rule: "unproven-invariant",
+                message: format!(
+                    "[[prove]] obligation for `{}` (lint.toml:{}) failed: {why}",
+                    p.item, p.line
+                ),
+                item: Some(p.item.clone()),
+            }),
+            None => stats.proofs += 1,
+        }
+    }
+
+    (findings, stats)
+}
+
+/// `Struct::field` range seeds applicable at use sites in `path`.
+fn field_seeds_for(cfg: &AnalyzerConfig, path: &str) -> BTreeMap<(String, String), Interval> {
+    let mut out = BTreeMap::new();
+    for r in &cfg.ranges {
+        let Some((owner, field)) = r.name.split_once("::") else {
+            continue;
+        };
+        if r.path.as_deref().is_none_or(|p| path_suffix_matches(path, p)) {
+            out.insert(
+                (owner.to_string(), field.to_string()),
+                Interval::new(r.min, r.max),
+            );
+        }
+    }
+    out
+}
+
+/// Plain and dotted-name range seeds applicable inside (`path`, `fn`).
+fn var_seeds_for(cfg: &AnalyzerConfig, path: &str, func: &FnDef) -> BTreeMap<String, Interval> {
+    let mut out = BTreeMap::new();
+    for r in &cfg.ranges {
+        if r.name.contains("::") {
+            continue;
+        }
+        let path_ok = r.path.as_deref().is_none_or(|p| path_suffix_matches(path, p));
+        let item_ok = r
+            .item
+            .as_deref()
+            .is_none_or(|i| i == func.name || i == func.qualified());
+        if path_ok && item_ok {
+            out.insert(r.name.clone(), Interval::new(r.min, r.max));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Abstract values
+// ---------------------------------------------------------------------------
+
+/// The abstract value of an expression.
+#[derive(Debug, Clone)]
+struct Val {
+    /// Declared/inferred type, as far as tracked.
+    ty: Ty,
+    /// Value interval, when known. For floats this is a magnitude bound
+    /// (lo floored, hi ceiled).
+    iv: Option<Interval>,
+    /// Unsuffixed integer literal: adopts the other operand's type.
+    untyped: bool,
+    /// Textual access path (`"w"`, `"rows.start"`) for dotted seeds.
+    path: Option<String>,
+    /// Set when the value is `X >> s`: pre-shift interval of `X` and the
+    /// exact source text of `s`, enabling the `(X >> s) << s` peephole.
+    shr: Option<(Interval, String)>,
+}
+
+impl Val {
+    fn unknown() -> Self {
+        Val { ty: Ty::Unknown, iv: None, untyped: false, path: None, shr: None }
+    }
+
+    fn typed(ty: Ty, iv: Option<Interval>) -> Self {
+        Val { ty, iv, untyped: false, path: None, shr: None }
+    }
+}
+
+/// Full type range for narrow integer types: a `u8`/`i8`/`u16`/`i16`
+/// value always sits inside its type bounds, and the range is small
+/// enough not to drown 32-bit arithmetic in false positives.
+fn seed_small(ty: &Ty) -> Option<Interval> {
+    match ty {
+        Ty::Int(t) if t.bits() <= 16 => {
+            let (lo, hi) = t.bounds();
+            Some(Interval::new(lo, hi))
+        }
+        _ => None,
+    }
+}
+
+/// True when `tok` can end an operand (discriminates binary from unary
+/// `-`/`*`/`&`/`|`).
+fn operand_end(tok: &Token) -> bool {
+    match &tok.kind {
+        TokenKind::Number { .. } => true,
+        TokenKind::Literal => !tok.text.starts_with('\''),
+        TokenKind::Punct(c) => matches!(c, ')' | ']' | '}' | '?'),
+        TokenKind::Ident => !matches!(
+            tok.text.as_str(),
+            "as" | "return"
+                | "break"
+                | "continue"
+                | "if"
+                | "else"
+                | "match"
+                | "in"
+                | "while"
+                | "loop"
+                | "let"
+                | "move"
+                | "mut"
+                | "ref"
+        ),
+    }
+}
+
+/// Parses a numeric literal token into a [`Val`].
+fn parse_number(tok: &Token) -> Option<Val> {
+    let text: String = tok.text.chars().filter(|c| *c != '_').collect();
+    let is_float = matches!(tok.kind, TokenKind::Number { is_float: true });
+    if is_float {
+        let (body, ty) = if let Some(b) = text.strip_suffix("f32") {
+            (b, Ty::F32)
+        } else if let Some(b) = text.strip_suffix("f64") {
+            (b, Ty::F64)
+        } else {
+            (text.as_str(), Ty::F64)
+        };
+        let v: f64 = body.parse().ok()?;
+        if !v.is_finite() || v.abs() >= i128::MAX as f64 {
+            return Some(Val::typed(ty, None));
+        }
+        let iv = Interval::new(v.floor() as i128, v.ceil() as i128);
+        return Some(Val::typed(ty, Some(iv)));
+    }
+    let (radix, body) = if let Some(b) = text.strip_prefix("0x") {
+        (16, b)
+    } else if let Some(b) = text.strip_prefix("0o") {
+        (8, b)
+    } else if let Some(b) = text.strip_prefix("0b") {
+        (2, b)
+    } else {
+        (10, text.as_str())
+    };
+    // Split the suffix: radix digits first, the remainder names a type.
+    let digits_end = body
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map(|(i, _)| i)
+        .unwrap_or(body.len());
+    let (digits, suffix) = body.split_at(digits_end);
+    let ty = match suffix {
+        "" => None,
+        "f32" => return Some(Val::typed(Ty::F32, i128::from_str_radix(digits, radix).ok().map(Interval::point))),
+        "f64" => return Some(Val::typed(Ty::F64, i128::from_str_radix(digits, radix).ok().map(Interval::point))),
+        s => Some(Ty::Int(crate::parse::IntTy::from_name(s)?)),
+    };
+    let iv = i128::from_str_radix(digits, radix).ok().map(Interval::point);
+    Some(Val {
+        ty: ty.clone().unwrap_or(Ty::Unknown),
+        iv,
+        untyped: ty.is_none(),
+        path: None,
+        shr: None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Per-fn analysis context
+// ---------------------------------------------------------------------------
+
+struct Ctx<'a> {
+    ws: &'a Workspace,
+    tokens: &'a [Token],
+    file_path: &'a str,
+    def: &'a FnDef,
+    env: BTreeMap<String, Val>,
+    var_seeds: BTreeMap<String, Interval>,
+    field_seeds: &'a BTreeMap<(String, String), Interval>,
+    summaries: &'a BTreeMap<(String, String), Val>,
+    findings: Vec<Finding>,
+    checked: usize,
+    skipped: usize,
+    loop_depth: u32,
+    loop_bound: i128,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(
+        ws: &'a Workspace,
+        file: &'a ParsedFile,
+        def: &'a FnDef,
+        cfg: &AnalyzerConfig,
+        field_seeds: &'a BTreeMap<(String, String), Interval>,
+        summaries: &'a BTreeMap<(String, String), Val>,
+        loop_bound: i128,
+    ) -> Self {
+        let var_seeds = var_seeds_for(cfg, &file.path, def);
+        let mut env = BTreeMap::new();
+        for (name, ty) in &def.params {
+            let iv = var_seeds.get(name).copied().or_else(|| seed_small(ty));
+            env.insert(name.clone(), Val::typed(ty.clone(), iv));
+        }
+        // Dotted seeds ("rows.start") pre-populate the environment so
+        // field-chain lookups hit them.
+        for (name, iv) in &var_seeds {
+            if name.contains('.') {
+                env.insert(name.clone(), Val::typed(Ty::Unknown, Some(*iv)));
+            }
+        }
+        Ctx {
+            ws,
+            tokens: &file.tokens,
+            file_path: &file.path,
+            def,
+            env,
+            var_seeds,
+            field_seeds,
+            summaries,
+            findings: Vec::new(),
+            checked: 0,
+            skipped: 0,
+            loop_depth: 0,
+            loop_bound,
+        }
+    }
+
+    /// Analyzes the body; returns a return summary when the body is a
+    /// single tail expression.
+    fn run(&mut self) -> Option<Val> {
+        self.scan_block(self.def.body.clone())
+    }
+
+    fn finding(&mut self, line: u32, rule: &'static str, message: String) {
+        self.findings.push(Finding {
+            file: self.file_path.to_string(),
+            line,
+            rule,
+            message,
+            item: Some(self.def.name.clone()),
+        });
+    }
+
+    /// Re-applies a scope-wide seed, then records the binding.
+    fn bind(&mut self, name: &str, mut val: Val) {
+        if let Some(iv) = self.var_seeds.get(name) {
+            val.iv = Some(*iv);
+        }
+        val.path = None;
+        self.env.insert(name.to_string(), val);
+    }
+
+    // --- statement scanning ------------------------------------------------
+
+    /// First index of `p` in `[from, to)` outside all brackets.
+    fn balanced(&self, from: usize, to: usize, p: char) -> Option<usize> {
+        let mut depth = 0i32;
+        for i in from..to.min(self.tokens.len()) {
+            let t = &self.tokens[i];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(p) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// First `{` in `[from, to)` with zero paren/bracket depth.
+    fn block_open(&self, from: usize, to: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for i in from..to.min(self.tokens.len()) {
+            let t = &self.tokens[i];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct('{') {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn scan_block(&mut self, range: Range<usize>) -> Option<Val> {
+        let mut i = range.start;
+        let mut last = None;
+        while i < range.end {
+            let t = &self.tokens[i];
+            match &t.kind {
+                TokenKind::Punct(';') => {
+                    i += 1;
+                    last = None;
+                }
+                TokenKind::Punct('#') => {
+                    // Attribute: skip `#[...]` / `#![...]`.
+                    let mut j = i + 1;
+                    if self.tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+                        j += 1;
+                    }
+                    if self.tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+                        i = match_delim(self.tokens, j, '[', ']') + 1;
+                    } else {
+                        i += 1;
+                    }
+                    last = None;
+                }
+                TokenKind::Punct('{') => {
+                    let close = match_brace(self.tokens, i);
+                    last = self.scan_block(i + 1..close.min(range.end));
+                    i = close + 1;
+                }
+                TokenKind::Ident => match t.text.as_str() {
+                    "let" => {
+                        let semi = self.balanced(i, range.end, ';').unwrap_or(range.end);
+                        self.handle_let(i + 1..semi);
+                        i = semi + 1;
+                        last = None;
+                    }
+                    "for" => {
+                        i = self.handle_for(i, range.end);
+                        last = None;
+                    }
+                    "while" | "loop" => {
+                        match self.block_open(i + 1, range.end) {
+                            Some(open) => {
+                                let close = match_brace(self.tokens, open);
+                                self.loop_depth += 1;
+                                self.scan_block(open + 1..close.min(range.end));
+                                self.loop_depth -= 1;
+                                i = close + 1;
+                            }
+                            None => i = range.end,
+                        }
+                        last = None;
+                    }
+                    "if" => {
+                        i = self.handle_if(i, range.end);
+                        last = None;
+                    }
+                    "match" | "unsafe" => {
+                        // Match bodies are arm patterns, not statements:
+                        // skipped (documented approximation). `unsafe`
+                        // cannot appear (forbid(unsafe_code)) but skip
+                        // defensively.
+                        match self.block_open(i + 1, range.end) {
+                            Some(open) => i = match_brace(self.tokens, open) + 1,
+                            None => i = range.end,
+                        }
+                        last = None;
+                    }
+                    "return" => {
+                        let semi = self.balanced(i, range.end, ';').unwrap_or(range.end);
+                        if i + 1 < semi {
+                            let toks = &self.tokens[i + 1..semi];
+                            self.eval(toks);
+                        }
+                        i = semi + 1;
+                        last = None;
+                    }
+                    "fn" => {
+                        // Nested fn: analyzed as its own FnDef; skip here.
+                        match self.block_open(i + 1, range.end) {
+                            Some(open) => i = match_brace(self.tokens, open) + 1,
+                            None => i += 1,
+                        }
+                        last = None;
+                    }
+                    "use" | "mod" | "struct" | "enum" | "trait" | "impl" | "type" | "const"
+                    | "static" | "macro_rules" => {
+                        // Items inside bodies: skip to `;` or past a block.
+                        let semi = self.balanced(i, range.end, ';');
+                        let open = self.block_open(i + 1, range.end);
+                        i = match (semi, open) {
+                            (Some(s), Some(o)) if s < o => s + 1,
+                            (_, Some(o)) => match_brace(self.tokens, o) + 1,
+                            (Some(s), None) => s + 1,
+                            (None, None) => range.end,
+                        };
+                        last = None;
+                    }
+                    _ => {
+                        let (v, next) = self.generic_statement(i, range.end);
+                        last = v;
+                        i = next;
+                    }
+                },
+                _ => {
+                    let (v, next) = self.generic_statement(i, range.end);
+                    last = v;
+                    i = next;
+                }
+            }
+        }
+        last
+    }
+
+    /// Expression or assignment statement; returns the value when it is
+    /// the block's tail expression (no trailing `;`).
+    fn generic_statement(&mut self, i: usize, limit: usize) -> (Option<Val>, usize) {
+        let semi = self.balanced(i, limit, ';');
+        let end = semi.unwrap_or(limit);
+        let v = self.handle_stmt(i..end);
+        (if semi.is_none() { v } else { None }, end + 1)
+    }
+
+    fn handle_stmt(&mut self, range: Range<usize>) -> Option<Val> {
+        if let Some((at, op, rhs_from)) = self.find_assignment(&range) {
+            let lhs = range.start..at;
+            let rhs = rhs_from..range.end;
+            self.handle_assign(lhs, op, rhs);
+            return None;
+        }
+        let toks = &self.tokens[range];
+        Some(self.eval(toks))
+    }
+
+    /// Finds a depth-0 assignment operator; returns
+    /// `(lhs_end, compound_op, rhs_start)`.
+    fn find_assignment(&self, range: &Range<usize>) -> Option<(usize, Option<char>, usize)> {
+        let toks = self.tokens;
+        let mut depth = 0i32;
+        let mut i = range.start;
+        while i < range.end {
+            let t = &toks[i];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 {
+                if let TokenKind::Punct(c) = t.kind {
+                    let next = toks.get(i + 1).filter(|_| i + 1 < range.end);
+                    let next_eq = next.is_some_and(|n| n.is_punct('='));
+                    match c {
+                        '=' => {
+                            let prev_op = i > range.start
+                                && matches!(
+                                    toks[i - 1].kind,
+                                    TokenKind::Punct(
+                                        '=' | '!' | '<' | '>' | '+' | '-' | '*' | '/' | '%'
+                                            | '&' | '|' | '^'
+                                    )
+                                );
+                            let next_cmp =
+                                next.is_some_and(|n| n.is_punct('=') || n.is_punct('>'));
+                            if !prev_op && !next_cmp {
+                                return Some((i, None, i + 1));
+                            }
+                        }
+                        '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' if next_eq => {
+                            return Some((i, Some(c), i + 2));
+                        }
+                        '<' | '>'
+                            if next.is_some_and(|n| n.is_punct(c))
+                                && toks
+                                    .get(i + 2)
+                                    .filter(|_| i + 2 < range.end)
+                                    .is_some_and(|n| n.is_punct('=')) =>
+                        {
+                            return Some((i, Some(c), i + 3));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Joins a pure ident/field-chain target into an env key.
+    fn pure_path(&self, range: Range<usize>) -> Option<String> {
+        let mut toks = &self.tokens[range];
+        while toks.first().is_some_and(|t| t.is_punct('*')) {
+            toks = &toks[1..];
+        }
+        let mut out = String::new();
+        let mut want_ident = true;
+        for t in toks {
+            match (&t.kind, want_ident) {
+                (TokenKind::Ident, true) => {
+                    out.push_str(&t.text);
+                    want_ident = false;
+                }
+                (TokenKind::Punct('.'), false) => {
+                    out.push('.');
+                    want_ident = true;
+                }
+                _ => return None,
+            }
+        }
+        (!out.is_empty() && !want_ident).then_some(out)
+    }
+
+    fn handle_assign(&mut self, lhs: Range<usize>, op: Option<char>, rhs: Range<usize>) {
+        let line = self.tokens.get(lhs.start).map(|t| t.line).unwrap_or(self.def.line);
+        let path = self.pure_path(lhs.clone());
+        let lval = {
+            let toks = &self.tokens[lhs];
+            self.eval(toks)
+        };
+        let rval = {
+            let toks = &self.tokens[rhs];
+            self.eval(toks)
+        };
+        let target_ty = if lval.ty == Ty::Unknown { rval.ty.clone() } else { lval.ty.clone() };
+        match op {
+            None => {
+                let mut stored = rval.clone();
+                stored.ty = target_ty.clone();
+                if let (Ty::Int(t), Some(iv)) = (&target_ty, rval.iv) {
+                    self.checked += 1;
+                    if !iv.fits(t.bounds()) {
+                        self.finding(
+                            line,
+                            "overflow-range",
+                            format!(
+                                "assigned value can reach [{}, {}], outside {} [{}, {}]",
+                                iv.lo,
+                                iv.hi,
+                                t.name(),
+                                t.bounds().0,
+                                t.bounds().1
+                            ),
+                        );
+                        stored.iv = Some(iv.clamp_to(t.bounds()));
+                    }
+                } else if matches!(target_ty, Ty::Int(_)) {
+                    self.skipped += 1;
+                }
+                if let Some(p) = path {
+                    self.bind_path(&p, stored);
+                }
+            }
+            Some(c @ ('+' | '-')) if self.loop_depth > 0 => {
+                self.accumulate(line, &target_ty, lval.iv, rval.iv, c, path.as_deref());
+            }
+            Some(c) => {
+                let iv = match (lval.iv, rval.iv) {
+                    (Some(l), Some(r)) => match c {
+                        '+' => Some(l.add(r)),
+                        '-' => Some(l.sub(r)),
+                        '*' => Some(l.mul(r)),
+                        '/' => l.div(r),
+                        '<' => Some(l.shl(r)),
+                        '>' => Some(l.shr(r)),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                let iv = self.int_check(line, &target_ty, iv, "compound assignment");
+                if let Some(p) = path {
+                    self.bind_path(&p, Val::typed(target_ty, iv));
+                }
+            }
+        }
+    }
+
+    /// `bind` for possibly-dotted assignment targets.
+    fn bind_path(&mut self, path: &str, mut val: Val) {
+        if let Some(iv) = self.var_seeds.get(path) {
+            val.iv = Some(*iv);
+        }
+        val.path = None;
+        self.env.insert(path.to_string(), val);
+    }
+
+    /// Loop-accumulator bound: `base + MAX_PIXELS * |increment|`, with an
+    /// unknown base assumed zero (frame-reset registers; see module docs).
+    fn accumulate(
+        &mut self,
+        line: u32,
+        ty: &Ty,
+        base: Option<Interval>,
+        inc: Option<Interval>,
+        op: char,
+        path: Option<&str>,
+    ) {
+        let Some(inc) = inc else {
+            match ty {
+                Ty::Int(_) | Ty::F32 | Ty::F64 => self.skipped += 1,
+                _ => {}
+            }
+            if let Some(p) = path {
+                self.bind_path(p, Val::typed(ty.clone(), None));
+            }
+            return;
+        };
+        let signed = if op == '-' { inc.neg() } else { inc };
+        let contrib = signed.mul(Interval::point(self.loop_bound)).union(Interval::point(0));
+        let new = base.unwrap_or(Interval::point(0)).add(contrib);
+        let stored = match ty {
+            Ty::Int(t) => {
+                self.checked += 1;
+                if !new.fits(t.bounds()) {
+                    self.finding(
+                        line,
+                        "overflow-range",
+                        format!(
+                            "loop accumulator can reach [{}, {}] after {} iterations, \
+                             outside {} [{}, {}]",
+                            new.lo,
+                            new.hi,
+                            self.loop_bound,
+                            t.name(),
+                            t.bounds().0,
+                            t.bounds().1
+                        ),
+                    );
+                    Some(new.clamp_to(t.bounds()))
+                } else {
+                    Some(new)
+                }
+            }
+            Ty::F64 | Ty::F32 => {
+                self.checked += 1;
+                let limit = if *ty == Ty::F64 { F64_EXACT } else { F32_EXACT };
+                if new.magnitude() > limit {
+                    self.finding(
+                        line,
+                        "float-inexact",
+                        format!(
+                            "{} accumulator magnitude can reach {} after {} iterations, \
+                             beyond the exact-integer limit 2^{}",
+                            if *ty == Ty::F64 { "f64" } else { "f32" },
+                            new.magnitude(),
+                            self.loop_bound,
+                            if *ty == Ty::F64 { 53 } else { 24 },
+                        ),
+                    );
+                }
+                Some(new)
+            }
+            _ => Some(new),
+        };
+        if let Some(p) = path {
+            self.bind_path(p, Val::typed(ty.clone(), stored));
+        }
+    }
+
+    fn handle_let(&mut self, range: Range<usize>) {
+        // Truncate a `let ... else { ... }` tail.
+        let mut end = range.end;
+        let mut depth = 0i32;
+        for i in range.start..range.end {
+            let t = &self.tokens[i];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 && t.is_ident("else") {
+                end = i;
+                break;
+            }
+        }
+        let eq = {
+            let mut found = None;
+            let mut depth = 0i32;
+            for i in range.start..end {
+                let t = &self.tokens[i];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 0
+                    && t.is_punct('=')
+                    && !self.tokens.get(i + 1).is_some_and(|n| n.is_punct('='))
+                    && (i == range.start
+                        || !matches!(
+                            self.tokens[i - 1].kind,
+                            TokenKind::Punct('=' | '!' | '<' | '>')
+                        ))
+                {
+                    found = Some(i);
+                    break;
+                }
+            }
+            found
+        };
+        let (pat_end, rhs) = match eq {
+            Some(e) => (e, Some(e + 1..end)),
+            None => (end, None),
+        };
+        // Optional declared type after a top-level `:`.
+        let pat_toks = &self.tokens[range.start..pat_end];
+        let colon = top_level_position(pat_toks, ':');
+        let declared = colon.map(|c| parse_type(&pat_toks[c + 1..]).0);
+        let pat_core: Vec<Token> = pat_toks[..colon.unwrap_or(pat_toks.len())]
+            .iter()
+            .filter(|t| !t.is_ident("mut") && !t.is_ident("ref"))
+            .cloned()
+            .collect();
+        let line = pat_toks.first().map(|t| t.line).unwrap_or(self.def.line);
+
+        let mut rv = match rhs {
+            Some(r) => {
+                let toks = &self.tokens[r];
+                self.eval(toks)
+            }
+            None => Val::unknown(),
+        };
+        if let Some(d) = declared {
+            if d != Ty::Unknown {
+                if let (Ty::Int(t), Some(iv)) = (&d, rv.iv) {
+                    self.checked += 1;
+                    if !iv.fits(t.bounds()) {
+                        self.finding(
+                            line,
+                            "overflow-range",
+                            format!(
+                                "`let` binding value can reach [{}, {}], outside {} [{}, {}]",
+                                iv.lo,
+                                iv.hi,
+                                t.name(),
+                                t.bounds().0,
+                                t.bounds().1
+                            ),
+                        );
+                        rv.iv = Some(iv.clamp_to(t.bounds()));
+                    }
+                }
+                rv.ty = d;
+            }
+        }
+        self.bind_pattern(&pat_core, rv);
+    }
+
+    fn bind_pattern(&mut self, pat: &[Token], val: Val) {
+        match pat {
+            [t] if t.kind == TokenKind::Ident => self.bind(&t.text, val),
+            [first, ..] if first.is_punct('[') => {
+                let close = match_delim(pat, 0, '[', ']');
+                let elem = val.ty.deref_smart().element();
+                for seg in split_top_level(&pat[1..close], ',') {
+                    if let [t] = seg {
+                        if t.kind == TokenKind::Ident && t.text != "_" {
+                            let v = Val::typed(elem.clone(), seed_small(&elem));
+                            self.bind(&t.text, v);
+                        }
+                    }
+                }
+            }
+            [first, ..] if first.is_punct('(') => {
+                let close = match_delim(pat, 0, '(', ')');
+                let members = match &val.ty {
+                    Ty::Tuple(ms) => ms.clone(),
+                    _ => Vec::new(),
+                };
+                for (i, seg) in split_top_level(&pat[1..close], ',').iter().enumerate() {
+                    if let [t] = *seg {
+                        if t.kind == TokenKind::Ident && t.text != "_" {
+                            let ty = members.get(i).cloned().unwrap_or(Ty::Unknown);
+                            let v = Val::typed(ty.clone(), seed_small(&ty));
+                            self.bind(&t.text, v);
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Struct / enum patterns: bind every lowercase ident
+                // conservatively unknown.
+                for t in pat {
+                    if t.kind == TokenKind::Ident
+                        && t.text.chars().next().is_some_and(|c| c.is_lowercase())
+                        && !matches!(t.text.as_str(), "_" | "box")
+                    {
+                        self.bind(&t.text.clone(), Val::unknown());
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_for(&mut self, at: usize, limit: usize) -> usize {
+        let Some(open) = self.block_open(at + 1, limit) else {
+            return limit;
+        };
+        let in_pos = {
+            let mut depth = 0i32;
+            let mut found = None;
+            for i in at + 1..open {
+                let t = &self.tokens[i];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_ident("in") {
+                    found = Some(i);
+                    break;
+                }
+            }
+            found
+        };
+        let close = match_brace(self.tokens, open);
+        if let Some(in_pos) = in_pos {
+            let elem = self.eval_iterable(in_pos + 1..open);
+            let pat: Vec<Token> = self.tokens[at + 1..in_pos]
+                .iter()
+                .filter(|t| !t.is_ident("mut") && !t.is_ident("ref"))
+                .cloned()
+                .collect();
+            self.bind_pattern(&pat, elem);
+        }
+        self.loop_depth += 1;
+        self.scan_block(open + 1..close);
+        self.loop_depth -= 1;
+        close + 1
+    }
+
+    /// Element value of a `for` iterable: ranges get `[lo, hi]` bounds,
+    /// everything else goes through `element()`.
+    fn eval_iterable(&mut self, range: Range<usize>) -> Val {
+        let toks = &self.tokens[range.clone()];
+        // Depth-0 `..` / `..=`.
+        let mut depth = 0i32;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct('.') && toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            {
+                let inclusive = toks.get(i + 2).is_some_and(|n| n.is_punct('='));
+                let lo = self.eval(&toks[..i]);
+                let hi_start = i + if inclusive { 3 } else { 2 };
+                let hi = self.eval(&toks[hi_start..]);
+                let ty = if matches!(lo.ty, Ty::Int(_)) {
+                    lo.ty.clone()
+                } else {
+                    hi.ty.clone()
+                };
+                let iv = match (lo.iv, hi.iv) {
+                    (Some(l), Some(h)) => {
+                        let top = if inclusive { h.hi } else { h.hi.saturating_sub(1) };
+                        (l.lo <= top).then(|| Interval::new(l.lo, top))
+                    }
+                    _ => None,
+                };
+                return Val::typed(ty, iv);
+            }
+        }
+        let it = self.eval(toks);
+        let elem = it.ty.deref_smart().element();
+        let iv = seed_small(&elem);
+        Val::typed(elem, iv)
+    }
+
+    fn handle_if(&mut self, at: usize, limit: usize) -> usize {
+        // Skip the condition (not evaluated — documented approximation),
+        // scan each branch block.
+        let Some(open) = self.block_open(at + 1, limit) else {
+            return limit;
+        };
+        let close = match_brace(self.tokens, open);
+        self.scan_block(open + 1..close);
+        let mut i = close + 1;
+        if self.tokens.get(i).filter(|_| i < limit).is_some_and(|t| t.is_ident("else")) {
+            if self.tokens.get(i + 1).is_some_and(|t| t.is_ident("if")) {
+                return self.handle_if(i + 1, limit);
+            }
+            if self.tokens.get(i + 1).is_some_and(|t| t.is_punct('{')) {
+                let c2 = match_brace(self.tokens, i + 1);
+                self.scan_block(i + 2..c2);
+                i = c2 + 1;
+            }
+        }
+        i
+    }
+
+    // --- expression evaluation --------------------------------------------
+
+    /// Shared check for integer-typed results.
+    fn int_check(
+        &mut self,
+        line: u32,
+        ty: &Ty,
+        iv: Option<Interval>,
+        what: &str,
+    ) -> Option<Interval> {
+        if let Ty::Int(t) = ty {
+            match iv {
+                Some(iv) => {
+                    self.checked += 1;
+                    if !iv.fits(t.bounds()) {
+                        self.finding(
+                            line,
+                            "overflow-range",
+                            format!(
+                                "{what} result can reach [{}, {}], outside {} [{}, {}]",
+                                iv.lo,
+                                iv.hi,
+                                t.name(),
+                                t.bounds().0,
+                                t.bounds().1
+                            ),
+                        );
+                        return Some(iv.clamp_to(t.bounds()));
+                    }
+                    return Some(iv);
+                }
+                None => {
+                    self.skipped += 1;
+                    return None;
+                }
+            }
+        }
+        iv
+    }
+
+    fn eval(&mut self, toks: &[Token]) -> Val {
+        if toks.is_empty() {
+            return Val::unknown();
+        }
+        let first = &toks[0];
+        // Closures and control-flow expressions are not modeled.
+        if first.is_punct('|')
+            || matches!(
+                first.text.as_str(),
+                "move" | "if" | "match" | "unsafe" | "loop" | "while" | "for" | "return"
+                    | "break" | "continue"
+            ) && first.kind == TokenKind::Ident
+        {
+            return Val::unknown();
+        }
+        // Range expression: evaluate the sides for checks, result opaque.
+        if let Some(i) = self.find_range_op(toks) {
+            self.eval(&toks[..i]);
+            let skip = if toks.get(i + 2).is_some_and(|t| t.is_punct('=')) { 3 } else { 2 };
+            self.eval(&toks[i + skip..]);
+            return Val::unknown();
+        }
+        if let Some((at, len, level)) = self.find_binary_split(toks) {
+            return self.eval_binary(toks, at, len, level);
+        }
+        if let Some(at) = self.find_last_as(toks) {
+            return self.eval_cast(&toks[..at], &toks[at + 1..]);
+        }
+        // Unary prefixes.
+        if first.is_punct('-') {
+            let mut v = self.eval(&toks[1..]);
+            v.iv = v.iv.map(Interval::neg);
+            v.path = None;
+            v.shr = None;
+            return v;
+        }
+        if first.is_punct('!') {
+            let mut v = self.eval(&toks[1..]);
+            v.iv = None;
+            v.path = None;
+            v.shr = None;
+            return v;
+        }
+        if first.is_punct('&') || first.is_punct('*') {
+            let mut rest = &toks[1..];
+            while rest.first().is_some_and(|t| {
+                t.is_punct('&') || t.is_punct('*') || t.is_ident("mut")
+            }) {
+                rest = &rest[1..];
+            }
+            return self.eval(rest);
+        }
+        let (v, j) = self.eval_postfix(toks);
+        if j < toks.len() {
+            return Val::unknown();
+        }
+        v
+    }
+
+    /// Depth-0 `..` that is a range operator (not a float, not field
+    /// access — the lexer guarantees `..` arrives as two `.` puncts).
+    fn find_range_op(&self, toks: &[Token]) -> Option<usize> {
+        let mut depth = 0i32;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0
+                && t.is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Finds the lowest-precedence, rightmost depth-0 binary operator.
+    /// Levels: 0 `||`/`&&`, 1 comparisons, 2 `|`, 3 `^`, 4 `&`,
+    /// 5 shifts, 6 `+`/`-`, 7 `*`/`/`/`%`.
+    fn find_binary_split(&self, toks: &[Token]) -> Option<(usize, usize, u8)> {
+        for level in 0u8..8 {
+            let mut depth = 0i32;
+            let mut found: Option<(usize, usize)> = None;
+            let mut i = 0;
+            while i < toks.len() {
+                let t = &toks[i];
+                // Turbofish `::<...>`: skip the generic args wholesale.
+                if t.is_punct(':')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct('<'))
+                {
+                    let mut d = 0i32;
+                    let mut j = i + 2;
+                    while j < toks.len() {
+                        if toks[j].is_punct('<') {
+                            d += 1;
+                        } else if toks[j].is_punct('>') {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 0 {
+                    if let TokenKind::Punct(c) = t.kind {
+                        let next = toks.get(i + 1);
+                        let doubled = next.is_some_and(|n| n.is_punct(c));
+                        let binary = i > 0 && operand_end(&toks[i - 1]);
+                        match level {
+                            0 if (c == '|' || c == '&') && doubled && binary => {
+                                found = Some((i, 2));
+                                i += 2;
+                                continue;
+                            }
+                            1 => {
+                                let eq_next = next.is_some_and(|n| n.is_punct('='));
+                                match c {
+                                    '=' | '!' if eq_next => {
+                                        found = Some((i, 2));
+                                        i += 2;
+                                        continue;
+                                    }
+                                    '<' | '>' if doubled => {
+                                        i += 2; // shift, handled at level 5
+                                        continue;
+                                    }
+                                    '<' | '>' if eq_next => {
+                                        found = Some((i, 2));
+                                        i += 2;
+                                        continue;
+                                    }
+                                    '<' | '>' if binary => {
+                                        found = Some((i, 1));
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            2 if c == '|' && !doubled && binary => found = Some((i, 1)),
+                            3 if c == '^' && binary => found = Some((i, 1)),
+                            4 if c == '&' && !doubled && binary => found = Some((i, 1)),
+                            5 if (c == '<' || c == '>') && doubled && binary => {
+                                found = Some((i, 2));
+                                i += 2;
+                                continue;
+                            }
+                            6 if (c == '+' || c == '-') && binary => found = Some((i, 1)),
+                            7 if (c == '*' || c == '/' || c == '%') && binary => {
+                                found = Some((i, 1))
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                i += 1;
+            }
+            if let Some((at, len)) = found {
+                return Some((at, len, level));
+            }
+        }
+        None
+    }
+
+    fn eval_binary(&mut self, toks: &[Token], at: usize, len: usize, level: u8) -> Val {
+        let line = toks[at].line;
+        let l = self.eval(&toks[..at]);
+        let r = self.eval(&toks[at + len..]);
+        let op = match &toks[at].kind {
+            TokenKind::Punct(c) => *c,
+            _ => return Val::unknown(),
+        };
+        // Type join: a concrete integer side types the whole operation
+        // (Rust requires both sides to share the type to compile).
+        let ty = if matches!(l.ty, Ty::Int(_)) {
+            l.ty.clone()
+        } else if matches!(r.ty, Ty::Int(_)) {
+            r.ty.clone()
+        } else if l.ty == Ty::F32 || r.ty == Ty::F32 {
+            Ty::F32
+        } else if l.ty == Ty::F64 || r.ty == Ty::F64 {
+            Ty::F64
+        } else {
+            Ty::Unknown
+        };
+        let untyped = l.untyped && r.untyped;
+        match level {
+            0 | 1 => Val::typed(Ty::Bool, None),
+            2 | 3 | 4 => {
+                // Bitwise ops never leave the operand type's range: no
+                // overflow check, but keep a bound for downstream use.
+                let iv = match (l.iv, r.iv) {
+                    (Some(a), Some(b)) if a.lo >= 0 && b.lo >= 0 => {
+                        let hi = if op == '&' {
+                            a.hi.min(b.hi)
+                        } else {
+                            bit_ceil(a.hi.max(b.hi))
+                        };
+                        Some(Interval::new(0, hi))
+                    }
+                    _ => None,
+                };
+                Val { ty, iv, untyped, path: None, shr: None }
+            }
+            5 => {
+                if op == '>' {
+                    // `x >> s`: never grows; remember the pre-shift value
+                    // for the truncation peephole.
+                    let iv = match (l.iv, r.iv) {
+                        (Some(a), Some(b)) => Some(a.shr(b)),
+                        _ => None,
+                    };
+                    let shr = l
+                        .iv
+                        .map(|pre| (pre, render_tokens(&toks[at + len..])));
+                    Val { ty, iv, untyped, path: None, shr }
+                } else {
+                    // `(x >> s) << s` with identical `s`: bounded by the
+                    // pre-shift interval.
+                    if let Some((pre, text)) = &l.shr {
+                        if *text == render_tokens(&toks[at + len..]) && pre.lo >= 0 {
+                            let iv = Some(Interval::new(0, pre.hi));
+                            let iv = self.int_check(line, &ty, iv, "shift truncation");
+                            return Val { ty, iv, untyped, path: None, shr: None };
+                        }
+                    }
+                    let iv = match (l.iv, r.iv) {
+                        (Some(a), Some(b)) => Some(a.shl(b)),
+                        _ => None,
+                    };
+                    let iv = self.int_check(line, &ty, iv, "`<<`");
+                    Val { ty, iv, untyped, path: None, shr: None }
+                }
+            }
+            6 | 7 => {
+                let is_float = matches!(ty, Ty::F32 | Ty::F64);
+                let iv = match (l.iv, r.iv) {
+                    (Some(a), Some(b)) => match op {
+                        '+' => Some(a.add(b)),
+                        '-' => Some(a.sub(b)),
+                        '*' => Some(a.mul(b)),
+                        '/' => a.div(b).map(|d| {
+                            if is_float {
+                                // Real division is not integer division:
+                                // widen one each way for a sound bound.
+                                Interval::new(d.lo.saturating_sub(1), d.hi.saturating_add(1))
+                            } else {
+                                d
+                            }
+                        }),
+                        '%' => b.div(Interval::point(1)).and_then(|_| {
+                            (b.lo > 0 || b.hi < 0).then(|| {
+                                let m = b.magnitude().saturating_sub(1);
+                                Interval::new(-m, m)
+                            })
+                        }),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                let iv = if is_float {
+                    iv
+                } else {
+                    self.int_check(line, &ty, iv, &format!("`{op}`"))
+                };
+                Val { ty, iv, untyped, path: None, shr: None }
+            }
+            _ => Val::unknown(),
+        }
+    }
+
+    /// Rightmost depth-0 `as` keyword.
+    fn find_last_as(&self, toks: &[Token]) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut found = None;
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 && t.is_ident("as") {
+                found = Some(i);
+            }
+        }
+        found
+    }
+
+    fn eval_cast(&mut self, expr: &[Token], ty_toks: &[Token]) -> Val {
+        let line = ty_toks.first().map(|t| t.line).unwrap_or(self.def.line);
+        let v = self.eval(expr);
+        let (target, _) = parse_type(ty_toks);
+        match &target {
+            Ty::Int(t) => {
+                if matches!(v.ty, Ty::F32 | Ty::F64) {
+                    // Float-to-int casts saturate in Rust: no finding.
+                    let iv = v.iv.map(|iv| iv.clamp_to(t.bounds()));
+                    return Val::typed(target.clone(), iv);
+                }
+                if let Some(iv) = v.iv {
+                    self.checked += 1;
+                    if !iv.fits(t.bounds()) {
+                        self.finding(
+                            line,
+                            "overflow-range",
+                            format!(
+                                "cast to {} can wrap: value in [{}, {}], outside [{}, {}]",
+                                t.name(),
+                                iv.lo,
+                                iv.hi,
+                                t.bounds().0,
+                                t.bounds().1
+                            ),
+                        );
+                        return Val::typed(target.clone(), Some(iv.clamp_to(t.bounds())));
+                    }
+                    return Val::typed(target.clone(), Some(iv));
+                }
+                if let Ty::Int(src) = &v.ty {
+                    let (slo, shi) = src.bounds();
+                    let (tlo, thi) = t.bounds();
+                    if slo >= tlo && shi <= thi {
+                        // Widening cast: trivially safe.
+                        self.checked += 1;
+                    } else {
+                        self.skipped += 1;
+                    }
+                    return Val::typed(target.clone(), None);
+                }
+                self.skipped += 1;
+                Val::typed(target.clone(), None)
+            }
+            Ty::F32 | Ty::F64 => Val::typed(target.clone(), v.iv),
+            _ => Val::typed(target.clone(), None),
+        }
+    }
+
+    fn eval_postfix(&mut self, toks: &[Token]) -> (Val, usize) {
+        let (mut v, mut j) = self.eval_primary(toks);
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('.') {
+                let Some(next) = toks.get(j + 1) else {
+                    break;
+                };
+                if matches!(next.kind, TokenKind::Number { .. }) {
+                    // Tuple index.
+                    let idx: usize = next.text.parse().unwrap_or(usize::MAX);
+                    let ty = match &v.ty {
+                        Ty::Tuple(ms) => ms.get(idx).cloned().unwrap_or(Ty::Unknown),
+                        _ => Ty::Unknown,
+                    };
+                    v = Val::typed(ty.clone(), seed_small(&ty));
+                    j += 2;
+                    continue;
+                }
+                if next.kind == TokenKind::Ident {
+                    if toks.get(j + 2).is_some_and(|t| t.is_punct('(')) {
+                        let close = match_delim(toks, j + 2, '(', ')');
+                        let args: Vec<Val> = split_top_level(&toks[j + 3..close], ',')
+                            .into_iter()
+                            .filter(|s| !s.is_empty())
+                            .map(|s| self.eval(s))
+                            .collect();
+                        v = self.eval_method(v, &next.text, &args);
+                        j = close + 1;
+                        continue;
+                    }
+                    v = self.eval_field(v, &next.text);
+                    j += 2;
+                    continue;
+                }
+                break;
+            }
+            if t.is_punct('[') {
+                let close = match_delim(toks, j, '[', ']');
+                let inner = &toks[j + 1..close];
+                let is_slice = {
+                    let mut depth = 0i32;
+                    let mut slice = false;
+                    for (k, it) in inner.iter().enumerate() {
+                        if it.is_punct('(') || it.is_punct('[') || it.is_punct('{') {
+                            depth += 1;
+                        } else if it.is_punct(')') || it.is_punct(']') || it.is_punct('}') {
+                            depth -= 1;
+                        } else if depth == 0
+                            && it.is_punct('.')
+                            && inner.get(k + 1).is_some_and(|n| n.is_punct('.'))
+                        {
+                            slice = true;
+                            break;
+                        }
+                    }
+                    slice
+                };
+                self.eval(inner);
+                if !is_slice {
+                    let elem = v.ty.deref_smart().element();
+                    v = Val::typed(elem.clone(), seed_small(&elem));
+                } else {
+                    v.iv = None;
+                    v.path = None;
+                    v.shr = None;
+                }
+                j = close + 1;
+                continue;
+            }
+            if t.is_punct('?') {
+                // Unwrap Result<T, _> / Option<T>.
+                let ty = match v.ty.deref_smart() {
+                    Ty::Path { name, args }
+                        if (name == "Result" || name == "Option") && !args.is_empty() =>
+                    {
+                        args[0].clone()
+                    }
+                    _ => Ty::Unknown,
+                };
+                v = Val::typed(ty, None);
+                j += 1;
+                continue;
+            }
+            if t.is_punct('(') {
+                // Call through a closure/fn-pointer binding: opaque.
+                let close = match_delim(toks, j, '(', ')');
+                for seg in split_top_level(&toks[j + 1..close], ',') {
+                    if !seg.is_empty() {
+                        self.eval(seg);
+                    }
+                }
+                v = Val::unknown();
+                j = close + 1;
+                continue;
+            }
+            break;
+        }
+        (v, j)
+    }
+
+    fn eval_primary(&mut self, toks: &[Token]) -> (Val, usize) {
+        let Some(t) = toks.first() else {
+            return (Val::unknown(), 0);
+        };
+        match &t.kind {
+            TokenKind::Number { .. } => (parse_number(t).unwrap_or_else(Val::unknown), 1),
+            TokenKind::Literal => (Val::unknown(), 1),
+            TokenKind::Punct('(') => {
+                let close = match_delim(toks, 0, '(', ')');
+                let inner = &toks[1..close];
+                if top_level_position(inner, ',').is_some() {
+                    let members: Vec<Ty> = split_top_level(inner, ',')
+                        .into_iter()
+                        .filter(|s| !s.is_empty())
+                        .map(|s| self.eval(s).ty)
+                        .collect();
+                    (Val::typed(Ty::Tuple(members), None), close + 1)
+                } else {
+                    (self.eval(inner), close + 1)
+                }
+            }
+            TokenKind::Punct('[') => {
+                let close = match_delim(toks, 0, '[', ']');
+                let inner = &toks[1..close];
+                let elem = match top_level_position(inner, ';') {
+                    Some(semi) => {
+                        let e = self.eval(&inner[..semi]);
+                        self.eval(&inner[semi + 1..]);
+                        e.ty
+                    }
+                    None => {
+                        let mut first_ty = Ty::Unknown;
+                        for (i, seg) in split_top_level(inner, ',').iter().enumerate() {
+                            if !seg.is_empty() {
+                                let e = self.eval(seg);
+                                if i == 0 {
+                                    first_ty = e.ty;
+                                }
+                            }
+                        }
+                        first_ty
+                    }
+                };
+                (Val::typed(Ty::Array(Box::new(elem)), None), close + 1)
+            }
+            TokenKind::Ident => self.eval_ident_primary(toks),
+            _ => (Val::unknown(), toks.len()),
+        }
+    }
+
+    fn eval_ident_primary(&mut self, toks: &[Token]) -> (Val, usize) {
+        let name = toks[0].text.as_str();
+        match name {
+            "true" | "false" => return (Val::typed(Ty::Bool, None), 1),
+            "if" | "match" | "unsafe" | "loop" | "while" | "for" | "return" | "break"
+            | "continue" | "move" | "let" => return (Val::unknown(), toks.len()),
+            _ => {}
+        }
+        // Macro invocation: opaque.
+        if toks.get(1).is_some_and(|t| t.is_punct('!')) {
+            let end = match toks.get(2).map(|t| &t.kind) {
+                Some(TokenKind::Punct('(')) => match_delim(toks, 2, '(', ')') + 1,
+                Some(TokenKind::Punct('[')) => match_delim(toks, 2, '[', ']') + 1,
+                Some(TokenKind::Punct('{')) => match_brace(toks, 2) + 1,
+                _ => 2,
+            };
+            return (Val::unknown(), end);
+        }
+        // Path segments `A::B::c`, with turbofish skipping.
+        let mut segs: Vec<String> = vec![toks[0].text.clone()];
+        let mut j = 1;
+        loop {
+            if toks.get(j).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            {
+                if toks.get(j + 2).is_some_and(|t| t.is_punct('<')) {
+                    let mut d = 0i32;
+                    let mut k = j + 2;
+                    while k < toks.len() {
+                        if toks[k].is_punct('<') {
+                            d += 1;
+                        } else if toks[k].is_punct('>') {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    j = k + 1;
+                    continue;
+                }
+                if toks.get(j + 2).is_some_and(|t| t.kind == TokenKind::Ident) {
+                    segs.push(toks[j + 2].text.clone());
+                    j += 3;
+                    continue;
+                }
+            }
+            break;
+        }
+        let last = segs.last().cloned().unwrap_or_default();
+        let owner = (segs.len() >= 2).then(|| segs[segs.len() - 2].clone());
+
+        // `u32::MAX` / `i16::MIN`.
+        if let (Some(o), "MAX" | "MIN") = (owner.as_deref(), last.as_str()) {
+            if let Some(it) = crate::parse::IntTy::from_name(o) {
+                let (lo, hi) = it.bounds();
+                let v = if last == "MAX" { hi } else { lo };
+                return (Val::typed(Ty::Int(it), Some(Interval::point(v))), j);
+            }
+        }
+        // Call.
+        if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            let close = match_delim(toks, j, '(', ')');
+            for seg in split_top_level(&toks[j + 1..close], ',') {
+                if !seg.is_empty() {
+                    self.eval(seg);
+                }
+            }
+            let v = self.resolve_call(owner.as_deref(), &last);
+            return (v, close + 1);
+        }
+        // Struct literal.
+        let uppercase = last.chars().next().is_some_and(|c| c.is_uppercase());
+        if toks.get(j).is_some_and(|t| t.is_punct('{')) && uppercase {
+            let struct_name = if last == "Self" {
+                self.def.owner.clone().unwrap_or(last.clone())
+            } else {
+                last.clone()
+            };
+            let close = match_brace(toks, j);
+            self.eval_struct_literal(&struct_name, &toks[j + 1..close]);
+            return (
+                Val::typed(Ty::Path { name: struct_name, args: Vec::new() }, None),
+                close + 1,
+            );
+        }
+        if segs.len() == 1 {
+            if let Some(v) = self.env.get(&last) {
+                let mut v = v.clone();
+                v.path = Some(last.clone());
+                return (v, j);
+            }
+            if last == "Self" {
+                let owner_ty = self
+                    .def
+                    .owner
+                    .clone()
+                    .map(|o| Ty::Path { name: o, args: Vec::new() })
+                    .unwrap_or(Ty::Unknown);
+                return (Val::typed(owner_ty, None), j);
+            }
+        }
+        // A const (bare or path-qualified).
+        if self.ws.const_index_contains(&last) {
+            let iv = self.ws.const_interval(&last);
+            let ty = self.ws.const_ty(&last).unwrap_or(Ty::Unknown);
+            return (Val::typed(ty, iv), j);
+        }
+        // Unknown base: keep the textual path for dotted seeds.
+        let mut v = Val::unknown();
+        if segs.len() == 1 {
+            v.path = Some(last);
+        }
+        (v, j)
+    }
+
+    fn resolve_call(&mut self, owner: Option<&str>, name: &str) -> Val {
+        let key = (owner.unwrap_or_default().to_string(), name.to_string());
+        if let Some(s) = self.summaries.get(&key) {
+            let mut s = s.clone();
+            s.path = None;
+            return s;
+        }
+        if let Some((_, def)) = self
+            .ws
+            .resolve_fn(owner, name)
+            .or_else(|| self.ws.resolve_fn(None, name))
+        {
+            return Val::typed(def.ret.clone(), None);
+        }
+        Val::unknown()
+    }
+
+    fn eval_struct_literal(&mut self, struct_name: &str, inner: &[Token]) {
+        for seg in split_top_level(inner, ',') {
+            if seg.is_empty() {
+                continue;
+            }
+            // `..base` functional-update tail.
+            if seg[0].is_punct('.') && seg.get(1).is_some_and(|t| t.is_punct('.')) {
+                self.eval(&seg[2..]);
+                continue;
+            }
+            let Some(colon) = top_level_position(seg, ':') else {
+                continue; // shorthand `field` — nothing to check
+            };
+            if colon != 1 || seg[0].kind != TokenKind::Ident {
+                continue;
+            }
+            let field = seg[0].text.clone();
+            let line = seg[0].line;
+            let fv = self.eval(&seg[colon + 1..]);
+            if let (Some(Ty::Int(t)), Some(iv)) =
+                (self.ws.field_ty(struct_name, &field), fv.iv)
+            {
+                self.checked += 1;
+                if !iv.fits(t.bounds()) {
+                    self.finding(
+                        line,
+                        "overflow-range",
+                        format!(
+                            "`{struct_name}.{field}` initializer can reach [{}, {}], \
+                             outside {} [{}, {}]",
+                            iv.lo,
+                            iv.hi,
+                            t.name(),
+                            t.bounds().0,
+                            t.bounds().1
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn eval_method(&mut self, recv: Val, name: &str, args: &[Val]) -> Val {
+        let first = args.first();
+        match name {
+            // Interval-aware builtins.
+            "min" => {
+                let iv = match (recv.iv, first.and_then(|a| a.iv)) {
+                    (Some(a), Some(b)) => Some(a.min_with(b)),
+                    _ => None,
+                };
+                Val::typed(recv.ty, iv)
+            }
+            "max" => {
+                let iv = match (recv.iv, first.and_then(|a| a.iv)) {
+                    (Some(a), Some(b)) => Some(a.max_with(b)),
+                    _ => None,
+                };
+                Val::typed(recv.ty, iv)
+            }
+            "clamp" => {
+                // `x.clamp(lo, hi)` lands in [lo.lo, hi.hi] regardless of x.
+                let iv = match (first.and_then(|a| a.iv), args.get(1).and_then(|a| a.iv)) {
+                    (Some(lo), Some(hi)) => Some(Interval::new(lo.lo, hi.hi)),
+                    _ => None,
+                };
+                Val::typed(recv.ty, iv)
+            }
+            "abs" => Val::typed(recv.ty, recv.iv.map(Interval::abs)),
+            "saturating_add" | "saturating_sub" | "saturating_mul" => {
+                let iv = match (recv.iv, first.and_then(|a| a.iv), &recv.ty) {
+                    (Some(a), Some(b), Ty::Int(t)) => {
+                        let raw = match name {
+                            "saturating_add" => a.add(b),
+                            "saturating_sub" => a.sub(b),
+                            _ => a.mul(b),
+                        };
+                        Some(raw.clamp_to(t.bounds()))
+                    }
+                    _ => None,
+                };
+                Val::typed(recv.ty, iv)
+            }
+            "wrapping_add" | "wrapping_sub" | "wrapping_mul" => {
+                // Wrapping is intentional: any value of the type.
+                let iv = match &recv.ty {
+                    Ty::Int(t) => {
+                        let (lo, hi) = t.bounds();
+                        Some(Interval::new(lo, hi))
+                    }
+                    _ => None,
+                };
+                Val::typed(recv.ty, iv)
+            }
+            "isqrt" => {
+                let iv = recv.iv.map(|iv| {
+                    let hi = (iv.hi.max(0) as f64).sqrt().ceil() as i128;
+                    Interval::new(0, hi)
+                });
+                Val::typed(recv.ty, iv)
+            }
+            "sqrt" => {
+                let iv = recv.iv.map(|iv| {
+                    let hi = (iv.magnitude() as f64).sqrt().ceil() as i128;
+                    Interval::new(0, hi)
+                });
+                Val::typed(recv.ty, iv)
+            }
+            "len" | "count" => Val::typed(Ty::Int(crate::parse::IntTy::Usize), None),
+            // Value- and type-preserving passthroughs.
+            "clone" | "copied" | "cloned" | "iter" | "iter_mut" | "into_iter" | "rev"
+            | "round" | "floor" | "ceil" | "as_ref" | "as_mut" | "borrow" | "to_owned" => {
+                let mut v = recv;
+                v.path = None;
+                v
+            }
+            "unwrap" | "expect" | "unwrap_or_default" => {
+                let ty = match recv.ty.deref_smart() {
+                    Ty::Path { name, args }
+                        if (name == "Result" || name == "Option") && !args.is_empty() =>
+                    {
+                        args[0].clone()
+                    }
+                    _ => Ty::Unknown,
+                };
+                Val::typed(ty, None)
+            }
+            _ => {
+                // Workspace method: summary or declared return type.
+                if let Ty::Path { name: owner, .. } = recv.ty.deref_smart() {
+                    let owner = owner.clone();
+                    return self.resolve_call(Some(&owner), name);
+                }
+                Val::unknown()
+            }
+        }
+    }
+
+    fn eval_field(&mut self, recv: Val, field: &str) -> Val {
+        let path = recv.path.as_ref().map(|p| format!("{p}.{field}"));
+        if let Some(p) = &path {
+            if let Some(v) = self.env.get(p) {
+                let mut v = v.clone();
+                v.path = path;
+                return v;
+            }
+        }
+        let (ty, seed) = match recv.ty.deref_smart() {
+            Ty::Path { name: owner, .. } => {
+                let fty = self.ws.field_ty(owner, field);
+                let seed = self
+                    .field_seeds
+                    .get(&(owner.clone(), field.to_string()))
+                    .copied();
+                (fty.unwrap_or(Ty::Unknown), seed)
+            }
+            _ => (Ty::Unknown, None),
+        };
+        let iv = seed.or_else(|| seed_small(&ty));
+        Val { ty, iv, untyped: false, path, shr: None }
+    }
+}
+
+/// Smallest `2^k - 1 >= v` (for sound `|`/`^` bounds on non-negatives).
+fn bit_ceil(v: i128) -> i128 {
+    let mut hi: i128 = 1;
+    while hi - 1 < v && hi < (1i128 << 126) {
+        hi <<= 1;
+    }
+    hi - 1
+}
+
+/// Canonical source text of a token span (whitespace-normalized), used
+/// for the shift-truncation peephole's syntactic comparison.
+fn render_tokens(toks: &[Token]) -> String {
+    let mut out = String::new();
+    for t in toks {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+    }
+    out
+}
+
+impl Workspace {
+    fn const_index_contains(&self, name: &str) -> bool {
+        self.const_index.contains_key(name)
+    }
+
+    fn const_ty(&self, name: &str) -> Option<Ty> {
+        let (fi, ci) = *self.const_index.get(name)?;
+        Some(self.files.get(fi)?.consts.get(ci)?.ty.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalyzerConfig;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+
+    fn analyze(src: &str, cfg: &AnalyzerConfig) -> (Vec<Finding>, OverflowStats) {
+        let file = parse_file("crates/fixed/src/t.rs", lex(src));
+        let ws = Workspace::new(vec![file]);
+        check_overflow(&ws, cfg, &[true])
+    }
+
+    fn cfg(src: &str) -> AnalyzerConfig {
+        AnalyzerConfig::parse(src).expect("valid test config")
+    }
+
+    #[test]
+    fn narrow_multiply_wraps_and_is_flagged() {
+        let (f, s) = analyze("fn m(a: u8, b: u8) -> u8 { a * b }", &AnalyzerConfig::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "overflow-range");
+        assert_eq!(f[0].item.as_deref(), Some("m"));
+        assert!(s.checked_sites >= 1);
+    }
+
+    #[test]
+    fn widened_arithmetic_is_clean() {
+        let (f, s) = analyze(
+            "fn m(a: u8, b: u8) -> u32 { (a as u32) * (b as u32) }",
+            &AnalyzerConfig::default(),
+        );
+        assert!(f.is_empty(), "{f:?}");
+        assert!(s.checked_sites >= 1);
+    }
+
+    #[test]
+    fn wide_types_are_skipped_not_flagged() {
+        let (f, s) = analyze("fn m(a: u64, b: u64) -> u64 { a * b }", &AnalyzerConfig::default());
+        assert!(f.is_empty(), "{f:?}");
+        assert!(s.skipped_sites >= 1);
+    }
+
+    #[test]
+    fn seeds_bound_wide_types() {
+        let c = cfg(
+            "[[range]]\nitem = \"m\"\nname = \"a\"\nmin = \"0\"\nmax = \"100\"\nreason = \"r\"\n\
+             [[range]]\nitem = \"m\"\nname = \"b\"\nmin = \"0\"\nmax = \"100\"\nreason = \"r\"\n",
+        );
+        let (f, s) = analyze("fn m(a: u64, b: u64) -> u64 { a * b }", &c);
+        assert!(f.is_empty(), "{f:?}");
+        assert!(s.checked_sites >= 1);
+    }
+
+    #[test]
+    fn shift_truncation_peephole_proves_roundtrip() {
+        let c = cfg(
+            "[[range]]\nname = \"K::s\"\nmin = \"0\"\nmax = \"7\"\nreason = \"3-bit shift\"\n\
+             [[prove]]\npath = \"crates/fixed/src/t.rs\"\nitem = \"t\"\nreason = \"r\"\n",
+        );
+        let src = "struct K { s: u32 }\n\
+                   impl K { fn t(&self, c: u8) -> i32 { ((c as i32) >> self.s) << self.s } }";
+        let (f, s) = analyze(src, &c);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(s.proofs, 1);
+    }
+
+    #[test]
+    fn loop_accumulator_bound_uses_pixel_budget() {
+        // u64 holds 2^26 increments of 1; i16 does not.
+        let (f, _) = analyze(
+            "fn a(n: usize) { let mut acc = 0u64; for _i in 0..n { acc += 1; } }",
+            &AnalyzerConfig::default(),
+        );
+        assert!(f.is_empty(), "{f:?}");
+        let (f, _) = analyze(
+            "fn a(n: usize) { let mut acc = 0i16; for _i in 0..n { acc += 1; } }",
+            &AnalyzerConfig::default(),
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "overflow-range");
+    }
+
+    #[test]
+    fn float_accumulator_exactness_threshold() {
+        // 2^26 iterations of 100.0 stays under 2^53; of 1e12 does not.
+        let (f, _) = analyze(
+            "fn a(n: usize) { let mut s = 0.0f64; for _i in 0..n { s += 100.0; } }",
+            &AnalyzerConfig::default(),
+        );
+        assert!(f.is_empty(), "{f:?}");
+        let (f, _) = analyze(
+            "fn a(n: usize) { let mut s = 0.0f64; for _i in 0..n { s += 1e12; } }",
+            &AnalyzerConfig::default(),
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "float-inexact");
+    }
+
+    #[test]
+    fn narrow_subtraction_underflow_is_flagged() {
+        let (f, _) = analyze("fn m(a: u16, b: u16) -> u16 { a - b }", &AnalyzerConfig::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("outside u16"));
+    }
+
+    #[test]
+    fn return_summaries_flow_through_calls() {
+        // f returns [0, 255]; g would wrap i8 without the summary being
+        // known — with it, the add is checked and flagged.
+        let src = "fn f(c: u8) -> i32 { c as i32 }\n\
+                   fn g(c: u8) -> i8 { (f(c) + f(c)) as i8 }";
+        let (f, _) = analyze(src, &AnalyzerConfig::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("cast to i8"), "{f:?}");
+    }
+
+    #[test]
+    fn vacuous_proofs_fail() {
+        let c = cfg("[[prove]]\npath = \"crates/fixed/src/t.rs\"\nitem = \"opaque\"\nreason = \"r\"\n");
+        let (f, s) = analyze("fn opaque(a: u64) -> u64 { a }", &c);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unproven-invariant");
+        assert_eq!(s.proofs, 0);
+    }
+
+    #[test]
+    fn consts_evaluate_through_references() {
+        let file = parse_file(
+            "crates/core/src/t.rs",
+            lex("pub const MAX_PIXELS: usize = 1 << 26;\npub const DOUBLE: usize = MAX_PIXELS * 2;"),
+        );
+        let ws = Workspace::new(vec![file]);
+        assert_eq!(ws.loop_bound(), 1 << 26);
+        assert_eq!(ws.const_interval("DOUBLE"), Some(Interval::point(1 << 27)));
+    }
+
+    #[test]
+    fn struct_literal_fields_are_checked() {
+        let src = "struct C { n: u8 }\n\
+                   fn mk(x: u16) -> C { C { n: (x + x) as u8 } }";
+        let (f, _) = analyze(src, &AnalyzerConfig::default());
+        // x + x can reach 131070 (fits u16? no — flagged), and the cast
+        // wraps too; at least one finding must surface.
+        assert!(!f.is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Saturating `i128` interval arithmetic — the value domain of the
+//! overflow pass.
+//!
+//! Every operation computes a **sound over-approximation**: the result
+//! interval contains every value the operation can produce for operands in
+//! the input intervals. Saturation at the `i128` rails only ever widens
+//! the interval further, so a value that provably fits a target type under
+//! this arithmetic fits it in reality. Float expressions reuse the same
+//! domain as real-valued magnitude bounds (rounding error is ignored; the
+//! pass only draws integer-exactness conclusions from magnitudes, see
+//! `dataflow.rs`).
+
+/// An inclusive value interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: i128,
+    /// Upper bound (inclusive).
+    pub hi: i128,
+}
+
+impl Interval {
+    /// `[lo, hi]`; swaps misordered bounds.
+    pub fn new(lo: i128, hi: i128) -> Self {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// The single value `v`.
+    pub fn point(v: i128) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Smallest interval containing both inputs.
+    pub fn union(self, other: Self) -> Self {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Element-wise sum (saturating).
+    pub fn add(self, other: Self) -> Self {
+        Interval {
+            lo: self.lo.saturating_add(other.lo),
+            hi: self.hi.saturating_add(other.hi),
+        }
+    }
+
+    /// Element-wise difference (saturating).
+    pub fn sub(self, other: Self) -> Self {
+        Interval {
+            lo: self.lo.saturating_sub(other.hi),
+            hi: self.hi.saturating_sub(other.lo),
+        }
+    }
+
+    /// Product: min/max over the four corner products.
+    pub fn mul(self, other: Self) -> Self {
+        let c = [
+            self.lo.saturating_mul(other.lo),
+            self.lo.saturating_mul(other.hi),
+            self.hi.saturating_mul(other.lo),
+            self.hi.saturating_mul(other.hi),
+        ];
+        Interval {
+            lo: c.iter().copied().min().unwrap_or(0),
+            hi: c.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Quotient; `None` when the divisor interval contains zero.
+    pub fn div(self, other: Self) -> Option<Self> {
+        if other.lo <= 0 && other.hi >= 0 {
+            return None;
+        }
+        let c = [
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        ];
+        Some(Interval {
+            lo: c.iter().copied().min().unwrap_or(0),
+            hi: c.iter().copied().max().unwrap_or(0),
+        })
+    }
+
+    /// Left shift by a bounded shift amount (saturating on overflow).
+    pub fn shl(self, shift: Self) -> Self {
+        if shift.lo < 0 || shift.hi > 127 {
+            return Interval::new(i128::MIN, i128::MAX);
+        }
+        let one = |v: i128, s: u32| v.checked_shl(s).unwrap_or(i128::MAX);
+        let c = [
+            one(self.lo, shift.lo as u32),
+            one(self.lo, shift.hi as u32),
+            one(self.hi, shift.lo as u32),
+            one(self.hi, shift.hi as u32),
+        ];
+        Interval {
+            lo: c.iter().copied().min().unwrap_or(0),
+            hi: c.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Right shift by a bounded shift amount.
+    pub fn shr(self, shift: Self) -> Self {
+        if shift.lo < 0 || shift.hi > 127 {
+            return Interval::new(i128::MIN, i128::MAX);
+        }
+        let c = [
+            self.lo >> shift.lo as u32,
+            self.lo >> shift.hi as u32,
+            self.hi >> shift.lo as u32,
+            self.hi >> shift.hi as u32,
+        ];
+        Interval {
+            lo: c.iter().copied().min().unwrap_or(0),
+            hi: c.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Self {
+        Interval::new(self.hi.saturating_neg(), self.lo.saturating_neg())
+    }
+
+    /// `|x|` over the interval.
+    pub fn abs(self) -> Self {
+        let a = self.lo.saturating_abs();
+        let b = self.hi.saturating_abs();
+        let lo = if self.lo <= 0 && self.hi >= 0 { 0 } else { a.min(b) };
+        Interval { lo, hi: a.max(b) }
+    }
+
+    /// Element-wise minimum (`x.min(y)` semantics).
+    pub fn min_with(self, other: Self) -> Self {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Element-wise maximum (`x.max(y)` semantics).
+    pub fn max_with(self, other: Self) -> Self {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Largest absolute value in the interval.
+    pub fn magnitude(self) -> i128 {
+        self.lo.saturating_abs().max(self.hi.saturating_abs())
+    }
+
+    /// Whether every value fits inclusive `(min, max)` bounds.
+    pub fn fits(self, bounds: (i128, i128)) -> bool {
+        self.lo >= bounds.0 && self.hi <= bounds.1
+    }
+
+    /// Clamps the interval into `(min, max)` (for post-check narrowing and
+    /// `saturating_*` semantics).
+    pub fn clamp_to(self, bounds: (i128, i128)) -> Self {
+        Interval {
+            lo: self.lo.clamp(bounds.0, bounds.1),
+            hi: self.hi.clamp(bounds.0, bounds.1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const fn iv(lo: i128, hi: i128) -> Interval {
+        Interval { lo, hi }
+    }
+
+    #[test]
+    fn arithmetic_covers_corner_products() {
+        assert_eq!(iv(-2, 3).mul(iv(-5, 4)), iv(-15, 12));
+        assert_eq!(iv(0, 10).add(iv(-1, 1)), iv(-1, 11));
+        assert_eq!(iv(0, 10).sub(iv(2, 3)), iv(-3, 8));
+    }
+
+    #[test]
+    fn saturation_never_narrows() {
+        let big = iv(i128::MAX / 2, i128::MAX);
+        let r = big.mul(iv(4, 4));
+        // Both corner products exceed the rail, so both bounds saturate.
+        assert_eq!(r, iv(i128::MAX, i128::MAX));
+        // Mixed-sign saturation keeps lo at the negative rail.
+        let r2 = iv(i128::MIN, i128::MAX).mul(iv(2, 2));
+        assert_eq!(r2, iv(i128::MIN, i128::MAX));
+    }
+
+    #[test]
+    fn shifts_are_bounded() {
+        assert_eq!(iv(1, 1).shl(iv(26, 26)), iv(1 << 26, 1 << 26));
+        assert_eq!(iv(0, 255).shr(iv(0, 7)), iv(0, 255));
+        assert_eq!(iv(0, 255).shl(iv(0, 7)), iv(0, 255 << 7));
+        // Unbounded shift amount widens to top rather than guessing.
+        assert_eq!(iv(1, 1).shl(iv(-1, 5)).hi, i128::MAX);
+    }
+
+    #[test]
+    fn division_refuses_zero_in_divisor() {
+        assert_eq!(iv(10, 20).div(iv(-1, 1)), None);
+        assert_eq!(iv(10, 20).div(iv(2, 5)), Some(iv(2, 10)));
+    }
+
+    #[test]
+    fn abs_handles_sign_straddling() {
+        assert_eq!(iv(-5, 3).abs(), iv(0, 5));
+        assert_eq!(iv(-7, -2).abs(), iv(2, 7));
+        assert_eq!(iv(2, 7).abs(), iv(2, 7));
+    }
+
+    #[test]
+    fn fits_and_clamp() {
+        assert!(iv(0, 255).fits((0, 255)));
+        assert!(!iv(0, 256).fits((0, 255)));
+        assert_eq!(iv(-10, 300).clamp_to((0, 255)), iv(0, 255));
+    }
+}

@@ -109,6 +109,26 @@ impl Lexer {
                 'r' | 'b' | 'c' if self.starts_prefixed_string() => {
                     tokens.push(self.prefixed_string(line))
                 }
+                // Byte-char literal `b'x'` (incl. escapes): one Literal
+                // token, never an ident `b` followed by a stray quote.
+                'b' if self.peek(1) == Some('\'') => {
+                    let mut text = String::new();
+                    self.bump_into(&mut text);
+                    let rest = self.char_or_lifetime(line);
+                    text.push_str(&rest.text);
+                    tokens.push(Token { kind: TokenKind::Literal, text, line });
+                }
+                // Raw identifier `r#ident`: strip the `r#` so rules see the
+                // identifier itself (matching how rustc treats `r#fn`).
+                'r' if self.peek(1) == Some('#')
+                    && self
+                        .peek(2)
+                        .is_some_and(|c| c.is_alphabetic() || c == '_') =>
+                {
+                    self.bump();
+                    self.bump();
+                    tokens.push(self.ident(line));
+                }
                 '\'' => tokens.push(self.char_or_lifetime(line)),
                 _ if c.is_alphabetic() || c == '_' => tokens.push(self.ident(line)),
                 _ if c.is_ascii_digit() => tokens.push(self.number(line)),
@@ -262,6 +282,16 @@ impl Lexer {
             if c == '\\' {
                 if let Some(escaped) = self.bump() {
                     text.push(escaped);
+                    // `'\u{1F600}'`: the braced codepoint is part of the
+                    // escape, not punctuation after a closed char.
+                    if escaped == 'u' && self.peek(0) == Some('{') {
+                        while let Some(inner) = self.bump() {
+                            text.push(inner);
+                            if inner == '}' {
+                                break;
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -407,5 +437,54 @@ mod tests {
         let toks = lex(r#""a\"f32\"b" x"#);
         assert_eq!(toks.len(), 2);
         assert_eq!(toks[1].text, "x");
+    }
+
+    #[test]
+    fn byte_char_literals_are_single_tokens() {
+        for src in ["b'x'", "b'\\n'", "b'\\''", "b'0'"] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src:?} lexed as {toks:?}");
+            assert_eq!(toks[0].kind, TokenKind::Literal);
+            assert_eq!(toks[0].text, src);
+        }
+        // The following token stream must not be swallowed.
+        let toks = lex("b'f' f32");
+        assert_eq!(toks.len(), 2);
+        assert!(toks[1].is_ident("f32"));
+    }
+
+    #[test]
+    fn unicode_escape_chars_do_not_leak_braces() {
+        let toks = lex("'\\u{1F600}' next");
+        assert_eq!(toks.len(), 2, "{toks:?}");
+        assert_eq!(toks[0].kind, TokenKind::Literal);
+        assert!(toks[1].is_ident("next"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_the_identifier() {
+        let toks = lex("let r#fn = r#type;");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "fn", "type"]);
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_fences() {
+        let toks = lex(r####"r###"f32 "# "## inside"### after"####);
+        assert_eq!(toks.len(), 2, "{toks:?}");
+        assert_eq!(toks[0].kind, TokenKind::Literal);
+        assert!(toks[1].is_ident("after"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_terminate() {
+        let toks = lex("a /* 1 /* 2 /* 3 */ 2 */ 1 */ b /* unterminated");
+        assert_eq!(toks.len(), 2);
+        assert!(toks[0].is_ident("a"));
+        assert!(toks[1].is_ident("b"));
     }
 }

@@ -1,32 +1,48 @@
-//! `sslic-lint`: a zero-dependency static-analysis pass over the S-SLIC
-//! workspace.
+//! `sslic-analyze`: zero-dependency dataflow-level static verification of
+//! the S-SLIC workspace's three load-bearing contracts.
 //!
 //! The paper's central quantitative claim — that S-SLIC's quality/energy
-//! wins survive an 8-bit fixed-point datapath (§6.1) — is only as good as
-//! the reproduction's arithmetic discipline: one `f32` leaking into the
-//! cycle-level hardware model silently invalidates every regenerated
-//! bit-accuracy table. This crate makes that class of bug mechanically
-//! impossible by lexing every `.rs` file in the workspace (hand-rolled
-//! lexer; the crates registry is unreachable, so no `syn`) and enforcing:
+//! wins survive an 8-bit fixed-point datapath (§6.1) — rests on three
+//! properties of this reproduction that ordinary tests only sample:
 //!
-//! 1. **`float-in-datapath`** — no `f32`/`f64` tokens or float literals in
-//!    the designated datapath modules outside `#[cfg(test)]`.
-//! 2. **`no-panic`** — no `panic!`/`todo!`/`unimplemented!`/`.unwrap()`/
-//!    `.expect(` in library source.
-//! 3. **`forbid-unsafe`** — every crate root carries
-//!    `#![forbid(unsafe_code)]`.
-//! 4. **`narrowing-cast`** — no bare `as u8`/`as i8`/`as i16` in the
-//!    datapath; quantization must go through the saturating helpers.
+//! 1. **Wrap-freedom.** Every intermediate of the Lab8 datapath (the
+//!    9-candidate PPA distance scan, the sigma fold, the center update)
+//!    must fit its declared width for *all* admissible inputs, not just
+//!    the test corpus. The [`dataflow`] pass runs an interval analysis
+//!    seeded from `lint.toml` `[[range]]` declarations and the workspace's
+//!    own `MAX_PIXELS`-style constants, and `[[prove]]` entries turn
+//!    specific functions' wrap-freedom into hard CI obligations.
+//! 2. **Zero steady-state allocation.** `SegmenterSession` promises that
+//!    after frame 0 no per-frame work allocates. The [`callgraph`] pass
+//!    walks the call graph from the `[[hotpath]]` roots and flags every
+//!    reachable allocating construct.
+//! 3. **Determinism.** Byte-identical traces and results require that no
+//!    wall-clock read, hash-order iteration, thread id, or
+//!    pointer-to-integer cast appears in result- or trace-producing code
+//!    (`nondeterminism` rule in [`rules`]).
 //!
-//! Violations are suppressible through a checked-in [`config::Allowlist`]
-//! (`lint.toml`), each entry carrying a mandatory written reason. See
-//! `DESIGN.md` §"Enforced invariants" for the policy rationale.
+//! Plus the original token-level hygiene rules (`float-in-datapath`,
+//! `no-panic`, `forbid-unsafe`, `narrowing-cast`). Violations are
+//! suppressible through the checked-in [`config::AnalyzerConfig`]
+//! (`lint.toml`); every entry carries a mandatory written reason, and a
+//! stale entry fails the build (see [`AnalysisOutcome::passed`]).
+//!
+//! The analyzer is itself part of the reproducibility story: its output is
+//! byte-identical across runs (sorted file walks, `BTreeMap` state,
+//! deterministic messages), which CI enforces by running it twice and
+//! diffing. No `syn`, no `serde` — the crates registry is unreachable in
+//! this environment, so the lexer, parser, and report writers are
+//! hand-rolled.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
+pub mod dataflow;
+pub mod interval;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
 
@@ -34,62 +50,157 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use config::{AllowEntry, Allowlist};
+use config::{AllowEntry, AnalyzerConfig};
 use rules::Finding;
+use sslic_obs::metrics::MetricsRegistry;
 
-/// Result of linting a file tree.
+/// Coverage and proof statistics across all passes — the analyzer's own
+/// honesty ledger: every site it skipped is counted, not hidden.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AnalysisStats {
+    /// Number of `.rs` files checked.
+    pub files_checked: usize,
+    /// Functions the overflow pass analyzed.
+    pub overflow_fns: usize,
+    /// Arithmetic sites with known intervals that were checked.
+    pub overflow_checked_sites: usize,
+    /// Arithmetic sites skipped for lack of interval information.
+    pub overflow_skipped_sites: usize,
+    /// `[[prove]]` obligations discharged.
+    pub proofs_discharged: usize,
+    /// `[[hotpath]]` roots resolved.
+    pub alloc_roots: usize,
+    /// Functions reachable from the hot-path roots.
+    pub alloc_reachable_fns: usize,
+    /// Method calls the alloc pass could not resolve (possible missed
+    /// edges, surfaced as a coverage metric).
+    pub alloc_unresolved_calls: usize,
+}
+
+/// Result of analyzing a file tree.
 #[derive(Debug, Default)]
-pub struct LintOutcome {
-    /// Violations not covered by the allowlist, in path/line order.
+pub struct AnalysisOutcome {
+    /// Violations not covered by the allowlist, in path/line/rule order.
     pub findings: Vec<Finding>,
     /// Violations suppressed by an allowlist entry.
     pub suppressed: Vec<(Finding, AllowEntry)>,
-    /// Allowlist entries that suppressed nothing — stale, worth pruning.
+    /// Allowlist entries that suppressed nothing — stale, and a hard
+    /// failure: an allow that outlives its violation hides regressions.
     pub unused_allows: Vec<AllowEntry>,
-    /// Number of `.rs` files checked.
-    pub files_checked: usize,
+    /// Coverage statistics across the passes.
+    pub stats: AnalysisStats,
 }
 
-impl LintOutcome {
-    /// True when the tree is clean (stale allowlist entries do not fail
-    /// the build, they are reported as warnings).
+impl AnalysisOutcome {
+    /// True when no violations were found (stale allowlist entries do not
+    /// affect cleanliness — see [`AnalysisOutcome::passed`] for the CI
+    /// gate).
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
+
+    /// The CI gate: clean *and* no stale allowlist entries. A stale entry
+    /// means either the violation was fixed (prune the entry) or the
+    /// analyzer stopped seeing it (investigate) — both demand action.
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty() && self.unused_allows.is_empty()
+    }
+
+    /// Exports the outcome as `sslic-obs` counters (`analyze.*`), so the
+    /// analyzer's coverage rides the same observability rails as the
+    /// engine and hardware model.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("analyze.files_checked", self.stats.files_checked as u64);
+        for f in &self.findings {
+            m.counter_add(&format!("analyze.findings.{}", f.rule), 1);
+        }
+        m.counter_add("analyze.findings.total", self.findings.len() as u64);
+        m.counter_add("analyze.suppressed.total", self.suppressed.len() as u64);
+        m.counter_add("analyze.unused_allows", self.unused_allows.len() as u64);
+        m.counter_add("analyze.overflow.fns_analyzed", self.stats.overflow_fns as u64);
+        m.counter_add(
+            "analyze.overflow.checked_sites",
+            self.stats.overflow_checked_sites as u64,
+        );
+        m.counter_add(
+            "analyze.overflow.skipped_sites",
+            self.stats.overflow_skipped_sites as u64,
+        );
+        m.counter_add("analyze.overflow.proofs", self.stats.proofs_discharged as u64);
+        m.counter_add("analyze.alloc.roots", self.stats.alloc_roots as u64);
+        m.counter_add("analyze.alloc.reachable_fns", self.stats.alloc_reachable_fns as u64);
+        m.counter_add(
+            "analyze.alloc.unresolved_calls",
+            self.stats.alloc_unresolved_calls as u64,
+        );
+        m
+    }
 }
 
-/// Lints every `.rs` file under `root`, applying `allowlist`.
+/// Analyzes every `.rs` file under `root`, applying `cfg`.
 ///
-/// Skips `target/`, `.git/`, and `fixtures/` trees (fixtures contain
-/// deliberately seeded violations for the linter's own test suite).
+/// Runs the token-level rules per file, then the workspace-wide overflow
+/// and allocation-reachability passes, merges all findings in
+/// `(file, line, rule)` order, and applies the allowlist.
+///
+/// Skips `target/`, `.git/`, `results/`, and `fixtures/` trees (fixtures
+/// contain deliberately seeded violations for the analyzer's own tests).
 ///
 /// # Errors
 ///
 /// Returns [`io::Error`] if the tree cannot be walked or a file cannot be
 /// read.
-pub fn lint_workspace(root: &Path, allowlist: &Allowlist) -> io::Result<LintOutcome> {
+pub fn analyze_workspace(root: &Path, cfg: &AnalyzerConfig) -> io::Result<AnalysisOutcome> {
     let mut files = Vec::new();
     collect_rust_files(root, root, &mut files)?;
     files.sort();
 
-    let mut outcome = LintOutcome::default();
-    let mut used = vec![false; allowlist.entries.len()];
+    let mut outcome = AnalysisOutcome::default();
+    let mut all_findings = Vec::new();
+    let mut parsed = Vec::new();
+    let mut overflow_scope = Vec::new();
     for rel in files {
         let source = fs::read_to_string(root.join(&rel))?;
-        outcome.files_checked += 1;
-        for finding in rules::check_file(&rel, &source) {
-            match allowlist.matching(finding.rule, &finding.file, finding.item.as_deref()) {
-                Some(entry) => {
-                    if let Some(idx) = allowlist.entries.iter().position(|e| e == entry) {
-                        used[idx] = true;
-                    }
-                    outcome.suppressed.push((finding, entry.clone()));
+        outcome.stats.files_checked += 1;
+        all_findings.extend(rules::check_file(&rel, &source));
+        let class = rules::classify(&rel);
+        parsed.push(parse::parse_file(&rel, lexer::lex(&source)));
+        overflow_scope.push(class.overflow);
+    }
+
+    let ws = dataflow::Workspace::new(parsed);
+    let (overflow_findings, ostats) = dataflow::check_overflow(&ws, cfg, &overflow_scope);
+    all_findings.extend(overflow_findings);
+    outcome.stats.overflow_fns = ostats.fns_analyzed;
+    outcome.stats.overflow_checked_sites = ostats.checked_sites;
+    outcome.stats.overflow_skipped_sites = ostats.skipped_sites;
+    outcome.stats.proofs_discharged = ostats.proofs;
+
+    let (alloc_findings, astats) = callgraph::check_alloc(&ws, cfg);
+    all_findings.extend(alloc_findings);
+    outcome.stats.alloc_roots = astats.roots;
+    outcome.stats.alloc_reachable_fns = astats.reachable_fns;
+    outcome.stats.alloc_unresolved_calls = astats.unresolved_calls;
+
+    all_findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.message.as_str())
+            .cmp(&(b.file.as_str(), b.line, b.rule, b.message.as_str()))
+    });
+
+    let mut used = vec![false; cfg.entries.len()];
+    for finding in all_findings {
+        match cfg.matching(finding.rule, &finding.file, finding.item.as_deref()) {
+            Some(entry) => {
+                if let Some(idx) = cfg.entries.iter().position(|e| e == entry) {
+                    used[idx] = true;
                 }
-                None => outcome.findings.push(finding),
+                outcome.suppressed.push((finding, entry.clone()));
             }
+            None => outcome.findings.push(finding),
         }
     }
-    outcome.unused_allows = allowlist
+    outcome.unused_allows = cfg
         .entries
         .iter()
         .zip(&used)
@@ -137,5 +248,48 @@ mod tests {
         let root = Path::new("/a/b");
         let file = Path::new("/a/b/crates/x/src/lib.rs");
         assert_eq!(relative_slash_path(root, file), "crates/x/src/lib.rs");
+    }
+
+    #[test]
+    fn metrics_export_counts_findings_by_rule() {
+        let outcome = AnalysisOutcome {
+            findings: vec![
+                Finding {
+                    file: "a.rs".into(),
+                    line: 1,
+                    rule: "no-panic",
+                    message: "m".into(),
+                    item: None,
+                },
+                Finding {
+                    file: "b.rs".into(),
+                    line: 2,
+                    rule: "no-panic",
+                    message: "m".into(),
+                    item: None,
+                },
+            ],
+            ..AnalysisOutcome::default()
+        };
+        let m = outcome.metrics();
+        assert_eq!(m.counter("analyze.findings.no-panic"), 2);
+        assert_eq!(m.counter("analyze.findings.total"), 2);
+        assert!(!outcome.passed());
+    }
+
+    #[test]
+    fn stale_allows_fail_the_gate_but_not_cleanliness() {
+        let outcome = AnalysisOutcome {
+            unused_allows: vec![AllowEntry {
+                rule: "no-panic".into(),
+                path: "gone.rs".into(),
+                item: None,
+                reason: "was fixed".into(),
+                line: 3,
+            }],
+            ..AnalysisOutcome::default()
+        };
+        assert!(outcome.is_clean());
+        assert!(!outcome.passed());
     }
 }

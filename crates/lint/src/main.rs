@@ -1,29 +1,41 @@
-//! `sslic-lint` CLI.
+//! `sslic-analyze` CLI.
 //!
 //! ```text
-//! sslic-lint [--root DIR] [--config FILE] [--json PATH] [--quiet]
+//! sslic-analyze [--root DIR] [--config FILE] [--format json|sarif --out PATH]
+//!               [--json PATH] [--quiet]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage/config/IO error.
+//! Exit codes: 0 passed, 1 violations or stale allowlist entries, 2
+//! usage/config/IO error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sslic_lint::config::Allowlist;
-use sslic_lint::{lint_workspace, report};
+use sslic_analyze::config::AnalyzerConfig;
+use sslic_analyze::{analyze_workspace, report};
 
 struct Options {
     root: PathBuf,
     config: Option<PathBuf>,
-    json: Option<PathBuf>,
+    /// `(format, path)` report sinks; `--json PATH` is shorthand for
+    /// `--format json --out PATH`.
+    reports: Vec<(Format, PathBuf)>,
+    format: Option<Format>,
     quiet: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Json,
+    Sarif,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         root: PathBuf::from("."),
         config: None,
-        json: None,
+        reports: Vec::new(),
+        format: None,
         quiet: false,
     };
     let mut args = std::env::args().skip(1);
@@ -35,27 +47,47 @@ fn parse_args() -> Result<Options, String> {
             "--config" => {
                 opts.config = Some(args.next().map(PathBuf::from).ok_or("--config needs a FILE")?);
             }
+            "--format" => {
+                let f = args.next().ok_or("--format needs json|sarif")?;
+                opts.format = Some(match f.as_str() {
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}` (json|sarif)")),
+                });
+            }
+            "--out" => {
+                let path = args.next().map(PathBuf::from).ok_or("--out needs a PATH")?;
+                let format = opts.format.take().ok_or("--out needs a preceding --format")?;
+                opts.reports.push((format, path));
+            }
             "--json" => {
-                opts.json = Some(args.next().map(PathBuf::from).ok_or("--json needs a PATH")?);
+                let path = args.next().map(PathBuf::from).ok_or("--json needs a PATH")?;
+                opts.reports.push((Format::Json, path));
             }
             "--quiet" | "-q" => opts.quiet = true,
             "--help" | "-h" => {
                 println!(
-                    "sslic-lint: static-analysis pass for the S-SLIC workspace\n\
+                    "sslic-analyze: dataflow-level static verification for the S-SLIC workspace\n\
                      \n\
-                     USAGE: sslic-lint [--root DIR] [--config FILE] [--json PATH] [--quiet]\n\
+                     USAGE: sslic-analyze [--root DIR] [--config FILE]\n\
+                     \x20                    [--format json|sarif --out PATH]... [--json PATH] [--quiet]\n\
                      \n\
-                     --root DIR      workspace root to lint (default: current directory)\n\
-                     --config FILE   allowlist (default: <root>/lint.toml if present)\n\
-                     --json PATH     also write a machine-readable JSON report\n\
-                     --quiet         suppress per-finding diagnostics\n\
+                     --root DIR          workspace root (default: current directory)\n\
+                     --config FILE       analyzer config (default: <root>/lint.toml if present)\n\
+                     --format json|sarif report format for the next --out\n\
+                     --out PATH          write a report in the preceding --format\n\
+                     --json PATH         shorthand for --format json --out PATH\n\
+                     --quiet             suppress per-finding diagnostics\n\
                      \n\
-                     Exit codes: 0 clean, 1 violations, 2 error."
+                     Exit codes: 0 passed, 1 findings or stale allows, 2 error."
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
+    }
+    if opts.format.is_some() {
+        return Err("--format without a following --out".to_string());
     }
     Ok(opts)
 }
@@ -70,17 +102,17 @@ fn run() -> Result<bool, String> {
             default.is_file().then_some(default)
         }
     };
-    let allowlist = match &config_path {
+    let cfg = match &config_path {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            Allowlist::parse(&text).map_err(|e| e.to_string())?
+            AnalyzerConfig::parse(&text).map_err(|e| e.to_string())?
         }
-        None => Allowlist::default(),
+        None => AnalyzerConfig::default(),
     };
 
-    let outcome = lint_workspace(&opts.root, &allowlist)
-        .map_err(|e| format!("cannot lint {}: {e}", opts.root.display()))?;
+    let outcome = analyze_workspace(&opts.root, &cfg)
+        .map_err(|e| format!("cannot analyze {}: {e}", opts.root.display()))?;
 
     if !opts.quiet {
         for finding in &outcome.findings {
@@ -88,23 +120,37 @@ fn run() -> Result<bool, String> {
         }
         for entry in &outcome.unused_allows {
             println!(
-                "warning: unused allowlist entry (lint.toml:{}): rule `{}`, path `{}`",
+                "error: stale allowlist entry (lint.toml:{}): rule `{}`, path `{}` — \
+                 prune it or explain why the violation vanished",
                 entry.line, entry.rule, entry.path
             );
         }
     }
-    if let Some(path) = &opts.json {
-        std::fs::write(path, report::to_json(&outcome))
-            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    for (format, path) in &opts.reports {
+        let body = match format {
+            Format::Json => report::to_json(&outcome),
+            Format::Sarif => report::to_sarif(&outcome),
+        };
+        std::fs::write(path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
+    let s = &outcome.stats;
     println!(
-        "sslic-lint: {} files checked, {} violation(s), {} suppressed, {} unused allow(s)",
-        outcome.files_checked,
+        "sslic-analyze: {} files, {} finding(s), {} suppressed, {} stale allow(s); \
+         overflow {}/{} sites checked across {} fns, {} proof(s); \
+         alloc {} root(s) -> {} reachable fn(s), {} unresolved call(s)",
+        s.files_checked,
         outcome.findings.len(),
         outcome.suppressed.len(),
-        outcome.unused_allows.len()
+        outcome.unused_allows.len(),
+        s.overflow_checked_sites,
+        s.overflow_checked_sites + s.overflow_skipped_sites,
+        s.overflow_fns,
+        s.proofs_discharged,
+        s.alloc_roots,
+        s.alloc_reachable_fns,
+        s.alloc_unresolved_calls,
     );
-    Ok(outcome.is_clean())
+    Ok(outcome.passed())
 }
 
 fn main() -> ExitCode {
@@ -112,7 +158,7 @@ fn main() -> ExitCode {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::from(1),
         Err(message) => {
-            eprintln!("sslic-lint: error: {message}");
+            eprintln!("sslic-analyze: error: {message}");
             ExitCode::from(2)
         }
     }

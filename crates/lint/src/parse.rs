@@ -1,0 +1,914 @@
+//! A lightweight Rust parser over the lexer's token stream: items
+//! (functions with their impl owner, structs with field types, consts),
+//! function signatures with parameter/return types, and body token spans.
+//!
+//! This is deliberately **not** full Rust: no type inference, no trait
+//! resolution, no macro expansion. It recovers exactly the structure the
+//! dataflow passes need — who defines which function on which type, what
+//! the declared types of parameters/fields are, and where each body's
+//! tokens live — and returns [`Ty::Unknown`] for everything else. The
+//! passes treat `Unknown` conservatively (no claim is made about it), so
+//! parser incompleteness can suppress a check but never invent one.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A primitive integer type, with the 64-bit-target convention that
+/// `usize`/`isize` have the bounds of `u64`/`i64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntTy {
+    /// `u8`
+    U8,
+    /// `i8`
+    I8,
+    /// `u16`
+    U16,
+    /// `i16`
+    I16,
+    /// `u32`
+    U32,
+    /// `i32`
+    I32,
+    /// `u64`
+    U64,
+    /// `i64`
+    I64,
+    /// `i128`
+    I128,
+    /// `usize` (64-bit target assumed)
+    Usize,
+    /// `isize` (64-bit target assumed)
+    Isize,
+}
+
+impl IntTy {
+    /// Parses a primitive-integer type name. `u128` is unsupported (its
+    /// maximum exceeds the analyzer's `i128` interval domain) and maps to
+    /// `None`, which the passes treat as unknown.
+    pub fn from_name(name: &str) -> Option<IntTy> {
+        Some(match name {
+            "u8" => IntTy::U8,
+            "i8" => IntTy::I8,
+            "u16" => IntTy::U16,
+            "i16" => IntTy::I16,
+            "u32" => IntTy::U32,
+            "i32" => IntTy::I32,
+            "u64" => IntTy::U64,
+            "i64" => IntTy::I64,
+            "i128" => IntTy::I128,
+            "usize" => IntTy::Usize,
+            "isize" => IntTy::Isize,
+            _ => return None,
+        })
+    }
+
+    /// The canonical type name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IntTy::U8 => "u8",
+            IntTy::I8 => "i8",
+            IntTy::U16 => "u16",
+            IntTy::I16 => "i16",
+            IntTy::U32 => "u32",
+            IntTy::I32 => "i32",
+            IntTy::U64 => "u64",
+            IntTy::I64 => "i64",
+            IntTy::I128 => "i128",
+            IntTy::Usize => "usize",
+            IntTy::Isize => "isize",
+        }
+    }
+
+    /// Inclusive `(min, max)` value bounds.
+    pub fn bounds(&self) -> (i128, i128) {
+        match self {
+            IntTy::U8 => (0, u8::MAX as i128),
+            IntTy::I8 => (i8::MIN as i128, i8::MAX as i128),
+            IntTy::U16 => (0, u16::MAX as i128),
+            IntTy::I16 => (i16::MIN as i128, i16::MAX as i128),
+            IntTy::U32 => (0, u32::MAX as i128),
+            IntTy::I32 => (i32::MIN as i128, i32::MAX as i128),
+            IntTy::U64 | IntTy::Usize => (0, u64::MAX as i128),
+            IntTy::I64 | IntTy::Isize => (i64::MIN as i128, i64::MAX as i128),
+            IntTy::I128 => (i128::MIN, i128::MAX),
+        }
+    }
+
+    /// Bit width of the type (64 for `usize`/`isize`).
+    pub fn bits(&self) -> u32 {
+        match self {
+            IntTy::U8 | IntTy::I8 => 8,
+            IntTy::U16 | IntTy::I16 => 16,
+            IntTy::U32 | IntTy::I32 => 32,
+            IntTy::U64 | IntTy::I64 | IntTy::Usize | IntTy::Isize => 64,
+            IntTy::I128 => 128,
+        }
+    }
+}
+
+/// A declared type, as far as the lightweight parser recovers it.
+/// References are stripped (`&T`, `&mut T` → `T`): the value-range passes
+/// care about the pointee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// A primitive integer.
+    Int(IntTy),
+    /// `f32`
+    F32,
+    /// `f64`
+    F64,
+    /// `bool`
+    Bool,
+    /// A tuple `(T1, T2, …)`.
+    Tuple(Vec<Ty>),
+    /// An array `[T; N]` or slice `[T]` (length is not tracked).
+    Array(Box<Ty>),
+    /// A path type: last segment name plus recovered generic arguments
+    /// (`Vec<u32>` → `Path { name: "Vec", args: [Int(U32)] }`).
+    Path {
+        /// Last path segment.
+        name: String,
+        /// Generic type arguments, where parseable.
+        args: Vec<Ty>,
+    },
+    /// Anything the parser does not model.
+    Unknown,
+}
+
+impl Ty {
+    /// Element type of arrays, slices, and the container generics the
+    /// workspace uses (`Vec<T>`, `Arc<Vec<T>>` does *not* collapse — call
+    /// [`Ty::deref_smart`] first).
+    pub fn element(&self) -> Ty {
+        match self {
+            Ty::Array(t) => (**t).clone(),
+            Ty::Path { name, args } if name == "Vec" && args.len() == 1 => args[0].clone(),
+            Ty::Path { name, args } if name == "Range" && args.len() == 1 => args[0].clone(),
+            _ => Ty::Unknown,
+        }
+    }
+
+    /// Peels smart pointers (`Arc<T>`, `Box<T>`, `Rc<T>`) so method
+    /// resolution lands on the pointee type.
+    pub fn deref_smart(&self) -> &Ty {
+        match self {
+            Ty::Path { name, args }
+                if args.len() == 1 && matches!(name.as_str(), "Arc" | "Box" | "Rc") =>
+            {
+                args[0].deref_smart()
+            }
+            _ => self,
+        }
+    }
+
+    /// The integer bounds, when this is a bounded-integer type.
+    pub fn int_bounds(&self) -> Option<(i128, i128)> {
+        match self {
+            Ty::Int(t) => Some(t.bounds()),
+            _ => None,
+        }
+    }
+
+    /// Short display name for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Ty::Int(t) => t.name().to_string(),
+            Ty::F32 => "f32".into(),
+            Ty::F64 => "f64".into(),
+            Ty::Bool => "bool".into(),
+            Ty::Tuple(ts) => format!(
+                "({})",
+                ts.iter().map(Ty::describe).collect::<Vec<_>>().join(", ")
+            ),
+            Ty::Array(t) => format!("[{}]", t.describe()),
+            Ty::Path { name, .. } => name.clone(),
+            Ty::Unknown => "_".into(),
+        }
+    }
+}
+
+/// A parsed function: name, impl owner, typed parameters, return type,
+/// and the token span of its body.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// Base type of the enclosing `impl` block, if any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parameters in order: `(name, declared type)`. `self` appears as
+    /// `("self", Path { name: <owner> })`.
+    pub params: Vec<(String, Ty)>,
+    /// Declared return type ([`Ty::Unknown`] when absent or unparsed).
+    pub ret: Ty,
+    /// Token index range of the body, **exclusive** of its braces.
+    /// Empty for bodiless declarations.
+    pub body: std::ops::Range<usize>,
+    /// Whether the definition sits under a `#[cfg(test)]` gate.
+    pub test_only: bool,
+}
+
+impl FnDef {
+    /// `Owner::name` or bare `name`.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A parsed struct with named, typed fields (tuple structs get none).
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Named fields `(name, type)`.
+    pub fields: Vec<(String, Ty)>,
+}
+
+/// A parsed `const`/`static` item with its value token span.
+#[derive(Debug, Clone)]
+pub struct ConstDef {
+    /// Item name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Ty,
+    /// Token index range of the value expression (between `=` and `;`).
+    pub value: std::ops::Range<usize>,
+}
+
+/// One parsed file: tokens plus the items recovered from them.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// The full token stream (item spans index into this).
+    pub tokens: Vec<Token>,
+    /// Per-token `#[cfg(test)]` exemption flags.
+    pub exempt: Vec<bool>,
+    /// Functions, in definition order (nested fns included).
+    pub fns: Vec<FnDef>,
+    /// Structs with named fields.
+    pub structs: Vec<StructDef>,
+    /// Consts and statics.
+    pub consts: Vec<ConstDef>,
+}
+
+/// Parses one file's token stream into items.
+pub fn parse_file(path: &str, tokens: Vec<Token>) -> ParsedFile {
+    let exempt = crate::rules::test_exempt_flags(&tokens);
+    let mut out = ParsedFile {
+        path: path.to_string(),
+        tokens: Vec::new(),
+        exempt: Vec::new(),
+        fns: Vec::new(),
+        structs: Vec::new(),
+        consts: Vec::new(),
+    };
+    walk_items(&tokens, &exempt, 0..tokens.len(), None, &mut out);
+    out.tokens = tokens;
+    out.exempt = exempt;
+    out
+}
+
+/// Scans `range` for item definitions, recursing into `impl`/`mod` blocks
+/// and fn bodies (for nested fns).
+fn walk_items(
+    tokens: &[Token],
+    exempt: &[bool],
+    range: std::ops::Range<usize>,
+    owner: Option<&str>,
+    out: &mut ParsedFile,
+) {
+    let mut i = range.start;
+    while i < range.end {
+        let tok = &tokens[i];
+        if tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        match tok.text.as_str() {
+            "impl" => {
+                let Some(open) = find_punct(tokens, i + 1, range.end, '{') else {
+                    i += 1;
+                    continue;
+                };
+                let close = match_brace(tokens, open);
+                let name = impl_owner(&tokens[i + 1..open]);
+                walk_items(tokens, exempt, open + 1..close, name.as_deref(), out);
+                i = close + 1;
+            }
+            "fn" if tokens.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident) => {
+                let next = parse_fn(tokens, exempt, i, owner, range.end, out);
+                i = next;
+            }
+            "struct" => {
+                let next = parse_struct(tokens, i, range.end, out);
+                i = next;
+            }
+            "const" | "static" => {
+                // `const fn` is handled by the `fn` arm on a later token;
+                // `const N: usize` inside generics has no `=`-to-`;` body
+                // worth recording and is skipped by the `=` check below.
+                let next = parse_const(tokens, i, range.end, out);
+                i = next;
+            }
+            "mod" => {
+                // Inline module: recurse. Declarations (`mod x;`) just pass.
+                if let Some(open) = tokens
+                    .get(i + 2)
+                    .filter(|t| t.is_punct('{'))
+                    .map(|_| i + 2)
+                {
+                    let close = match_brace(tokens, open);
+                    walk_items(tokens, exempt, open + 1..close, None, out);
+                    i = close + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            "trait" | "enum" | "union" => {
+                // Skip the whole block: trait default methods and enum
+                // bodies are outside the analysis model.
+                match find_punct(tokens, i + 1, range.end, '{') {
+                    Some(open) => i = match_brace(tokens, open) + 1,
+                    None => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Base type name of an `impl` header (the segment after `for` if present,
+/// else the first type path), with generics stripped.
+fn impl_owner(header: &[Token]) -> Option<String> {
+    // Split at a depth-0 `for` (trait impls).
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, t) in header.iter().enumerate() {
+        match t.kind {
+            TokenKind::Punct('<') => depth += 1,
+            TokenKind::Punct('>') => depth -= 1,
+            TokenKind::Ident if depth == 0 && t.text == "for" => {
+                start = i + 1;
+                break;
+            }
+            _ => {}
+        }
+    }
+    // Owner = last depth-0 ident of the remaining path (skipping a leading
+    // generic parameter list).
+    let mut depth = 0i32;
+    let mut name = None;
+    for t in &header[start..] {
+        match t.kind {
+            TokenKind::Punct('<') => depth += 1,
+            TokenKind::Punct('>') => depth -= 1,
+            TokenKind::Ident
+                if depth == 0 && !matches!(t.text.as_str(), "dyn" | "mut" | "const") =>
+            {
+                name = Some(t.text.clone());
+            }
+            _ => {}
+        }
+    }
+    name
+}
+
+/// Parses a fn item starting at the `fn` keyword; returns the index after
+/// the item. Also recurses into the body for nested fns.
+fn parse_fn(
+    tokens: &[Token],
+    exempt: &[bool],
+    at: usize,
+    owner: Option<&str>,
+    limit: usize,
+    out: &mut ParsedFile,
+) -> usize {
+    let name = tokens[at + 1].text.clone();
+    let line = tokens[at].line;
+    let mut j = at + 2;
+    if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+        j = skip_generics(tokens, j, limit);
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+        return at + 2;
+    }
+    let close_paren = match_delim(tokens, j, '(', ')');
+    let params = parse_params(&tokens[j + 1..close_paren], owner);
+    let mut k = close_paren + 1;
+    let ret = if tokens.get(k).is_some_and(|t| t.is_punct('-'))
+        && tokens.get(k + 1).is_some_and(|t| t.is_punct('>'))
+    {
+        let (ty, _) = parse_type(&tokens[k + 2..limit.min(tokens.len())]);
+        ty
+    } else {
+        Ty::Unknown
+    };
+    // Scan past the where clause to the body `{` or a terminating `;`.
+    let mut body = 0..0;
+    while k < limit {
+        if tokens[k].is_punct('{') {
+            let close = match_brace(tokens, k);
+            body = k + 1..close;
+            k = close + 1;
+            break;
+        }
+        if tokens[k].is_punct(';') {
+            k += 1;
+            break;
+        }
+        k += 1;
+    }
+    let def = FnDef {
+        name,
+        owner: owner.map(str::to_string),
+        line,
+        params,
+        ret,
+        body: body.clone(),
+        test_only: exempt.get(at).copied().unwrap_or(false),
+    };
+    out.fns.push(def);
+    // Nested named fns inside the body (e.g. band kernels' local helpers).
+    let mut n = body.start;
+    while n < body.end {
+        if tokens[n].is_ident("fn") && tokens.get(n + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            n = parse_fn(tokens, exempt, n, None, body.end, out);
+        } else {
+            n += 1;
+        }
+    }
+    k
+}
+
+/// Splits and types a parameter list (the tokens between the signature's
+/// parens).
+fn parse_params(toks: &[Token], owner: Option<&str>) -> Vec<(String, Ty)> {
+    let mut params = Vec::new();
+    for seg in split_top_level(toks, ',') {
+        if seg.is_empty() {
+            continue;
+        }
+        // `self` / `&self` / `&mut self`.
+        if seg.iter().any(|t| t.is_ident("self"))
+            && !seg.iter().any(|t| t.is_punct(':'))
+        {
+            let ty = owner
+                .map(|o| Ty::Path {
+                    name: o.to_string(),
+                    args: Vec::new(),
+                })
+                .unwrap_or(Ty::Unknown);
+            params.push(("self".to_string(), ty));
+            continue;
+        }
+        let Some(colon) = top_level_position(seg, ':') else {
+            continue;
+        };
+        let (pat, ty_toks) = (&seg[..colon], &seg[colon + 1..]);
+        let (ty, _) = parse_type(ty_toks);
+        let names: Vec<&Token> = pat
+            .iter()
+            .filter(|t| {
+                t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "mut" | "ref" | "_")
+            })
+            .collect();
+        match (&ty, names.len()) {
+            // Tuple pattern with tuple type: zip names to member types.
+            (Ty::Tuple(members), n) if n == members.len() && n > 1 => {
+                for (name, member) in names.iter().zip(members) {
+                    params.push((name.text.clone(), member.clone()));
+                }
+            }
+            (_, 1) => params.push((names[0].text.clone(), ty)),
+            _ => {}
+        }
+    }
+    params
+}
+
+/// Parses a struct item; returns the index after it.
+fn parse_struct(tokens: &[Token], at: usize, limit: usize, out: &mut ParsedFile) -> usize {
+    let Some(name_tok) = tokens.get(at + 1).filter(|t| t.kind == TokenKind::Ident) else {
+        return at + 1;
+    };
+    let name = name_tok.text.clone();
+    let mut j = at + 2;
+    if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+        j = skip_generics(tokens, j, limit);
+    }
+    let mut fields = Vec::new();
+    let end = if tokens.get(j).is_some_and(|t| t.is_punct('{')) {
+        let close = match_brace(tokens, j);
+        for seg in split_top_level(&tokens[j + 1..close], ',') {
+            let seg = strip_field_prefix(seg);
+            if let Some(colon) = top_level_position(seg, ':') {
+                if colon == 1 && seg[0].kind == TokenKind::Ident {
+                    let (ty, _) = parse_type(&seg[2..]);
+                    fields.push((seg[0].text.clone(), ty));
+                }
+            }
+        }
+        close + 1
+    } else if tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+        match_delim(tokens, j, '(', ')') + 1
+    } else {
+        j + 1
+    };
+    out.structs.push(StructDef { name, fields });
+    end
+}
+
+/// Drops attributes and visibility modifiers from a struct-field segment.
+fn strip_field_prefix(mut seg: &[Token]) -> &[Token] {
+    loop {
+        if seg.first().is_some_and(|t| t.is_punct('#')) {
+            // `#[ ... ]`
+            if seg.get(1).is_some_and(|t| t.is_punct('[')) {
+                let mut depth = 0i32;
+                let mut end = seg.len();
+                for (i, t) in seg.iter().enumerate().skip(1) {
+                    if t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = i + 1;
+                            break;
+                        }
+                    }
+                }
+                seg = &seg[end..];
+                continue;
+            }
+        }
+        if seg.first().is_some_and(|t| t.is_ident("pub")) {
+            if seg.get(1).is_some_and(|t| t.is_punct('(')) {
+                let mut depth = 0i32;
+                let mut end = seg.len();
+                for (i, t) in seg.iter().enumerate().skip(1) {
+                    if t.is_punct('(') {
+                        depth += 1;
+                    } else if t.is_punct(')') {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = i + 1;
+                            break;
+                        }
+                    }
+                }
+                seg = &seg[end..];
+            } else {
+                seg = &seg[1..];
+            }
+            continue;
+        }
+        return seg;
+    }
+}
+
+/// Parses a const/static item; returns the index after its `;`.
+fn parse_const(tokens: &[Token], at: usize, limit: usize, out: &mut ParsedFile) -> usize {
+    let mut j = at + 1;
+    while tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let Some(name_tok) = tokens.get(j).filter(|t| t.kind == TokenKind::Ident) else {
+        return at + 1;
+    };
+    if name_tok.text == "fn" {
+        return at + 1; // `const fn`: the fn arm parses it.
+    }
+    let name = name_tok.text.clone();
+    if !tokens.get(j + 1).is_some_and(|t| t.is_punct(':')) {
+        return at + 1; // `const` in a generic parameter position.
+    }
+    let semi = find_punct_balanced(tokens, j + 2, limit, ';').unwrap_or(limit);
+    let eq = (j + 2..semi).find(|&k| {
+        tokens[k].is_punct('=') && !tokens.get(k + 1).is_some_and(|t| t.is_punct('='))
+    });
+    let (ty, _) = parse_type(&tokens[j + 2..eq.unwrap_or(semi)]);
+    let value = match eq {
+        Some(e) => e + 1..semi,
+        None => semi..semi,
+    };
+    out.consts.push(ConstDef { name, ty, value });
+    semi + 1
+}
+
+/// Parses a type from the start of `toks`; returns the type and the count
+/// of tokens consumed. Trailing tokens (where clauses, defaults) are
+/// ignored by callers that slice per-segment.
+pub fn parse_type(toks: &[Token]) -> (Ty, usize) {
+    let mut i = 0;
+    // Strip reference/pointer/qualifier prefixes.
+    while i < toks.len() {
+        let t = &toks[i];
+        let skip = t.is_punct('&')
+            || t.is_punct('*')
+            || t.is_ident("mut")
+            || t.is_ident("dyn")
+            || t.is_ident("const")
+            || t.kind == TokenKind::Literal && t.text.starts_with('\'');
+        if !skip {
+            break;
+        }
+        i += 1;
+    }
+    let Some(t) = toks.get(i) else {
+        return (Ty::Unknown, i);
+    };
+    if t.is_punct('(') {
+        let close = match_delim(toks, i, '(', ')');
+        let inner = &toks[i + 1..close];
+        let members: Vec<Ty> = split_top_level(inner, ',')
+            .into_iter()
+            .filter(|s| !s.is_empty())
+            .map(|s| parse_type(s).0)
+            .collect();
+        let ty = match members.len() {
+            0 => Ty::Unknown, // unit
+            1 => members.into_iter().next().unwrap_or(Ty::Unknown),
+            _ => Ty::Tuple(members),
+        };
+        return (ty, close + 1);
+    }
+    if t.is_punct('[') {
+        let close = match_delim(toks, i, '[', ']');
+        let inner = &toks[i + 1..close];
+        let elem_end = top_level_position(inner, ';').unwrap_or(inner.len());
+        let (elem, _) = parse_type(&inner[..elem_end]);
+        return (Ty::Array(Box::new(elem)), close + 1);
+    }
+    if t.kind != TokenKind::Ident || t.text == "impl" || t.text == "fn" || t.text == "Fn" {
+        return (Ty::Unknown, i);
+    }
+    // Path: `a::b::C<args>`.
+    let mut name = t.text.clone();
+    let mut j = i + 1;
+    while toks.get(j).is_some_and(|t| t.is_punct(':'))
+        && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(j + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+    {
+        name = toks[j + 2].text.clone();
+        j += 3;
+    }
+    let mut args = Vec::new();
+    if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+        let close = skip_generics(toks, j, toks.len());
+        let inner = &toks[j + 1..close.saturating_sub(1)];
+        for seg in split_top_level(inner, ',') {
+            if seg.is_empty() || seg[0].kind == TokenKind::Literal {
+                continue; // lifetime argument
+            }
+            args.push(parse_type(seg).0);
+        }
+        j = close;
+    }
+    let ty = match name.as_str() {
+        "f32" => Ty::F32,
+        "f64" => Ty::F64,
+        "bool" => Ty::Bool,
+        other => match IntTy::from_name(other) {
+            Some(t) => Ty::Int(t),
+            None => Ty::Path { name, args },
+        },
+    };
+    (ty, j)
+}
+
+// --- token-stream helpers -------------------------------------------------
+
+/// Index just past the `>` matching the `<` at `at` (arrow-aware).
+fn skip_generics(toks: &[Token], at: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = at;
+    while i < limit.min(toks.len()) {
+        let t = &toks[i];
+        if t.is_punct('-') && toks.get(i + 1).is_some_and(|n| n.is_punct('>')) {
+            i += 2; // `->` inside an Fn bound is not a closer
+            continue;
+        }
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub fn match_brace(toks: &[Token], open: usize) -> usize {
+    match_delim(toks, open, '{', '}')
+}
+
+/// Index of the closing delimiter matching the opener at `open`; clamps to
+/// the end of the stream on imbalance.
+pub fn match_delim(toks: &[Token], open: usize, o: char, c: char) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// First index of punct `p` in `[from, limit)` at any nesting depth.
+fn find_punct(toks: &[Token], from: usize, limit: usize, p: char) -> Option<usize> {
+    (from..limit.min(toks.len())).find(|&i| toks[i].is_punct(p))
+}
+
+/// First index of punct `p` in `[from, limit)` outside all brackets.
+fn find_punct_balanced(toks: &[Token], from: usize, limit: usize, p: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for i in from..limit.min(toks.len()) {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(p) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Splits `toks` at depth-0 occurrences of `sep` (angle-bracket aware).
+pub(crate) fn split_top_level(toks: &[Token], sep: char) -> Vec<&[Token]> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut start = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('-') && toks.get(i + 1).is_some_and(|n| n.is_punct('>')) {
+            i += 2;
+            continue;
+        }
+        match t.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => depth -= 1,
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => angle = (angle - 1).max(0),
+            TokenKind::Punct(c) if c == sep && depth == 0 && angle == 0 => {
+                out.push(&toks[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out.push(&toks[start..]);
+    out
+}
+
+/// Position of punct `p` in `toks` outside all brackets and generics.
+pub(crate) fn top_level_position(toks: &[Token], p: char) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('-') && toks.get(i + 1).is_some_and(|n| n.is_punct('>')) {
+            i += 2;
+            continue;
+        }
+        match t.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => depth -= 1,
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => angle = (angle - 1).max(0),
+            TokenKind::Punct(c) if c == p && depth == 0 && angle == 0 => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file("crates/x/src/lib.rs", lex(src))
+    }
+
+    #[test]
+    fn free_fn_with_typed_params_and_return() {
+        let f = parse("fn add(a: u32, b: u32) -> u64 { a as u64 + b as u64 }");
+        assert_eq!(f.fns.len(), 1);
+        let d = &f.fns[0];
+        assert_eq!(d.name, "add");
+        assert_eq!(d.owner, None);
+        assert_eq!(d.params.len(), 2);
+        assert_eq!(d.params[0], ("a".into(), Ty::Int(IntTy::U32)));
+        assert_eq!(d.ret, Ty::Int(IntTy::U64));
+        assert!(!d.body.is_empty());
+    }
+
+    #[test]
+    fn impl_methods_carry_their_owner() {
+        let f = parse("impl<'a> Kernel<'a> { fn go(&self, v: u8) -> i32 { v as i32 } }");
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].owner.as_deref(), Some("Kernel"));
+        assert_eq!(f.fns[0].params[0].0, "self");
+        assert_eq!(f.fns[0].params[1], ("v".into(), Ty::Int(IntTy::U8)));
+    }
+
+    #[test]
+    fn trait_impls_attribute_to_the_implementing_type() {
+        let f = parse("impl std::fmt::Display for Thing { fn fmt(&self) -> bool { true } }");
+        assert_eq!(f.fns[0].owner.as_deref(), Some("Thing"));
+    }
+
+    #[test]
+    fn tuple_patterns_zip_with_tuple_types() {
+        let f = parse("fn d(px: [u8; 3], (x, y): (i32, i32)) {}");
+        let p = &f.fns[0].params;
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], ("px".into(), Ty::Array(Box::new(Ty::Int(IntTy::U8)))));
+        assert_eq!(p[1], ("x".into(), Ty::Int(IntTy::I32)));
+        assert_eq!(p[2], ("y".into(), Ty::Int(IntTy::I32)));
+    }
+
+    #[test]
+    fn struct_fields_are_typed() {
+        let f = parse("pub struct Slot { pub(crate) sigma: Vec<[f64; 6]>, n: u64 }");
+        assert_eq!(f.structs.len(), 1);
+        let s = &f.structs[0];
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].0, "sigma");
+        assert_eq!(
+            s.fields[0].1.element(),
+            Ty::Array(Box::new(Ty::F64)),
+            "Vec<[f64; 6]> element"
+        );
+        assert_eq!(s.fields[1], ("n".into(), Ty::Int(IntTy::U64)));
+    }
+
+    #[test]
+    fn consts_record_their_value_span() {
+        let f = parse("pub const MAX_PIXELS: usize = 1 << 26;");
+        assert_eq!(f.consts.len(), 1);
+        let c = &f.consts[0];
+        assert_eq!(c.name, "MAX_PIXELS");
+        assert_eq!(c.ty, Ty::Int(IntTy::Usize));
+        assert_eq!(c.value.len(), 4); // `1` `<` `<` `26`
+    }
+
+    #[test]
+    fn smart_pointers_deref_for_resolution() {
+        let (ty, _) = parse_type(&lex("Arc<Vec<Cluster>>"));
+        assert_eq!(
+            ty.deref_smart(),
+            &Ty::Path {
+                name: "Vec".into(),
+                args: vec![Ty::Path { name: "Cluster".into(), args: vec![] }]
+            }
+        );
+    }
+
+    #[test]
+    fn nested_fns_are_listed() {
+        let f = parse("fn outer() { fn inner(q: u8) -> u8 { q } let x = 1; }");
+        let names: Vec<&str> = f.fns.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let f = parse("#[cfg(test)]\nmod t { fn helper() {} }\nfn real() {}");
+        let flags: Vec<(String, bool)> =
+            f.fns.iter().map(|d| (d.name.clone(), d.test_only)).collect();
+        assert!(flags.contains(&("helper".into(), true)));
+        assert!(flags.contains(&("real".into(), false)));
+    }
+
+    #[test]
+    fn fn_bound_arrows_do_not_break_generics() {
+        let f = parse("fn call<F: FnMut(usize) -> u32>(f: F, n: usize) -> u32 { f(n) }");
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "call");
+        assert_eq!(f.fns[0].params.len(), 2);
+        assert_eq!(f.fns[0].params[1], ("n".into(), Ty::Int(IntTy::Usize)));
+    }
+}

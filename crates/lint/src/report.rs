@@ -1,17 +1,30 @@
-//! Hand-rolled JSON report writer (the registry is unreachable, so no
-//! `serde`). Emits a stable machine-readable summary for CI archiving.
+//! Hand-rolled JSON and SARIF report writers (the registry is unreachable,
+//! so no `serde`). Both formats are byte-identical across runs for the same
+//! tree: no timestamps, no absolute paths, no map-order dependence.
 
 use crate::config::AllowEntry;
 use crate::rules::Finding;
-use crate::LintOutcome;
+use crate::AnalysisOutcome;
 use std::fmt::Write as _;
 
 /// Renders the outcome as a pretty-printed JSON document.
-pub fn to_json(outcome: &LintOutcome) -> String {
+pub fn to_json(outcome: &AnalysisOutcome) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"files_checked\": {},", outcome.files_checked);
+    let _ = writeln!(out, "  \"files_checked\": {},", outcome.stats.files_checked);
     let _ = writeln!(out, "  \"clean\": {},", outcome.is_clean());
+    let _ = writeln!(out, "  \"passed\": {},", outcome.passed());
+
+    out.push_str("  \"stats\": {");
+    let s = &outcome.stats;
+    let _ = write!(out, "\"overflow_fns\": {}, ", s.overflow_fns);
+    let _ = write!(out, "\"overflow_checked_sites\": {}, ", s.overflow_checked_sites);
+    let _ = write!(out, "\"overflow_skipped_sites\": {}, ", s.overflow_skipped_sites);
+    let _ = write!(out, "\"proofs_discharged\": {}, ", s.proofs_discharged);
+    let _ = write!(out, "\"alloc_roots\": {}, ", s.alloc_roots);
+    let _ = write!(out, "\"alloc_reachable_fns\": {}, ", s.alloc_reachable_fns);
+    let _ = write!(out, "\"alloc_unresolved_calls\": {}", s.alloc_unresolved_calls);
+    out.push_str("},\n");
 
     out.push_str("  \"findings\": [");
     push_findings(&mut out, outcome.findings.iter().map(|f| (f, None)));
@@ -30,6 +43,67 @@ pub fn to_json(outcome: &LintOutcome) -> String {
         out.push_str("\n  ");
     }
     out.push_str("]\n}\n");
+    out
+}
+
+/// Rule ids the analyzer can emit, with short descriptions, in the order
+/// they appear in a SARIF `rules` array. Keeping the table static keeps the
+/// SARIF byte-stable as passes evolve.
+const RULE_TABLE: &[(&str, &str)] = &[
+    ("alloc-in-hot-path", "Allocation reachable from a steady-state hot path"),
+    ("float-in-datapath", "Float token in a fixed-point datapath module"),
+    ("float-inexact", "Float accumulator can exceed its exact-integer range"),
+    ("forbid-unsafe", "Crate root missing #![forbid(unsafe_code)]"),
+    ("hotpath-config", "Unresolvable [[hotpath]] root in lint.toml"),
+    ("narrowing-cast", "Bare narrowing cast in the datapath"),
+    ("no-panic", "Panicking construct in library code"),
+    ("nondeterminism", "Run-dependent construct in determinism-critical code"),
+    ("overflow-range", "Integer intermediate can exceed its declared width"),
+    ("unproven-invariant", "A [[prove]] obligation could not be discharged"),
+];
+
+/// Renders the outcome as a minimal SARIF 2.1.0 log (one run, relative
+/// URIs, no timestamps), suitable for CI artifact upload.
+pub fn to_sarif(outcome: &AnalysisOutcome) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"sslic-analyze\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/sslic\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, (id, desc)) in RULE_TABLE.iter().enumerate() {
+        let _ = write!(
+            out,
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            quote(id),
+            quote(desc)
+        );
+        out.push_str(if i + 1 < RULE_TABLE.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, f) in outcome.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("        {");
+        let _ = write!(out, "\"ruleId\": {}, ", quote(f.rule));
+        out.push_str("\"level\": \"error\", ");
+        let _ = write!(out, "\"message\": {{\"text\": {}}}, ", quote(&f.message));
+        out.push_str("\"locations\": [{\"physicalLocation\": {");
+        let _ = write!(
+            out,
+            "\"artifactLocation\": {{\"uri\": {}}}, ",
+            quote(&f.file)
+        );
+        let _ = write!(out, "\"region\": {{\"startLine\": {}}}", f.line);
+        out.push_str("}}]}");
+    }
+    if !outcome.findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
     out
 }
 
@@ -109,16 +183,17 @@ mod tests {
 
     #[test]
     fn empty_outcome_serializes() {
-        let outcome = LintOutcome::default();
+        let outcome = AnalysisOutcome::default();
         let json = to_json(&outcome);
         assert!(json.contains("\"files_checked\": 0"));
         assert!(json.contains("\"clean\": true"));
+        assert!(json.contains("\"passed\": true"));
         assert!(json.contains("\"findings\": []"));
     }
 
     #[test]
     fn findings_include_fields() {
-        let outcome = LintOutcome {
+        let outcome = AnalysisOutcome {
             findings: vec![Finding {
                 file: "a.rs".into(),
                 line: 7,
@@ -126,12 +201,41 @@ mod tests {
                 message: "call to `unwrap()`".into(),
                 item: Some("do_it".into()),
             }],
-            ..LintOutcome::default()
+            ..AnalysisOutcome::default()
         };
         let json = to_json(&outcome);
         assert!(json.contains("\"file\": \"a.rs\""));
         assert!(json.contains("\"line\": 7"));
         assert!(json.contains("\"item\": \"do_it\""));
         assert!(json.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let outcome = AnalysisOutcome {
+            findings: vec![Finding {
+                file: "crates/core/src/session.rs".into(),
+                line: 42,
+                rule: "overflow-range",
+                message: "x can wrap".into(),
+                item: Some("update_band".into()),
+            }],
+            ..AnalysisOutcome::default()
+        };
+        let sarif = to_sarif(&outcome);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"sslic-analyze\""));
+        assert!(sarif.contains("\"ruleId\": \"overflow-range\""));
+        assert!(sarif.contains("\"startLine\": 42"));
+        assert!(sarif.contains("\"uri\": \"crates/core/src/session.rs\""));
+        // Every emitted rule id must exist in the static rule table.
+        assert!(RULE_TABLE.iter().any(|(id, _)| *id == "overflow-range"));
+    }
+
+    #[test]
+    fn sarif_is_deterministic() {
+        let outcome = AnalysisOutcome::default();
+        assert_eq!(to_sarif(&outcome), to_sarif(&outcome));
+        assert!(to_sarif(&outcome).contains("\"results\": []"));
     }
 }

@@ -1,4 +1,4 @@
-//! The four repo-specific invariants, checked over token streams.
+//! The repo-specific token-level invariants, checked over token streams.
 //!
 //! | rule id             | scope                       | what it flags |
 //! |---------------------|-----------------------------|---------------|
@@ -6,6 +6,11 @@
 //! | `no-panic`          | all library source          | `panic!`, `todo!`, `unimplemented!`, `.unwrap()`, `.expect(` |
 //! | `forbid-unsafe`     | crate roots                 | missing `#![forbid(unsafe_code)]` |
 //! | `narrowing-cast`    | designated datapath modules | bare `as u8` / `as i8` / `as i16` |
+//! | `nondeterminism`    | determinism-critical modules | wall-clock reads, hash-order iteration, thread ids, pointer-to-int |
+//!
+//! The dataflow passes (`overflow-range`, `alloc-in-hot-path`, …) live in
+//! [`crate::dataflow`] and [`crate::callgraph`]; this module holds the
+//! purely token-window rules plus the [`Finding`] type they all share.
 //!
 //! Scoping rules:
 //!
@@ -69,6 +74,24 @@ impl Finding {
     }
 }
 
+/// Files where reproducibility is contractual: everything that feeds the
+/// byte-diffed traces, the segmentation result, or the cycle model. The
+/// `nondeterminism` rule applies here.
+pub const DETERMINISM_FILES: &[&str] = &[
+    "crates/core/src/session.rs",
+    "crates/core/src/engine.rs",
+    "crates/core/src/parallel.rs",
+    "crates/core/src/connectivity.rs",
+    "crates/core/src/profile.rs",
+];
+
+/// Files whose arithmetic the overflow/interval pass analyzes: the
+/// fixed-point kernels plus the PPA distance scan and sigma-fold loops.
+pub const OVERFLOW_FILES: &[&str] = &[
+    "crates/core/src/distance.rs",
+    "crates/core/src/session.rs",
+];
+
 /// How a file participates in rule checking, derived from its path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FileClass {
@@ -78,6 +101,15 @@ pub struct FileClass {
     pub crate_root: bool,
     /// A datapath module: floats and bare narrowing casts are forbidden.
     pub datapath: bool,
+    /// Determinism-critical: wall-clock and hash-order constructs are
+    /// forbidden (datapath + trace/engine/session modules).
+    pub determinism: bool,
+    /// In scope for the interval/overflow dataflow pass.
+    pub overflow: bool,
+}
+
+fn suffix_match(path: &str, list: &[&str]) -> bool {
+    list.iter().any(|d| path == *d || path.ends_with(&format!("/{d}")))
 }
 
 /// Classifies a workspace-relative path (forward slashes).
@@ -87,12 +119,14 @@ pub fn classify(path: &str) -> FileClass {
         segment("tests") || segment("benches") || segment("examples") || segment("fixtures");
     let binary = segment("bin") || path.ends_with("/main.rs") || path == "src/main.rs";
     let in_src = segment("src");
+    let datapath = suffix_match(path, DATAPATH_FILES);
+    let in_obs = path.contains("crates/obs/src/");
     FileClass {
         library: in_src && !non_library_tree && !binary,
         crate_root: path.ends_with("src/lib.rs"),
-        datapath: DATAPATH_FILES
-            .iter()
-            .any(|d| path == *d || path.ends_with(&format!("/{d}"))),
+        datapath,
+        determinism: datapath || in_obs || suffix_match(path, DETERMINISM_FILES),
+        overflow: path.contains("crates/fixed/src/") || suffix_match(path, OVERFLOW_FILES),
     }
 }
 
@@ -112,7 +146,7 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
         });
     }
 
-    if !class.library && !class.datapath {
+    if !class.library && !class.datapath && !class.determinism {
         return findings;
     }
 
@@ -135,8 +169,76 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
         if class.library {
             panic_rule(path, tok, prev, next, &items, &mut findings);
         }
+        if class.determinism {
+            determinism_rule(path, &tokens, i, &items, &mut findings);
+        }
     }
     findings
+}
+
+/// Flags constructs whose observable behavior varies run-to-run: wall-clock
+/// reads, hash-order-dependent containers, thread identity, and
+/// pointer-to-integer casts. Any of these inside trace- or result-producing
+/// code breaks the byte-identical replay contract.
+fn determinism_rule(
+    path: &str,
+    tokens: &[Token],
+    i: usize,
+    items: &ItemTracker,
+    out: &mut Vec<Finding>,
+) {
+    let tok = &tokens[i];
+    if tok.kind != TokenKind::Ident {
+        return;
+    }
+    let at = |off: usize| tokens.get(i + off);
+    let path_call = |seg: &str| {
+        at(1).is_some_and(|t| t.is_punct(':'))
+            && at(2).is_some_and(|t| t.is_punct(':'))
+            && at(3).is_some_and(|t| t.is_ident(seg))
+    };
+    let what: Option<String> = match tok.text.as_str() {
+        // `Instant::now` / `SystemTime::now` — the `:: now` requirement
+        // keeps `EventKind::Instant`-style enum variants out of scope.
+        "Instant" | "SystemTime" if path_call("now") => {
+            Some(format!("`{}::now()` reads the wall clock", tok.text))
+        }
+        "thread" if path_call("current") => {
+            Some("`thread::current()` exposes runtime thread identity".to_string())
+        }
+        "elapsed"
+            if i > 0
+                && tokens[i - 1].is_punct('.')
+                && at(1).is_some_and(|t| t.is_punct('(')) =>
+        {
+            Some("`.elapsed()` reads the wall clock".to_string())
+        }
+        "HashMap" | "HashSet" | "RandomState" | "DefaultHasher" | "ThreadId" => Some(format!(
+            "`{}` has run-dependent iteration/hash order; use the BTree equivalents",
+            tok.text
+        )),
+        "as_ptr" | "as_mut_ptr"
+            if i > 0
+                && tokens[i - 1].is_punct('.')
+                && at(1).is_some_and(|t| t.is_punct('('))
+                && at(2).is_some_and(|t| t.is_punct(')'))
+                && at(3).is_some_and(|t| t.is_ident("as")) =>
+        {
+            Some(format!("`.{}() as …` leaks allocator addresses", tok.text))
+        }
+        _ => None,
+    };
+    if let Some(what) = what {
+        out.push(Finding {
+            file: path.to_string(),
+            line: tok.line,
+            rule: "nondeterminism",
+            message: format!(
+                "{what}; determinism-critical code must be bit-reproducible across runs"
+            ),
+            item: items.current(),
+        });
+    }
 }
 
 fn float_rule(path: &str, tok: &Token, items: &ItemTracker, out: &mut Vec<Finding>) {
@@ -237,7 +339,7 @@ fn has_forbid_unsafe(tokens: &[Token]) -> bool {
 }
 
 /// Marks which token indices fall inside `#[cfg(test)]`-gated items.
-fn test_exempt_flags(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_exempt_flags(tokens: &[Token]) -> Vec<bool> {
     let mut exempt = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {
@@ -490,6 +592,35 @@ mod tests {
         let fired = check_file(DATAPATH, src);
         assert_eq!(fired.len(), 2); // `f64` ident + float literal
         assert!(fired.iter().all(|f| f.item.as_deref() == Some("SIGMA")));
+    }
+
+    #[test]
+    fn wall_clock_and_hash_order_fire_in_determinism_scope() {
+        let src = "fn a() { let t = Instant::now(); let _ = t.elapsed(); }\n\
+                   fn b() { let m: HashMap<u32, u32> = HashMap::new(); }\n\
+                   fn c() { let id = thread::current().id(); }\n";
+        let fired = rules_fired("crates/core/src/connectivity.rs", src);
+        let nondet: Vec<_> = fired.iter().filter(|(r, ..)| *r == "nondeterminism").collect();
+        assert_eq!(nondet.len(), 5, "{fired:?}"); // now, elapsed, 2×HashMap, thread::current
+        assert!(rules_fired("crates/core/src/grid.rs", src)
+            .iter()
+            .all(|(r, ..)| *r != "nondeterminism"));
+    }
+
+    #[test]
+    fn enum_variants_named_instant_do_not_fire() {
+        let src = "fn a() -> EventKind { EventKind::Instant }\n";
+        assert!(rules_fired("crates/obs/src/trace.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pointer_to_int_casts_fire() {
+        let src = "fn a(v: &[u8]) -> usize { v.as_ptr() as usize }\n";
+        let fired = rules_fired("crates/core/src/session.rs", src);
+        assert!(fired.iter().any(|(r, ..)| *r == "nondeterminism"), "{fired:?}");
+        // Plain `.as_ptr()` without an int cast is fine (FFI-free slices).
+        let ok = "fn a(v: &[u8]) { other(v.as_ptr()); }\n";
+        assert!(rules_fired("crates/core/src/session.rs", ok).is_empty());
     }
 
     #[test]

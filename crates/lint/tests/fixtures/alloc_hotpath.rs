@@ -1,0 +1,21 @@
+//! Seeded allocation fixture: `frame` is declared a hot-path root in the
+//! test config; `step` allocates two ways; `cold` allocates but is
+//! unreachable from the root and must stay silent.
+
+pub struct Hot;
+
+impl Hot {
+    pub fn frame(&self) {
+        self.step();
+    }
+
+    fn step(&self) {
+        let mut v = Vec::with_capacity(8);
+        v.push(1u32);
+        let _ = v;
+    }
+
+    fn cold(&self) {
+        let _b = Box::new(0u8);
+    }
+}

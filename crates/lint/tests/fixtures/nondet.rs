@@ -1,0 +1,16 @@
+//! Seeded determinism fixture: wall-clock reads and a hash-ordered map in
+//! code that is determinism-scoped when placed at a session/trace path.
+
+pub fn timed() -> u64 {
+    let start = Instant::now();
+    let _ = start.elapsed();
+    0
+}
+
+pub fn hashed(keys: &[u32]) -> usize {
+    let mut seen = HashSet::new();
+    for k in keys {
+        seen.insert(*k);
+    }
+    seen.len()
+}

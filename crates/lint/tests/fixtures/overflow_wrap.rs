@@ -1,0 +1,10 @@
+//! Seeded overflow fixture: `wrap` multiplies a full-range i16 by 300,
+//! which exceeds i16 on both ends; `safe` widens first and must not fire.
+
+pub fn wrap(v: i16) -> i16 {
+    v * 300
+}
+
+pub fn safe(v: i16) -> i32 {
+    (v as i32) * 300
+}

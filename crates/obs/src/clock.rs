@@ -9,7 +9,7 @@
 //! every run of the same workload, which is what makes deterministic-mode
 //! traces byte-identical across repeats and thread counts.
 //!
-//! This module is integer-only by lint policy (`sslic-lint`
+//! This module is integer-only by lint policy (`sslic-analyze`
 //! float-in-datapath scope): logical time is exact or it is useless.
 
 /// Sentinel for "this event is not band-scoped" (run- or step-level

@@ -7,7 +7,7 @@
 //! observed data), which keeps bucket layouts — and therefore report
 //! bytes — independent of the values that happened to arrive first.
 //!
-//! This module is integer-only by lint policy (`sslic-lint`
+//! This module is integer-only by lint policy (`sslic-analyze`
 //! float-in-datapath scope).
 
 use std::collections::BTreeMap;
