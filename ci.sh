@@ -55,6 +55,37 @@ mv results/fault-sweep-a.md results/fault-sweep.md
 mv results/fault-report-a.json results/fault-report.json
 rm -f results/fault-sweep-b.json results/fault-sweep-b.md results/fault-report-b.json
 
+echo "==> recovery determinism (self-healing sweeps at 1 vs 4 threads must match modulo the threads field)"
+# With a retry budget armed, the guard/rollback/escalation ladder must
+# reproduce bit-for-bit across thread counts. The RunReport legitimately
+# records its thread count, so that one field is normalised before the diff.
+./target/release/fault_sweep --seed 7 --small --threads 1 --recovery 2 \
+    --json results/recovery-sweep-1t.json \
+    --report results/recovery-report-1t.json >/dev/null
+./target/release/fault_sweep --seed 7 --small --threads 4 --recovery 2 \
+    --json results/recovery-sweep-4t.json \
+    --report results/recovery-report-4t.json >/dev/null
+cmp results/recovery-sweep-1t.json results/recovery-sweep-4t.json
+sed 's/"threads":[0-9]*/"threads":X/' results/recovery-report-1t.json \
+    > results/recovery-report-1t.norm.json
+sed 's/"threads":[0-9]*/"threads":X/' results/recovery-report-4t.json \
+    > results/recovery-report-4t.norm.json
+cmp results/recovery-report-1t.norm.json results/recovery-report-4t.norm.json
+mv results/recovery-sweep-1t.json results/recovery-sweep.json
+mv results/recovery-report-1t.json results/recovery-report.json
+rm -f results/recovery-sweep-4t.json results/recovery-report-4t.json \
+    results/recovery-report-1t.norm.json results/recovery-report-4t.norm.json
+
+echo "==> benchmark seed (BENCH_7.json must regenerate byte for byte from the workload)"
+# The committed seed pins the per-size label checksums, operation counters,
+# and modeled hw traffic. Any engine change that shifts them must update
+# the seed in the same commit, keeping the perf trajectory auditable.
+./target/release/throughput --sizes 160x120,320x240 --superpixels 150 \
+    --iterations 5 --frames 1 --threads 1 \
+    --bench-json results/bench-seed.json >/dev/null
+cmp BENCH_7.json results/bench-seed.json
+rm -f results/bench-seed.json
+
 echo "==> thread-count invariance (throughput JSON at 1 vs 4 threads must match byte for byte)"
 ./target/release/throughput --threads 1 --sizes 160x120,320x240 --frames 1 \
     --superpixels 150 --iterations 3 \

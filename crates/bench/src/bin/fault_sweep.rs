@@ -9,23 +9,27 @@
 //!
 //! ```text
 //! fault_sweep [--seed N] [--small | --full] [--json PATH] [--md PATH]
-//!             [--report PATH]
+//!             [--report PATH] [--threads N] [--recovery N]
 //! ```
 //!
 //! Two invocations with the same seed and scale produce byte-identical
 //! reports (CI diffs them to enforce the determinism contract).
 //! `--report` additionally writes a structured [`sslic_obs::RunReport`]
-//! from one traced deterministic engine run under pixel-feature fault
-//! injection at the sweep's seed — its `injected_words` field carries the
-//! number of corrupted words, and timings are zeroed, so the report bytes
-//! are deterministic too.
+//! from one traced deterministic engine run under pixel-feature and
+//! sigma-register fault injection at the sweep's seed — its
+//! `injected_words` field carries the number of corrupted words, and
+//! timings are zeroed, so the report bytes are deterministic too.
+//! `--threads` sets the traced run's worker count and `--recovery` arms a
+//! bounded retry policy for it: CI diffs the report across thread counts
+//! to prove guards, retries, and checksums are thread-invariant.
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
 
 use sslic_core::{
-    build_run_report, DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams,
+    build_run_report, DistanceMode, RecoveryPolicy, RunOptions, SegmentRequest, Segmenter,
+    SlicParams,
 };
 use sslic_fault::{
     run_sweep, to_json, to_markdown, EngineFaults, FaultKind, FaultPlan, FaultSite, SweepConfig,
@@ -39,6 +43,8 @@ fn main() -> ExitCode {
     let mut json_path: Option<String> = None;
     let mut md_path: Option<String> = None;
     let mut report_path: Option<String> = None;
+    let mut threads = 1usize;
+    let mut recovery: Option<u32> = None;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +66,14 @@ fn main() -> ExitCode {
             "--report" => match args.next() {
                 Some(p) => report_path = Some(p),
                 None => return usage("--report needs a path"),
+            },
+            "--threads" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) if v >= 1 => threads = v,
+                _ => return usage("--threads needs a positive integer"),
+            },
+            "--recovery" => match args.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(v)) => recovery = Some(v),
+                _ => return usage("--recovery needs an unsigned retry budget"),
             },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument `{other}`")),
@@ -97,22 +111,25 @@ fn main() -> ExitCode {
         // RunReport carries the run's counters, the trace's histograms,
         // and the injected-word tally from the fault adapter.
         let img = SyntheticImage::builder(160, 120).seed(seed).regions(8).build();
-        let plan = FaultPlan::new(seed).with(
-            FaultSite::PixelFeature,
-            FaultKind::SingleBitFlip,
-            10_000,
-        );
+        let plan = FaultPlan::new(seed)
+            .with(FaultSite::PixelFeature, FaultKind::SingleBitFlip, 10_000)
+            .with(FaultSite::SigmaRegister, FaultKind::SingleBitFlip, 4_000);
         let rec = Recorder::deterministic();
         let hooks = EngineFaults::new(&plan).with_recorder(&rec);
-        let params = SlicParams::builder(150).iterations(5).threads(1).build();
+        let params = SlicParams::builder(150)
+            .iterations(5)
+            .threads(threads)
+            .build();
         // Quantized datapath: pixel-feature corruption strikes the 8-bit
         // Lab codes, which only exist on the accelerator's LUT path.
         let seg = Segmenter::sslic_ppa(params, 2)
             .with_distance_mode(DistanceMode::quantized(8));
-        let out = seg.run(
-            SegmentRequest::Rgb(&img.rgb),
-            &RunOptions::new().with_faults(&hooks).with_recorder(&rec),
-        );
+        let policy = recovery.map(RecoveryPolicy::new);
+        let mut opts = RunOptions::new().with_faults(&hooks).with_recorder(&rec);
+        if let Some(p) = &policy {
+            opts = opts.with_recovery(p);
+        }
+        let out = seg.run(SegmentRequest::Rgb(&img.rgb), &opts);
         let report = build_run_report(&seg, &out, true, Some(&rec), hooks.injected_words());
         if let Err(e) = fs::write(path, report.to_json()) {
             eprintln!("fault_sweep: cannot write {path}: {e}");
@@ -144,6 +161,17 @@ fn main() -> ExitCode {
                 p.repairs,
             );
         }
+        for p in &result.recovered {
+            println!(
+                "recovered rate={} use={:.4} br={:.4} outcome={} guards={} retries={}",
+                p.rate_ppm,
+                p.undersegmentation_error,
+                p.boundary_recall,
+                p.outcome,
+                p.guards_fired,
+                p.retries,
+            );
+        }
     }
     ExitCode::SUCCESS
 }
@@ -154,7 +182,7 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: fault_sweep [--seed N] [--small | --full] [--json PATH] [--md PATH] \
-         [--report PATH]"
+         [--report PATH] [--threads N] [--recovery N]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

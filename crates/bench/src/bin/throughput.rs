@@ -27,9 +27,16 @@
 //! session run against a one-shot run to enforce it.
 //!
 //! `--report` additionally writes a structured [`sslic_obs::RunReport`]
-//! (schema `sslic-run-report-v1`) from one traced deterministic 1-thread
-//! run of the first size — wall-clock phase timings are zeroed, so the
-//! report bytes, like the JSON report, depend only on the workload.
+//! from one traced deterministic 1-thread run of the first size —
+//! wall-clock phase timings are zeroed, so the report bytes, like the
+//! JSON report, depend only on the workload.
+//!
+//! `--bench-json` writes the *performance-trajectory seed*: per-size
+//! label checksums, operation counters, and modeled DRAM traffic — every
+//! field a pure function of the workload, no wall-clock anywhere. The
+//! repo commits one (`BENCH_7.json`) and CI regenerates and byte-diffs
+//! it, so any change to the engine's workload shape (more distance
+//! calculations, more traffic) must be committed deliberately.
 
 use std::env;
 use std::fs;
@@ -109,6 +116,7 @@ fn main() -> ExitCode {
     let mut json_path: Option<String> = None;
     let mut md_path: Option<String> = None;
     let mut report_path: Option<String> = None;
+    let mut bench_json_path: Option<String> = None;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -149,6 +157,10 @@ fn main() -> ExitCode {
             "--report" => match args.next() {
                 Some(p) => report_path = Some(p),
                 None => return usage("--report needs a path"),
+            },
+            "--bench-json" => match args.next() {
+                Some(p) => bench_json_path = Some(p),
+                None => return usage("--bench-json needs a path"),
             },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument `{other}`")),
@@ -273,6 +285,56 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = &bench_json_path {
+        // The perf-trajectory seed: 1-thread runs so the counters (already
+        // thread-invariant by the determinism contract) come off the
+        // simplest schedule. No timings — the seed is byte-reproducible.
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"sslic-bench-seed-v1\",\n");
+        out.push_str(&format!(
+            "  \"config\": {{\"algorithm\": \"sslic_ppa\", \"subsets\": 2, \
+             \"distance\": \"quantized8\", \"superpixels\": {superpixels}, \
+             \"iterations\": {iterations}, \"seed\": 2024}},\n"
+        ));
+        out.push_str("  \"workloads\": [\n");
+        for (i, &(w, h)) in sizes.iter().enumerate() {
+            let img = SyntheticImage::builder(w, h).seed(2024).regions(12).build();
+            let params = SlicParams::builder(superpixels)
+                .iterations(iterations)
+                .threads(1)
+                .build();
+            let seg =
+                Segmenter::sslic_ppa(params, 2).with_distance_mode(DistanceMode::quantized(8));
+            let res = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+            let c = res.counters();
+            let hw = sslic_core::instrument::TrafficModel::hw_8bit().bytes(c);
+            out.push_str(&format!(
+                concat!(
+                    "    {{\"width\": {}, \"height\": {}, \"label_checksum\": \"{:#018x}\", ",
+                    "\"distance_calcs\": {}, \"pixel_color_reads\": {}, ",
+                    "\"label_writes\": {}, \"center_updates\": {}, ",
+                    "\"sub_iterations\": {}, \"hw8_read_bytes\": {}, ",
+                    "\"hw8_written_bytes\": {}}}{}\n"
+                ),
+                w,
+                h,
+                label_checksum(res.labels()),
+                c.distance_calcs,
+                c.pixel_color_reads,
+                c.label_writes,
+                c.center_updates,
+                c.sub_iterations,
+                hw.read,
+                hw.written,
+                if i + 1 < sizes.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = fs::write(path, out) {
+            eprintln!("throughput: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if json_path.is_none() && md_path.is_none() {
         print!("{md}");
     } else {
@@ -350,7 +412,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: throughput [--threads 1,2,4,8] [--sizes 320x240,1280x720] [--frames N] \
          [--superpixels K] [--iterations N] [--mode oneshot|session] [--json PATH] \
-         [--md PATH] [--report PATH]"
+         [--md PATH] [--report PATH] [--bench-json PATH]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

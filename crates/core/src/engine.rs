@@ -6,6 +6,7 @@ use crate::cluster::Cluster;
 use crate::distance::DistanceMode;
 use crate::instrument::RunCounters;
 use crate::profile::PhaseBreakdown;
+use crate::recovery::{RecoveryPolicy, RecoveryReport};
 use crate::session::FrameReport;
 use crate::subsample::SubsetStrategy;
 use crate::SlicParams;
@@ -78,6 +79,18 @@ impl Algorithm {
 /// reduction), never inside a worker, so the corruption they apply is
 /// independent of the thread count by construction.
 pub trait StepFaults {
+    /// Called at the start of every run attempt of a frame with the
+    /// attempt number (0 for the ordinary run, 1.. for recovery
+    /// retries), before any corruption hook of that attempt fires.
+    /// Implementations that derive corruption from addresses should fold
+    /// the attempt into their address space so a retry draws an
+    /// independent fault pattern — re-applying attempt 0's faults
+    /// verbatim would re-corrupt the rolled-back state identically and
+    /// make recovery impossible by construction. The default is a no-op,
+    /// and attempt 0 must leave behavior identical to a hook without
+    /// this method.
+    fn begin_attempt(&self, _attempt: u32) {}
+
     /// Called once, before the first iteration, with the quantized pixel
     /// features (the accelerator's channel-memory contents). Only invoked
     /// when the pixel features exist, i.e. in quantized distance mode or
@@ -159,6 +172,12 @@ pub struct RunOptions<'a> {
     /// deterministic-mode trace is byte-identical across repeats and
     /// thread counts. Recording never changes the segmentation output.
     pub recorder: Option<&'a Recorder>,
+    /// Self-healing recovery policy. When set, end-of-frame invariant
+    /// guards that fire trigger checkpoint rollback and bounded
+    /// deterministic retries per the policy's escalation ladder instead
+    /// of merely flagging [`SegmentationStatus::Degraded`]. `None`
+    /// preserves the detect-and-flag behavior exactly.
+    pub recovery: Option<&'a RecoveryPolicy>,
 }
 
 impl<'a> RunOptions<'a> {
@@ -185,6 +204,12 @@ impl<'a> RunOptions<'a> {
         self.recorder = Some(recorder);
         self
     }
+
+    /// Enables self-healing recovery (see [`RunOptions::recovery`]).
+    pub fn with_recovery(mut self, policy: &'a RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
 }
 
 impl std::fmt::Debug for RunOptions<'_> {
@@ -193,6 +218,7 @@ impl std::fmt::Debug for RunOptions<'_> {
             .field("warm_start", &self.warm_start.map(<[Cluster]>::len))
             .field("faults", &self.faults.is_some())
             .field("recorder", &self.recorder.is_some())
+            .field("recovery", &self.recovery)
             .finish()
     }
 }
@@ -209,6 +235,12 @@ pub enum SegmentationStatus {
     /// signature of corruption. The label map is still valid (in-range,
     /// fully assigned).
     Degraded,
+    /// Invariant guards fired, but the session's recovery engine rolled
+    /// back to its checkpoint and re-ran within the retry budget until an
+    /// attempt finished guard-clean — the labels are those of a clean
+    /// run, not a repaired one. Only produced when a
+    /// [`RecoveryPolicy`] is active (see [`RunOptions::recovery`]).
+    Recovered,
 }
 
 /// Configured segmentation pipeline: parameters + algorithm + numeric mode.
@@ -349,6 +381,7 @@ pub struct Segmentation {
     frozen_clusters: usize,
     status: SegmentationStatus,
     repairs: u64,
+    recovery: RecoveryReport,
 }
 
 impl Segmentation {
@@ -369,6 +402,7 @@ impl Segmentation {
             frozen_clusters: report.frozen_clusters,
             status: report.status,
             repairs: report.repairs,
+            recovery: report.recovery,
         }
     }
 
@@ -430,6 +464,14 @@ impl Segmentation {
     /// runs.
     pub fn invariant_repairs(&self) -> u64 {
         self.repairs
+    }
+
+    /// Per-frame recovery record: guard firings, retries, escalations,
+    /// outcome, and the final center-table checksum. With no
+    /// [`RecoveryPolicy`] active this still carries the guard totals and
+    /// checksum of the single attempt (outcome `Clean` or `Failed`).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
     }
 }
 

@@ -46,6 +46,7 @@ mod engine;
 mod grid;
 mod parallel;
 mod params;
+mod recovery;
 mod session;
 
 pub mod features;
@@ -69,5 +70,8 @@ pub use engine::{
 };
 pub use grid::SeedGrid;
 pub use params::{ParamError, SlicParams, SlicParamsBuilder};
-pub use report::build_run_report;
+pub use recovery::{
+    center_checksum, GuardVerdict, RecoveryAction, RecoveryOutcome, RecoveryPolicy, RecoveryReport,
+};
+pub use report::{build_run_report, report_recovery};
 pub use session::{FrameReport, SegmentError, SegmenterSession};

@@ -20,6 +20,7 @@
 //! schedule that keeps the band→output mapping trivially deterministic.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Upper bound on the number of row bands. Small enough that per-band
@@ -59,9 +60,38 @@ struct DispatchState<C> {
     /// Total workers including the caller; fixed after construction.
     workers: usize,
     shutdown: bool,
-    /// Set by a worker's completion guard when its kernel panicked; the
-    /// caller surfaces it as a panic at the barrier.
+    /// Set by a worker's completion guard when a panic *escaped* the
+    /// kernel containment and unwound the worker thread itself; the
+    /// caller converts it into a poisoned-band report at the barrier and
+    /// schedules the dead worker slot for respawn.
     panicked: bool,
+    /// Bands whose kernel panicked during the current dispatch, contained
+    /// by the per-band `catch_unwind` isolation. Reset by the caller when
+    /// a new generation is posted.
+    poisoned_bands: u64,
+}
+
+/// Runs the kernel over one band with panic containment: a panicking
+/// kernel poisons that band (its slot keeps whatever partial state the
+/// kernel left — the session's invariant guards detect it) instead of
+/// unwinding the worker or wedging the pool. Returns 1 if the band was
+/// poisoned.
+fn run_band_contained<C, S>(
+    kernel: fn(&C, usize, Range<usize>, &mut S),
+    cmd: &C,
+    band: usize,
+    rows: Range<usize>,
+    slot: &mut S,
+) -> u64 {
+    // AssertUnwindSafe: the slot is per-band scratch that the session
+    // re-derives every dispatch (stripes re-sync from the label plane,
+    // sigma files zero on entry), so observing a half-written slot after
+    // a caught panic is exactly the "poisoned band" state the guards are
+    // built to flag — never silently trusted.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        kernel(cmd, band, rows, slot);
+    }));
+    u64::from(outcome.is_err())
 }
 
 struct Shared<C, S> {
@@ -135,11 +165,15 @@ fn worker_loop<C: Clone, S>(shared: Arc<Shared<C, S>>, index: usize) {
         };
         seen = generation;
         let guard = DoneGuard { shared: &shared };
+        let mut poisoned = 0u64;
         for (b, rows) in shared.bands.iter().enumerate() {
             if b % workers == index {
                 let mut slot = lock(&shared.slots[b]);
-                (shared.kernel)(&cmd, b, rows.clone(), &mut slot);
+                poisoned += run_band_contained(shared.kernel, &cmd, b, rows.clone(), &mut slot);
             }
+        }
+        if poisoned > 0 {
+            lock(&shared.state).poisoned_bands += poisoned;
         }
         // Release the command's shared handles (Arc refs) *before*
         // signaling completion, so the caller observes unique ownership at
@@ -169,6 +203,9 @@ pub(crate) struct BandPool<C: Clone + Send + 'static, S: Send + 'static> {
     /// worker 0).
     spawned: usize,
     workers: usize,
+    /// Set when the barrier observed a panic that unwound a worker
+    /// thread; the next dispatch respawns dead slots before posting work.
+    needs_respawn: bool,
 }
 
 impl<C: Clone + Send + 'static, S: Send + 'static> BandPool<C, S> {
@@ -198,6 +235,7 @@ impl<C: Clone + Send + 'static, S: Send + 'static> BandPool<C, S> {
                 workers: target,
                 shutdown: false,
                 panicked: false,
+                poisoned_bands: 0,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -227,6 +265,7 @@ impl<C: Clone + Send + 'static, S: Send + 'static> BandPool<C, S> {
             spawned: handles.len(),
             workers,
             handles,
+            needs_respawn: false,
         }
     }
 
@@ -251,44 +290,102 @@ impl<C: Clone + Send + 'static, S: Send + 'static> BandPool<C, S> {
     /// executes the bands of worker 0 itself. Steady state allocates
     /// nothing.
     ///
-    /// # Panics
-    ///
-    /// Panics if a worker's kernel panicked (this dispatch or an earlier
-    /// one); the pool must not be reused afterwards.
-    pub(crate) fn run(&self, cmd: C) {
+    /// Returns the number of **poisoned bands**: bands whose kernel
+    /// panicked and was contained by the per-band `catch_unwind`
+    /// isolation. A poisoned band's slot holds whatever partial state the
+    /// kernel left; the caller must treat it as corrupt (the session's
+    /// invariant guards do). The pool itself stays serviceable — one bad
+    /// band degrades one dispatch, never the pool — and any worker thread
+    /// a panic managed to unwind entirely (possible only outside the
+    /// kernel containment) is respawned before the next dispatch.
+    pub(crate) fn run(&mut self, cmd: C) -> u64 {
         if self.spawned == 0 {
+            let mut poisoned = 0u64;
             for (b, rows) in self.shared.bands.iter().enumerate() {
                 let mut slot = lock(&self.shared.slots[b]);
-                (self.shared.kernel)(&cmd, b, rows.clone(), &mut slot);
+                poisoned +=
+                    run_band_contained(self.shared.kernel, &cmd, b, rows.clone(), &mut slot);
             }
-            return;
+            return poisoned;
+        }
+        if self.needs_respawn {
+            self.respawn_dead_workers();
         }
         {
             let mut st = lock(&self.shared.state);
-            assert!(
-                !st.panicked,
-                "a band worker panicked in an earlier dispatch"
-            );
             st.generation += 1;
             st.cmd = Some(cmd.clone());
             st.remaining = self.spawned;
+            st.poisoned_bands = 0;
             self.shared.work.notify_all();
         }
+        let mut poisoned = 0u64;
         for (b, rows) in self.shared.bands.iter().enumerate() {
             if b % self.workers == 0 {
                 let mut slot = lock(&self.shared.slots[b]);
-                (self.shared.kernel)(&cmd, b, rows.clone(), &mut slot);
+                poisoned +=
+                    run_band_contained(self.shared.kernel, &cmd, b, rows.clone(), &mut slot);
             }
         }
-        let panicked = {
-            let mut st = lock(&self.shared.state);
-            while st.remaining > 0 && !st.panicked {
-                st = wait(&self.shared.done, st);
+        let mut st = lock(&self.shared.state);
+        while st.remaining > 0 {
+            st = wait(&self.shared.done, st);
+        }
+        st.cmd = None;
+        poisoned += st.poisoned_bands;
+        if st.panicked {
+            // A panic unwound a worker thread itself (escaped the kernel
+            // containment). Report it as at least one poisoned band and
+            // schedule a respawn of the dead slot off the steady path.
+            st.panicked = false;
+            poisoned = poisoned.max(1);
+            self.needs_respawn = true;
+        }
+        drop(st);
+        poisoned
+    }
+
+    /// Replaces worker threads that have terminated (a panic escaped the
+    /// kernel containment and unwound the thread). Only called between
+    /// dispatches when the barrier observed an escaped panic, so its
+    /// allocations never touch the steady-state frame path.
+    ///
+    /// If a replacement cannot be spawned, the fixed `b % workers`
+    /// indexing can no longer be honored, so the pool degrades to the
+    /// serial path permanently — deterministic by construction, and
+    /// strictly better than leaving a band unexecuted.
+    fn respawn_dead_workers(&mut self) {
+        let mut all_respawned = true;
+        for (slot, handle) in self.handles.iter_mut().enumerate() {
+            if !handle.is_finished() {
+                continue;
             }
-            st.cmd = None;
-            st.panicked
-        };
-        assert!(!panicked, "a band worker panicked");
+            let index = slot + 1;
+            let shared = Arc::clone(&self.shared);
+            let fresh = std::thread::Builder::new()
+                .name(format!("sslic-band-{index}"))
+                .spawn(move || worker_loop(shared, index));
+            match fresh {
+                Ok(fresh) => {
+                    let dead = std::mem::replace(handle, fresh);
+                    let _ = dead.join();
+                }
+                Err(_) => all_respawned = false,
+            }
+        }
+        if !all_respawned {
+            {
+                let mut st = lock(&self.shared.state);
+                st.shutdown = true;
+                self.shared.work.notify_all();
+            }
+            for handle in self.handles.drain(..) {
+                let _ = handle.join();
+            }
+            self.spawned = 0;
+            self.workers = 1;
+        }
+        self.needs_respawn = false;
     }
 }
 
@@ -345,8 +442,8 @@ mod tests {
     #[test]
     fn pool_outputs_are_ordered_and_worker_count_invariant() {
         let serial = {
-            let pool = BandPool::new(1, 23, record_kernel, |_, _| (0, 0, 0));
-            pool.run(3);
+            let mut pool = BandPool::new(1, 23, record_kernel, |_, _| (0, 0, 0));
+            assert_eq!(pool.run(3), 0);
             collect(&pool)
         };
         assert_eq!(serial.len(), 23);
@@ -355,15 +452,15 @@ mod tests {
             assert_eq!(end - start, 1);
         }
         for threads in [2usize, 3, 8, 16] {
-            let pool = BandPool::new(threads, 23, record_kernel, |_, _| (0, 0, 0));
-            pool.run(3);
+            let mut pool = BandPool::new(threads, 23, record_kernel, |_, _| (0, 0, 0));
+            assert_eq!(pool.run(3), 0);
             assert_eq!(collect(&pool), serial, "threads = {threads}");
         }
     }
 
     #[test]
     fn pool_redispatches_across_generations() {
-        let pool = BandPool::new(4, 8, record_kernel, |_, _| (0, 0, 0));
+        let mut pool = BandPool::new(4, 8, record_kernel, |_, _| (0, 0, 0));
         for cmd in [1u64, 5, 9] {
             pool.run(cmd);
             for b in 0..pool.band_count() {
@@ -374,32 +471,53 @@ mod tests {
 
     #[test]
     fn pool_handles_more_threads_than_bands() {
-        let pool = BandPool::new(64, 2, record_kernel, |_, _| (0, 0, 0));
+        let mut pool = BandPool::new(64, 2, record_kernel, |_, _| (0, 0, 0));
         pool.run(7);
         assert_eq!(collect(&pool), vec![(7, 0, 1), (14, 1, 2)]);
     }
 
-    #[test]
-    fn worker_panics_propagate() {
-        fn boom(_: &u64, band: usize, _: Range<usize>, _: &mut ()) {
-            assert!(band != 2, "boom");
-        }
-        let caught = std::panic::catch_unwind(|| {
-            let pool = BandPool::new(2, 4, boom, |_, _| ());
-            pool.run(0);
-        });
-        assert!(caught.is_err());
+    /// Kernel that panics on one band of one command value but records
+    /// normally otherwise — the poisoned-band containment scenario.
+    fn boom_kernel(cmd: &u64, band: usize, rows: Range<usize>, slot: &mut (u64, usize, usize)) {
+        assert!(!(*cmd == 13 && band == 2), "boom");
+        *slot = (cmd * (band as u64 + 1), rows.start, rows.end);
     }
 
     #[test]
-    fn caller_panics_propagate_serially_too() {
-        fn boom(_: &u64, band: usize, _: Range<usize>, _: &mut ()) {
-            assert!(band != 1, "boom");
+    fn worker_panic_poisons_one_band_and_pool_stays_serviceable() {
+        let mut pool = BandPool::new(2, 4, boom_kernel, |_, _| (0, 0, 0));
+        assert_eq!(pool.run(1), 0, "clean dispatch reports zero poison");
+        assert_eq!(pool.run(13), 1, "exactly band 2 poisons");
+        // Band 2's slot kept its previous (now stale) contents — the
+        // caller must treat it as corrupt.
+        assert_eq!(pool.slot(2).0, 1 * 3);
+        // The pool is not wedged: a subsequent clean dispatch runs every
+        // band, including the previously poisoned one.
+        assert_eq!(pool.run(5), 0);
+        assert_eq!(
+            collect(&pool),
+            vec![(5, 0, 1), (10, 1, 2), (15, 2, 3), (20, 3, 4)]
+        );
+    }
+
+    #[test]
+    fn caller_band_panics_are_contained_serially_too() {
+        let mut pool = BandPool::new(1, 4, boom_kernel, |_, _| (0, 0, 0));
+        assert_eq!(pool.run(13), 1);
+        assert_eq!(pool.run(2), 0);
+        assert_eq!(
+            collect(&pool),
+            vec![(2, 0, 1), (4, 1, 2), (6, 2, 3), (8, 3, 4)]
+        );
+    }
+
+    #[test]
+    fn poison_reports_are_thread_count_invariant() {
+        for threads in [1usize, 2, 4, 8] {
+            let mut pool = BandPool::new(threads, 8, boom_kernel, |_, _| (0, 0, 0));
+            assert_eq!(pool.run(13), 1, "threads = {threads}");
+            assert_eq!(pool.run(13), 1, "threads = {threads} (repeat)");
+            assert_eq!(pool.run(4), 0, "threads = {threads} (clean)");
         }
-        let caught = std::panic::catch_unwind(|| {
-            let pool = BandPool::new(1, 4, boom, |_, _| ());
-            pool.run(0);
-        });
-        assert!(caught.is_err());
     }
 }

@@ -4,11 +4,24 @@
 //! counters, phase attribution, recorder histograms, fault summary, and
 //! modeled DRAM traffic under each element-width convention.
 
-use sslic_obs::{PhaseNanos, Recorder, ReportCounters, RunReport, TrafficEntry};
+use sslic_obs::{PhaseNanos, Recorder, ReportCounters, ReportRecovery, RunReport, TrafficEntry};
 
 use crate::engine::{Segmentation, SegmentationStatus, Segmenter};
 use crate::instrument::{RunCounters, TrafficModel};
 use crate::profile::PHASES;
+use crate::recovery::RecoveryReport;
+
+/// Converts the engine's per-frame [`RecoveryReport`] into the report
+/// mirror.
+pub fn report_recovery(r: &RecoveryReport) -> ReportRecovery {
+    ReportRecovery {
+        guards_fired: r.guards_fired,
+        retries: u64::from(r.retries),
+        escalations: u64::from(r.escalations),
+        outcome: r.outcome.as_str().to_string(),
+        center_checksum: r.center_checksum,
+    }
+}
 
 /// Converts the engine's [`RunCounters`] into the report mirror.
 pub fn report_counters(c: &RunCounters) -> ReportCounters {
@@ -85,9 +98,11 @@ pub fn build_run_report(
         status: match out.status() {
             SegmentationStatus::Ok => "ok".to_string(),
             SegmentationStatus::Degraded => "degraded".to_string(),
+            SegmentationStatus::Recovered => "recovered".to_string(),
         },
         repairs: out.invariant_repairs(),
         injected_words,
+        recovery: report_recovery(out.recovery()),
         counters: report_counters(out.counters()),
         phases,
         histograms: Vec::new(),

@@ -42,6 +42,9 @@ use crate::engine::{
 use crate::instrument::RunCounters;
 use crate::parallel::BandPool;
 use crate::profile::{Phase, PhaseBreakdown};
+use crate::recovery::{
+    center_checksum, GuardVerdict, RecoveryAction, RecoveryOutcome, RecoveryReport,
+};
 use crate::subsample::SubsetPartition;
 use crate::SeedGrid;
 
@@ -125,6 +128,7 @@ pub struct FrameReport {
     pub(crate) repairs: u64,
     pub(crate) scratch_allocs: u64,
     pub(crate) scratch_bytes: u64,
+    pub(crate) recovery: RecoveryReport,
 }
 
 impl FrameReport {
@@ -174,6 +178,14 @@ impl FrameReport {
     /// [`FrameReport::scratch_allocs`]).
     pub fn scratch_bytes(&self) -> u64 {
         self.scratch_bytes
+    }
+
+    /// Per-frame recovery record: guard firings, retries, escalations,
+    /// outcome, and the final center-table checksum — populated whether
+    /// or not a [`crate::RecoveryPolicy`] is active (without one, a
+    /// guard failure reports outcome `Failed` with zero retries).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
     }
 }
 
@@ -431,6 +443,26 @@ enum WarmMode {
     OneShot,
 }
 
+/// How one attempt of a frame resolves its initial centers.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AttemptInit {
+    /// Attempt 0: explicit warm start, recycled session state, or cold
+    /// grid seeding — as the caller requested.
+    AsRequested,
+    /// Retry: restore the last-known-good center checkpoint.
+    Rollback,
+    /// Escalated retry: discard all warm state and re-seed from the grid.
+    Cold,
+}
+
+/// What one attempt of a frame produced, evaluated at the end-of-attempt
+/// serial sync point (bit-identical across thread counts).
+struct AttemptOutcome {
+    iterations_run: u32,
+    verdict: GuardVerdict,
+    converged: bool,
+}
+
 /// A persistent streaming segmentation session: a [`Segmenter`]
 /// configuration bound to one frame geometry, owning all per-frame working
 /// memory and a parked worker pool.
@@ -483,6 +515,18 @@ pub struct SegmenterSession {
     inv_s2: f32,
     ledger: AllocLedger,
     frames: u64,
+    /// Last-known-good center table, snapshotted at the serial point
+    /// right after attempt 0's Init each frame (post-Init state is always
+    /// guard-verified or trusted input). Rollback and frame-failure
+    /// restore from here.
+    checkpoint: Vec<Cluster>,
+    /// [`center_checksum`] of `checkpoint`, for integrity verification at
+    /// rollback and the per-frame recovery report.
+    checkpoint_sum: u64,
+    /// Poisoned bands observed by pool dispatches this attempt.
+    poisoned: u64,
+    /// Sigma-fold count-conservation mismatch accumulated this attempt.
+    sigma_mismatch: u64,
 }
 
 impl std::fmt::Debug for SegmenterSession {
@@ -582,6 +626,8 @@ impl SegmenterSession {
         } else {
             None
         };
+        ledger.record(k as u64 * cluster_bytes); // recovery checkpoint of the center table
+        let checkpoint = vec![Cluster::default(); k];
         ledger.record(k as u64 * 4); // fold buffer: SLICO maxima
         let fold_max = vec![0f32; k];
         ledger.record(k as u64 * 48); // fold buffer: sigma register file
@@ -631,6 +677,10 @@ impl SegmenterSession {
             inv_s2: 1.0 / (spacing * spacing),
             ledger,
             frames: 0,
+            checkpoint,
+            checkpoint_sum: 0,
+            poisoned: 0,
+            sigma_mismatch: 0,
         })
     }
 
@@ -785,7 +835,7 @@ impl SegmenterSession {
         request: SegmentRequest<'_>,
         options: &RunOptions<'_>,
         warm_mode: WarmMode,
-        target: Target<'_>,
+        mut target: Target<'_>,
     ) -> Result<FrameReport, SegmentError> {
         let (w, h) = (self.grid.width(), self.grid.height());
         let (rw, rh) = request_dims(&request);
@@ -812,32 +862,277 @@ impl SegmenterSession {
             }
         }
         let params = *self.config.params();
-        let algorithm = self.config.algorithm();
-        let preemption = self.config.preemption();
         let recorder = options.recorder;
+        let policy = options.recovery;
         let spacing = self.grid.spacing();
         let mut breakdown = PhaseBreakdown::new();
 
+        if let Some(f) = options.faults {
+            // Attempt 0 of a new frame: fault adapters re-seed their
+            // attempt salt so a recovery-enabled first attempt stays
+            // bit-identical to a recovery-free run.
+            f.begin_attempt(0);
+        }
         self.convert_into(request, options.faults, &mut breakdown);
 
-        // Initial centers: explicit warm start > recycled session state
-        // (Auto, frames ≥ 1) > cold grid seeding.
+        // Attempt 0 initial centers: explicit warm start > recycled
+        // session state (Auto, frames ≥ 1) > cold grid seeding.
         let cold = options.warm_start.is_none()
             && (warm_mode == WarmMode::OneShot || self.frames == 0);
-        breakdown.time(Phase::Init, || {
-            match options.warm_start {
-                Some(warm) => {
-                    let clusters = Arc::make_mut(&mut self.clusters);
-                    clusters.clear();
-                    clusters.extend_from_slice(warm);
+
+        // The self-healing attempt loop. Attempt 0 is the ordinary run;
+        // each further attempt is a retry whose init the policy chose from
+        // the previous attempt's guard verdict — a pure function of
+        // (frame, verdict, attempt), so the whole ladder replays
+        // bit-identically across thread counts and re-runs. Without a
+        // policy the loop body runs exactly once.
+        let mut init = AttemptInit::AsRequested;
+        let mut attempt: u32 = 0;
+        let mut total_guards: u64 = 0;
+        let mut escalations: u32 = 0;
+        let (last, guard_clean) = loop {
+            let outcome =
+                self.run_attempt(options, init, cold, attempt, &mut breakdown, &mut target);
+            total_guards = total_guards.wrapping_add(outcome.verdict.guards_fired());
+            let action = if outcome.verdict.clean() {
+                None
+            } else {
+                policy.map(|p| p.action_for(self.frames, &outcome.verdict, attempt))
+            };
+            match action {
+                Some(act @ (RecoveryAction::Rollback | RecoveryAction::ColdRestart)) => {
+                    if let Some(rec) = recorder {
+                        let clock = LogicalClock::step(outcome.iterations_run.saturating_sub(1));
+                        rec.span_end(
+                            "core.run",
+                            clock,
+                            vec![
+                                (
+                                    "iterations_run",
+                                    Value::U64(u64::from(outcome.iterations_run)),
+                                ),
+                                (
+                                    "repairs",
+                                    Value::U64(
+                                        outcome.verdict.center_repairs
+                                            + outcome.verdict.label_repairs,
+                                    ),
+                                ),
+                                ("status", Value::from("retrying")),
+                            ],
+                        );
+                        rec.instant(
+                            "core.recovery.retry",
+                            clock,
+                            vec![
+                                ("attempt", Value::U64(u64::from(attempt + 1))),
+                                ("action", Value::from(act.as_str())),
+                                ("guards_fired", Value::U64(outcome.verdict.guards_fired())),
+                            ],
+                        );
+                    }
+                    init = if act == RecoveryAction::Rollback
+                        && center_checksum(&self.checkpoint) == self.checkpoint_sum
+                    {
+                        AttemptInit::Rollback
+                    } else {
+                        // ColdRestart — or, defense in depth, a checkpoint
+                        // that no longer matches its own checksum.
+                        escalations += 1;
+                        AttemptInit::Cold
+                    };
+                    attempt += 1;
+                    if let Some(f) = options.faults {
+                        f.begin_attempt(attempt);
+                    }
                 }
-                None if cold => {
+                Some(RecoveryAction::FailFrame) => {
+                    // Budget exhausted: keep the repaired (valid but
+                    // degraded) labels, but restore the last-known-good
+                    // centers so the next frame warm-starts clean instead
+                    // of propagating corruption.
+                    Arc::make_mut(&mut self.clusters).copy_from_slice(&self.checkpoint);
+                    break (outcome, false);
+                }
+                None => {
+                    let clean = outcome.verdict.clean();
+                    break (outcome, clean);
+                }
+            }
+        };
+        let iterations_run = last.iterations_run;
+        let repairs = last.verdict.center_repairs + last.verdict.label_repairs;
+        let out: &mut Plane<u32> = match &mut target {
+            Target::Caller(p) => p,
+            Target::Internal => &mut self.out,
+        };
+        if params.enforce_connectivity() {
+            let conn = &mut self.conn;
+            breakdown.time(Phase::Connectivity, || {
+                let min_size =
+                    ((spacing * spacing) / params.min_region_divisor() as f32).max(1.0) as usize;
+                enforce_connectivity_with(out, min_size.max(1), conn);
+            });
+        }
+
+        let frozen_clusters = self.active.iter().filter(|&&a| !a).count();
+        let outcome = if !guard_clean {
+            RecoveryOutcome::Failed
+        } else if attempt > 0 {
+            RecoveryOutcome::Recovered
+        } else {
+            RecoveryOutcome::Clean
+        };
+        // Exhausting the iteration budget while a convergence threshold is
+        // configured and unmet is the non-convergence signature of
+        // corruption: the run terminated (budget bound) but did not settle.
+        // Non-convergence is *not* a guard (it never triggers a retry) but
+        // it still degrades the reported status.
+        let status = match outcome {
+            RecoveryOutcome::Failed => SegmentationStatus::Degraded,
+            _ if !last.converged => SegmentationStatus::Degraded,
+            RecoveryOutcome::Recovered => SegmentationStatus::Recovered,
+            RecoveryOutcome::Clean => SegmentationStatus::Ok,
+        };
+        let recovery = RecoveryReport {
+            guards_fired: total_guards,
+            retries: attempt,
+            escalations,
+            outcome,
+            center_checksum: center_checksum(&self.clusters),
+        };
+        let (scratch_allocs, scratch_bytes) = self.ledger.take_frame_delta();
+        if let Some(rec) = recorder {
+            // Phase attribution: wall-clock durations pass through
+            // Recorder::duration_ns, which zeroes them in deterministic
+            // mode so the trace bytes stay workload-pure.
+            for phase in crate::profile::PHASES {
+                rec.instant(
+                    "core.phase",
+                    LogicalClock::step(iterations_run.saturating_sub(1)),
+                    vec![
+                        ("phase", Value::from(phase.key())),
+                        (
+                            "nanos",
+                            Value::U64(rec.duration_ns(breakdown.phase_time(phase))),
+                        ),
+                    ],
+                );
+            }
+            let c = &self.counters;
+            rec.counter_add("core.distance_calcs", c.distance_calcs);
+            rec.counter_add("core.pixel_color_reads", c.pixel_color_reads);
+            rec.counter_add("core.sigma_updates", c.sigma_updates);
+            rec.counter_add("core.center_updates", c.center_updates);
+            rec.counter_add("core.sub_iterations", c.sub_iterations);
+            rec.counter_add("core.invariant_repairs", repairs);
+            // Scratch establishments this frame: the full inventory on the
+            // session's first frame, zero in steady state. Geometry-pure
+            // (never thread- or timing-dependent), so deterministic traces
+            // stay byte-identical across worker counts.
+            rec.counter_add("core.alloc.scratch", scratch_allocs);
+            rec.counter_add("core.alloc.scratch_bytes", scratch_bytes);
+            if policy.is_some() {
+                // Recovery telemetry is policy-gated so recovery-off
+                // traces stay byte-identical to the pre-recovery engine.
+                rec.instant(
+                    "core.recovery.outcome",
+                    LogicalClock::step(iterations_run.saturating_sub(1)),
+                    vec![
+                        ("outcome", Value::from(recovery.outcome.as_str())),
+                        ("guards_fired", Value::U64(recovery.guards_fired)),
+                        ("retries", Value::U64(u64::from(recovery.retries))),
+                        ("escalations", Value::U64(u64::from(recovery.escalations))),
+                        ("center_checksum", Value::U64(recovery.center_checksum)),
+                    ],
+                );
+                rec.counter_add("core.recovery.guards_fired", recovery.guards_fired);
+                rec.counter_add("core.recovery.retries", u64::from(recovery.retries));
+                rec.counter_add("core.recovery.escalations", u64::from(recovery.escalations));
+            }
+            rec.span_end(
+                "core.run",
+                LogicalClock::step(iterations_run.saturating_sub(1)),
+                vec![
+                    ("iterations_run", Value::U64(u64::from(iterations_run))),
+                    ("repairs", Value::U64(repairs)),
+                    (
+                        "status",
+                        Value::from(match status {
+                            SegmentationStatus::Ok => "ok",
+                            SegmentationStatus::Degraded => "degraded",
+                            SegmentationStatus::Recovered => "recovered",
+                        }),
+                    ),
+                ],
+            );
+        }
+        self.frames += 1;
+        Ok(FrameReport {
+            iterations_run,
+            breakdown,
+            counters: self.counters,
+            spacing,
+            frozen_clusters,
+            status,
+            repairs,
+            scratch_allocs,
+            scratch_bytes,
+            recovery,
+        })
+    }
+
+    /// Runs one attempt of a frame: attempt init, the iteration loop,
+    /// copy-out, and the center/label/sigma/poison guards — everything up
+    /// to the retry decision, which stays in [`SegmenterSession::frame`]
+    /// together with the finishing passes (connectivity, reporting).
+    ///
+    /// Emits this attempt's `core.run` span-begin, step spans, and repair
+    /// instants; the caller closes the span with the attempt's
+    /// disposition (`retrying`, or the frame's final status).
+    fn run_attempt(
+        &mut self,
+        options: &RunOptions<'_>,
+        init: AttemptInit,
+        cold: bool,
+        attempt: u32,
+        breakdown: &mut PhaseBreakdown,
+        target: &mut Target<'_>,
+    ) -> AttemptOutcome {
+        let (w, h) = (self.grid.width(), self.grid.height());
+        let params = *self.config.params();
+        let algorithm = self.config.algorithm();
+        let preemption = self.config.preemption();
+        let recorder = options.recorder;
+
+        breakdown.time(Phase::Init, || {
+            match init {
+                AttemptInit::AsRequested => match options.warm_start {
+                    Some(warm) => {
+                        let clusters = Arc::make_mut(&mut self.clusters);
+                        clusters.clear();
+                        clusters.extend_from_slice(warm);
+                    }
+                    None if cold => {
+                        let fresh = init_clusters(&self.lab, &self.grid, params.perturb_seeds());
+                        let clusters = Arc::make_mut(&mut self.clusters);
+                        clusters.clear();
+                        clusters.extend_from_slice(&fresh);
+                    }
+                    None => {} // Auto steady state: centers stay in place.
+                },
+                AttemptInit::Rollback => {
+                    // Restore the last-known-good center table written at
+                    // this frame's attempt-0 sync point. Same-length copy:
+                    // no allocation on the retry path.
+                    Arc::make_mut(&mut self.clusters).copy_from_slice(&self.checkpoint);
+                }
+                AttemptInit::Cold => {
                     let fresh = init_clusters(&self.lab, &self.grid, params.perturb_seeds());
                     let clusters = Arc::make_mut(&mut self.clusters);
                     clusters.clear();
                     clusters.extend_from_slice(&fresh);
                 }
-                None => {} // Auto steady state: centers stay in place.
             }
             let labels = Arc::make_mut(&mut self.labels);
             for y in 0..h {
@@ -857,6 +1152,14 @@ impl SegmenterSession {
                 }
             }
         });
+        if attempt == 0 {
+            // Checkpoint: the post-init state of attempt 0 is
+            // last-known-good by construction — a guard-verified previous
+            // frame, an explicitly trusted warm start, or a fresh grid
+            // seed. Same-length copy into preallocated scratch.
+            self.checkpoint.copy_from_slice(&self.clusters);
+            self.checkpoint_sum = center_checksum(&self.checkpoint);
+        }
 
         let cluster_count = self.clusters.len();
         if let Some(rec) = recorder {
@@ -875,7 +1178,9 @@ impl SegmenterSession {
             );
         }
 
-        // Per-frame scratch resets — all in place, no allocation.
+        // Per-attempt scratch resets — all in place, no allocation. A
+        // retry resets the counters too, so the frame reports the final
+        // attempt's workload (matching the labels it actually produced).
         Arc::make_mut(&mut self.active).fill(true);
         let m = params.compactness();
         if let Some(max_dc2) = &mut self.max_dc2 {
@@ -883,9 +1188,11 @@ impl SegmenterSession {
         }
         self.counters = RunCounters::default();
         self.dist.reset_to(f32::INFINITY);
+        self.poisoned = 0;
+        self.sigma_mismatch = 0;
 
         let mut iterations_run = 0u32;
-        let mut repairs = 0u64;
+        let mut center_repairs = 0u64;
         let mut last_movement = 0.0f32;
         for step in 0..params.iterations() {
             if let Some(rec) = recorder {
@@ -952,7 +1259,7 @@ impl SegmenterSession {
             // corrupted center registers cannot push subsequent window
             // scans or seed lookups out of the image box.
             let step_repairs = self.repair_centers();
-            repairs += step_repairs;
+            center_repairs += step_repairs;
             if let Some(rec) = recorder {
                 if step_repairs > 0 {
                     rec.instant(
@@ -976,7 +1283,7 @@ impl SegmenterSession {
 
         // The finished label map lands in the target plane; the working
         // plane stays untouched by the post-passes (it is re-seeded from
-        // home clusters next frame anyway).
+        // home clusters next attempt/frame anyway).
         let out: &mut Plane<u32> = match target {
             Target::Caller(p) => p,
             Target::Internal => &mut self.out,
@@ -995,7 +1302,6 @@ impl SegmenterSession {
                 }
             }
         }
-        repairs += label_repairs;
         if let Some(rec) = recorder {
             if label_repairs > 0 {
                 rec.instant(
@@ -1005,86 +1311,19 @@ impl SegmenterSession {
                 );
             }
         }
-        if params.enforce_connectivity() {
-            let conn = &mut self.conn;
-            breakdown.time(Phase::Connectivity, || {
-                let min_size =
-                    ((spacing * spacing) / params.min_region_divisor() as f32).max(1.0) as usize;
-                enforce_connectivity_with(out, min_size.max(1), conn);
-            });
-        }
-
-        let frozen_clusters = self.active.iter().filter(|&&a| !a).count();
-        // Exhausting the iteration budget while a convergence threshold is
-        // configured and unmet is the non-convergence signature of
-        // corruption: the run terminated (budget bound) but did not settle.
         let converged = params
             .convergence_threshold()
             .map_or(true, |t| last_movement <= t);
-        let status = if repairs > 0 || !converged {
-            SegmentationStatus::Degraded
-        } else {
-            SegmentationStatus::Ok
-        };
-        let (scratch_allocs, scratch_bytes) = self.ledger.take_frame_delta();
-        if let Some(rec) = recorder {
-            // Phase attribution: wall-clock durations pass through
-            // Recorder::duration_ns, which zeroes them in deterministic
-            // mode so the trace bytes stay workload-pure.
-            for phase in crate::profile::PHASES {
-                rec.instant(
-                    "core.phase",
-                    LogicalClock::step(iterations_run.saturating_sub(1)),
-                    vec![
-                        ("phase", Value::from(phase.key())),
-                        (
-                            "nanos",
-                            Value::U64(rec.duration_ns(breakdown.phase_time(phase))),
-                        ),
-                    ],
-                );
-            }
-            let c = &self.counters;
-            rec.counter_add("core.distance_calcs", c.distance_calcs);
-            rec.counter_add("core.pixel_color_reads", c.pixel_color_reads);
-            rec.counter_add("core.sigma_updates", c.sigma_updates);
-            rec.counter_add("core.center_updates", c.center_updates);
-            rec.counter_add("core.sub_iterations", c.sub_iterations);
-            rec.counter_add("core.invariant_repairs", repairs);
-            // Scratch establishments this frame: the full inventory on the
-            // session's first frame, zero in steady state. Geometry-pure
-            // (never thread- or timing-dependent), so deterministic traces
-            // stay byte-identical across worker counts.
-            rec.counter_add("core.alloc.scratch", scratch_allocs);
-            rec.counter_add("core.alloc.scratch_bytes", scratch_bytes);
-            rec.span_end(
-                "core.run",
-                LogicalClock::step(iterations_run.saturating_sub(1)),
-                vec![
-                    ("iterations_run", Value::U64(u64::from(iterations_run))),
-                    ("repairs", Value::U64(repairs)),
-                    (
-                        "status",
-                        Value::from(match status {
-                            SegmentationStatus::Ok => "ok",
-                            SegmentationStatus::Degraded => "degraded",
-                        }),
-                    ),
-                ],
-            );
-        }
-        self.frames += 1;
-        Ok(FrameReport {
+        AttemptOutcome {
             iterations_run,
-            breakdown,
-            counters: self.counters,
-            spacing,
-            frozen_clusters,
-            status,
-            repairs,
-            scratch_allocs,
-            scratch_bytes,
-        })
+            verdict: GuardVerdict {
+                center_repairs,
+                label_repairs,
+                sigma_mismatch: self.sigma_mismatch,
+                poisoned_bands: self.poisoned,
+            },
+            converged,
+        }
     }
 
     /// Converts the request's pixels into the session's reusable feature
@@ -1243,11 +1482,12 @@ impl SegmenterSession {
     ) {
         self.refresh_codes();
         let w = self.grid.width();
-        self.pool.run(Cmd::Assign {
+        let cmd = Cmd::Assign {
             ctx: self.frame_ctx(),
             subset,
             preempting,
-        });
+        };
+        self.poisoned += self.pool.run(cmd);
         self.fold_max.fill(0.0);
         self.band_counters.clear();
         let labels = Arc::make_mut(&mut self.labels);
@@ -1403,11 +1643,12 @@ impl SegmenterSession {
         recorder: Option<&Recorder>,
         step: u32,
     ) -> f32 {
-        self.pool.run(Cmd::Update {
+        let cmd = Cmd::Update {
             ctx: self.frame_ctx(),
             pixel_subset,
             cluster_subset,
-        });
+        };
+        self.poisoned += self.pool.run(cmd);
         // Banded sigma fold in ascending band order: the f64 sums always
         // group the same way — per band, row-major within a band — no
         // matter how many workers executed the bands, which is what makes
@@ -1429,6 +1670,20 @@ impl SegmenterSession {
         for part in &self.band_counters {
             self.counters += *part;
         }
+        // Invariant guard: count conservation across the parallel fold.
+        // Every pixel an update band read contributes exactly 1.0 to its
+        // cluster's member count, so the folded counts and the band
+        // counters must agree; a mismatch means a band handed back
+        // partial state (e.g. a poisoned band's stale slot). Integer
+        // compare at a serial sync point — bit-identical across thread
+        // counts, and exact (member counts are far below 2^53).
+        let folded = self
+            .fold_sigma
+            .iter()
+            .map(|acc| acc[5])
+            .sum::<f64>() as u64;
+        let read: u64 = self.band_counters.iter().map(|c| c.label_reads).sum();
+        self.sigma_mismatch += folded.abs_diff(read);
         if let Some(rec) = recorder {
             for (b, part) in self.band_counters.iter().enumerate() {
                 rec.instant(

@@ -1,0 +1,215 @@
+//! Exhaustive error-path coverage: every [`ParamError`] and
+//! [`SegmentError`] variant is reachable through the fallible entry
+//! points, the panicking twins carry the same message, and a failed
+//! `run_into` never writes a single word of partial output.
+
+use sslic_core::{
+    ParamError, RunOptions, SegmentError, SegmentRequest, Segmenter, SegmenterSession, SlicParams,
+};
+use sslic_image::synthetic::SyntheticImage;
+use sslic_image::Plane;
+
+fn scene(w: usize, h: usize) -> SyntheticImage {
+    SyntheticImage::builder(w, h).seed(3).regions(4).build()
+}
+
+#[test]
+fn every_param_error_variant_is_reachable_via_try_build() {
+    assert_eq!(
+        SlicParams::builder(0).try_build().unwrap_err(),
+        ParamError::ZeroSuperpixels
+    );
+    assert_eq!(
+        SlicParams::builder(100).compactness(0.0).try_build().unwrap_err(),
+        ParamError::InvalidCompactness
+    );
+    assert_eq!(
+        SlicParams::builder(100).compactness(-3.0).try_build().unwrap_err(),
+        ParamError::InvalidCompactness
+    );
+    assert_eq!(
+        SlicParams::builder(100)
+            .compactness(f32::NAN)
+            .try_build()
+            .unwrap_err(),
+        ParamError::InvalidCompactness
+    );
+    assert_eq!(
+        SlicParams::builder(100)
+            .compactness(f32::INFINITY)
+            .try_build()
+            .unwrap_err(),
+        ParamError::InvalidCompactness
+    );
+    assert_eq!(
+        SlicParams::builder(100).iterations(0).try_build().unwrap_err(),
+        ParamError::ZeroIterations
+    );
+    assert_eq!(
+        SlicParams::builder(100)
+            .min_region_divisor(0)
+            .try_build()
+            .unwrap_err(),
+        ParamError::ZeroMinRegionDivisor
+    );
+    assert_eq!(
+        SlicParams::builder(100).threads(0).try_build().unwrap_err(),
+        ParamError::ZeroThreads
+    );
+    // The happy path still builds.
+    assert!(SlicParams::builder(100).try_build().is_ok());
+}
+
+#[test]
+fn param_errors_display_distinct_messages() {
+    let variants = [
+        ParamError::ZeroSuperpixels,
+        ParamError::InvalidCompactness,
+        ParamError::ZeroIterations,
+        ParamError::ZeroMinRegionDivisor,
+        ParamError::ZeroThreads,
+    ];
+    let messages: Vec<String> = variants.iter().map(|v| v.to_string()).collect();
+    for (i, m) in messages.iter().enumerate() {
+        assert!(!m.is_empty());
+        for other in &messages[i + 1..] {
+            assert_ne!(m, other, "messages must distinguish the variants");
+        }
+    }
+}
+
+#[test]
+fn empty_frame_is_reported_by_try_new() {
+    let seg = Segmenter::sslic_ppa(SlicParams::builder(60).iterations(2).build(), 2);
+    for (w, h) in [(0usize, 32usize), (32, 0), (0, 0)] {
+        let err = SegmenterSession::try_new(seg.clone(), w, h).unwrap_err();
+        assert_eq!(err, SegmentError::EmptyFrame { width: w, height: h });
+        assert!(err.to_string().contains("empty"));
+    }
+}
+
+#[test]
+fn geometry_mismatch_is_reported_for_request_and_output() {
+    let seg = Segmenter::sslic_ppa(SlicParams::builder(60).iterations(2).build(), 2);
+    let mut session = seg.session(64, 48);
+
+    // A wrong-sized request, internal target.
+    let wrong = scene(32, 24);
+    let err = session
+        .try_run(SegmentRequest::Rgb(&wrong.rgb), &RunOptions::new())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SegmentError::GeometryMismatch {
+            expected: (64, 48),
+            actual: (32, 24),
+        }
+    );
+
+    // A right-sized request but a wrong-sized caller plane.
+    let right = scene(64, 48);
+    let mut small = Plane::filled(64, 47, 0u32);
+    let err = session
+        .try_run_into(SegmentRequest::Rgb(&right.rgb), &RunOptions::new(), &mut small)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SegmentError::GeometryMismatch {
+            expected: (64, 48),
+            actual: (64, 47),
+        }
+    );
+}
+
+#[test]
+fn warm_start_length_is_validated() {
+    let seg = Segmenter::sslic_ppa(SlicParams::builder(60).iterations(2).build(), 2);
+    let mut session = seg.session(64, 48);
+    let img = scene(64, 48);
+    // Learn the true cluster count from a clean run.
+    session.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+    let k = session.clusters().len();
+    let mut out = Plane::filled(64, 48, 0u32);
+
+    let bogus = vec![sslic_core::Cluster::default(); k + 1];
+    let err = session
+        .try_run_into(
+            SegmentRequest::Rgb(&img.rgb),
+            &RunOptions::new().with_warm_start(&bogus),
+            &mut out,
+        )
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SegmentError::WarmStartLen {
+            expected: k,
+            actual: k + 1,
+        }
+    );
+}
+
+#[test]
+fn failed_run_into_writes_no_partial_output() {
+    const SENTINEL: u32 = 0xDEAD_BEEF;
+    let seg = Segmenter::sslic_ppa(SlicParams::builder(60).iterations(2).build(), 2);
+    let mut session = seg.session(64, 48);
+    let img = scene(64, 48);
+    session.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+    let k = session.clusters().len();
+
+    // Wrong-geometry request: the sentinel plane must stay untouched.
+    let wrong = scene(32, 24);
+    let mut out = Plane::filled(64, 48, SENTINEL);
+    assert!(session
+        .try_run_into(SegmentRequest::Rgb(&wrong.rgb), &RunOptions::new(), &mut out)
+        .is_err());
+    assert!(
+        out.as_slice().iter().all(|&v| v == SENTINEL),
+        "geometry mismatch must not touch the output plane"
+    );
+
+    // Wrong warm-start length: rejected before any pixel work too.
+    let bogus = vec![sslic_core::Cluster::default(); k + 3];
+    assert!(session
+        .try_run_into(
+            SegmentRequest::Rgb(&img.rgb),
+            &RunOptions::new().with_warm_start(&bogus),
+            &mut out,
+        )
+        .is_err());
+    assert!(
+        out.as_slice().iter().all(|&v| v == SENTINEL),
+        "warm-start rejection must not touch the output plane"
+    );
+
+    // The session itself stays serviceable after the failures.
+    let report = session
+        .try_run_into(SegmentRequest::Rgb(&img.rgb), &RunOptions::new(), &mut out)
+        .expect("session must survive rejected requests");
+    assert!(report.iterations_run() > 0);
+    assert!(out.as_slice().iter().any(|&v| v != SENTINEL));
+}
+
+#[test]
+fn panicking_twins_carry_the_typed_message() {
+    let seg = Segmenter::sslic_ppa(SlicParams::builder(60).iterations(2).build(), 2);
+    let result = std::panic::catch_unwind(|| {
+        let mut session = seg.session(64, 48);
+        let wrong = scene(32, 24);
+        session.run(SegmentRequest::Rgb(&wrong.rgb), &RunOptions::new());
+    });
+    let payload = result.unwrap_err();
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload is a message");
+    let typed = SegmentError::GeometryMismatch {
+        expected: (64, 48),
+        actual: (32, 24),
+    };
+    assert!(
+        msg.contains(&typed.to_string()),
+        "panic message {msg:?} must carry the typed error text"
+    );
+}

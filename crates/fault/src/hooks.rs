@@ -41,6 +41,12 @@ pub struct EngineFaults<'a> {
     /// Interior-mutable because the [`StepFaults`] hooks take `&self`
     /// (the engine shares the hook object by shared reference).
     injected_words: Cell<u64>,
+    /// Current recovery attempt of the running frame, folded into the
+    /// center-corruption address space so a retried attempt draws a fresh
+    /// (still deterministic) decision stream instead of re-corrupting
+    /// identically. Attempt 0 leaves addresses untouched, keeping
+    /// recovery-free runs bit-identical to this adapter's history.
+    attempt: Cell<u32>,
     recorder: Option<&'a Recorder>,
 }
 
@@ -50,6 +56,7 @@ impl<'a> EngineFaults<'a> {
         EngineFaults {
             plan,
             injected_words: Cell::new(0),
+            attempt: Cell::new(0),
             recorder: None,
         }
     }
@@ -70,6 +77,10 @@ impl<'a> EngineFaults<'a> {
 }
 
 impl StepFaults for EngineFaults<'_> {
+    fn begin_attempt(&self, attempt: u32) {
+        self.attempt.set(attempt);
+    }
+
     fn corrupt_lab8(&self, lab8: &mut Lab8Image) {
         if self.plan.is_empty() {
             return;
@@ -109,6 +120,11 @@ impl StepFaults for EngineFaults<'_> {
             return;
         }
         let mut corrupted = 0u64;
+        // Attempt salt: retries address a disjoint slice of the decision
+        // stream (bits 48+ are unused by the step/cluster/field encoding),
+        // so a rolled-back attempt is not doomed to the identical
+        // corruption. Attempt 0 contributes no salt.
+        let salt = u64::from(self.attempt.get()) << 48;
         for (k, cluster) in clusters.iter_mut().enumerate() {
             let fields: [&mut f32; 5] = [
                 &mut cluster.l,
@@ -118,7 +134,7 @@ impl StepFaults for EngineFaults<'_> {
                 &mut cluster.y,
             ];
             for (f, field) in fields.into_iter().enumerate() {
-                let addr = ((step as u64) << 40) | ((k as u64) << 3) | f as u64;
+                let addr = salt | ((step as u64) << 40) | ((k as u64) << 3) | f as u64;
                 let eff = effect_at(self.plan, FaultSite::SigmaRegister, addr, CENTER_FIELD_BITS);
                 if eff.is_clean() {
                     continue;

@@ -46,4 +46,7 @@ pub use inject::{effect_at, FaultEffect};
 pub use plan::{FaultKind, FaultPlan, FaultSite, PlanEntry};
 pub use protect::{filter_word, MemOutcome, ProtectionStats};
 pub use report::{to_json, to_markdown};
-pub use sweep::{run_sweep, EnginePoint, HwPoint, SweepConfig, SweepResult};
+pub use sweep::{
+    run_sweep, EnginePoint, HwPoint, RecoveryPoint, SweepConfig, SweepResult,
+    SWEEP_RECOVERY_RETRIES,
+};

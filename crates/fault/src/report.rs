@@ -5,7 +5,7 @@
 //! the same sweep always serializes to byte-identical reports — CI diffs
 //! two independent runs to prove it.
 
-use crate::sweep::{EnginePoint, HwPoint, SweepConfig, SweepResult};
+use crate::sweep::{EnginePoint, HwPoint, RecoveryPoint, SweepConfig, SweepResult};
 
 fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
@@ -86,6 +86,23 @@ fn json_engine_point(p: &EnginePoint) -> String {
     )
 }
 
+fn json_recovery_point(p: &RecoveryPoint) -> String {
+    format!(
+        concat!(
+            "{{\"rate_ppm\": {}, \"undersegmentation_error\": {}, ",
+            "\"boundary_recall\": {}, \"outcome\": \"{}\", \"guards_fired\": {}, ",
+            "\"retries\": {}, \"escalations\": {}}}"
+        ),
+        p.rate_ppm,
+        fmt_f64(p.undersegmentation_error),
+        fmt_f64(p.boundary_recall),
+        p.outcome,
+        p.guards_fired,
+        p.retries,
+        p.escalations,
+    )
+}
+
 /// Renders the sweep as a deterministic JSON document.
 pub fn to_json(result: &SweepResult) -> String {
     let mut out = String::new();
@@ -101,6 +118,12 @@ pub fn to_json(result: &SweepResult) -> String {
     for (i, p) in result.engine.iter().enumerate() {
         let sep = if i + 1 < result.engine.len() { "," } else { "" };
         out.push_str(&format!("    {}{sep}\n", json_engine_point(p)));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"recovered\": [\n");
+    for (i, p) in result.recovered.iter().enumerate() {
+        let sep = if i + 1 < result.recovered.len() { "," } else { "" };
+        out.push_str(&format!("    {}{sep}\n", json_recovery_point(p)));
     }
     out.push_str("  ]\n");
     out.push_str("}\n");
@@ -155,6 +178,25 @@ pub fn to_markdown(result: &SweepResult) -> String {
         ));
     }
 
+    out.push_str(&format!(
+        "\n## Engine with self-healing (retry budget {})\n\n",
+        crate::sweep::SWEEP_RECOVERY_RETRIES
+    ));
+    out.push_str("| rate (ppm) | USE | BR | outcome | guards fired | retries | escalations |\n");
+    out.push_str("|---:|---:|---:|---|---:|---:|---:|\n");
+    for p in &result.recovered {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            p.rate_ppm,
+            fmt_f64(p.undersegmentation_error),
+            fmt_f64(p.boundary_recall),
+            p.outcome,
+            p.guards_fired,
+            p.retries,
+            p.escalations,
+        ));
+    }
+
     out.push_str(
         "\nProtection semantics: parity detects odd-bit corruption and retries \
          from DRAM; SECDED corrects single-bit and detects double-bit errors. \
@@ -184,7 +226,10 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.starts_with("{\n"));
         assert!(a.ends_with("}\n"));
-        assert_eq!(a.matches("\"rate_ppm\"").count(), r.hw.len() + r.engine.len());
+        assert_eq!(
+            a.matches("\"rate_ppm\"").count(),
+            r.hw.len() + r.engine.len() + r.recovered.len()
+        );
         // Balanced braces: a cheap well-formedness check without a parser.
         assert_eq!(a.matches('{').count(), a.matches('}').count());
     }

@@ -8,7 +8,7 @@
 //! [`SweepResult`]s (and, through [`crate::report`], byte-identical
 //! reports).
 
-use sslic_core::{RunOptions, SegmentRequest, SegmentationStatus, Segmenter};
+use sslic_core::{RecoveryPolicy, RunOptions, SegmentRequest, SegmentationStatus, Segmenter};
 use sslic_hw::accel::{Accelerator, AcceleratorConfig};
 use sslic_hw::scratchpad::Protection;
 use sslic_image::synthetic::SyntheticImage;
@@ -148,6 +148,31 @@ pub struct EnginePoint {
     pub injected_words: u64,
 }
 
+/// Retry budget of the sweep's recovered-quality curve.
+pub const SWEEP_RECOVERY_RETRIES: u32 = 2;
+
+/// One recovery-enabled engine sweep point: the same plan and workload as
+/// the matching [`EnginePoint`], re-run under a
+/// [`RecoveryPolicy`] so the curves compare
+/// recovery-off against recovery-on quality.
+#[derive(Debug, Clone)]
+pub struct RecoveryPoint {
+    /// Fault rate of this point, parts per million.
+    pub rate_ppm: u32,
+    /// Undersegmentation error against the synthetic ground truth.
+    pub undersegmentation_error: f64,
+    /// Boundary recall against the synthetic ground truth.
+    pub boundary_recall: f64,
+    /// Recovery outcome (`clean`, `recovered`, or `failed`).
+    pub outcome: String,
+    /// Invariant-guard firings summed over every attempt.
+    pub guards_fired: u64,
+    /// Frame re-runs taken by the policy.
+    pub retries: u64,
+    /// Cold-restart escalations among the retries.
+    pub escalations: u64,
+}
+
 /// The full result of one sweep.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
@@ -157,6 +182,8 @@ pub struct SweepResult {
     pub hw: Vec<HwPoint>,
     /// Engine points, in `rates_ppm` order.
     pub engine: Vec<EnginePoint>,
+    /// Recovery-enabled engine points, in `rates_ppm` order.
+    pub recovered: Vec<RecoveryPoint>,
 }
 
 /// Runs the sweep described by `config`.
@@ -220,10 +247,38 @@ pub fn run_sweep(config: &SweepConfig) -> SweepResult {
         });
     }
 
+    // The recovered-quality curve: identical workload and plans, but the
+    // engine runs under the bounded retry policy, so the USE/BR deltas
+    // against `engine` isolate what self-healing buys at each rate.
+    let policy = RecoveryPolicy::new(SWEEP_RECOVERY_RETRIES);
+    let mut recovered = Vec::new();
+    for &rate in &config.rates_ppm {
+        let plan = config.plan_at(rate);
+        let mut conv = HwColorConverter::paper_default();
+        corrupt_color_lut(&plan, &mut conv);
+        let lab8 = conv.convert_image(&scene.rgb);
+        let faults = EngineFaults::new(&plan);
+        let seg = segmenter.run(
+            SegmentRequest::Lab8(&lab8),
+            &RunOptions::new().with_faults(&faults).with_recovery(&policy),
+        );
+        let rec = seg.recovery();
+        recovered.push(RecoveryPoint {
+            rate_ppm: rate,
+            undersegmentation_error: undersegmentation_error(seg.labels(), &scene.ground_truth),
+            boundary_recall: boundary_recall(seg.labels(), &scene.ground_truth, BR_TOLERANCE),
+            outcome: rec.outcome.as_str().to_string(),
+            guards_fired: rec.guards_fired,
+            retries: u64::from(rec.retries),
+            escalations: u64::from(rec.escalations),
+        });
+    }
+
     SweepResult {
         config: config.clone(),
         hw,
         engine,
+        recovered,
     }
 }
 
@@ -237,6 +292,7 @@ mod tests {
         let result = run_sweep(&cfg);
         assert_eq!(result.hw.len(), cfg.rates_ppm.len() * cfg.protections.len());
         assert_eq!(result.engine.len(), cfg.rates_ppm.len());
+        assert_eq!(result.recovered.len(), cfg.rates_ppm.len());
         for p in &result.hw {
             assert!(p.undersegmentation_error.is_finite());
             assert!((0.0..=1.0).contains(&p.boundary_recall));
@@ -256,6 +312,9 @@ mod tests {
         assert!(!result.engine[0].degraded);
         assert_eq!(result.engine[0].injected_words, 0);
         assert_eq!(result.engine[0].lut_entries_corrupted, 0);
+        let r = &result.recovered[0];
+        assert_eq!(r.outcome, "clean");
+        assert_eq!((r.guards_fired, r.retries, r.escalations), (0, 0, 0));
     }
 
     #[test]

@@ -258,11 +258,21 @@ fn parse_header(bytes: &[u8]) -> Result<(&str, usize, usize, usize, usize), Imag
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| ImageError::Format("malformed numeric header field".into()))?;
     }
+    // The Netpbm spec bounds maxval to 1..=65535. A maxval of 0 would
+    // otherwise slip through every reader's `<= 255` check and silently
+    // mis-scale the samples; anything above 16 bits has no defined sample
+    // width at all.
+    let maxval = nums[2];
+    if maxval == 0 || maxval > 65_535 {
+        return Err(ImageError::Format(format!(
+            "maxval {maxval} outside the Netpbm range 1..=65535"
+        )));
+    }
     // Exactly one whitespace byte separates the header from pixel data.
     if pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
         pos += 1;
     }
-    Ok((magic, nums[0], nums[1], nums[2], pos))
+    Ok((magic, nums[0], nums[1], maxval, pos))
 }
 
 #[cfg(test)]

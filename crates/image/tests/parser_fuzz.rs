@@ -1,0 +1,180 @@
+//! Adversarial Netpbm parser hardening: a deterministic SplitMix64-driven
+//! fuzz corpus plus directed edge cases. Every reader must hold two
+//! properties on arbitrary bytes:
+//!
+//! 1. never panic (runs under the workspace's overflow-checked test
+//!    profile, so any unchecked size arithmetic would abort here), and
+//! 2. any `Ok` result satisfies the readers' documented invariants
+//!    (non-degenerate dimensions under the pixel cap, buffers sized
+//!    exactly to the header).
+//!
+//! The corpus is a pure function of the seeds below — failures reproduce
+//! bit-for-bit.
+
+use sslic_image::ppm::{read_pgm, read_pgm16, read_ppm, write_pgm16, write_ppm, MAX_PIXELS};
+use sslic_image::prng::SplitMix64;
+use sslic_image::{ImageError, Plane, Rgb, RgbImage};
+
+/// Seeds of valid files the mutator starts from.
+fn seed_corpus() -> Vec<Vec<u8>> {
+    let mut corpus = Vec::new();
+
+    let img = RgbImage::from_fn(13, 7, |x, y| Rgb::new(x as u8, y as u8, (x * y) as u8));
+    let mut ppm = Vec::new();
+    write_ppm(&mut ppm, &img).unwrap();
+    corpus.push(ppm);
+
+    let labels = Plane::from_fn(9, 5, |x, y| (x * 301 + y) as u32);
+    let mut pgm16 = Vec::new();
+    write_pgm16(&mut pgm16, &labels).unwrap();
+    corpus.push(pgm16);
+
+    corpus.push(b"P3\n3 2\n255\n0 1 2 3 4 5 6 7 8 9 10 11\n".to_vec());
+    corpus.push(b"P5\n# comment\n4 4\n255\n0123456789abcdef".to_vec());
+    corpus
+}
+
+/// One deterministic mutation of `base` driven by `rng`.
+fn mutate(base: &[u8], rng: &mut SplitMix64) -> Vec<u8> {
+    let mut bytes = base.to_vec();
+    match rng.below(6) {
+        // Truncate anywhere, including mid-header.
+        0 => {
+            let at = rng.below(bytes.len() as u64 + 1) as usize;
+            bytes.truncate(at);
+        }
+        // Flip random bytes (headers become garbage numbers or magics).
+        1 => {
+            for _ in 0..=rng.below(8) {
+                if bytes.is_empty() {
+                    break;
+                }
+                let i = rng.below(bytes.len() as u64) as usize;
+                bytes[i] ^= (rng.next_u64() & 0xFF) as u8;
+            }
+        }
+        // Embed NUL bytes — classic C-string parser trap.
+        2 => {
+            for _ in 0..=rng.below(4) {
+                let i = rng.below(bytes.len() as u64 + 1) as usize;
+                bytes.insert(i, 0);
+            }
+        }
+        // Splice a hostile header onto real pixel data.
+        3 => {
+            let headers: [&[u8]; 6] = [
+                b"P6\n0 0\n255\n",
+                b"P6\n1 1\n0\n",
+                b"P5\n999999999999999999999 4\n255\n",
+                b"P5\n2 2\n65536\n",
+                b"P6\n16384 8192\n255\n",
+                b"P3\n2 2\n255\n",
+            ];
+            let h = headers[rng.below(headers.len() as u64) as usize];
+            let keep = rng.below(bytes.len() as u64 + 1) as usize;
+            let mut spliced = h.to_vec();
+            spliced.extend_from_slice(&bytes[..keep]);
+            bytes = spliced;
+        }
+        // Duplicate a random slice (repeated header fields, long runs).
+        4 => {
+            if !bytes.is_empty() {
+                let a = rng.below(bytes.len() as u64) as usize;
+                let b = a + rng.below((bytes.len() - a) as u64 + 1) as usize;
+                let slice = bytes[a..b].to_vec();
+                let at = rng.below(bytes.len() as u64 + 1) as usize;
+                bytes.splice(at..at, slice);
+            }
+        }
+        // Whitespace storms inside the header.
+        _ => {
+            for _ in 0..=rng.below(6) {
+                let i = rng.below(bytes.len() as u64 + 1) as usize;
+                let ws = [b' ', b'\n', b'\t', b'\r', b'#'];
+                bytes.insert(i, ws[rng.below(ws.len() as u64) as usize]);
+            }
+        }
+    }
+    bytes
+}
+
+/// Every parse either fails with a typed error or yields a structurally
+/// valid image.
+fn check_all_readers(bytes: &[u8]) {
+    if let Ok(img) = read_ppm(bytes) {
+        assert!(img.width() > 0 && img.height() > 0);
+        assert!(img.width() * img.height() <= MAX_PIXELS);
+        assert_eq!(img.as_raw().len(), img.width() * img.height() * 3);
+    }
+    if let Ok(p) = read_pgm(bytes) {
+        assert!(p.width() > 0 && p.height() > 0);
+        assert_eq!(p.as_slice().len(), p.width() * p.height());
+    }
+    if let Ok(p) = read_pgm16(bytes) {
+        assert!(p.width() > 0 && p.height() > 0);
+        assert_eq!(p.as_slice().len(), p.width() * p.height());
+        assert!(p.iter().all(|&v| v <= u16::MAX as u32));
+    }
+}
+
+#[test]
+fn fuzzed_inputs_never_panic_and_ok_results_are_sound() {
+    let corpus = seed_corpus();
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_F00D);
+    for round in 0..2_000u32 {
+        let base = &corpus[rng.below(corpus.len() as u64) as usize];
+        let mut bytes = mutate(base, &mut rng);
+        // Occasionally stack a second mutation for deeper damage.
+        if round % 3 == 0 {
+            bytes = mutate(&bytes, &mut rng);
+        }
+        check_all_readers(&bytes);
+    }
+}
+
+#[test]
+fn maxval_zero_is_rejected_by_every_reader() {
+    // Regression: maxval 0 used to pass the readers' `<= 255` checks and
+    // silently mis-parse (samples have no defined scale at maxval 0).
+    let mut ppm = b"P6\n2 1\n0\n".to_vec();
+    ppm.extend_from_slice(&[1, 2, 3, 4, 5, 6]);
+    assert!(matches!(read_ppm(ppm.as_slice()), Err(ImageError::Format(_))));
+
+    let mut pgm = b"P5\n2 1\n0\n".to_vec();
+    pgm.extend_from_slice(&[1, 2]);
+    assert!(matches!(read_pgm(pgm.as_slice()), Err(ImageError::Format(_))));
+
+    let p3 = b"P3\n1 1\n0\n0 0 0\n".to_vec();
+    assert!(matches!(read_ppm(p3.as_slice()), Err(ImageError::Format(_))));
+}
+
+#[test]
+fn maxval_above_16_bits_is_rejected_by_pgm16() {
+    // Regression: read_pgm16 only rejected maxval <= 255, so a 20-bit
+    // maxval header was accepted even though no Netpbm sample is wider
+    // than 16 bits.
+    let mut buf = b"P5\n1 1\n1048575\n".to_vec();
+    buf.extend_from_slice(&[0xAB, 0xCD]);
+    assert!(matches!(
+        read_pgm16(buf.as_slice()),
+        Err(ImageError::Format(_))
+    ));
+}
+
+#[test]
+fn boundary_maxvals_still_parse() {
+    // maxval 1 (bilevel-in-PGM) and 65535 are both legal per the spec.
+    let mut pgm = b"P5\n2 1\n1\n".to_vec();
+    pgm.extend_from_slice(&[0, 1]);
+    assert_eq!(read_pgm(pgm.as_slice()).unwrap().as_slice(), &[0, 1]);
+
+    let mut pgm16 = b"P5\n1 1\n65535\n".to_vec();
+    pgm16.extend_from_slice(&[0x01, 0x02]);
+    assert_eq!(read_pgm16(pgm16.as_slice()).unwrap().as_slice(), &[0x0102]);
+}
+
+#[test]
+fn embedded_nul_in_header_is_a_clean_error() {
+    let buf = b"P6\n2\0 1\n255\n\x01\x02\x03\x04\x05\x06".to_vec();
+    assert!(matches!(read_ppm(buf.as_slice()), Err(ImageError::Format(_))));
+}

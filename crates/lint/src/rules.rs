@@ -49,6 +49,10 @@ pub const DATAPATH_FILES: &[&str] = &[
     // (core.alloc.* counters) and must stay integer-only for the same
     // reason.
     "crates/core/src/arena.rs",
+    // Recovery decisions and the center-table checksum must be pure
+    // integer arithmetic: a float anywhere in them could make retry
+    // ladders diverge across thread counts or toolchains.
+    "crates/core/src/recovery.rs",
 ];
 
 /// One rule violation (pre-allowlist).
@@ -90,6 +94,7 @@ pub const DETERMINISM_FILES: &[&str] = &[
 pub const OVERFLOW_FILES: &[&str] = &[
     "crates/core/src/distance.rs",
     "crates/core/src/session.rs",
+    "crates/core/src/recovery.rs",
 ];
 
 /// How a file participates in rule checking, derived from its path.

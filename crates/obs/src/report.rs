@@ -13,7 +13,47 @@ use crate::metrics::MetricsRegistry;
 use crate::sink::escape_json;
 
 /// Schema tag written into every report.
-pub const RUN_REPORT_SCHEMA: &str = "sslic-run-report-v1";
+pub const RUN_REPORT_SCHEMA: &str = "sslic-run-report-v2";
+
+/// Mirror of the engine's per-frame `RecoveryReport` (plain struct for
+/// the same acyclicity reason as [`ReportCounters`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportRecovery {
+    /// Invariant-guard firings summed over every attempt of the run.
+    pub guards_fired: u64,
+    /// Frame re-runs taken by the recovery policy.
+    pub retries: u64,
+    /// Cold-restart escalations among the retries.
+    pub escalations: u64,
+    /// Final disposition (`clean`, `recovered`, or `failed`).
+    pub outcome: String,
+    /// Checksum of the center table as the run left it.
+    pub center_checksum: u64,
+}
+
+impl Default for ReportRecovery {
+    fn default() -> Self {
+        ReportRecovery {
+            guards_fired: 0,
+            retries: 0,
+            escalations: 0,
+            outcome: "clean".to_string(),
+            center_checksum: 0,
+        }
+    }
+}
+
+impl ReportRecovery {
+    fn from_json(j: &Json) -> Option<Self> {
+        Some(ReportRecovery {
+            guards_fired: j.get("guards_fired")?.as_u64()?,
+            retries: j.get("retries")?.as_u64()?,
+            escalations: j.get("escalations")?.as_u64()?,
+            outcome: j.get("outcome")?.as_str()?.to_string(),
+            center_checksum: j.get("center_checksum")?.as_u64()?,
+        })
+    }
+}
 
 /// Mirror of the engine's `RunCounters` (kept as a plain struct here so
 /// the zero-dependency crate graph stays acyclic: obs depends on nothing).
@@ -155,6 +195,8 @@ pub struct RunReport {
     pub repairs: u64,
     /// Fault-injected words (0 for clean runs).
     pub injected_words: u64,
+    /// Self-healing summary (all-zero `clean` when recovery never ran).
+    pub recovery: ReportRecovery,
     /// Engine op counters.
     pub counters: ReportCounters,
     /// Per-phase attribution.
@@ -213,6 +255,14 @@ impl RunReport {
         out.push_str(&format!(",\"status\":\"{}\"", escape_json(&self.status)));
         out.push_str(&format!(",\"repairs\":{}", self.repairs));
         out.push_str(&format!(",\"injected_words\":{}", self.injected_words));
+        out.push_str(&format!(
+            ",\"recovery\":{{\"guards_fired\":{},\"retries\":{},\"escalations\":{},\"outcome\":\"{}\",\"center_checksum\":{}}}",
+            self.recovery.guards_fired,
+            self.recovery.retries,
+            self.recovery.escalations,
+            escape_json(&self.recovery.outcome),
+            self.recovery.center_checksum
+        ));
         out.push_str(",\"counters\":{");
         for (i, (name, v)) in ReportCounters::FIELDS
             .iter()
@@ -290,6 +340,10 @@ impl RunReport {
             .get("counters")
             .and_then(ReportCounters::from_json)
             .ok_or_else(|| "missing or invalid 'counters'".to_string())?;
+        let recovery = j
+            .get("recovery")
+            .and_then(ReportRecovery::from_json)
+            .ok_or_else(|| "missing or invalid 'recovery'".to_string())?;
         let phases = j
             .get("phases")
             .and_then(Json::as_arr)
@@ -350,6 +404,7 @@ impl RunReport {
             status: need_str("status")?,
             repairs: need_u64("repairs")?,
             injected_words: need_u64("injected_words")?,
+            recovery,
             counters,
             phases,
             histograms,
@@ -377,6 +432,13 @@ mod tests {
             status: "ok".to_string(),
             repairs: 0,
             injected_words: 0,
+            recovery: ReportRecovery {
+                guards_fired: 3,
+                retries: 1,
+                escalations: 0,
+                outcome: "recovered".to_string(),
+                center_checksum: 0x9E37_79B9_7F4A_7C15,
+            },
             counters: ReportCounters {
                 distance_calcs: 2_073_600,
                 pixel_color_reads: 230_400,

@@ -132,6 +132,48 @@ fn main() {
         cold_total / warm_total
     );
 
+    // Self-healing: the same warm pipeline under center-register
+    // corruption, first bare (guards flag the damage, frames degrade),
+    // then under a bounded retry policy (the session rolls back to the
+    // frame checkpoint and re-runs, deterministically).
+    println!("\nself-healing under sigma-register corruption (2000 ppm):");
+    let plan = sslic::fault::FaultPlan::new(7).with(
+        sslic::fault::FaultSite::SigmaRegister,
+        sslic::fault::FaultKind::SingleBitFlip,
+        2_000,
+    );
+    let policy = sslic::core::RecoveryPolicy::new(2);
+    println!(
+        "{:<7} {:>12} {:>22} {:>8}",
+        "frame", "no policy", "retry budget 2", "allocs"
+    );
+    let mut bare = warm_seg.session(320, 240);
+    let mut healing = warm_seg.session(320, 240);
+    for (t, f) in frames.iter().take(6).enumerate() {
+        let faults = sslic::fault::EngineFaults::new(&plan);
+        let r0 = bare.run(
+            SegmentRequest::Rgb(&f.rgb),
+            &RunOptions::new().with_faults(&faults),
+        );
+        let faults = sslic::fault::EngineFaults::new(&plan);
+        let r1 = healing.run(
+            SegmentRequest::Rgb(&f.rgb),
+            &RunOptions::new().with_faults(&faults).with_recovery(&policy),
+        );
+        println!(
+            "{:<7} {:>12} {:>15} ({} try) {:>8}",
+            t,
+            r0.recovery().outcome.as_str(),
+            r1.recovery().outcome.as_str(),
+            r1.recovery().retries,
+            r1.scratch_allocs(),
+        );
+    }
+    println!(
+        "rollback + bounded retry stays allocation-free: the checkpoint\n\
+         and retry scratch were part of the session arena all along."
+    );
+
     if let (Some(prefix), Some(rec)) = (trace_prefix, recorder) {
         let jsonl = format!("{prefix}.jsonl");
         let chrome = format!("{prefix}.chrome.json");

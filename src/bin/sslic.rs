@@ -12,8 +12,8 @@ use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 use sslic::core::{
-    build_run_report, DistanceMode, RunOptions, SegmentRequest, Segmenter, SegmenterSession,
-    SlicParams,
+    build_run_report, DistanceMode, RecoveryOutcome, RecoveryPolicy, RunOptions, SegmentRequest,
+    Segmenter, SegmenterSession, SlicParams,
 };
 use sslic::hw::export;
 use sslic::hw::sim::{FrameSimulator, Resolution};
@@ -52,7 +52,7 @@ fn print_help() {
          USAGE:\n\
          \x20 sslic segment <input.ppm>... [--superpixels K] [--compactness M]\n\
          \x20               [--iterations N] [--subsets P] [--algo slic|ppa|sslic|hw8]\n\
-         \x20               [--threads T] [--out PREFIX]\n\
+         \x20               [--threads T] [--out PREFIX] [--recovery N]\n\
          \x20               [--trace out.jsonl] [--chrome-trace out.json]\n\
          \x20               [--report out.json] [--wallclock]\n\
          \x20     Segment binary PPMs; writes PREFIX.boundaries.ppm,\n\
@@ -61,6 +61,9 @@ fn print_help() {
          \x20     each frame warm-starts from the previous frame's centers\n\
          \x20     and reuses the same scratch (zero steady-state allocations,\n\
          \x20     reported per frame).\n\
+         \x20     --recovery N arms the self-healing runtime: invariant-guard\n\
+         \x20     failures retry the frame from its checkpoint up to N times\n\
+         \x20     (deterministically) before the frame is failed.\n\
          \x20     --trace writes a JSONL event trace, --chrome-trace a\n\
          \x20     Perfetto/chrome://tracing file, --report a RunReport JSON.\n\
          \x20     Traces are deterministic (logical clocks, byte-identical\n\
@@ -133,6 +136,7 @@ fn cmd_segment(args: &[String]) -> CliResult {
     let trace_path: Option<String> = flag(args, "--trace")?;
     let chrome_path: Option<String> = flag(args, "--chrome-trace")?;
     let report_path: Option<String> = flag(args, "--report")?;
+    let recovery: Option<u32> = flag(args, "--recovery")?;
     let wallclock = args.iter().any(|a| a == "--wallclock");
 
     let params = SlicParams::builder(k)
@@ -160,6 +164,10 @@ fn cmd_segment(args: &[String]) -> CliResult {
     let mut options = RunOptions::new();
     if let Some(rec) = recorder.as_ref() {
         options = options.with_recorder(rec);
+    }
+    let policy = recovery.map(RecoveryPolicy::new);
+    if let Some(p) = policy.as_ref() {
+        options = options.with_recovery(p);
     }
 
     // One input or many, every frame goes through a persistent session:
@@ -196,6 +204,16 @@ fn cmd_segment(args: &[String]) -> CliResult {
             "explained variation: {:.4}",
             explained_variation(&img, sess.labels())
         );
+        if policy.is_some() || report.recovery().outcome != RecoveryOutcome::Clean {
+            let rec = report.recovery();
+            println!(
+                "recovery: {} ({} guards fired, {} retries, {} escalations)",
+                rec.outcome.as_str(),
+                rec.guards_fired,
+                rec.retries,
+                rec.escalations,
+            );
+        }
 
         let prefix = match (&out, inputs.len()) {
             (Some(prefix), 1) => prefix.clone(),

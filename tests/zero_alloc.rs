@@ -78,6 +78,86 @@ fn scenarios() -> Vec<(&'static str, Segmenter)> {
 }
 
 #[test]
+fn self_healing_frames_stay_allocation_free() {
+    // The recovery runtime's scratch (checkpoint table, guard state) is
+    // part of the session arena, so arming a policy must not change the
+    // zero-alloc contract — neither on clean frames nor on frames that
+    // guard-fail, roll back, and retry. A budget of 1 keeps the ladder on
+    // the Rollback/FailFrame rungs: ColdRestart legitimately re-seeds (and
+    // so allocates) off the steady path and is exercised elsewhere.
+    use sslic::core::RecoveryPolicy;
+    use sslic::fault::{EngineFaults, FaultKind, FaultPlan, FaultSite};
+
+    let frames: Vec<SyntheticImage> = (0..4)
+        .map(|i| {
+            SyntheticImage::builder(64, 48)
+                .seed(900 + i)
+                .regions(5)
+                .build()
+        })
+        .collect();
+    let policy = RecoveryPolicy::new(1);
+
+    for threads in [1usize, 4] {
+        let params = SlicParams::builder(60)
+            .iterations(5)
+            .threads(threads)
+            .build();
+        let seg = Segmenter::sslic_ppa(params, 2);
+
+        // Clean stream, policy armed: nothing fires, nothing allocates.
+        let mut session = seg.session(64, 48);
+        session.run(
+            SegmentRequest::Rgb(&frames[0].rgb),
+            &RunOptions::new().with_recovery(&policy),
+        );
+        for img in &frames[1..] {
+            let before = ALLOCS.load(Ordering::SeqCst);
+            let report = session.run(
+                SegmentRequest::Rgb(&img.rgb),
+                &RunOptions::new().with_recovery(&policy),
+            );
+            let delta = ALLOCS.load(Ordering::SeqCst) - before;
+            assert_eq!(delta, 0, "x{threads}: armed-but-idle recovery allocated");
+            assert_eq!(report.scratch_allocs(), 0);
+            assert_eq!(report.recovery().retries, 0);
+        }
+
+        // Hot stream: sigma-register corruption dense enough that every
+        // frame trips a guard and spends its retry — still zero allocs.
+        let plan =
+            FaultPlan::new(11).with(FaultSite::SigmaRegister, FaultKind::SingleBitFlip, 20_000);
+        let mut session = seg.session(64, 48);
+        let faults = EngineFaults::new(&plan);
+        session.run(
+            SegmentRequest::Rgb(&frames[0].rgb),
+            &RunOptions::new().with_faults(&faults).with_recovery(&policy),
+        );
+        let mut retried = 0u64;
+        for (i, img) in frames[1..].iter().enumerate() {
+            let before = ALLOCS.load(Ordering::SeqCst);
+            let report = session.run(
+                SegmentRequest::Rgb(&img.rgb),
+                &RunOptions::new().with_faults(&faults).with_recovery(&policy),
+            );
+            let delta = ALLOCS.load(Ordering::SeqCst) - before;
+            assert_eq!(
+                delta,
+                0,
+                "x{threads}: rollback retry on frame {} performed {delta} heap allocations",
+                i + 1
+            );
+            assert_eq!(report.scratch_allocs(), 0, "x{threads}: ledger agrees");
+            retried += u64::from(report.recovery().retries);
+        }
+        assert!(
+            retried > 0,
+            "x{threads}: the hot plan must actually force retries"
+        );
+    }
+}
+
+#[test]
 fn steady_state_frames_never_touch_the_heap() {
     // All frames are synthesized before any measurement begins.
     let frames: Vec<SyntheticImage> = (0..3)
