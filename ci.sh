@@ -86,6 +86,16 @@ echo "==> benchmark seed (BENCH_7.json must regenerate byte for byte from the wo
 cmp BENCH_7.json results/bench-seed.json
 rm -f results/bench-seed.json
 
+echo "==> benchmark seed (BENCH_8.json: the fleet mode must reproduce the same seed byte for byte)"
+# Same workload regenerated through a SessionFleet: the fleet's cold frame
+# is bit-identical to a one-shot run, so the fleet seed equals BENCH_7.
+./target/release/throughput --sizes 160x120,320x240 --superpixels 150 \
+    --iterations 5 --frames 1 --threads 1 --mode fleet \
+    --bench-json results/bench-seed-fleet.json >/dev/null
+cmp BENCH_8.json results/bench-seed-fleet.json
+cmp BENCH_7.json BENCH_8.json
+rm -f results/bench-seed-fleet.json
+
 echo "==> thread-count invariance (throughput JSON at 1 vs 4 threads must match byte for byte)"
 ./target/release/throughput --threads 1 --sizes 160x120,320x240 --frames 1 \
     --superpixels 150 --iterations 3 \
@@ -98,15 +108,19 @@ echo "==> thread-count invariance (throughput JSON at 1 vs 4 threads must match 
 cmp results/throughput-1t.json results/throughput-4t.json
 cmp results/throughput-report-1t.json results/throughput-report-4t.json
 
-echo "==> session-vs-oneshot invariance (throughput JSON across API modes must match byte for byte)"
+echo "==> mode invariance (throughput JSON across oneshot/session/fleet APIs must match byte for byte)"
 ./target/release/throughput --threads 2 --sizes 160x120,320x240 --frames 1 \
     --superpixels 150 --iterations 3 --mode session \
     --json results/throughput-session.json --md /dev/null >/dev/null
 cmp results/throughput-1t.json results/throughput-session.json
+./target/release/throughput --threads 2 --sizes 160x120,320x240 --frames 1 \
+    --superpixels 150 --iterations 3 --mode fleet \
+    --json results/throughput-fleet.json --md /dev/null >/dev/null
+cmp results/throughput-1t.json results/throughput-fleet.json
 mv results/throughput-1t.json results/throughput.json
 mv results/throughput-report-1t.json results/throughput-report.json
 rm -f results/throughput-4t.json results/throughput-report-4t.json \
-    results/throughput-session.json
+    results/throughput-session.json results/throughput-fleet.json
 
 echo "==> trace determinism (JSONL + Chrome traces must be byte-identical across repeats and 1 vs 4 threads)"
 ./target/release/sslic dataset results/trace-ds --count 1 --width 160 --height 120 >/dev/null
@@ -127,5 +141,32 @@ mv results/trace-1a.jsonl results/trace.jsonl
 mv results/trace-1a.chrome.json results/trace.chrome.json
 rm -rf results/trace-ds results/trace-1b.jsonl results/trace-1b.chrome.json \
     results/trace-4t.jsonl results/trace-4t.chrome.json
+
+echo "==> fleet determinism (serve RunReport stream at 1 vs 4 threads must match modulo the threads field)"
+# A multi-stream wire session — two interleaved streams, a close, and a
+# rebind — pumped through `sslic serve` at two engine thread counts. The
+# emitted report lines legitimately record the thread count; that one
+# field is normalised before the diff, everything else (per-stream label
+# checksums, counters, admission tallies, queue events) must be
+# byte-identical.
+./target/release/sslic dataset results/fleet-ds --count 3 --width 160 --height 120 >/dev/null
+./target/release/sslic framepack --out results/fleet-stream.bin \
+    0:results/fleet-ds/000.ppm 1:results/fleet-ds/001.ppm \
+    0:results/fleet-ds/002.ppm close:0 0:results/fleet-ds/000.ppm
+fleet_serve() {
+    ./target/release/sslic serve --superpixels 150 --iterations 3 --algo hw8 \
+        --threads "$1" --slots 2 < results/fleet-stream.bin \
+        2>/dev/null > "results/fleet-serve-$1t.jsonl"
+}
+fleet_serve 1
+fleet_serve 4
+sed 's/"threads":[0-9]*/"threads":X/' results/fleet-serve-1t.jsonl \
+    > results/fleet-serve-1t.norm.jsonl
+sed 's/"threads":[0-9]*/"threads":X/' results/fleet-serve-4t.jsonl \
+    > results/fleet-serve-4t.norm.jsonl
+cmp results/fleet-serve-1t.norm.jsonl results/fleet-serve-4t.norm.jsonl
+mv results/fleet-serve-1t.jsonl results/fleet-serve.jsonl
+rm -rf results/fleet-ds results/fleet-stream.bin results/fleet-serve-4t.jsonl \
+    results/fleet-serve-1t.norm.jsonl results/fleet-serve-4t.norm.jsonl
 
 echo "CI OK"

@@ -15,16 +15,20 @@
 //! ```text
 //! throughput [--threads 1,2,4,8] [--sizes 320x240,1280x720]
 //!            [--frames N] [--superpixels K] [--iterations N]
-//!            [--mode oneshot|session]
+//!            [--mode oneshot|session|fleet]
 //!            [--json PATH] [--md PATH] [--report PATH]
 //! ```
 //!
 //! `--mode session` drives every frame through a persistent
 //! [`sslic_core::SegmenterSession`] via `run_into` (cold per frame, zero
 //! steady-state allocations) instead of the one-shot `Segmenter::run`.
-//! Both modes are bit-identical by contract, so the JSON report is
-//! byte-identical across modes as well as thread lists — CI diffs a
-//! session run against a one-shot run to enforce it.
+//! `--mode fleet` drives every frame through a one-slot
+//! [`sslic_core::SessionFleet`] — the warm-up frame seeds the stream
+//! cold, the timed frames then run the fleet's steady state (per-stream
+//! warm starts, zero allocations). The warm-up frame of every mode is
+//! bit-identical by contract, so the JSON report is byte-identical
+//! across modes as well as thread lists — CI diffs the modes against
+//! each other to enforce it.
 //!
 //! `--report` additionally writes a structured [`sslic_obs::RunReport`]
 //! from one traced deterministic 1-thread run of the first size —
@@ -44,21 +48,28 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use sslic_core::{
-    build_run_report, DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams,
+    build_run_report, label_checksum, DistanceMode, FleetConfig, RunOptions, SegmentRequest,
+    Segmenter, SessionFleet, SlicParams, StreamId,
 };
 use sslic_image::synthetic::SyntheticImage;
 use sslic_image::Plane;
 use sslic_obs::Recorder;
 
-/// FNV-1a over the label words: stable, order-sensitive, dependency-free
-/// (the same digest the fault regression suite pins).
-fn label_checksum(labels: &Plane<u32>) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &l in labels.as_slice() {
-        h ^= l as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Oneshot,
+    Session,
+    Fleet,
+}
+
+impl Mode {
+    fn as_str(self) -> &'static str {
+        match self {
+            Mode::Oneshot => "oneshot",
+            Mode::Session => "session",
+            Mode::Fleet => "fleet",
+        }
     }
-    h
 }
 
 struct Cell {
@@ -112,7 +123,7 @@ fn main() -> ExitCode {
     let mut frames = 3usize;
     let mut superpixels = 600usize;
     let mut iterations = 5u32;
-    let mut session_mode = false;
+    let mut mode = Mode::Oneshot;
     let mut json_path: Option<String> = None;
     let mut md_path: Option<String> = None;
     let mut report_path: Option<String> = None;
@@ -142,9 +153,10 @@ fn main() -> ExitCode {
                 _ => return usage("--iterations needs a positive integer"),
             },
             "--mode" => match args.next().as_deref() {
-                Some("oneshot") => session_mode = false,
-                Some("session") => session_mode = true,
-                _ => return usage("--mode needs `oneshot` or `session`"),
+                Some("oneshot") => mode = Mode::Oneshot,
+                Some("session") => mode = Mode::Session,
+                Some("fleet") => mode = Mode::Fleet,
+                _ => return usage("--mode needs `oneshot`, `session`, or `fleet`"),
             },
             "--json" => match args.next() {
                 Some(p) => json_path = Some(p),
@@ -176,7 +188,7 @@ fn main() -> ExitCode {
          {iterations} iters, {} mode",
         sizes.len(),
         threads.len(),
-        if session_mode { "session" } else { "oneshot" },
+        mode.as_str(),
     );
 
     let mut results = Vec::new();
@@ -191,17 +203,25 @@ fn main() -> ExitCode {
                 .build();
             let seg = Segmenter::sslic_ppa(params, 2)
                 .with_distance_mode(DistanceMode::quantized(8));
-            let mut session = session_mode.then(|| {
+            let mut session = (mode == Mode::Session).then(|| {
                 (seg.session(w, h), Plane::filled(w, h, 0u32))
             });
+            let mut fleet =
+                (mode == Mode::Fleet).then(|| SessionFleet::new(&seg, w, h, FleetConfig::default()));
             // One untimed warm-up run (page-in, allocator steady state);
             // its labels also feed the cross-thread-count equality check.
-            let sum = match session.as_mut() {
-                Some((sess, out)) => {
+            // In fleet mode this is the stream's cold frame — bit-identical
+            // to the other modes' cold run by contract.
+            let sum = match (session.as_mut(), fleet.as_mut()) {
+                (Some((sess, out)), _) => {
                     sess.run_into(SegmentRequest::Rgb(&img.rgb), &RunOptions::new(), out);
                     label_checksum(out)
                 }
-                None => {
+                (_, Some(fl)) => {
+                    fl.run(StreamId(0), SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+                    label_checksum(fl.stream_labels(StreamId(0)).expect("stream just ran"))
+                }
+                _ => {
                     let out = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
                     label_checksum(out.labels())
                 }
@@ -219,11 +239,14 @@ fn main() -> ExitCode {
             }
             let start = Instant::now();
             for _ in 0..frames {
-                match session.as_mut() {
-                    Some((sess, out)) => {
+                match (session.as_mut(), fleet.as_mut()) {
+                    (Some((sess, out)), _) => {
                         sess.run_into(SegmentRequest::Rgb(&img.rgb), &RunOptions::new(), out);
                     }
-                    None => {
+                    (_, Some(fl)) => {
+                        fl.run(StreamId(0), SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+                    }
+                    _ => {
                         let _ = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
                     }
                 }
@@ -305,9 +328,26 @@ fn main() -> ExitCode {
                 .build();
             let seg =
                 Segmenter::sslic_ppa(params, 2).with_distance_mode(DistanceMode::quantized(8));
-            let res = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
-            let c = res.counters();
-            let hw = sslic_core::instrument::TrafficModel::hw_8bit().bytes(c);
+            // The seed frame is cold in every mode, so the counters and
+            // checksum below are mode-invariant — the committed seeds stay
+            // byte-identical whether regenerated via oneshot or fleet.
+            let (sum, c) = match mode {
+                Mode::Fleet => {
+                    let mut fl = SessionFleet::new(&seg, w, h, FleetConfig::default());
+                    let report =
+                        fl.run(StreamId(0), SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+                    let c = *report.counters();
+                    (
+                        label_checksum(fl.stream_labels(StreamId(0)).expect("stream just ran")),
+                        c,
+                    )
+                }
+                _ => {
+                    let res = seg.run(SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+                    (label_checksum(res.labels()), *res.counters())
+                }
+            };
+            let hw = sslic_core::instrument::TrafficModel::hw_8bit().bytes(&c);
             out.push_str(&format!(
                 concat!(
                     "    {{\"width\": {}, \"height\": {}, \"label_checksum\": \"{:#018x}\", ",
@@ -318,7 +358,7 @@ fn main() -> ExitCode {
                 ),
                 w,
                 h,
-                label_checksum(res.labels()),
+                sum,
                 c.distance_calcs,
                 c.pixel_color_reads,
                 c.label_writes,
@@ -411,7 +451,7 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: throughput [--threads 1,2,4,8] [--sizes 320x240,1280x720] [--frames N] \
-         [--superpixels K] [--iterations N] [--mode oneshot|session] [--json PATH] \
+         [--superpixels K] [--iterations N] [--mode oneshot|session|fleet] [--json PATH] \
          [--md PATH] [--report PATH] [--bench-json PATH]"
     );
     if err.is_empty() {

@@ -43,6 +43,7 @@ mod cluster;
 mod connectivity;
 mod distance;
 mod engine;
+mod fleet;
 mod grid;
 mod parallel;
 mod params;
@@ -67,6 +68,11 @@ pub use connectivity::{
 pub use distance::{dist2_float, ClusterCodes, DistanceMode, QuantKernel};
 pub use engine::{
     Algorithm, RunOptions, SegmentRequest, Segmentation, SegmentationStatus, Segmenter, StepFaults,
+};
+pub use fleet::{
+    label_checksum, serve, write_wire_close, write_wire_frame, FleetConfig, FleetConfigBuilder,
+    FleetError, FleetStats, ServeOptions, ServeSummary, SessionFleet, StreamFrame, StreamId,
+    StreamStats, WIRE_CLOSE, WIRE_FRAME, WIRE_MAX_PAYLOAD,
 };
 pub use grid::SeedGrid;
 pub use params::{ParamError, SlicParams, SlicParamsBuilder};

@@ -10,6 +10,7 @@ use crate::engine::{Segmentation, SegmentationStatus, Segmenter};
 use crate::instrument::{RunCounters, TrafficModel};
 use crate::profile::PHASES;
 use crate::recovery::RecoveryReport;
+use crate::session::FrameReport;
 
 /// Converts the engine's per-frame [`RecoveryReport`] into the report
 /// mirror.
@@ -36,6 +37,70 @@ pub fn report_counters(c: &RunCounters) -> ReportCounters {
         sigma_updates: c.sigma_updates,
         center_updates: c.center_updates,
         sub_iterations: c.sub_iterations,
+    }
+}
+
+/// Builds a [`RunReport`] from a streaming [`FrameReport`] — the same
+/// document [`build_run_report`] produces, minus the pieces a frame
+/// report does not carry: `width`/`height` are left at 0 for the caller
+/// to fill in (a session fleet knows its geometry; the report does not),
+/// histograms are empty, and `injected_words` is 0.
+pub fn frame_run_report(seg: &Segmenter, frame: &FrameReport, deterministic: bool) -> RunReport {
+    let params = seg.params();
+    let phases = PHASES
+        .iter()
+        .map(|&p| PhaseNanos {
+            name: p.key().to_string(),
+            nanos: if deterministic {
+                0
+            } else {
+                u64::try_from(frame.breakdown().phase_time(p).as_nanos()).unwrap_or(u64::MAX)
+            },
+        })
+        .collect();
+    let traffic = [
+        ("sw_double", TrafficModel::sw_double()),
+        ("sw_float", TrafficModel::sw_float()),
+        ("hw_8bit", TrafficModel::hw_8bit()),
+    ]
+    .iter()
+    .map(|(name, model)| {
+        let bytes = model.bytes(frame.counters());
+        TrafficEntry {
+            model: name.to_string(),
+            read_bytes: bytes.read,
+            written_bytes: bytes.written,
+        }
+    })
+    .collect();
+    RunReport {
+        algorithm: seg.algorithm().name().to_string(),
+        width: 0,
+        height: 0,
+        superpixels: params.superpixels() as u64,
+        iterations: u64::from(params.iterations()),
+        subsets: u64::from(seg.algorithm().steps_per_full_pass()),
+        threads: params.threads().get() as u64,
+        compactness: f64::from(params.compactness()),
+        distance_mode: if seg.distance_mode().is_quantized() {
+            "quantized".to_string()
+        } else {
+            "float".to_string()
+        },
+        iterations_run: u64::from(frame.iterations_run()),
+        status: match frame.status() {
+            SegmentationStatus::Ok => "ok".to_string(),
+            SegmentationStatus::Degraded => "degraded".to_string(),
+            SegmentationStatus::Recovered => "recovered".to_string(),
+        },
+        repairs: frame.invariant_repairs(),
+        injected_words: 0,
+        recovery: report_recovery(frame.recovery()),
+        fleet: None,
+        counters: report_counters(frame.counters()),
+        phases,
+        histograms: Vec::new(),
+        traffic,
     }
 }
 
@@ -103,6 +168,7 @@ pub fn build_run_report(
         repairs: out.invariant_repairs(),
         injected_words,
         recovery: report_recovery(out.recovery()),
+        fleet: None,
         counters: report_counters(out.counters()),
         phases,
         histograms: Vec::new(),

@@ -85,6 +85,10 @@ pub enum SegmentError {
         /// Length of the supplied warm-start slice.
         actual: usize,
     },
+    /// A session-fleet operation was refused (saturated pool, full
+    /// admission queue, or invalid fleet sizing); see
+    /// [`FleetError`](crate::FleetError) for the exact condition.
+    Fleet(crate::fleet::FleetError),
 }
 
 impl std::fmt::Display for SegmentError {
@@ -101,6 +105,7 @@ impl std::fmt::Display for SegmentError {
             SegmentError::WarmStartLen { expected, actual } => {
                 write!(f, "warm start must carry {expected} clusters, got {actual}")
             }
+            SegmentError::Fleet(e) => write!(f, "fleet: {e}"),
         }
     }
 }
@@ -109,7 +114,7 @@ impl std::error::Error for SegmentError {}
 
 /// Funnels a [`SegmentError`] into a panic with the same message the
 /// fallible API reports, for the panicking convenience wrappers.
-fn raise(error: SegmentError) -> ! {
+pub(crate) fn raise(error: SegmentError) -> ! {
     assert!(false, "{error}");
     unreachable!()
 }
@@ -710,6 +715,16 @@ impl SegmenterSession {
     /// Frames segmented so far.
     pub fn frames(&self) -> u64 {
         self.frames
+    }
+
+    /// Rewinds the session to its pre-first-frame state: the next
+    /// [`WarmMode`]-`Auto` frame seeds cold instead of warm-starting from
+    /// the previous frame's centers. The scratch arena is untouched — no
+    /// allocation, no geometry change. Session fleets call this when a
+    /// freed slot rebinds to a new stream, so the newcomer never inherits
+    /// the departed stream's converged centers.
+    pub fn reset(&mut self) {
+        self.frames = 0;
     }
 
     /// Total scratch inventory of this session as `(buffers, bytes)` — a
@@ -1748,7 +1763,7 @@ impl SegmenterSession {
     }
 }
 
-fn request_dims(request: &SegmentRequest<'_>) -> (usize, usize) {
+pub(crate) fn request_dims(request: &SegmentRequest<'_>) -> (usize, usize) {
     match request {
         SegmentRequest::Rgb(img) => (img.width(), img.height()),
         SegmentRequest::Lab(lab) => (lab.width(), lab.height()),

@@ -1,10 +1,11 @@
-//! Exhaustive error-path coverage: every [`ParamError`] and
-//! [`SegmentError`] variant is reachable through the fallible entry
+//! Exhaustive error-path coverage: every [`ParamError`], [`SegmentError`],
+//! and [`FleetError`] variant is reachable through the fallible entry
 //! points, the panicking twins carry the same message, and a failed
 //! `run_into` never writes a single word of partial output.
 
 use sslic_core::{
-    ParamError, RunOptions, SegmentError, SegmentRequest, Segmenter, SegmenterSession, SlicParams,
+    FleetConfig, FleetError, ParamError, RunOptions, SegmentError, SegmentRequest, Segmenter,
+    SegmenterSession, SessionFleet, SlicParams, StreamId,
 };
 use sslic_image::synthetic::SyntheticImage;
 use sslic_image::Plane;
@@ -188,6 +189,105 @@ fn failed_run_into_writes_no_partial_output() {
         .expect("session must survive rejected requests");
     assert!(report.iterations_run() > 0);
     assert!(out.as_slice().iter().any(|&v| v != SENTINEL));
+}
+
+#[test]
+fn every_fleet_error_variant_is_reachable() {
+    let seg = Segmenter::sslic_ppa(SlicParams::builder(60).iterations(2).build(), 2);
+    let img = scene(64, 48);
+
+    // ZeroSlots / ZeroWorkers fall out of builder validation.
+    assert_eq!(
+        FleetConfig::builder().with_slots(0).try_build().unwrap_err(),
+        FleetError::ZeroSlots
+    );
+    assert_eq!(
+        FleetConfig::builder()
+            .with_frame_workers(0)
+            .try_build()
+            .unwrap_err(),
+        FleetError::ZeroWorkers
+    );
+
+    // Saturated: a 1-slot fleet refuses a second live stream.
+    let cfg = FleetConfig::builder().with_slots(1).with_queue_depth(1).build();
+    let mut fleet = SessionFleet::new(&seg, 64, 48, cfg);
+    fleet.run(StreamId(0), SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+    let err = fleet
+        .try_run(StreamId(1), SegmentRequest::Rgb(&img.rgb), &RunOptions::new())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SegmentError::Fleet(FleetError::Saturated { streams: 1, slots: 1 })
+    );
+
+    // QueueFull: the bounded queue rejects past its configured depth.
+    assert!(fleet.try_enqueue(StreamId(1), img.rgb.clone()).is_ok());
+    let err = fleet.try_enqueue(StreamId(2), img.rgb.clone()).unwrap_err();
+    assert_eq!(err, SegmentError::Fleet(FleetError::QueueFull { depth: 1 }));
+
+    // Both rejections are observable in the fleet stats.
+    assert_eq!(fleet.stats().rejected, 2);
+
+    // And the shared error hierarchy still reaches the non-fleet variants
+    // through fleet entry points: bad geometry at construction and
+    // per-frame.
+    let err = SessionFleet::try_new(&seg, 0, 48, FleetConfig::default()).unwrap_err();
+    assert_eq!(err, SegmentError::EmptyFrame { width: 0, height: 48 });
+    let wrong = scene(32, 24);
+    let err = fleet.try_enqueue(StreamId(9), wrong.rgb.clone()).unwrap_err();
+    assert_eq!(
+        err,
+        SegmentError::GeometryMismatch {
+            expected: (64, 48),
+            actual: (32, 24),
+        }
+    );
+}
+
+#[test]
+fn fleet_errors_display_distinct_messages() {
+    let variants = [
+        FleetError::Saturated { streams: 2, slots: 2 },
+        FleetError::QueueFull { depth: 4 },
+        FleetError::ZeroSlots,
+        FleetError::ZeroWorkers,
+    ];
+    let messages: Vec<String> = variants.iter().map(|v| v.to_string()).collect();
+    for (i, m) in messages.iter().enumerate() {
+        assert!(!m.is_empty());
+        for other in &messages[i + 1..] {
+            assert_ne!(m, other, "messages must distinguish the variants");
+        }
+    }
+    // The unified hierarchy prefixes the fleet condition, so a
+    // SegmentError::Fleet message is distinct from every other
+    // SegmentError variant's text.
+    let folded = SegmentError::Fleet(FleetError::ZeroSlots).to_string();
+    assert!(folded.starts_with("fleet: "));
+    assert!(folded.contains("at least one slot"));
+}
+
+#[test]
+fn fleet_panicking_twin_carries_the_typed_message() {
+    let seg = Segmenter::sslic_ppa(SlicParams::builder(60).iterations(2).build(), 2);
+    let img = scene(64, 48);
+    let result = std::panic::catch_unwind(|| {
+        let mut fleet = SessionFleet::new(&seg, 64, 48, FleetConfig::default());
+        fleet.run(StreamId(0), SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+        fleet.run(StreamId(1), SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+    });
+    let payload = result.unwrap_err();
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload is a message");
+    let typed = SegmentError::Fleet(FleetError::Saturated { streams: 1, slots: 1 });
+    assert!(
+        msg.contains(&typed.to_string()),
+        "panic message {msg:?} must carry the typed error text"
+    );
 }
 
 #[test]

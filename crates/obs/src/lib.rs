@@ -41,6 +41,6 @@ pub use event::{Event, EventKind, Value};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{Determinism, Recorder};
 pub use report::{
-    HistogramSnapshot, PhaseNanos, ReportCounters, ReportRecovery, RunReport, TrafficEntry,
-    RUN_REPORT_SCHEMA,
+    HistogramSnapshot, PhaseNanos, ReportCounters, ReportFleet, ReportRecovery, RunReport,
+    TrafficEntry, RUN_REPORT_SCHEMA,
 };

@@ -55,6 +55,39 @@ impl ReportRecovery {
     }
 }
 
+/// Per-stream fleet section of a report emitted by a session fleet
+/// (`serve` lines and `SessionFleet::run_report`). Absent — and absent
+/// from the JSON — for reports produced outside a fleet, so existing
+/// single-session reports keep their exact bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReportFleet {
+    /// The stream this frame belongs to.
+    pub stream: u64,
+    /// Frames this stream has segmented since it was bound.
+    pub frames: u64,
+    /// Of those, frames that healed via recovery.
+    pub recovered: u64,
+    /// Frames parked in the fleet's admission queue right now.
+    pub queue_depth: u64,
+    /// Fleet-wide admission rejections so far.
+    pub rejected: u64,
+    /// FNV-1a checksum of this stream's current label map.
+    pub label_checksum: u64,
+}
+
+impl ReportFleet {
+    fn from_json(j: &Json) -> Option<Self> {
+        Some(ReportFleet {
+            stream: j.get("stream")?.as_u64()?,
+            frames: j.get("frames")?.as_u64()?,
+            recovered: j.get("recovered")?.as_u64()?,
+            queue_depth: j.get("queue_depth")?.as_u64()?,
+            rejected: j.get("rejected")?.as_u64()?,
+            label_checksum: j.get("label_checksum")?.as_u64()?,
+        })
+    }
+}
+
 /// Mirror of the engine's `RunCounters` (kept as a plain struct here so
 /// the zero-dependency crate graph stays acyclic: obs depends on nothing).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -197,6 +230,9 @@ pub struct RunReport {
     pub injected_words: u64,
     /// Self-healing summary (all-zero `clean` when recovery never ran).
     pub recovery: ReportRecovery,
+    /// Per-stream fleet section; `None` (and omitted from the JSON) for
+    /// reports produced outside a session fleet.
+    pub fleet: Option<ReportFleet>,
     /// Engine op counters.
     pub counters: ReportCounters,
     /// Per-phase attribution.
@@ -263,6 +299,12 @@ impl RunReport {
             escape_json(&self.recovery.outcome),
             self.recovery.center_checksum
         ));
+        if let Some(fl) = &self.fleet {
+            out.push_str(&format!(
+                ",\"fleet\":{{\"stream\":{},\"frames\":{},\"recovered\":{},\"queue_depth\":{},\"rejected\":{},\"label_checksum\":{}}}",
+                fl.stream, fl.frames, fl.recovered, fl.queue_depth, fl.rejected, fl.label_checksum
+            ));
+        }
         out.push_str(",\"counters\":{");
         for (i, (name, v)) in ReportCounters::FIELDS
             .iter()
@@ -405,6 +447,7 @@ impl RunReport {
             repairs: need_u64("repairs")?,
             injected_words: need_u64("injected_words")?,
             recovery,
+            fleet: j.get("fleet").and_then(ReportFleet::from_json),
             counters,
             phases,
             histograms,
@@ -439,6 +482,7 @@ mod tests {
                 outcome: "recovered".to_string(),
                 center_checksum: 0x9E37_79B9_7F4A_7C15,
             },
+            fleet: None,
             counters: ReportCounters {
                 distance_calcs: 2_073_600,
                 pixel_color_reads: 230_400,
@@ -477,6 +521,28 @@ mod tests {
         let back = RunReport::from_json(&json).expect("parse");
         assert_eq!(back, r);
         // And the re-serialization is byte-identical.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn fleet_section_round_trips_and_stays_optional() {
+        // Without a fleet section, the key never appears: pre-fleet
+        // reports keep their exact bytes.
+        let plain = sample();
+        assert!(!plain.to_json().contains("\"fleet\""));
+        // With one, every field survives the round trip.
+        let mut r = sample();
+        r.fleet = Some(ReportFleet {
+            stream: 42,
+            frames: 7,
+            recovered: 1,
+            queue_depth: 3,
+            rejected: 2,
+            label_checksum: 0xDEAD_BEEF_CAFE_F00D,
+        });
+        let json = r.to_json();
+        let back = RunReport::from_json(&json).expect("parse");
+        assert_eq!(back, r);
         assert_eq!(back.to_json(), json);
     }
 

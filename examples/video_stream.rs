@@ -1,18 +1,20 @@
-//! Simulated 30 fps video pipeline: segment a stream of slowly changing
-//! frames through a persistent [`SegmenterSession`], warm-starting each
-//! frame from the previous frame's centers — the deployment the paper's
-//! accelerator targets. The session owns all per-frame scratch, so every
-//! steady-state frame runs with zero heap allocations (the `allocs` column
-//! prints the session ledger's per-frame count).
+//! Simulated 30 fps multi-camera pipeline: segment two slowly changing
+//! streams through one [`SessionFleet`], each stream warm-starting every
+//! frame from its own previous centers — the deployment the paper's
+//! accelerator targets. The fleet owns all per-stream warm-start
+//! bookkeeping (no bootstrap buffers, no hand-rolled session juggling)
+//! and every steady-state frame runs with zero heap allocations (the
+//! `allocs` column prints the session ledger's per-frame count).
 //!
 //! ```text
 //! cargo run --release --example video_stream
 //! cargo run --release --example video_stream -- --trace stream
 //! ```
 //!
-//! With `--trace PREFIX`, the warm pipeline records every frame into one
-//! deterministic trace and writes `PREFIX.jsonl` (structured events) and
-//! `PREFIX.chrome.json` (load in Perfetto / `chrome://tracing`).
+//! With `--trace PREFIX`, camera 0's warm pipeline records every frame
+//! into one deterministic trace and writes `PREFIX.jsonl` (structured
+//! events) and `PREFIX.chrome.json` (load in Perfetto /
+//! `chrome://tracing`).
 
 use std::time::Instant;
 
@@ -21,12 +23,12 @@ use sslic::metrics::undersegmentation_error;
 use sslic::obs::Recorder;
 use sslic::prelude::*;
 
-fn frame(t: usize) -> SyntheticImage {
-    // Same scene geometry each frame; the warp phase comes from the seed,
-    // so vary only the noise realization + illumination to mimic a slowly
-    // changing camera stream.
+fn frame(camera: u64, t: usize) -> SyntheticImage {
+    // Same scene geometry per camera; the warp phase comes from the seed,
+    // so vary only the noise realization + illumination to mimic slowly
+    // changing camera streams.
     SyntheticImage::builder(320, 240)
-        .seed(42)
+        .seed(42 + camera)
         .regions(12)
         .noise_sigma(4.0 + (t % 3) as f32)
         .illumination(15.0 + t as f32)
@@ -42,7 +44,8 @@ fn main() {
         .cloned();
     let recorder = trace_prefix.as_ref().map(|_| Recorder::deterministic());
 
-    let frames: Vec<SyntheticImage> = (0..12).map(frame).collect();
+    let cam0: Vec<SyntheticImage> = (0..12).map(|t| frame(0, t)).collect();
+    let cam1: Vec<SyntheticImage> = (0..12).map(|t| frame(1, t)).collect();
     let k = 600;
 
     // Cold pipeline: every frame from scratch, 10 iterations, one-shot API.
@@ -50,71 +53,70 @@ fn main() {
         SlicParams::builder(k).iterations(10).build(),
         2,
     );
-    // Warm pipeline: a persistent session; frame 0 seeds cold with the full
-    // iteration budget, then 2 steps per frame recycling the previous
-    // frame's centers in place — no per-frame allocation, no center copy.
+    // Warm pipeline: a two-slot fleet, one stream per camera. Each slot is
+    // a persistent session: frame 0 of a stream seeds cold, then 2 steps
+    // per frame recycling that stream's previous centers in place — no
+    // per-frame allocation, no center copy, and no per-stream bookkeeping
+    // out here: the fleet keys the warm state by StreamId.
     let warm_seg = Segmenter::sslic_ppa(
         SlicParams::builder(k).iterations(2).build(),
         2,
     );
-    let mut session = warm_seg.session(320, 240);
-    let (buffers, bytes) = session.scratch_inventory();
-    println!(
-        "session scratch: {buffers} buffers, {:.1} KiB, established once",
-        bytes as f64 / 1024.0
+    let mut fleet = SessionFleet::new(
+        &warm_seg,
+        320,
+        240,
+        FleetConfig::builder().with_slots(2).build(),
     );
 
     println!(
         "{:<7} {:>12} {:>10} {:>10} {:>12} {:>10} {:>10} {:>8}",
-        "frame", "cold (ms)", "cold fps", "cold USE", "warm (ms)", "warm fps", "warm USE", "allocs"
+        "frame", "cold (ms)", "cold fps", "cold USE", "warm (ms)", "cam0 USE", "cam1 USE", "allocs"
     );
     println!("{}", "-".repeat(87));
 
-    let mut bootstrap: Option<Vec<sslic::core::Cluster>> = None;
     let (mut cold_total, mut warm_total) = (0.0f64, 0.0f64);
-    for (t, f) in frames.iter().enumerate() {
+    for (t, (f0, f1)) in cam0.iter().zip(&cam1).enumerate() {
+        // Cold baseline on camera 0 only: the per-frame cost a pipeline
+        // pays without warm starts.
         let start = Instant::now();
-        let cold = cold_seg.run(SegmentRequest::Rgb(&f.rgb), &RunOptions::new());
+        let cold = cold_seg.run(SegmentRequest::Rgb(&f0.rgb), &RunOptions::new());
         let cold_ms = start.elapsed().as_secs_f64() * 1e3;
         cold_total += cold_ms;
 
-        if t == 0 {
-            // Bootstrap: the stream's first frame converges with the full
-            // cold budget; its centers prime the 2-step session.
-            bootstrap = Some(cold.clusters().to_vec());
-        }
-
-        // The warm session is the deployment path, so it is the one the
-        // trace records: each frame's spans land in the same recorder,
-        // distinguishable by their position in the event stream.
+        // Camera 0 is the traced deployment path; camera 1 shares the
+        // fleet but keeps fully independent warm-start state.
         let start = Instant::now();
-        let report = {
-            let mut options = RunOptions::new();
-            if let Some(prev) = (t == 0).then(|| bootstrap.as_deref()).flatten() {
-                options = options.with_warm_start(prev);
-            } // t > 0: the session recycles its own converged centers.
-            if let Some(rec) = recorder.as_ref() {
-                options = options.with_recorder(rec);
-            }
-            session.run(SegmentRequest::Rgb(&f.rgb), &options)
-        };
+        let mut options = RunOptions::new();
+        if let Some(rec) = recorder.as_ref() {
+            options = options.with_recorder(rec);
+        }
+        let r0 = fleet.run(StreamId(0), SegmentRequest::Rgb(&f0.rgb), &options);
         let warm_ms = start.elapsed().as_secs_f64() * 1e3;
         warm_total += warm_ms;
+        let r1 = fleet.run(StreamId(1), SegmentRequest::Rgb(&f1.rgb), &RunOptions::new());
 
         println!(
-            "{:<7} {:>12.2} {:>10.1} {:>10.4} {:>12.2} {:>10.1} {:>10.4} {:>8}",
+            "{:<7} {:>12.2} {:>10.1} {:>10.4} {:>12.2} {:>10.4} {:>10.4} {:>8}",
             t,
             cold_ms,
             1e3 / cold_ms,
-            undersegmentation_error(cold.labels(), &f.ground_truth),
+            undersegmentation_error(cold.labels(), &f0.ground_truth),
             warm_ms,
-            1e3 / warm_ms,
-            undersegmentation_error(session.labels(), &f.ground_truth),
-            report.scratch_allocs()
+            undersegmentation_error(
+                fleet.stream_labels(StreamId(0)).expect("cam0 bound"),
+                &f0.ground_truth
+            ),
+            undersegmentation_error(
+                fleet.stream_labels(StreamId(1)).expect("cam1 bound"),
+                &f1.ground_truth
+            ),
+            r0.scratch_allocs().max(r1.scratch_allocs())
         );
     }
     println!("{}", "-".repeat(87));
-    let n = frames.len() as f64;
+    let n = cam0.len() as f64;
+    let stats = fleet.stats();
     println!(
         "mean per-frame: cold {:.2} ms ({:.1} fps), warm {:.2} ms ({:.1} fps)",
         cold_total / n,
@@ -123,8 +125,12 @@ fn main() {
         1e3 * n / warm_total
     );
     println!(
-        "totals: cold {:.1} ms, warm {:.1} ms — {:.1}x less compute for the\n\
-         stream at matched quality, with zero steady-state allocations.\n\
+        "fleet: {} frames over {} active streams, {} admissions, {} rejections",
+        stats.frames, stats.active_streams, stats.admitted, stats.rejected
+    );
+    println!(
+        "totals (cam0): cold {:.1} ms, warm {:.1} ms — {:.1}x less compute for\n\
+         the stream at matched quality, with zero steady-state allocations.\n\
          Combined with S-SLIC subsampling this is how the accelerator's\n\
          30 fps budget stretches on video.",
         cold_total,
@@ -132,10 +138,18 @@ fn main() {
         cold_total / warm_total
     );
 
-    // Self-healing: the same warm pipeline under center-register
-    // corruption, first bare (guards flag the damage, frames degrade),
-    // then under a bounded retry policy (the session rolls back to the
-    // frame checkpoint and re-runs, deterministically).
+    // Admission control: both slots are bound, so a third stream is
+    // refused with explicit backpressure instead of silently evicting a
+    // warm stream.
+    match fleet.try_run(StreamId(2), SegmentRequest::Rgb(&cam0[0].rgb), &RunOptions::new()) {
+        Err(e) => println!("\nadmission control: {e}"),
+        Ok(_) => println!("\nunexpected admission"),
+    }
+
+    // Self-healing: one fleet serves a bare stream and a recovery-armed
+    // stream under the same center-register corruption. Healing is a
+    // per-call option, so the streams heal (or degrade) independently
+    // while sharing the pool.
     println!("\nself-healing under sigma-register corruption (2000 ppm):");
     let plan = sslic::fault::FaultPlan::new(7).with(
         sslic::fault::FaultSite::SigmaRegister,
@@ -147,16 +161,23 @@ fn main() {
         "{:<7} {:>12} {:>22} {:>8}",
         "frame", "no policy", "retry budget 2", "allocs"
     );
-    let mut bare = warm_seg.session(320, 240);
-    let mut healing = warm_seg.session(320, 240);
-    for (t, f) in frames.iter().take(6).enumerate() {
+    let mut healers = SessionFleet::new(
+        &warm_seg,
+        320,
+        240,
+        FleetConfig::builder().with_slots(2).build(),
+    );
+    let (bare, healing) = (StreamId(10), StreamId(11));
+    for (t, f) in cam0.iter().take(6).enumerate() {
         let faults = sslic::fault::EngineFaults::new(&plan);
-        let r0 = bare.run(
+        let r0 = healers.run(
+            bare,
             SegmentRequest::Rgb(&f.rgb),
             &RunOptions::new().with_faults(&faults),
         );
         let faults = sslic::fault::EngineFaults::new(&plan);
-        let r1 = healing.run(
+        let r1 = healers.run(
+            healing,
             SegmentRequest::Rgb(&f.rgb),
             &RunOptions::new().with_faults(&faults).with_recovery(&policy),
         );
@@ -169,9 +190,11 @@ fn main() {
             r1.scratch_allocs(),
         );
     }
+    let healed = healers.stream_stats(healing).map_or(0, |s| s.recovered);
     println!(
-        "rollback + bounded retry stays allocation-free: the checkpoint\n\
-         and retry scratch were part of the session arena all along."
+        "rollback + bounded retry stays allocation-free ({healed} frames\n\
+         recovered on the armed stream): the checkpoint and retry scratch\n\
+         were part of each slot's session arena all along."
     );
 
     if let (Some(prefix), Some(rec)) = (trace_prefix, recorder) {

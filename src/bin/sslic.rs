@@ -12,8 +12,9 @@ use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 use sslic::core::{
-    build_run_report, DistanceMode, RecoveryOutcome, RecoveryPolicy, RunOptions, SegmentRequest,
-    Segmenter, SegmenterSession, SlicParams,
+    build_run_report, serve, write_wire_close, write_wire_frame, DistanceMode, FleetConfig,
+    RecoveryOutcome, RecoveryPolicy, RunOptions, SegmentRequest, Segmenter, ServeOptions,
+    SessionFleet, SlicParams, StreamId,
 };
 use sslic::hw::export;
 use sslic::hw::sim::{FrameSimulator, Resolution};
@@ -26,6 +27,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("segment") => cmd_segment(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("framepack") => cmd_framepack(&args[1..]),
         Some("dataset") => cmd_dataset(&args[1..]),
         Some("hwsim") => cmd_hwsim(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
@@ -68,6 +71,20 @@ fn print_help() {
          \x20     Perfetto/chrome://tracing file, --report a RunReport JSON.\n\
          \x20     Traces are deterministic (logical clocks, byte-identical\n\
          \x20     across runs and thread counts) unless --wallclock is given.\n\
+         \n\
+         \x20 sslic serve [--listen ADDR] [--slots S] [--queue-depth Q]\n\
+         \x20             [--superpixels K] [--compactness M] [--iterations N]\n\
+         \x20             [--subsets P] [--algo slic|ppa|sslic|hw8] [--threads T]\n\
+         \x20             [--recovery N] [--wallclock]\n\
+         \x20     Multi-stream segmentation server over a SessionFleet.\n\
+         \x20     Speaks the length-prefixed frame protocol (see README) on\n\
+         \x20     stdin/stdout, or on one TCP connection with --listen. Emits\n\
+         \x20     one RunReport JSON line per frame with per-stream fleet\n\
+         \x20     counters (frames, recovered, queue depth, rejections).\n\
+         \n\
+         \x20 sslic framepack [--out FILE] <stream:frame.ppm | close:stream>...\n\
+         \x20     Encode PPM frames and close records into the serve wire\n\
+         \x20     format, in argument order (stdout when --out is omitted).\n\
          \n\
          \x20 sslic dataset <dir> [--count N] [--width W] [--height H] [--seed S]\n\
          \x20     Generate a synthetic evaluation corpus with exact ground truth\n\
@@ -170,39 +187,47 @@ fn cmd_segment(args: &[String]) -> CliResult {
         options = options.with_recovery(p);
     }
 
-    // One input or many, every frame goes through a persistent session:
-    // for a single frame this is bit-identical to the one-shot API, and a
-    // sequence of equally-sized frames reuses the same scratch (and the
-    // previous frame's centers) with zero steady-state allocations.
-    let mut session: Option<SegmenterSession> = None;
+    // One input or many, every frame goes through a one-slot session
+    // fleet: for a single frame this is bit-identical to the one-shot
+    // API, and a sequence of equally-sized frames reuses the same scratch
+    // (and the previous frame's centers) with zero steady-state
+    // allocations. The fleet owns all per-stream warm-start bookkeeping.
+    let stream = StreamId(0);
+    let mut fleet: Option<SessionFleet> = None;
     let mut last_report = None;
     for (i, input) in inputs.iter().enumerate() {
         let img = ppm::read_ppm(BufReader::new(File::open(input)?))?;
-        let sess = match session.as_mut() {
-            Some(s) if (s.width(), s.height()) == (img.width(), img.height()) => s,
+        let fl = match fleet.as_mut() {
+            Some(f) if (f.width(), f.height()) == (img.width(), img.height()) => f,
             stale => {
                 if stale.is_some() {
                     println!("resolution changed; re-establishing session scratch");
                 }
-                session = Some(segmenter.session(img.width(), img.height()));
-                session.as_mut().expect("just created")
+                fleet = Some(SessionFleet::new(
+                    &segmenter,
+                    img.width(),
+                    img.height(),
+                    FleetConfig::default(),
+                ));
+                fleet.as_mut().expect("just created")
             }
         };
         let start = std::time::Instant::now();
-        let report = sess.run(SegmentRequest::Rgb(&img), &options);
+        let report = fl.run(stream, SegmentRequest::Rgb(&img), &options);
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        let labels = fl.stream_labels(stream).expect("stream just ran");
         println!(
             "{algo}: {input} {}x{} -> {} superpixels in {elapsed:.1} ms \
              ({} steps, {} scratch allocs)",
             img.width(),
             img.height(),
-            sess.clusters().len(),
+            fl.stream_clusters(stream).map_or(0, <[_]>::len),
             report.iterations_run(),
             report.scratch_allocs()
         );
         println!(
             "explained variation: {:.4}",
-            explained_variation(&img, sess.labels())
+            explained_variation(&img, labels)
         );
         if policy.is_some() || report.recovery().outcome != RecoveryOutcome::Clean {
             let rec = report.recovery();
@@ -220,19 +245,19 @@ fn cmd_segment(args: &[String]) -> CliResult {
             (Some(prefix), _) => format!("{prefix}.{i:03}"),
             (None, _) => (*input).clone(),
         };
-        let boundaries = draw::overlay_boundaries(&img, sess.labels(), Rgb::new(255, 220, 0));
+        let boundaries = draw::overlay_boundaries(&img, labels, Rgb::new(255, 220, 0));
         ppm::write_ppm(
             BufWriter::new(File::create(format!("{prefix}.boundaries.ppm"))?),
             &boundaries,
         )?;
-        let mosaic = draw::mean_color_image(&img, sess.labels());
+        let mosaic = draw::mean_color_image(&img, labels);
         ppm::write_ppm(
             BufWriter::new(File::create(format!("{prefix}.mosaic.ppm"))?),
             &mosaic,
         )?;
         ppm::write_pgm16(
             BufWriter::new(File::create(format!("{prefix}.labels.pgm"))?),
-            sess.labels(),
+            labels,
         )?;
         println!("wrote {prefix}.boundaries.ppm, {prefix}.mosaic.ppm, {prefix}.labels.pgm");
         last_report = Some(report);
@@ -248,15 +273,126 @@ fn cmd_segment(args: &[String]) -> CliResult {
             println!("wrote {path} (load in Perfetto or chrome://tracing)");
         }
         if let Some(path) = &report_path {
-            // The RunReport covers the last frame the session retired.
-            let seg = session
+            // The RunReport covers the last frame the fleet retired.
+            let seg = fleet
                 .take()
                 .expect("at least one input ran")
-                .into_segmentation(last_report.expect("at least one input ran"));
+                .into_segmentation(stream, last_report.expect("at least one input ran"))
+                .expect("stream bound");
             let report = build_run_report(&segmenter, &seg, !wallclock, Some(rec), 0);
             std::fs::write(path, report.to_json())?;
             println!("wrote {path}");
         }
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let k: usize = flag(args, "--superpixels")?.unwrap_or(900);
+    let m: f32 = flag(args, "--compactness")?.unwrap_or(10.0);
+    let iterations: u32 = flag(args, "--iterations")?.unwrap_or(10);
+    let subsets: u32 = flag(args, "--subsets")?.unwrap_or(2);
+    let algo: String = flag(args, "--algo")?.unwrap_or_else(|| "sslic".to_string());
+    let threads: usize = flag(args, "--threads")?.unwrap_or(1);
+    let slots: usize = flag(args, "--slots")?.unwrap_or(4);
+    let queue_depth: usize = flag(args, "--queue-depth")?.unwrap_or(16);
+    let recovery: Option<u32> = flag(args, "--recovery")?;
+    let listen: Option<String> = flag(args, "--listen")?;
+    let wallclock = args.iter().any(|a| a == "--wallclock");
+
+    let params = SlicParams::builder(k)
+        .compactness(m)
+        .iterations(iterations)
+        .threads(threads)
+        .build();
+    let segmenter = match algo.as_str() {
+        "slic" => Segmenter::slic(params),
+        "ppa" => Segmenter::slic_ppa(params),
+        "sslic" => Segmenter::sslic_ppa(params, subsets),
+        "hw8" => Segmenter::sslic_ppa(params, subsets)
+            .with_distance_mode(DistanceMode::quantized(8)),
+        other => return Err(format!("unknown --algo '{other}'").into()),
+    };
+    let fleet_cfg = FleetConfig::builder()
+        .with_slots(slots)
+        .with_queue_depth(queue_depth)
+        .try_build()
+        .map_err(|e| e.to_string())?;
+    let policy = recovery.map(RecoveryPolicy::new);
+    let mut serve_opts = ServeOptions::new().with_wallclock(wallclock);
+    if let Some(p) = policy.as_ref() {
+        serve_opts = serve_opts.with_recovery(p);
+    }
+
+    let summary = match listen {
+        Some(addr) => {
+            // One connection per invocation: accept, pump to EOF, report.
+            let listener = std::net::TcpListener::bind(&addr)?;
+            eprintln!("serve: listening on {addr}");
+            let (socket, peer) = listener.accept()?;
+            eprintln!("serve: accepted {peer}");
+            let mut input = BufReader::new(socket.try_clone()?);
+            let mut output = BufWriter::new(socket);
+            let summary = serve(&segmenter, fleet_cfg, &mut input, &mut output, &serve_opts)?;
+            output.flush()?;
+            summary
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut input = BufReader::new(stdin.lock());
+            let mut output = BufWriter::new(stdout.lock());
+            let summary = serve(&segmenter, fleet_cfg, &mut input, &mut output, &serve_opts)?;
+            output.flush()?;
+            summary
+        }
+    };
+    eprintln!(
+        "serve: {} frames ({} recovered), {} rejected, queue peak {}, {} streams closed",
+        summary.frames, summary.recovered, summary.rejected, summary.queued_peak, summary.closed
+    );
+    Ok(())
+}
+
+fn cmd_framepack(args: &[String]) -> CliResult {
+    let out_path: Option<String> = flag(args, "--out")?;
+    let mut entries: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2; // skip the flag and its value
+        } else {
+            entries.push(&args[i]);
+            i += 1;
+        }
+    }
+    if entries.is_empty() {
+        return Err("framepack needs at least one <stream:frame.ppm> or close:<stream> entry".into());
+    }
+    let mut wire = Vec::new();
+    for entry in entries {
+        if let Some(stream) = entry.strip_prefix("close:") {
+            let stream: u64 = stream
+                .parse()
+                .map_err(|e| format!("invalid stream id in '{entry}': {e}"))?;
+            write_wire_close(&mut wire, StreamId(stream))?;
+        } else {
+            let (stream, path) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("'{entry}' is not <stream:frame.ppm> or close:<stream>"))?;
+            let stream: u64 = stream
+                .parse()
+                .map_err(|e| format!("invalid stream id in '{entry}': {e}"))?;
+            let payload = std::fs::read(path)?;
+            write_wire_frame(&mut wire, StreamId(stream), &payload)?;
+        }
+    }
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &wire)?;
+            eprintln!("wrote {path} ({} bytes)", wire.len());
+        }
+        None => std::io::stdout().write_all(&wire)?,
     }
     Ok(())
 }

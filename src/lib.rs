@@ -54,10 +54,13 @@ pub use sslic_obs as obs;
 /// One-shot: configure a [`prelude::Segmenter`] and call `run`. Streaming:
 /// derive a [`prelude::SegmenterSession`] from it (`seg.session(w, h)`)
 /// and run frames through the reusable scratch with zero steady-state
-/// allocations.
+/// allocations. Multi-stream: pool sessions in a
+/// [`prelude::SessionFleet`] keyed by [`prelude::StreamId`], with
+/// admission control surfaced as [`prelude::FleetError`].
 pub mod prelude {
     pub use sslic_core::{
-        FrameReport, RunOptions, SegmentError, SegmentRequest, Segmentation, SegmentationStatus,
-        Segmenter, SegmenterSession, SlicParams, SlicParamsBuilder,
+        FleetConfig, FleetError, FrameReport, RunOptions, SegmentError, SegmentRequest,
+        Segmentation, SegmentationStatus, Segmenter, SegmenterSession, SessionFleet, SlicParams,
+        SlicParamsBuilder, StreamFrame, StreamId,
     };
 }

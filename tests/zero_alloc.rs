@@ -192,3 +192,62 @@ fn steady_state_frames_never_touch_the_heap() {
         }
     }
 }
+
+#[test]
+fn steady_state_fleet_frames_never_touch_the_heap() {
+    // Two live streams through a two-slot fleet: after each stream's cold
+    // frame, the whole path — admission lookup, per-frame tallies, the
+    // session run itself — must leave the allocation counter untouched.
+    let frames: Vec<SyntheticImage> = (0..4)
+        .map(|i| {
+            SyntheticImage::builder(64, 48)
+                .seed(950 + i)
+                .regions(5)
+                .build()
+        })
+        .collect();
+    for threads in [1usize, 4] {
+        let params = SlicParams::builder(60)
+            .iterations(5)
+            .threads(threads)
+            .build();
+        let seg = Segmenter::sslic_ppa(params, 2);
+        let cfg = FleetConfig::builder().with_slots(2).build();
+        let mut fleet = SessionFleet::new(&seg, 64, 48, cfg);
+        let (a, b) = (StreamId(0), StreamId(1));
+        // Frame 0 per stream: admission binds a slot and cold seeding
+        // computes the initial centers — allocations expected.
+        fleet.run(a, SegmentRequest::Rgb(&frames[0].rgb), &RunOptions::new());
+        fleet.run(b, SegmentRequest::Rgb(&frames[0].rgb), &RunOptions::new());
+        for (i, img) in frames[1..].iter().enumerate() {
+            let before = ALLOCS.load(Ordering::SeqCst);
+            let ra = fleet.run(a, SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+            let rb = fleet.run(b, SegmentRequest::Rgb(&img.rgb), &RunOptions::new());
+            let delta = ALLOCS.load(Ordering::SeqCst) - before;
+            assert_eq!(
+                delta,
+                0,
+                "x{threads}: steady fleet frame {} performed {delta} heap allocations",
+                i + 1
+            );
+            assert_eq!(ra.scratch_allocs(), 0, "x{threads}: stream 0 ledger agrees");
+            assert_eq!(rb.scratch_allocs(), 0, "x{threads}: stream 1 ledger agrees");
+        }
+        // Batched steady-state frames reuse the caller's report vector, so
+        // once it is warm the batch API is allocation-free too.
+        let batch = [
+            StreamFrame::new(a, SegmentRequest::Rgb(&frames[1].rgb)),
+            StreamFrame::new(b, SegmentRequest::Rgb(&frames[2].rgb)),
+        ];
+        let mut reports = Vec::with_capacity(batch.len());
+        fleet
+            .try_run_batch_into(&batch, &RunOptions::new(), &mut reports)
+            .expect("warm batch");
+        let before = ALLOCS.load(Ordering::SeqCst);
+        fleet
+            .try_run_batch_into(&batch, &RunOptions::new(), &mut reports)
+            .expect("warm batch");
+        let delta = ALLOCS.load(Ordering::SeqCst) - before;
+        assert_eq!(delta, 0, "x{threads}: steady batch performed {delta} heap allocations");
+    }
+}
