@@ -137,6 +137,21 @@ trace_seg 4 4t
 cmp results/trace-1a.jsonl results/trace-1b.jsonl
 cmp results/trace-1a.jsonl results/trace-4t.jsonl
 cmp results/trace-1a.chrome.json results/trace-4t.chrome.json
+
+echo "==> insight determinism (trace analysis at 1 vs 4 threads must match byte for byte)"
+# The analyzer reads only logical clocks and counters, so its attribution
+# tables and collapsed stacks carry no thread-dependent byte at all — no
+# normalisation, plain cmp.
+./target/release/sslic insight results/trace-1a.jsonl \
+    --out results/insight-1t.txt --collapsed results/insight-1t.collapsed 2>/dev/null
+./target/release/sslic insight results/trace-4t.jsonl \
+    --out results/insight-4t.txt --collapsed results/insight-4t.collapsed 2>/dev/null
+cmp results/insight-1t.txt results/insight-4t.txt
+cmp results/insight-1t.collapsed results/insight-4t.collapsed
+mv results/insight-1t.txt results/insight.txt
+mv results/insight-1t.collapsed results/insight.collapsed
+rm -f results/insight-4t.txt results/insight-4t.collapsed
+
 mv results/trace-1a.jsonl results/trace.jsonl
 mv results/trace-1a.chrome.json results/trace.chrome.json
 rm -rf results/trace-ds results/trace-1b.jsonl results/trace-1b.chrome.json \
@@ -152,10 +167,12 @@ echo "==> fleet determinism (serve RunReport stream at 1 vs 4 threads must match
 ./target/release/sslic dataset results/fleet-ds --count 3 --width 160 --height 120 >/dev/null
 ./target/release/sslic framepack --out results/fleet-stream.bin \
     0:results/fleet-ds/000.ppm 1:results/fleet-ds/001.ppm \
-    0:results/fleet-ds/002.ppm close:0 0:results/fleet-ds/000.ppm
+    0:results/fleet-ds/002.ppm close:0 0:results/fleet-ds/000.ppm stats
 fleet_serve() {
     ./target/release/sslic serve --superpixels 150 --iterations 3 --algo hw8 \
-        --threads "$1" --slots 2 < results/fleet-stream.bin \
+        --threads "$1" --slots 2 --heartbeat 2 \
+        --metrics-file "results/fleet-metrics-$1t.prom" \
+        < results/fleet-stream.bin \
         2>/dev/null > "results/fleet-serve-$1t.jsonl"
 }
 fleet_serve 1
@@ -165,8 +182,39 @@ sed 's/"threads":[0-9]*/"threads":X/' results/fleet-serve-1t.jsonl \
 sed 's/"threads":[0-9]*/"threads":X/' results/fleet-serve-4t.jsonl \
     > results/fleet-serve-4t.norm.jsonl
 cmp results/fleet-serve-1t.norm.jsonl results/fleet-serve-4t.norm.jsonl
+
+echo "==> telemetry determinism (Prometheus exposition and serve analysis must match byte for byte, no normalisation)"
+# Stats replies, heartbeats, the summary, and the metrics file carry no
+# thread-dependent field; neither does the insight analysis of the serve
+# stream (it never reads the threads field) — so all of these are plain
+# cmp, a stronger pin than the sed-normalised report diff above.
+cmp results/fleet-metrics-1t.prom results/fleet-metrics-4t.prom
+grep sslic_fleet_frame_latency_bucket results/fleet-metrics-1t.prom >/dev/null
+./target/release/sslic insight results/fleet-serve-1t.jsonl \
+    --out results/fleet-insight-1t.txt 2>/dev/null
+./target/release/sslic insight results/fleet-serve-4t.jsonl \
+    --out results/fleet-insight-4t.txt 2>/dev/null
+cmp results/fleet-insight-1t.txt results/fleet-insight-4t.txt
+mv results/fleet-metrics-1t.prom results/fleet-metrics.prom
+mv results/fleet-insight-1t.txt results/fleet-insight.txt
 mv results/fleet-serve-1t.jsonl results/fleet-serve.jsonl
 rm -rf results/fleet-ds results/fleet-stream.bin results/fleet-serve-4t.jsonl \
-    results/fleet-serve-1t.norm.jsonl results/fleet-serve-4t.norm.jsonl
+    results/fleet-serve-1t.norm.jsonl results/fleet-serve-4t.norm.jsonl \
+    results/fleet-metrics-4t.prom results/fleet-insight-4t.txt
+
+echo "==> benchmark seed (BENCH_9.json: fleet mode at 4 threads must reproduce the seed byte for byte)"
+# Thread-count invariance of the committed perf trajectory itself: the
+# fleet-mode seed regenerated at 4 engine threads must equal BENCH_9,
+# which must equal BENCH_8 (this PR changes no datapath arithmetic).
+./target/release/throughput --sizes 160x120,320x240 --superpixels 150 \
+    --iterations 5 --frames 1 --threads 4 --mode fleet \
+    --bench-json results/bench-seed-9.json >/dev/null
+cmp BENCH_9.json results/bench-seed-9.json
+cmp BENCH_8.json BENCH_9.json
+rm -f results/bench-seed-9.json
+
+echo "==> bench trajectory (insight bench must see no counter regression across PR seeds)"
+./target/release/sslic insight bench BENCH_7.json BENCH_8.json BENCH_9.json \
+    > results/bench-trajectory.txt
 
 echo "CI OK"

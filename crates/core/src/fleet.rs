@@ -39,9 +39,12 @@
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
+use std::time::Instant;
 
 use sslic_image::{ppm, Plane, RgbImage};
-use sslic_obs::{Recorder, ReportFleet, RunReport};
+use sslic_obs::sink::escape_json;
+use sslic_obs::telemetry::{self, LatencyHistogram};
+use sslic_obs::{MetricsRegistry, Recorder, ReportFleet, RunReport, TelemetrySnapshot};
 
 use crate::cluster::Cluster;
 use crate::engine::{
@@ -137,6 +140,7 @@ pub struct FleetConfig {
     slots: usize,
     queue_depth: usize,
     frame_workers: usize,
+    wallclock_latency: bool,
 }
 
 impl Default for FleetConfig {
@@ -146,6 +150,7 @@ impl Default for FleetConfig {
             slots: 1,
             queue_depth: 0,
             frame_workers: 1,
+            wallclock_latency: false,
         }
     }
 }
@@ -158,6 +163,7 @@ impl FleetConfig {
             slots: 1,
             queue_depth: 0,
             frame_workers: 1,
+            wallclock_latency: false,
         }
     }
 
@@ -176,6 +182,22 @@ impl FleetConfig {
     pub fn frame_workers(&self) -> usize {
         self.frame_workers
     }
+
+    /// Whether latency histograms record wall-clock nanoseconds (see
+    /// [`FleetConfig::with_wallclock_latency`]).
+    pub fn wallclock_latency(&self) -> bool {
+        self.wallclock_latency
+    }
+
+    /// Toggles the unit of the fleet's latency telemetry: off (default),
+    /// frame latency is the frame's exact deterministic cost in
+    /// distance-evaluation units and queue wait is fleet frames elapsed —
+    /// both byte-reproducible; on, both record wall-clock nanoseconds.
+    /// Safe to toggle on a built config: it changes no sizing invariant.
+    pub fn with_wallclock_latency(mut self, on: bool) -> Self {
+        self.wallclock_latency = on;
+        self
+    }
 }
 
 /// Builder for [`FleetConfig`] (`with_*` chaining, validated by
@@ -185,6 +207,7 @@ pub struct FleetConfigBuilder {
     slots: usize,
     queue_depth: usize,
     frame_workers: usize,
+    wallclock_latency: bool,
 }
 
 impl FleetConfigBuilder {
@@ -207,6 +230,13 @@ impl FleetConfigBuilder {
         self
     }
 
+    /// Switches latency telemetry to wall-clock nanoseconds (see
+    /// [`FleetConfig::with_wallclock_latency`]).
+    pub fn with_wallclock_latency(mut self, on: bool) -> Self {
+        self.wallclock_latency = on;
+        self
+    }
+
     /// Validates and builds the config.
     ///
     /// # Errors
@@ -224,6 +254,7 @@ impl FleetConfigBuilder {
             slots: self.slots,
             queue_depth: self.queue_depth,
             frame_workers: self.frame_workers,
+            wallclock_latency: self.wallclock_latency,
         })
     }
 
@@ -244,6 +275,17 @@ impl FleetConfigBuilder {
     }
 }
 
+/// log2 exponent range of the frame-latency histograms: boundaries
+/// `[2^8 … 2^36]` cover both deterministic cost units (distance
+/// evaluations per frame, ~10^5–10^7) and wall-clock nanoseconds
+/// (~10^5–10^10) in one fixed layout, so the report schema never depends
+/// on the telemetry mode.
+const FRAME_LATENCY_EXP: (u32, u32) = (8, 36);
+
+/// log2 exponent range of the queue-wait histogram: `[2^0 … 2^36]` spans
+/// single-frame deterministic waits up to tens of wall-clock seconds.
+const QUEUE_WAIT_EXP: (u32, u32) = (0, 36);
+
 /// One fleet slot: a session plus the stream bound to it (if any) and its
 /// per-stream tallies.
 struct Slot {
@@ -251,6 +293,9 @@ struct Slot {
     stream: Option<StreamId>,
     frames: u64,
     recovered: u64,
+    /// Per-stream frame-latency histogram; reset on rebind along with the
+    /// session, so it describes exactly the currently bound stream.
+    latency: LatencyHistogram,
 }
 
 /// One queued frame awaiting a slot. The queue owns the pixels: by the
@@ -258,6 +303,11 @@ struct Slot {
 struct Pending {
     stream: StreamId,
     image: RgbImage,
+    /// Fleet frame counter at enqueue time — the deterministic queue-wait
+    /// clock (wait = frames segmented while parked).
+    enqueued_frame: u64,
+    /// Wall-clock enqueue stamp, present only in wallclock-latency mode.
+    enqueued_at: Option<Instant>,
 }
 
 /// Fleet-level totals (see [`SessionFleet::stats`]).
@@ -277,6 +327,8 @@ pub struct FleetStats {
     pub queued_peak: u64,
     /// Streams currently bound to slots.
     pub active_streams: u64,
+    /// Streams unbound via [`SessionFleet::close`].
+    pub closed: u64,
 }
 
 /// Per-stream tallies (see [`SessionFleet::stream_stats`]).
@@ -330,6 +382,13 @@ pub struct SessionFleet {
     rejected: u64,
     frames: u64,
     recovered: u64,
+    closed: u64,
+    /// Fleet-wide frame-latency histogram (deterministic cost units, or
+    /// wall-clock nanos under [`FleetConfig::wallclock_latency`]).
+    frame_latency: LatencyHistogram,
+    /// Fleet-wide queue-wait histogram (frames waited, or wall-clock
+    /// nanos).
+    queue_wait: LatencyHistogram,
 }
 
 impl std::fmt::Debug for SessionFleet {
@@ -365,6 +424,7 @@ impl SessionFleet {
                 stream: None,
                 frames: 0,
                 recovered: 0,
+                latency: LatencyHistogram::log2(FRAME_LATENCY_EXP.0, FRAME_LATENCY_EXP.1),
             });
         }
         Ok(SessionFleet {
@@ -380,6 +440,9 @@ impl SessionFleet {
             rejected: 0,
             frames: 0,
             recovered: 0,
+            closed: 0,
+            frame_latency: LatencyHistogram::log2(FRAME_LATENCY_EXP.0, FRAME_LATENCY_EXP.1),
+            queue_wait: LatencyHistogram::log2(QUEUE_WAIT_EXP.0, QUEUE_WAIT_EXP.1),
         })
     }
 
@@ -449,6 +512,7 @@ impl SessionFleet {
                 slot.stream = Some(stream);
                 slot.frames = 0;
                 slot.recovered = 0;
+                slot.latency.reset();
                 slot.session.reset();
                 self.next_slot = (i + 1) % n;
                 self.admitted += 1;
@@ -470,11 +534,15 @@ impl SessionFleet {
         }
     }
 
-    /// Books one finished frame into the fleet and per-stream tallies
-    /// (and the `fleet.*` trace counters when a recorder is attached).
-    fn note(&mut self, slot: usize, report: &FrameReport, recorder: Option<&Recorder>) {
+    /// Books one finished frame into the fleet and per-stream tallies,
+    /// the latency histograms, and the `fleet.*` trace counters when a
+    /// recorder is attached. Allocation-free (it sits on the
+    /// `try_run` hot path).
+    fn note(&mut self, slot: usize, report: &FrameReport, latency: u64, recorder: Option<&Recorder>) {
         self.frames += 1;
         self.slots[slot].frames += 1;
+        self.frame_latency.observe(latency);
+        self.slots[slot].latency.observe(latency);
         let recovered = report.status() == SegmentationStatus::Recovered;
         if recovered {
             self.recovered += 1;
@@ -485,6 +553,17 @@ impl SessionFleet {
             if recovered {
                 rec.counter_add("fleet.recovered", 1);
             }
+        }
+    }
+
+    /// The latency of one finished frame in the configured unit: elapsed
+    /// wall-clock nanoseconds when a start stamp exists
+    /// ([`FleetConfig::wallclock_latency`]), otherwise the frame's exact
+    /// deterministic cost in distance-evaluation units.
+    fn frame_latency_of(started: Option<Instant>, report: &FrameReport) -> u64 {
+        match started {
+            Some(t) => u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            None => report.counters().distance_calcs,
         }
     }
 
@@ -510,8 +589,10 @@ impl SessionFleet {
                 return Err(SegmentError::Fleet(e));
             }
         };
+        let started = self.fleet.wallclock_latency.then(Instant::now);
         let report = self.slots[slot].session.try_run(request, options)?;
-        self.note(slot, &report, options.recorder);
+        let latency = Self::frame_latency_of(started, &report);
+        self.note(slot, &report, latency, options.recorder);
         Ok(report)
     }
 
@@ -601,8 +682,10 @@ impl SessionFleet {
                     // Unreachable: the pre-pass admitted every stream.
                     Err(e) => raise(SegmentError::Fleet(e)),
                 };
+                let started = self.fleet.wallclock_latency.then(Instant::now);
                 let report = self.slots[slot].session.try_run(f.request, options)?;
-                self.note(slot, &report, options.recorder);
+                let latency = Self::frame_latency_of(started, &report);
+                self.note(slot, &report, latency, options.recorder);
                 out.push(report);
             }
             return Ok(());
@@ -622,6 +705,7 @@ impl SessionFleet {
         let workers = self.fleet.frame_workers;
         let warm = options.warm_start;
         let recovery = options.recovery;
+        let wallclock = self.fleet.wallclock_latency;
         let mut bins: Vec<Vec<(&mut Slot, Vec<usize>)>> = (0..workers).map(|_| Vec::new()).collect();
         for (bin, work) in self
             .slots
@@ -632,7 +716,7 @@ impl SessionFleet {
         {
             bins[bin % workers].push(work);
         }
-        let mut merged: Vec<(usize, FrameReport)> = Vec::with_capacity(frames.len());
+        let mut merged: Vec<(usize, FrameReport, u64)> = Vec::with_capacity(frames.len());
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for bin in bins {
@@ -640,7 +724,7 @@ impl SessionFleet {
                     continue;
                 }
                 handles.push(scope.spawn(move || {
-                    let mut done: Vec<(usize, FrameReport)> = Vec::new();
+                    let mut done: Vec<(usize, FrameReport, u64)> = Vec::new();
                     for (slot, idxs) in bin {
                         for i in idxs {
                             // Rebuilt from the Sync parts of the caller's
@@ -652,13 +736,16 @@ impl SessionFleet {
                             if let Some(p) = recovery {
                                 opts = opts.with_recovery(p);
                             }
+                            let started = wallclock.then(Instant::now);
                             match slot.session.try_run(frames[i].request, &opts) {
                                 Ok(report) => {
+                                    let latency = Self::frame_latency_of(started, &report);
                                     slot.frames += 1;
+                                    slot.latency.observe(latency);
                                     if report.status() == SegmentationStatus::Recovered {
                                         slot.recovered += 1;
                                     }
-                                    done.push((i, report));
+                                    done.push((i, report, latency));
                                 }
                                 // Unreachable: geometry, warm-start
                                 // length, and admission were validated
@@ -677,10 +764,13 @@ impl SessionFleet {
                 }
             }
         });
-        // Reports return in input order regardless of worker scheduling.
-        merged.sort_unstable_by_key(|(i, _)| *i);
-        for (_, report) in merged {
+        // Reports return in input order regardless of worker scheduling —
+        // and the fleet-wide histogram folds in that same order, so the
+        // telemetry bytes match the sequential schedule too.
+        merged.sort_unstable_by_key(|(i, _, _)| *i);
+        for (_, report, latency) in merged {
             self.frames += 1;
+            self.frame_latency.observe(latency);
             if report.status() == SegmentationStatus::Recovered {
                 self.recovered += 1;
             }
@@ -750,20 +840,33 @@ impl SessionFleet {
                 depth: self.fleet.queue_depth,
             }));
         }
-        self.queue.push_back(Pending { stream, image });
+        self.queue.push_back(Pending {
+            stream,
+            image,
+            enqueued_frame: self.frames,
+            enqueued_at: self.fleet.wallclock_latency.then(Instant::now),
+        });
         self.queued_peak = self.queued_peak.max(self.queue.len() as u64);
         Ok(self.queue.len())
     }
 
     /// Removes and returns the first queued frame that could run right
     /// now (its stream is bound, or a slot is free). Other frames keep
-    /// their arrival order.
+    /// their arrival order. The frame's queue wait — fleet frames
+    /// segmented while it was parked, or elapsed nanos in
+    /// wallclock-latency mode — lands in the queue-wait histogram.
     pub fn pop_admissible(&mut self) -> Option<(StreamId, RgbImage)> {
         let at = self
             .queue
             .iter()
             .position(|p| self.admissible(p.stream))?;
-        self.queue.remove(at).map(|p| (p.stream, p.image))
+        let p = self.queue.remove(at)?;
+        let wait = match p.enqueued_at {
+            Some(t) => u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            None => self.frames.saturating_sub(p.enqueued_frame),
+        };
+        self.queue_wait.observe(wait);
+        Some((p.stream, p.image))
     }
 
     /// Runs every currently admissible queued frame (in arrival order,
@@ -795,6 +898,7 @@ impl SessionFleet {
         match self.slot_of(stream) {
             Some(i) => {
                 self.slots[i].stream = None;
+                self.closed += 1;
                 true
             }
             None => false,
@@ -811,7 +915,89 @@ impl SessionFleet {
             queue_depth: self.queue.len() as u64,
             queued_peak: self.queued_peak,
             active_streams: self.active_streams() as u64,
+            closed: self.closed,
         }
+    }
+
+    /// The fleet-wide frame-latency histogram (unit per
+    /// [`FleetConfig::wallclock_latency`]).
+    pub fn frame_latency(&self) -> &LatencyHistogram {
+        &self.frame_latency
+    }
+
+    /// The fleet-wide queue-wait histogram.
+    pub fn queue_wait(&self) -> &LatencyHistogram {
+        &self.queue_wait
+    }
+
+    /// The per-stream frame-latency histogram, if the stream is bound.
+    pub fn stream_latency(&self, stream: StreamId) -> Option<&LatencyHistogram> {
+        self.slot_of(stream).map(|i| &self.slots[i].latency)
+    }
+
+    /// Deterministic p50/p90/p99 estimates of the fleet-wide frame
+    /// latency (all 0 before the first frame).
+    pub fn latency_percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.frame_latency.percentile(50).unwrap_or(0),
+            self.frame_latency.percentile(90).unwrap_or(0),
+            self.frame_latency.percentile(99).unwrap_or(0),
+        )
+    }
+
+    /// Snapshots the fleet's telemetry into a [`MetricsRegistry`]:
+    /// `sslic_fleet_*` counters and gauges, the fleet-wide frame-latency
+    /// and queue-wait histograms, and per-stream `sslic_stream_*` series
+    /// labeled `{stream="<id>"}` for every bound stream. Built off the
+    /// frame path (it allocates); every value is deterministic unless
+    /// wallclock latency is armed, so the Prometheus exposition rendered
+    /// from it is byte-identical across thread counts.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("sslic_fleet_frames_total", self.frames);
+        m.counter_add("sslic_fleet_recovered_total", self.recovered);
+        m.counter_add("sslic_fleet_admitted_total", self.admitted);
+        m.counter_add("sslic_fleet_rejected_total", self.rejected);
+        m.counter_add("sslic_fleet_closed_total", self.closed);
+        let to_gauge = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        let active = self.active_streams() as u64;
+        let slots = self.slots.len() as u64;
+        m.gauge_set("sslic_fleet_active_streams", to_gauge(active));
+        m.gauge_set("sslic_fleet_slots", to_gauge(slots));
+        m.gauge_set("sslic_fleet_queue_depth", to_gauge(self.queue.len() as u64));
+        m.gauge_set("sslic_fleet_queued_peak", to_gauge(self.queued_peak));
+        // Slot occupancy in permille: integer-exact, no float formatting.
+        let saturation = if slots == 0 { 0 } else { active * 1000 / slots };
+        m.gauge_set("sslic_fleet_saturation_permille", to_gauge(saturation));
+        m.histogram_insert(
+            "sslic_fleet_frame_latency",
+            self.frame_latency.histogram().clone(),
+        );
+        m.histogram_insert("sslic_fleet_queue_wait", self.queue_wait.histogram().clone());
+        for slot in &self.slots {
+            let Some(stream) = slot.stream else { continue };
+            let sid = stream.to_string();
+            let labels: [(&str, &str); 1] = [("stream", &sid)];
+            m.counter_add(
+                &telemetry::label("sslic_stream_frames_total", &labels),
+                slot.frames,
+            );
+            m.counter_add(
+                &telemetry::label("sslic_stream_recovered_total", &labels),
+                slot.recovered,
+            );
+            m.histogram_insert(
+                &telemetry::label("sslic_stream_frame_latency", &labels),
+                slot.latency.histogram().clone(),
+            );
+        }
+        m
+    }
+
+    /// The fleet's telemetry as a serializable `sslic-telemetry-v1`
+    /// snapshot (per-histogram p50/p90/p99 included).
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::from_registry(&self.metrics_registry())
     }
 
     /// Per-stream tallies, if the stream is currently bound.
@@ -901,6 +1087,11 @@ pub const WIRE_FRAME: u8 = 0x01;
 /// stream's slot and drains admissible queued frames.
 pub const WIRE_CLOSE: u8 = 0x02;
 
+/// Wire opcode: telemetry request — no payload. [`serve`] replies with an
+/// `sslic-serve-stats-v1` line carrying the fleet's Prometheus text
+/// exposition.
+pub const WIRE_STATS: u8 = 0x03;
+
 /// Hard cap on a frame payload (64 MiB), rejecting absurd length prefixes
 /// before any buffer grows.
 pub const WIRE_MAX_PAYLOAD: usize = 1 << 26;
@@ -943,6 +1134,16 @@ pub fn write_wire_close<W: Write>(w: &mut W, stream: StreamId) -> Result<(), Str
     w.write_all(&stream.0.to_le_bytes()).map_err(io)
 }
 
+/// Encodes one [`WIRE_STATS`] record (a single opcode byte).
+///
+/// # Errors
+///
+/// Any I/O error of `w`.
+pub fn write_wire_stats<W: Write>(w: &mut W) -> Result<(), String> {
+    w.write_all(&[WIRE_STATS])
+        .map_err(|e| format!("wire write failed: {e}"))
+}
+
 /// Reads one opcode byte, or `None` at a clean end of stream (EOF is only
 /// legal at a record boundary).
 fn read_opcode<R: Read>(r: &mut R) -> Result<Option<u8>, String> {
@@ -979,6 +1180,12 @@ pub struct ServeOptions<'a> {
     pub recovery: Option<&'a RecoveryPolicy>,
     /// Emit real phase timings instead of deterministic zeros.
     pub wallclock: bool,
+    /// Emit an `sslic-serve-heartbeat-v1` line after every N segmented
+    /// frames (0 = off).
+    pub heartbeat_every: u64,
+    /// Dump the fleet's Prometheus exposition to this path at end of
+    /// input.
+    pub metrics_path: Option<&'a str>,
 }
 
 impl<'a> ServeOptions<'a> {
@@ -997,6 +1204,20 @@ impl<'a> ServeOptions<'a> {
     /// byte-reproducible).
     pub fn with_wallclock(mut self, wallclock: bool) -> Self {
         self.wallclock = wallclock;
+        self
+    }
+
+    /// Emits a heartbeat line after every `every` segmented frames
+    /// (0 disables the heartbeat).
+    pub fn with_heartbeat(mut self, every: u64) -> Self {
+        self.heartbeat_every = every;
+        self
+    }
+
+    /// Writes the fleet's Prometheus exposition to `path` at end of
+    /// input.
+    pub fn with_metrics_file(mut self, path: &'a str) -> Self {
+        self.metrics_path = Some(path);
         self
     }
 }
@@ -1020,12 +1241,74 @@ fn emit<W: Write>(out: &mut W, line: &str) -> Result<(), String> {
     writeln!(out, "{line}").map_err(|e| format!("serve: write failed: {e}"))
 }
 
+/// Runs one admissible frame through the fleet, emits its report line,
+/// folds it into the summary, and emits a heartbeat when one is due.
+fn pump_one<W: Write>(
+    fl: &mut SessionFleet,
+    stream: StreamId,
+    image: &RgbImage,
+    run_options: &RunOptions<'_>,
+    deterministic: bool,
+    heartbeat_every: u64,
+    summary: &mut ServeSummary,
+    out: &mut W,
+) -> Result<(), String> {
+    let report = fl
+        .try_run(stream, SegmentRequest::Rgb(image), run_options)
+        .map_err(|e| format!("serve: {e}"))?;
+    summary.frames += 1;
+    if report.status() == SegmentationStatus::Recovered {
+        summary.recovered += 1;
+    }
+    if let Some(run) = fl.run_report(stream, &report, deterministic) {
+        emit(out, &run.to_json())?;
+    }
+    if heartbeat_every != 0 && summary.frames % heartbeat_every == 0 {
+        emit_heartbeat(out, fl, summary)?;
+    }
+    Ok(())
+}
+
+/// Emits one `sslic-serve-heartbeat-v1` line: liveness tallies plus the
+/// fleet-wide frame-latency percentiles. In deterministic mode every
+/// field is a pure function of the frames pumped so far, so heartbeat
+/// bytes are identical across worker-thread counts.
+fn emit_heartbeat<W: Write>(
+    out: &mut W,
+    fl: &SessionFleet,
+    summary: &ServeSummary,
+) -> Result<(), String> {
+    let stats = fl.stats();
+    let (p50, p90, p99) = fl.latency_percentiles();
+    emit(
+        out,
+        &format!(
+            "{{\"schema\":\"sslic-serve-heartbeat-v1\",\"frames\":{},\"recovered\":{},\
+             \"rejected\":{},\"queue_depth\":{},\"active_streams\":{},\
+             \"frame_latency_p50\":{p50},\"frame_latency_p90\":{p90},\
+             \"frame_latency_p99\":{p99}}}",
+            summary.frames,
+            summary.recovered,
+            summary.rejected,
+            stats.queue_depth,
+            stats.active_streams
+        ),
+    )
+}
+
 /// Pumps the length-prefixed frame protocol from `input` to completion,
 /// emitting one JSON line per event on `out`: a full [`RunReport`]
 /// (schema `sslic-run-report-v2`, with the `fleet` section) per segmented
 /// frame, `sslic-serve-queued-v1` / `sslic-serve-reject-v1` lines for
 /// parked and refused frames, an `sslic-serve-close-v1` line per closed
-/// stream, and a final `sslic-serve-summary-v1` line at EOF.
+/// stream, an `sslic-serve-stats-v1` line (carrying the fleet's
+/// Prometheus text exposition) per [`WIRE_STATS`] request, optional
+/// `sslic-serve-heartbeat-v1` lines every
+/// [`ServeOptions::heartbeat_every`] frames, and a final
+/// `sslic-serve-summary-v2` line at EOF with the fleet-wide
+/// frame-latency p50/p90/p99. With
+/// [`ServeOptions::metrics_path`] set, the raw exposition is also
+/// written to that file at end of input.
 ///
 /// The fleet is sized by `fleet`, configured by `config`, and built
 /// lazily from the first frame's geometry; later frames of a different
@@ -1033,7 +1316,9 @@ fn emit<W: Write>(out: &mut W, line: &str) -> Result<(), String> {
 /// function of the input records (given `wallclock` off), except the
 /// `"threads"` field inside each report — which is why the CI gate
 /// sed-normalises exactly that field before byte-comparing 1-thread
-/// against 4-thread output.
+/// against 4-thread output. Stats, heartbeat, and summary lines carry no
+/// thread-dependent field at all, so they — and the metrics file — are
+/// byte-identical across thread counts without normalisation.
 ///
 /// # Errors
 ///
@@ -1048,6 +1333,7 @@ pub fn serve<R: Read, W: Write>(
     opts: &ServeOptions<'_>,
 ) -> Result<ServeSummary, String> {
     let deterministic = !opts.wallclock;
+    let fleet = fleet.with_wallclock_latency(opts.wallclock);
     let mut pool: Option<SessionFleet> = None;
     let mut payload: Vec<u8> = Vec::new();
     let mut summary = ServeSummary::default();
@@ -1106,16 +1392,16 @@ pub fn serve<R: Read, W: Write>(
                     continue;
                 }
                 if fl.admissible(stream) {
-                    let report = fl
-                        .try_run(stream, SegmentRequest::Rgb(&image), &run_options)
-                        .map_err(|e| format!("serve: {e}"))?;
-                    summary.frames += 1;
-                    if report.status() == SegmentationStatus::Recovered {
-                        summary.recovered += 1;
-                    }
-                    if let Some(run) = fl.run_report(stream, &report, deterministic) {
-                        emit(out, &run.to_json())?;
-                    }
+                    pump_one(
+                        fl,
+                        stream,
+                        &image,
+                        &run_options,
+                        deterministic,
+                        opts.heartbeat_every,
+                        &mut summary,
+                        out,
+                    )?;
                 } else {
                     match fl.try_enqueue(stream, image) {
                         Ok(depth) => emit(
@@ -1146,16 +1432,16 @@ pub fn serve<R: Read, W: Write>(
                         summary.closed += 1;
                     }
                     while let Some((s, img)) = fl.pop_admissible() {
-                        let report = fl
-                            .try_run(s, SegmentRequest::Rgb(&img), &run_options)
-                            .map_err(|e| format!("serve: {e}"))?;
-                        summary.frames += 1;
-                        if report.status() == SegmentationStatus::Recovered {
-                            summary.recovered += 1;
-                        }
-                        if let Some(run) = fl.run_report(s, &report, deterministic) {
-                            emit(out, &run.to_json())?;
-                        }
+                        pump_one(
+                            fl,
+                            s,
+                            &img,
+                            &run_options,
+                            deterministic,
+                            opts.heartbeat_every,
+                            &mut summary,
+                            out,
+                        )?;
                         drained += 1;
                     }
                 }
@@ -1167,29 +1453,56 @@ pub fn serve<R: Read, W: Write>(
                     ),
                 )?;
             }
+            WIRE_STATS => {
+                let exposition = match pool.as_ref() {
+                    Some(fl) => telemetry::render_prometheus(&fl.metrics_registry()),
+                    None => String::new(),
+                };
+                emit(
+                    out,
+                    &format!(
+                        "{{\"schema\":\"sslic-serve-stats-v1\",\"exposition\":\"{}\"}}",
+                        escape_json(&exposition)
+                    ),
+                )?;
+            }
             other => return Err(format!("serve: unknown wire opcode 0x{other:02x}")),
         }
     }
     if let Some(fl) = pool.as_mut() {
         while let Some((s, img)) = fl.pop_admissible() {
-            let report = fl
-                .try_run(s, SegmentRequest::Rgb(&img), &run_options)
-                .map_err(|e| format!("serve: {e}"))?;
-            summary.frames += 1;
-            if report.status() == SegmentationStatus::Recovered {
-                summary.recovered += 1;
-            }
-            if let Some(run) = fl.run_report(s, &report, deterministic) {
-                emit(out, &run.to_json())?;
-            }
+            pump_one(
+                fl,
+                s,
+                &img,
+                &run_options,
+                deterministic,
+                opts.heartbeat_every,
+                &mut summary,
+                out,
+            )?;
         }
         summary.queued_peak = fl.stats().queued_peak;
     }
+    if let Some(path) = opts.metrics_path {
+        let exposition = match pool.as_ref() {
+            Some(fl) => telemetry::render_prometheus(&fl.metrics_registry()),
+            None => String::new(),
+        };
+        std::fs::write(path, exposition)
+            .map_err(|e| format!("serve: cannot write metrics file {path}: {e}"))?;
+    }
+    let (p50, p90, p99) = pool
+        .as_ref()
+        .map(|fl| fl.latency_percentiles())
+        .unwrap_or((0, 0, 0));
     emit(
         out,
         &format!(
-            "{{\"schema\":\"sslic-serve-summary-v1\",\"frames\":{},\"recovered\":{},\
-             \"rejected\":{},\"queued_peak\":{},\"closed\":{}}}",
+            "{{\"schema\":\"sslic-serve-summary-v2\",\"frames\":{},\"recovered\":{},\
+             \"rejected\":{},\"queued_peak\":{},\"closed\":{},\
+             \"frame_latency_p50\":{p50},\"frame_latency_p90\":{p90},\
+             \"frame_latency_p99\":{p99}}}",
             summary.frames, summary.recovered, summary.rejected, summary.queued_peak, summary.closed
         ),
     )?;
@@ -1201,6 +1514,7 @@ mod tests {
     use super::*;
     use crate::SlicParams;
     use sslic_image::synthetic::SyntheticImage;
+    use sslic_obs::Histogram;
 
     fn segmenter() -> Segmenter {
         Segmenter::sslic_ppa(SlicParams::builder(48).iterations(3).build(), 2)
@@ -1357,7 +1671,133 @@ mod tests {
         assert_eq!(fleet_section.stream, 0);
         assert_eq!(fleet_section.frames, 1);
         assert!(lines[3].contains("sslic-serve-close-v1"));
+        assert!(lines[4].contains("sslic-serve-summary-v2"));
         assert!(lines[4].contains("\"frames\":3"));
+        assert!(lines[4].contains("\"frame_latency_p50\":"));
+    }
+
+    #[test]
+    fn wire_stats_round_trips() {
+        let mut buf = Vec::new();
+        write_wire_stats(&mut buf).expect("stats");
+        let mut r: &[u8] = &buf;
+        assert_eq!(read_opcode(&mut r), Ok(Some(WIRE_STATS)));
+        assert_eq!(read_opcode(&mut r), Ok(None));
+    }
+
+    #[test]
+    fn serve_answers_stats_with_prometheus_exposition() {
+        let seg = segmenter();
+        let mut stream_bytes = Vec::new();
+        // A stats request before any frame: empty exposition, no pool yet.
+        write_wire_stats(&mut stream_bytes).expect("stats");
+        for (s, seed) in [(0u64, 1u64), (1, 2)] {
+            let mut ppm_bytes = Vec::new();
+            ppm::write_ppm(&mut ppm_bytes, &img(seed).rgb).expect("encode");
+            write_wire_frame(&mut stream_bytes, StreamId(s), &ppm_bytes).expect("frame");
+        }
+        write_wire_stats(&mut stream_bytes).expect("stats");
+        let cfg = FleetConfig::builder().with_slots(2).build();
+        let mut out = Vec::new();
+        serve(
+            &seg,
+            cfg,
+            &mut &stream_bytes[..],
+            &mut out,
+            &ServeOptions::new(),
+        )
+        .expect("serve");
+        let text = String::from_utf8(out).expect("utf8");
+        let stats: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("sslic-serve-stats-v1"))
+            .collect();
+        assert_eq!(stats.len(), 2);
+        assert!(stats[0].contains("\"exposition\":\"\""));
+        assert!(stats[1].contains("sslic_fleet_frames_total 2"));
+        assert!(stats[1].contains("sslic_fleet_frame_latency_bucket"));
+        assert!(stats[1].contains("le=\\\"+Inf\\\""));
+        assert!(stats[1].contains("sslic_stream_frames_total{stream=\\\"0\\\"} 1"));
+    }
+
+    #[test]
+    fn serve_heartbeat_fires_every_n_frames() {
+        let seg = segmenter();
+        let mut stream_bytes = Vec::new();
+        for seed in 1u64..=4 {
+            let mut ppm_bytes = Vec::new();
+            ppm::write_ppm(&mut ppm_bytes, &img(seed).rgb).expect("encode");
+            write_wire_frame(&mut stream_bytes, StreamId(0), &ppm_bytes).expect("frame");
+        }
+        let cfg = FleetConfig::builder().with_slots(1).build();
+        let mut out = Vec::new();
+        serve(
+            &seg,
+            cfg,
+            &mut &stream_bytes[..],
+            &mut out,
+            &ServeOptions::new().with_heartbeat(2),
+        )
+        .expect("serve");
+        let text = String::from_utf8(out).expect("utf8");
+        let beats: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("sslic-serve-heartbeat-v1"))
+            .collect();
+        assert_eq!(beats.len(), 2);
+        assert!(beats[0].contains("\"frames\":2"));
+        assert!(beats[1].contains("\"frames\":4"));
+        assert!(beats[1].contains("\"frame_latency_p99\":"));
+    }
+
+    #[test]
+    fn fleet_telemetry_tracks_latency_and_queue_wait() {
+        let cfg = FleetConfig::builder().with_slots(1).with_queue_depth(2).build();
+        let mut fleet = SessionFleet::new(&segmenter(), 64, 48, cfg);
+        let frame = img(1);
+        fleet.run(StreamId(0), SegmentRequest::Rgb(&frame.rgb), &RunOptions::new());
+        fleet.run(StreamId(0), SegmentRequest::Rgb(&frame.rgb), &RunOptions::new());
+        assert_eq!(fleet.frame_latency().count(), 2);
+        // Deterministic latency unit is the frame's distance_calcs: > 0
+        // for any real frame, so every percentile estimate is > 0 too.
+        let (p50, p90, p99) = fleet.latency_percentiles();
+        assert!(p50 > 0 && p50 <= p90 && p90 <= p99);
+        assert_eq!(fleet.stream_latency(StreamId(0)).map(LatencyHistogram::count), Some(2));
+        assert_eq!(fleet.stream_latency(StreamId(9)).map(LatencyHistogram::count), None);
+        // Park a frame for a second stream, then free the slot and drain:
+        // the queue-wait histogram sees exactly one observation.
+        fleet
+            .try_enqueue(StreamId(1), frame.rgb.clone())
+            .expect("enqueue");
+        assert_eq!(fleet.queue_wait().count(), 0);
+        fleet.close(StreamId(0));
+        fleet.drain(&RunOptions::new(), |_, _| {}).expect("drain");
+        assert_eq!(fleet.queue_wait().count(), 1);
+        let m = fleet.metrics_registry();
+        assert_eq!(m.counter("sslic_fleet_frames_total"), 3);
+        assert_eq!(m.counter("sslic_fleet_closed_total"), 1);
+        assert_eq!(m.gauge("sslic_fleet_saturation_permille"), Some(1000));
+        assert_eq!(
+            m.histogram("sslic_fleet_frame_latency").map(Histogram::count),
+            Some(3)
+        );
+        let snap = fleet.telemetry_snapshot();
+        assert!(snap.histograms.iter().any(|h| h.name == "sslic_fleet_queue_wait"));
+    }
+
+    #[test]
+    fn rebinding_a_slot_resets_its_latency_histogram() {
+        let cfg = FleetConfig::builder().with_slots(1).build();
+        let mut fleet = SessionFleet::new(&segmenter(), 64, 48, cfg);
+        let frame = img(1);
+        fleet.run(StreamId(0), SegmentRequest::Rgb(&frame.rgb), &RunOptions::new());
+        assert_eq!(fleet.stream_latency(StreamId(0)).map(LatencyHistogram::count), Some(1));
+        fleet.close(StreamId(0));
+        fleet.run(StreamId(1), SegmentRequest::Rgb(&frame.rgb), &RunOptions::new());
+        // Stream 1 inherits the slot but not stream 0's observations.
+        assert_eq!(fleet.stream_latency(StreamId(1)).map(LatencyHistogram::count), Some(1));
+        // The fleet-wide histogram keeps everything.
+        assert_eq!(fleet.frame_latency().count(), 2);
     }
 
     #[test]

@@ -70,9 +70,9 @@ pub use engine::{
     Algorithm, RunOptions, SegmentRequest, Segmentation, SegmentationStatus, Segmenter, StepFaults,
 };
 pub use fleet::{
-    label_checksum, serve, write_wire_close, write_wire_frame, FleetConfig, FleetConfigBuilder,
-    FleetError, FleetStats, ServeOptions, ServeSummary, SessionFleet, StreamFrame, StreamId,
-    StreamStats, WIRE_CLOSE, WIRE_FRAME, WIRE_MAX_PAYLOAD,
+    label_checksum, serve, write_wire_close, write_wire_frame, write_wire_stats, FleetConfig,
+    FleetConfigBuilder, FleetError, FleetStats, ServeOptions, ServeSummary, SessionFleet,
+    StreamFrame, StreamId, StreamStats, WIRE_CLOSE, WIRE_FRAME, WIRE_MAX_PAYLOAD, WIRE_STATS,
 };
 pub use grid::SeedGrid;
 pub use params::{ParamError, SlicParams, SlicParamsBuilder};

@@ -45,6 +45,10 @@ pub const DATAPATH_FILES: &[&str] = &[
     // byte-diffed traces.
     "crates/obs/src/clock.rs",
     "crates/obs/src/metrics.rs",
+    // Telemetry percentiles/exposition render into byte-compared output
+    // (CI diffs the Prometheus text across thread counts), so the whole
+    // module is integer-only: rank math is u128, boundaries are u64.
+    "crates/obs/src/telemetry.rs",
     // The session allocation ledger feeds the same byte-diffed traces
     // (core.alloc.* counters) and must stay integer-only for the same
     // reason.

@@ -24,17 +24,27 @@
 //! phase attribution, histograms, fault summary, and modeled DRAM
 //! traffic, round-trippable through [`RunReport::to_json`] /
 //! [`RunReport::from_json`] via the built-in no-panic [`json`] parser.
+//!
+//! On top of those primitives sit two analysis layers. [`telemetry`]
+//! adds log2-bucketed [`LatencyHistogram`]s with deterministic integer
+//! percentile estimation, a Prometheus text-exposition renderer over the
+//! registry, and the serializable [`TelemetrySnapshot`]
+//! (`sslic-telemetry-v1`). [`insight`] reads the artifacts back — JSONL
+//! traces, report lines, bench seeds — and renders span attribution
+//! tables, flamegraph-collapsed stacks, and cross-PR bench trajectories.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;
 pub mod event;
+pub mod insight;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
 pub mod sink;
+pub mod telemetry;
 
 pub use clock::{LogicalClock, NO_BAND};
 pub use event::{Event, EventKind, Value};
@@ -43,4 +53,7 @@ pub use recorder::{Determinism, Recorder};
 pub use report::{
     HistogramSnapshot, PhaseNanos, ReportCounters, ReportFleet, ReportRecovery, RunReport,
     TrafficEntry, RUN_REPORT_SCHEMA,
+};
+pub use telemetry::{
+    render_prometheus, LatencyHistogram, TelemetryHistogram, TelemetrySnapshot, TELEMETRY_SCHEMA,
 };

@@ -50,6 +50,16 @@ impl Histogram {
         self.sum = self.sum.saturating_add(v);
     }
 
+    /// Zeroes every bucket, the count, and the sum, keeping the boundary
+    /// layout. Allocation-free.
+    pub fn reset(&mut self) {
+        for bucket in self.buckets.iter_mut() {
+            *bucket = 0;
+        }
+        self.count = 0;
+        self.sum = 0;
+    }
+
     /// The upper boundaries (exclusive of the final overflow bucket).
     pub fn boundaries(&self) -> &[u64] {
         &self.boundaries
@@ -104,6 +114,14 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_insert_with(|| Histogram::new(boundaries))
             .observe(v);
+    }
+
+    /// Installs a prebuilt histogram under `name`, replacing any
+    /// previous registration. Snapshot-side helper: hot paths observe
+    /// into preallocated [`Histogram`]s and publish them here off the
+    /// frame path.
+    pub fn histogram_insert(&mut self, name: &str, h: Histogram) {
+        self.histograms.insert(name.to_string(), h);
     }
 
     /// Counter value (0 when the counter was never touched).

@@ -175,13 +175,16 @@ pub fn summary(events: &[Event], metrics: &MetricsRegistry) -> String {
             out.push_str("histograms:\n");
             wrote_header = true;
         }
-        out.push_str(&format!(
-            "  {name:<28} count={} sum={} buckets={:?} le={:?}\n",
-            h.count(),
-            h.sum(),
-            h.buckets(),
-            h.boundaries(),
-        ));
+        out.push_str(&format!("  {name:<28} count={} sum={}\n", h.count(), h.sum()));
+        let mut cumulative: u64 = 0;
+        for (i, &n) in h.buckets().iter().enumerate() {
+            cumulative = cumulative.saturating_add(n);
+            let le = match h.boundaries().get(i) {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            out.push_str(&format!("    le {le:<16} {n:>8}  cum {cumulative}\n"));
+        }
     }
     out
 }
@@ -255,5 +258,26 @@ mod tests {
         assert!(s.contains("3 events"));
         assert!(s.contains("core.assign.band"));
         assert!(s.contains("ops"));
+    }
+
+    #[test]
+    fn summary_renders_histogram_boundaries_and_cumulative_counts() {
+        let mut m = MetricsRegistry::new();
+        for v in [3u64, 5, 40, 900] {
+            m.histogram_observe("lat", &[8, 64], v);
+        }
+        let s = summary(&[], &m);
+        assert!(s.contains("lat"), "histogram name present:\n{s}");
+        assert!(s.contains("count=4 sum=948"));
+        // Each bucket row shows its upper boundary, its own count, and
+        // the cumulative count up to that boundary.
+        assert!(s.contains("le 8"));
+        assert!(s.contains("cum 2"));
+        assert!(s.contains("le 64"));
+        assert!(s.contains("cum 3"));
+        assert!(s.contains("le +Inf"));
+        assert!(s.contains("cum 4"));
+        // The old opaque debug dump is gone.
+        assert!(!s.contains("buckets=["));
     }
 }

@@ -1,0 +1,625 @@
+//! Fleet telemetry: log2-bucketed latency histograms, deterministic
+//! percentile estimation, Prometheus text exposition, and the
+//! `sslic-telemetry-v1` snapshot schema.
+//!
+//! Everything in this module is integer-only by lint policy (it is
+//! datapath-listed in `sslic-analyze`): the percentile estimator works on
+//! bucket counts with integer rank arithmetic, and the exposition
+//! renderer formats nothing but integers, so two renders of the same
+//! registry are byte-identical — across runs, thread counts, and
+//! toolchains. Latency *values* are whatever the caller observes: exact
+//! deterministic cost units (operation counts) in Deterministic mode,
+//! wall-clock nanoseconds in Wallclock mode. The machinery downstream of
+//! `observe` is identical either way.
+
+use crate::metrics::{Histogram, MetricsRegistry};
+
+/// Upper bucket boundaries at successive powers of two:
+/// `[2^min_exp, 2^(min_exp+1), …, 2^max_exp]`. Exponents are clamped to
+/// 63 and a reversed range yields the single boundary `2^min_exp`.
+pub fn log2_boundaries(min_exp: u32, max_exp: u32) -> Vec<u64> {
+    let lo = min_exp.min(63);
+    let hi = max_exp.min(63).max(lo);
+    let mut out = Vec::with_capacity((hi - lo + 1) as usize);
+    for e in lo..=hi {
+        out.push(1u64 << e);
+    }
+    out
+}
+
+/// A latency histogram with fixed log2 bucket boundaries.
+///
+/// Thin wrapper over [`Histogram`] that pins the boundary layout at
+/// construction and adds deterministic percentile estimation. `observe`
+/// never allocates, so it is safe on the zero-allocation frame path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    inner: Histogram,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram with boundaries `[2^min_exp … 2^max_exp]`.
+    pub fn log2(min_exp: u32, max_exp: u32) -> Self {
+        LatencyHistogram {
+            inner: Histogram::new(&log2_boundaries(min_exp, max_exp)),
+        }
+    }
+
+    /// Records one latency observation. Allocation-free.
+    pub fn observe(&mut self, v: u64) {
+        self.inner.observe(v);
+    }
+
+    /// Zeroes every bucket, the count, and the sum, keeping the boundary
+    /// layout. Allocation-free (slot rebinding uses this).
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count()
+    }
+
+    /// Saturating sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum()
+    }
+
+    /// The wrapped fixed-boundary histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.inner
+    }
+
+    /// Deterministic percentile estimate; see [`percentile`].
+    pub fn percentile(&self, pct: u64) -> Option<u64> {
+        percentile(&self.inner, pct)
+    }
+}
+
+/// Deterministic percentile estimation from bucket boundaries.
+///
+/// The rank of the `pct`-th percentile over `count` observations is
+/// `ceil(count * pct / 100)` (clamped to `1..=count`); the estimate is
+/// the upper boundary of the bucket holding that rank — an upper bound
+/// on the true order statistic, computed with pure integer arithmetic so
+/// every run agrees byte-for-byte. Observations in the overflow bucket
+/// estimate as the last boundary (the histogram's measurable ceiling),
+/// or `u64::MAX` for a boundary-less histogram. Returns `None` for an
+/// empty histogram or `pct > 100`.
+pub fn percentile(h: &Histogram, pct: u64) -> Option<u64> {
+    let count = h.count();
+    if count == 0 || pct > 100 {
+        return None;
+    }
+    let rank_wide = (u128::from(count) * u128::from(pct)).div_ceil(100);
+    let rank = u64::try_from(rank_wide).unwrap_or(u64::MAX).clamp(1, count);
+    let mut seen: u64 = 0;
+    for (i, &bucket) in h.buckets().iter().enumerate() {
+        seen = seen.saturating_add(bucket);
+        if seen >= rank {
+            return Some(match h.boundaries().get(i) {
+                Some(&b) => b,
+                // Overflow bucket: report the measurable ceiling.
+                None => h.boundaries().last().copied().unwrap_or(u64::MAX),
+            });
+        }
+    }
+    // Unreachable for a consistent histogram (buckets sum to count), but
+    // stay total: fall back to the ceiling.
+    Some(h.boundaries().last().copied().unwrap_or(u64::MAX))
+}
+
+// --- Prometheus text exposition -------------------------------------------
+
+/// Maps a metric name into the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and a
+/// leading digit gains a `_` prefix. Any label suffix (`{…}`) the key may
+/// carry is preserved untouched — see [`label`].
+pub fn sanitize_metric_name(name: &str) -> String {
+    let (base, labels) = split_labels(name);
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in base.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    if let Some(l) = labels {
+        out.push_str(l);
+    }
+    out
+}
+
+/// Escapes a label value per the exposition spec: backslash, the double
+/// quote, and line feed.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text per the exposition spec: backslash and line feed
+/// (quotes are legal there).
+pub fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds a registry key carrying a Prometheus label set:
+/// `base{k="escaped-v",…}`. The exposition renderer recognizes the suffix
+/// and splices histogram `le` labels inside it.
+pub fn label(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut out = String::with_capacity(base.len() + 16 * labels.len());
+    out.push_str(base);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a registry key into its base name and optional `{…}` label
+/// suffix.
+fn split_labels(key: &str) -> (&str, Option<&str>) {
+    match key.find('{') {
+        Some(i) => (&key[..i], Some(&key[i..])),
+        None => (key, None),
+    }
+}
+
+/// Appends one `# TYPE` header the first time `base` is seen.
+fn type_header(out: &mut String, seen: &mut Vec<String>, base: &str, kind: &str) {
+    if seen.iter().any(|s| s == base) {
+        return;
+    }
+    out.push_str("# TYPE ");
+    out.push_str(base);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+    seen.push(base.to_string());
+}
+
+/// Writes `name{labels,extra} value\n` where `extra` is an optional
+/// pre-escaped label to splice into the key's label set.
+fn sample_line(out: &mut String, base: &str, labels: Option<&str>, extra: Option<&str>, value: &str) {
+    out.push_str(base);
+    match (labels, extra) {
+        (Some(l), Some(e)) => {
+            // `{a="1"}` + `le="8"` → `{a="1",le="8"}`.
+            let inner = l.strip_prefix('{').and_then(|s| s.strip_suffix('}')).unwrap_or("");
+            out.push('{');
+            if !inner.is_empty() {
+                out.push_str(inner);
+                out.push(',');
+            }
+            out.push_str(e);
+            out.push('}');
+        }
+        (Some(l), None) => out.push_str(l),
+        (None, Some(e)) => {
+            out.push('{');
+            out.push_str(e);
+            out.push('}');
+        }
+        (None, None) => {}
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Renders a [`MetricsRegistry`] in the Prometheus text exposition format
+/// (version 0.0.4): counters, then gauges, then histograms, each in
+/// registry (name) order, names sanitized via [`sanitize_metric_name`].
+/// Registry keys may carry a `{label="value"}` suffix (see [`label`]);
+/// histogram `le` labels are spliced into it. The output is a pure
+/// function of the registry contents.
+pub fn render_prometheus(m: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<String> = Vec::new();
+    for (key, v) in m.counters() {
+        let key = sanitize_metric_name(key);
+        let (base, labels) = split_labels(&key);
+        type_header(&mut out, &mut seen, base, "counter");
+        sample_line(&mut out, base, labels, None, &v.to_string());
+    }
+    for (key, v) in m.gauges() {
+        let key = sanitize_metric_name(key);
+        let (base, labels) = split_labels(&key);
+        type_header(&mut out, &mut seen, base, "gauge");
+        sample_line(&mut out, base, labels, None, &v.to_string());
+    }
+    for (key, h) in m.histograms() {
+        let key = sanitize_metric_name(key);
+        let (base, labels) = split_labels(&key);
+        type_header(&mut out, &mut seen, base, "histogram");
+        let bucket = format!("{base}_bucket");
+        let mut cumulative: u64 = 0;
+        for (i, &n) in h.buckets().iter().enumerate() {
+            cumulative = cumulative.saturating_add(n);
+            let le = match h.boundaries().get(i) {
+                Some(b) => format!("le=\"{b}\""),
+                None => "le=\"+Inf\"".to_string(),
+            };
+            sample_line(&mut out, &bucket, labels, Some(&le), &cumulative.to_string());
+        }
+        sample_line(&mut out, &format!("{base}_sum"), labels, None, &h.sum().to_string());
+        sample_line(
+            &mut out,
+            &format!("{base}_count"),
+            labels,
+            None,
+            &h.count().to_string(),
+        );
+    }
+    out
+}
+
+// --- the telemetry snapshot schema ----------------------------------------
+
+/// Schema tag written into every serialized snapshot.
+pub const TELEMETRY_SCHEMA: &str = "sslic-telemetry-v1";
+
+/// One histogram inside a [`TelemetrySnapshot`], with its deterministic
+/// percentile estimates precomputed (0 when the histogram is empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryHistogram {
+    /// Registry key (may carry a `{label="value"}` suffix).
+    pub name: String,
+    /// Upper bucket boundaries.
+    pub boundaries: Vec<u64>,
+    /// Per-bucket counts (`boundaries.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Saturating sum of observations.
+    pub sum: u64,
+    /// p50 estimate (0 when empty).
+    pub p50: u64,
+    /// p90 estimate (0 when empty).
+    pub p90: u64,
+    /// p99 estimate (0 when empty).
+    pub p99: u64,
+}
+
+/// A serializable point-in-time capture of a [`MetricsRegistry`]: the
+/// `sslic-telemetry-v1` record. Deterministic by construction — every
+/// field is integer-valued and every list is name-ordered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Monotonic counters, name-ordered.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, name-ordered.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms with percentile estimates, name-ordered.
+    pub histograms: Vec<TelemetryHistogram>,
+}
+
+fn u64_arr(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+impl TelemetrySnapshot {
+    /// Captures `m` into a snapshot, estimating p50/p90/p99 per
+    /// histogram.
+    pub fn from_registry(m: &MetricsRegistry) -> Self {
+        TelemetrySnapshot {
+            counters: m.counters().map(|(k, v)| (k.to_string(), v)).collect(),
+            gauges: m.gauges().map(|(k, v)| (k.to_string(), v)).collect(),
+            histograms: m
+                .histograms()
+                .map(|(k, h)| TelemetryHistogram {
+                    name: k.to_string(),
+                    boundaries: h.boundaries().to_vec(),
+                    buckets: h.buckets().to_vec(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    p50: percentile(h, 50).unwrap_or(0),
+                    p90: percentile(h, 90).unwrap_or(0),
+                    p99: percentile(h, 99).unwrap_or(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes the snapshot as a single-line `sslic-telemetry-v1` JSON
+    /// object.
+    pub fn to_json(&self) -> String {
+        use crate::sink::escape_json;
+        let mut out = String::from("{");
+        out.push_str(&format!("\"schema\":\"{TELEMETRY_SCHEMA}\""));
+        out.push_str(",\"counters\":[");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"name\":\"{}\",\"value\":{v}}}", escape_json(k)));
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"name\":\"{}\",\"value\":{v}}}", escape_json(k)));
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"boundaries\":{},\"buckets\":{},\"count\":{},\"sum\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{}}}",
+                escape_json(&h.name),
+                u64_arr(&h.boundaries),
+                u64_arr(&h.buckets),
+                h.count,
+                h.sum,
+                h.p50,
+                h.p90,
+                h.p99
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a snapshot serialized by [`TelemetrySnapshot::to_json`].
+    pub fn from_json(input: &str) -> Result<TelemetrySnapshot, String> {
+        use crate::json::{self, Json};
+        let j = json::parse(input)?;
+        let schema = j.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != TELEMETRY_SCHEMA {
+            return Err(format!("unknown telemetry schema '{schema}'"));
+        }
+        let named_u64 = |key: &str| -> Result<Vec<(String, u64)>, String> {
+            j.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("missing '{key}'"))?
+                .iter()
+                .map(|e| Some((e.get("name")?.as_str()?.to_string(), e.get("value")?.as_u64()?)))
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| format!("invalid '{key}' entry"))
+        };
+        let gauges = j
+            .get("gauges")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "missing 'gauges'".to_string())?
+            .iter()
+            .map(|e| Some((e.get("name")?.as_str()?.to_string(), e.get("value")?.as_i64()?)))
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| "invalid 'gauges' entry".to_string())?;
+        let arr_u64 = |e: &Json, key: &str| -> Option<Vec<u64>> {
+            e.get(key)?.as_arr()?.iter().map(Json::as_u64).collect()
+        };
+        let histograms = j
+            .get("histograms")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "missing 'histograms'".to_string())?
+            .iter()
+            .map(|e| {
+                Some(TelemetryHistogram {
+                    name: e.get("name")?.as_str()?.to_string(),
+                    boundaries: arr_u64(e, "boundaries")?,
+                    buckets: arr_u64(e, "buckets")?,
+                    count: e.get("count")?.as_u64()?,
+                    sum: e.get("sum")?.as_u64()?,
+                    p50: e.get("p50")?.as_u64()?,
+                    p90: e.get("p90")?.as_u64()?,
+                    p99: e.get("p99")?.as_u64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| "invalid 'histograms' entry".to_string())?;
+        Ok(TelemetrySnapshot {
+            counters: named_u64("counters")?,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_boundaries_are_powers_of_two() {
+        assert_eq!(log2_boundaries(3, 6), vec![8, 16, 32, 64]);
+        assert_eq!(log2_boundaries(0, 0), vec![1]);
+        // Reversed range degrades to the single low boundary.
+        assert_eq!(log2_boundaries(5, 2), vec![32]);
+        // Clamped at 2^63.
+        assert_eq!(log2_boundaries(63, 70), vec![1u64 << 63]);
+    }
+
+    /// Exact oracle: sort the observations, take the rank-th order
+    /// statistic (rank = ceil(count*pct/100)), then find the bucket it
+    /// falls into — the estimator must report that bucket's upper bound.
+    fn oracle(values: &[u64], boundaries: &[u64], pct: u64) -> u64 {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as u64 * pct).div_ceil(100)).clamp(1, sorted.len() as u64);
+        let exact = sorted[(rank - 1) as usize];
+        match boundaries.iter().find(|&&b| exact <= b) {
+            Some(&b) => b,
+            None => *boundaries.last().unwrap(),
+        }
+    }
+
+    #[test]
+    fn percentile_matches_exact_oracle() {
+        let boundaries = log2_boundaries(0, 16);
+        // Deterministic pseudo-random stream (SplitMix64 mix).
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for n in [1usize, 2, 7, 100, 1000] {
+            let values: Vec<u64> = (0..n).map(|_| next() % 100_000).collect();
+            let mut h = Histogram::new(&boundaries);
+            for &v in &values {
+                h.observe(v);
+            }
+            for pct in [0u64, 1, 50, 90, 99, 100] {
+                assert_eq!(
+                    percentile(&h, pct),
+                    Some(oracle(&values, &boundaries, pct)),
+                    "n={n} pct={pct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let empty = Histogram::new(&[8, 16]);
+        assert_eq!(percentile(&empty, 50), None);
+        let mut h = Histogram::new(&[8, 16]);
+        h.observe(4);
+        assert_eq!(percentile(&h, 101), None);
+        assert_eq!(percentile(&h, 0), Some(8), "rank clamps up to 1");
+        // Overflow bucket reports the measurable ceiling.
+        h.observe(1_000_000);
+        assert_eq!(percentile(&h, 100), Some(16));
+        // Boundary-less histogram: ceiling is u64::MAX.
+        let mut open = Histogram::new(&[]);
+        open.observe(3);
+        assert_eq!(percentile(&open, 50), Some(u64::MAX));
+    }
+
+    #[test]
+    fn latency_histogram_resets_in_place() {
+        let mut h = LatencyHistogram::log2(2, 6);
+        h.observe(5);
+        h.observe(900);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(50), Some(8));
+        h.reset();
+        assert_eq!((h.count(), h.sum()), (0, 0));
+        assert_eq!(h.percentile(50), None);
+        assert_eq!(h.histogram().boundaries(), &[4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_spec_shape() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("fleet.frames.total", 6);
+        m.gauge_set("fleet.queue_depth", 2);
+        m.histogram_observe("fleet.latency", &[8, 64], 5);
+        m.histogram_observe("fleet.latency", &[8, 64], 70);
+        m.histogram_observe("fleet.latency", &[8, 64], 100);
+        let text = render_prometheus(&m);
+        let expected = "\
+# TYPE fleet_frames_total counter
+fleet_frames_total 6
+# TYPE fleet_queue_depth gauge
+fleet_queue_depth 2
+# TYPE fleet_latency histogram
+fleet_latency_bucket{le=\"8\"} 1
+fleet_latency_bucket{le=\"64\"} 1
+fleet_latency_bucket{le=\"+Inf\"} 3
+fleet_latency_sum 175
+fleet_latency_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_labels_are_spliced_and_escaped() {
+        let mut m = MetricsRegistry::new();
+        let key = label("stream_latency", &[("stream", "7"), ("site", "a\"b\\c\nd")]);
+        m.histogram_observe(&key, &[16], 10);
+        let text = render_prometheus(&m);
+        assert!(text.contains("# TYPE stream_latency histogram\n"));
+        assert!(text.contains(
+            "stream_latency_bucket{stream=\"7\",site=\"a\\\"b\\\\c\\nd\",le=\"16\"} 1\n"
+        ));
+        assert!(text.contains("stream_latency_sum{stream=\"7\",site=\"a\\\"b\\\\c\\nd\"} 10\n"));
+        // TYPE headers are emitted once per base name, even across labels.
+        m.histogram_observe(&label("stream_latency", &[("stream", "8")]), &[16], 3);
+        let text = render_prometheus(&m);
+        assert_eq!(text.matches("# TYPE stream_latency histogram").count(), 1);
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(sanitize_metric_name("fleet.frame-latency"), "fleet_frame_latency");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(
+            sanitize_metric_name("a.b{stream=\"x.y\"}"),
+            "a_b{stream=\"x.y\"}",
+            "label suffixes pass through untouched"
+        );
+    }
+
+    #[test]
+    fn help_escaping_per_spec() {
+        assert_eq!(escape_help("a\\b\nc\"d"), "a\\\\b\\nc\"d");
+        assert_eq!(escape_label_value("a\\b\nc\"d"), "a\\\\b\\nc\\\"d");
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("frames", 9);
+        m.gauge_set("depth", -3);
+        for v in [1u64, 5, 9, 200] {
+            m.histogram_observe("lat", &[4, 16], v);
+        }
+        let snap = TelemetrySnapshot::from_registry(&m);
+        assert_eq!(snap.histograms[0].p50, 16);
+        assert_eq!(snap.histograms[0].p99, 16, "overflow bucket ceiling");
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"schema\":\"sslic-telemetry-v1\""));
+        let back = TelemetrySnapshot::from_json(&json).expect("parse");
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_schema() {
+        let doctored = TelemetrySnapshot::default().to_json().replace("-v1", "-v0");
+        assert!(TelemetrySnapshot::from_json(&doctored).is_err());
+    }
+}

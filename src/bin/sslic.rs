@@ -12,9 +12,9 @@ use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 use sslic::core::{
-    build_run_report, serve, write_wire_close, write_wire_frame, DistanceMode, FleetConfig,
-    RecoveryOutcome, RecoveryPolicy, RunOptions, SegmentRequest, Segmenter, ServeOptions,
-    SessionFleet, SlicParams, StreamId,
+    build_run_report, serve, write_wire_close, write_wire_frame, write_wire_stats, DistanceMode,
+    FleetConfig, RecoveryOutcome, RecoveryPolicy, RunOptions, SegmentRequest, Segmenter,
+    ServeOptions, SessionFleet, SlicParams, StreamId,
 };
 use sslic::hw::export;
 use sslic::hw::sim::{FrameSimulator, Resolution};
@@ -29,6 +29,7 @@ fn main() -> ExitCode {
         Some("segment") => cmd_segment(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("framepack") => cmd_framepack(&args[1..]),
+        Some("insight") => cmd_insight(&args[1..]),
         Some("dataset") => cmd_dataset(&args[1..]),
         Some("hwsim") => cmd_hwsim(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
@@ -75,16 +76,35 @@ fn print_help() {
          \x20 sslic serve [--listen ADDR] [--slots S] [--queue-depth Q]\n\
          \x20             [--superpixels K] [--compactness M] [--iterations N]\n\
          \x20             [--subsets P] [--algo slic|ppa|sslic|hw8] [--threads T]\n\
-         \x20             [--recovery N] [--wallclock]\n\
+         \x20             [--recovery N] [--wallclock] [--heartbeat N]\n\
+         \x20             [--metrics-file PATH]\n\
          \x20     Multi-stream segmentation server over a SessionFleet.\n\
          \x20     Speaks the length-prefixed frame protocol (see README) on\n\
          \x20     stdin/stdout, or on one TCP connection with --listen. Emits\n\
          \x20     one RunReport JSON line per frame with per-stream fleet\n\
-         \x20     counters (frames, recovered, queue depth, rejections).\n\
+         \x20     counters (frames, recovered, queue depth, rejections), plus\n\
+         \x20     an sslic-serve-heartbeat-v1 line every N frames with\n\
+         \x20     --heartbeat, and answers 0x03 stats requests with the\n\
+         \x20     fleet's Prometheus exposition. --metrics-file dumps that\n\
+         \x20     exposition to PATH at end of input.\n\
          \n\
-         \x20 sslic framepack [--out FILE] <stream:frame.ppm | close:stream>...\n\
-         \x20     Encode PPM frames and close records into the serve wire\n\
-         \x20     format, in argument order (stdout when --out is omitted).\n\
+         \x20 sslic framepack [--out FILE]\n\
+         \x20                 <stream:frame.ppm | close:stream | stats>...\n\
+         \x20     Encode PPM frames, close records, and stats requests into\n\
+         \x20     the serve wire format, in argument order (stdout when\n\
+         \x20     --out is omitted).\n\
+         \n\
+         \x20 sslic insight <trace.jsonl | report.json | ...>...\n\
+         \x20               [--out PATH] [--collapsed PATH]\n\
+         \x20     Analyze observability artifacts: JSONL traces, RunReport\n\
+         \x20     lines, serve output. Prints per-span time/cycle attribution\n\
+         \x20     (total vs self), point events, record tallies, report\n\
+         \x20     counters/phases, and per-stream fleet rollups. --collapsed\n\
+         \x20     writes flamegraph-compatible collapsed stacks.\n\
+         \n\
+         \x20 sslic insight bench <BENCH_A.json> <BENCH_B.json>...\n\
+         \x20     Compare bench seeds across PRs: per-workload counter\n\
+         \x20     trajectories with regression flags (exit 1 on regression).\n\
          \n\
          \x20 sslic dataset <dir> [--count N] [--width W] [--height H] [--seed S]\n\
          \x20     Generate a synthetic evaluation corpus with exact ground truth\n\
@@ -299,6 +319,8 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let recovery: Option<u32> = flag(args, "--recovery")?;
     let listen: Option<String> = flag(args, "--listen")?;
     let wallclock = args.iter().any(|a| a == "--wallclock");
+    let heartbeat: u64 = flag(args, "--heartbeat")?.unwrap_or(0);
+    let metrics_file: Option<String> = flag(args, "--metrics-file")?;
 
     let params = SlicParams::builder(k)
         .compactness(m)
@@ -319,9 +341,14 @@ fn cmd_serve(args: &[String]) -> CliResult {
         .try_build()
         .map_err(|e| e.to_string())?;
     let policy = recovery.map(RecoveryPolicy::new);
-    let mut serve_opts = ServeOptions::new().with_wallclock(wallclock);
+    let mut serve_opts = ServeOptions::new()
+        .with_wallclock(wallclock)
+        .with_heartbeat(heartbeat);
     if let Some(p) = policy.as_ref() {
         serve_opts = serve_opts.with_recovery(p);
+    }
+    if let Some(path) = metrics_file.as_deref() {
+        serve_opts = serve_opts.with_metrics_file(path);
     }
 
     let summary = match listen {
@@ -367,11 +394,16 @@ fn cmd_framepack(args: &[String]) -> CliResult {
         }
     }
     if entries.is_empty() {
-        return Err("framepack needs at least one <stream:frame.ppm> or close:<stream> entry".into());
+        return Err(
+            "framepack needs at least one <stream:frame.ppm>, close:<stream>, or stats entry"
+                .into(),
+        );
     }
     let mut wire = Vec::new();
     for entry in entries {
-        if let Some(stream) = entry.strip_prefix("close:") {
+        if entry.as_str() == "stats" {
+            write_wire_stats(&mut wire)?;
+        } else if let Some(stream) = entry.strip_prefix("close:") {
             let stream: u64 = stream
                 .parse()
                 .map_err(|e| format!("invalid stream id in '{entry}': {e}"))?;
@@ -393,6 +425,80 @@ fn cmd_framepack(args: &[String]) -> CliResult {
             eprintln!("wrote {path} ({} bytes)", wire.len());
         }
         None => std::io::stdout().write_all(&wire)?,
+    }
+    Ok(())
+}
+
+fn cmd_insight(args: &[String]) -> CliResult {
+    use sslic::obs::insight::{self, Analyzer};
+
+    if args.first().map(String::as_str) == Some("bench") {
+        return cmd_insight_bench(&args[1..]);
+    }
+    let out_path: Option<String> = flag(args, "--out")?;
+    let collapsed_path: Option<String> = flag(args, "--collapsed")?;
+    let mut inputs: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2; // skip the flag and its value
+        } else {
+            inputs.push(&args[i]);
+            i += 1;
+        }
+    }
+    if inputs.is_empty() {
+        return Err("insight needs at least one trace/report file (or 'bench <seeds...>')".into());
+    }
+    let mut analyzer = Analyzer::new();
+    for path in &inputs {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("insight: cannot read {path}: {e}"))?;
+        analyzer.ingest(&text);
+    }
+    let analysis = analyzer.finish();
+    let rendered = insight::render(&analysis);
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &rendered)?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    if let Some(path) = collapsed_path {
+        std::fs::write(&path, insight::render_collapsed(&analysis))?;
+        eprintln!("wrote {path} (collapsed stacks; feed to flamegraph.pl)");
+    }
+    Ok(())
+}
+
+fn cmd_insight_bench(args: &[String]) -> CliResult {
+    use sslic::obs::insight::{bench_trajectory, parse_bench};
+
+    let inputs: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if inputs.len() < 2 {
+        return Err("insight bench needs at least two BENCH_*.json seeds to compare".into());
+    }
+    let mut seeds = Vec::new();
+    for path in &inputs {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("insight bench: cannot read {path}: {e}"))?;
+        let label = path
+            .rsplit('/')
+            .next()
+            .unwrap_or(path)
+            .trim_end_matches(".json");
+        seeds.push(parse_bench(label, &text).map_err(|e| format!("{path}: {e}"))?);
+    }
+    let trajectory = bench_trajectory(&seeds);
+    print!("{}", trajectory.rendered);
+    if !trajectory.regressions.is_empty() {
+        return Err(format!(
+            "insight bench: {} regression(s) detected:\n  {}",
+            trajectory.regressions.len(),
+            trajectory.regressions.join("\n  ")
+        )
+        .into());
     }
     Ok(())
 }

@@ -7,7 +7,8 @@
 //! replacement seeds cold exactly like a fresh session).
 
 use sslic::core::{
-    label_checksum, serve, write_wire_close, write_wire_frame, RecoveryPolicy, ServeOptions,
+    label_checksum, serve, write_wire_close, write_wire_frame, write_wire_stats, RecoveryPolicy,
+    ServeOptions,
 };
 use sslic::fault::{EngineFaults, FaultKind, FaultPlan, FaultSite};
 use sslic::image::synthetic::SyntheticImage;
@@ -233,7 +234,8 @@ fn serve_is_thread_invariant_and_matches_independent_sessions() {
         })
         .collect();
     assert!(lines[3].contains("sslic-serve-close-v1"));
-    assert!(lines[5].contains("sslic-serve-summary-v1"));
+    assert!(lines[5].contains("sslic-serve-summary-v2"));
+    assert!(lines[5].contains("\"frame_latency_p50\":"));
 
     let seg = segmenter(1);
     let mut expected = Vec::new();
@@ -253,6 +255,76 @@ fn serve_is_thread_invariant_and_matches_independent_sessions() {
     expected.push((0, label_checksum(rebound.labels())));
 
     assert_eq!(checksums, expected);
+}
+
+#[test]
+fn serve_heartbeats_and_stats_are_thread_invariant() {
+    let s0 = images(40, 3);
+    let s1 = images(41, 1);
+    // The canonical workload plus a stats request at the very end, so the
+    // exposition covers every frame.
+    let mut wire = wire_input(&s0, &s1);
+    write_wire_stats(&mut wire).expect("stats record");
+
+    let mut telemetry_lines: Vec<Vec<String>> = Vec::new();
+    for threads in [1usize, 4] {
+        let seg = segmenter(threads);
+        let cfg = FleetConfig::builder().with_slots(2).build();
+        let mut out = Vec::new();
+        serve(
+            &seg,
+            cfg,
+            &mut &wire[..],
+            &mut out,
+            &ServeOptions::new().with_heartbeat(2),
+        )
+        .expect("serve pumps to EOF");
+        let text = String::from_utf8(out).expect("utf8 output");
+        // Heartbeat, stats, and summary lines carry no thread-dependent
+        // field, so they must be byte-identical with NO normalisation.
+        let telemetry: Vec<String> = text
+            .lines()
+            .filter(|l| {
+                l.contains("sslic-serve-heartbeat-v1")
+                    || l.contains("sslic-serve-stats-v1")
+                    || l.contains("sslic-serve-summary-v2")
+            })
+            .map(str::to_string)
+            .collect();
+        let beats = telemetry
+            .iter()
+            .filter(|l| l.contains("heartbeat"))
+            .count();
+        assert_eq!(beats, 2, "4 frames at --heartbeat 2 fire twice");
+        telemetry_lines.push(telemetry);
+    }
+    assert_eq!(
+        telemetry_lines[0], telemetry_lines[1],
+        "telemetry bytes are identical at 1 vs 4 threads"
+    );
+
+    // The stats reply is a valid Prometheus exposition over the fleet.
+    let stats_line = telemetry_lines[0]
+        .iter()
+        .find(|l| l.contains("sslic-serve-stats-v1"))
+        .expect("stats reply present");
+    let exposition = stats_line
+        .split("\"exposition\":\"")
+        .nth(1)
+        .and_then(|s| s.strip_suffix("\"}"))
+        .expect("exposition field")
+        .replace("\\n", "\n")
+        .replace("\\\"", "\"");
+    assert!(exposition.contains("# TYPE sslic_fleet_frame_latency histogram"));
+    assert!(exposition.contains("sslic_fleet_frame_latency_bucket{le=\"+Inf\"} 4"));
+    assert!(exposition.contains("sslic_fleet_frames_total 4"));
+    assert!(exposition.contains("sslic_stream_frames_total{stream=\"1\"} 1"));
+    for line in exposition.lines() {
+        assert!(
+            line.starts_with("# TYPE ") || line.contains(' '),
+            "every exposition line is a comment or a `name value` sample: {line:?}"
+        );
+    }
 }
 
 #[test]
