@@ -202,6 +202,22 @@ rm -rf results/fleet-ds results/fleet-stream.bin results/fleet-serve-4t.jsonl \
     results/fleet-serve-1t.norm.jsonl results/fleet-serve-4t.norm.jsonl \
     results/fleet-metrics-4t.prom results/fleet-insight-4t.txt
 
+echo "==> kernel identity (scalar and SWAR assign kernels must emit byte-identical labels)"
+# The packed fixed-point assign kernel is bit-identical to the scalar
+# reference loop by contract. Segment one frame with each kernel forced
+# and byte-diff the 16-bit label maps — any divergence fails CI here
+# before the pinned-checksum suites even run.
+./target/release/sslic dataset results/kernel-ds --count 1 --width 160 --height 120 >/dev/null
+kernel_seg() {
+    ./target/release/sslic segment results/kernel-ds/000.ppm \
+        --superpixels 150 --iterations 3 --algo hw8 --kernel "$1" \
+        --out "results/kernel-ds/seg-$1" >/dev/null
+}
+kernel_seg scalar
+kernel_seg swar
+cmp results/kernel-ds/seg-scalar.labels.pgm results/kernel-ds/seg-swar.labels.pgm
+rm -rf results/kernel-ds
+
 echo "==> benchmark seed (BENCH_9.json: fleet mode at 4 threads must reproduce the seed byte for byte)"
 # Thread-count invariance of the committed perf trajectory itself: the
 # fleet-mode seed regenerated at 4 engine threads must equal BENCH_9,
@@ -213,8 +229,20 @@ cmp BENCH_9.json results/bench-seed-9.json
 cmp BENCH_8.json BENCH_9.json
 rm -f results/bench-seed-9.json
 
+echo "==> benchmark seed (BENCH_10.json: the forced-SWAR kernel must reproduce the seed byte for byte)"
+# The strongest end-to-end pin on the SWAR rewrite: the perf-trajectory
+# seed regenerated entirely through the packed kernel must equal BENCH_10,
+# which must equal BENCH_9 (the kernel changes no workload shape — same
+# checksums, same counters, same modeled traffic).
+./target/release/throughput --sizes 160x120,320x240 --superpixels 150 \
+    --iterations 5 --frames 1 --threads 1 --kernel swar \
+    --bench-json results/bench-seed-10.json >/dev/null
+cmp BENCH_10.json results/bench-seed-10.json
+cmp BENCH_9.json BENCH_10.json
+rm -f results/bench-seed-10.json
+
 echo "==> bench trajectory (insight bench must see no counter regression across PR seeds)"
 ./target/release/sslic insight bench BENCH_7.json BENCH_8.json BENCH_9.json \
-    > results/bench-trajectory.txt
+    BENCH_10.json > results/bench-trajectory.txt
 
 echo "CI OK"

@@ -15,9 +15,14 @@
 //! ```text
 //! throughput [--threads 1,2,4,8] [--sizes 320x240,1280x720]
 //!            [--frames N] [--superpixels K] [--iterations N]
-//!            [--mode oneshot|session|fleet]
+//!            [--mode oneshot|session|fleet] [--kernel auto|scalar|swar]
 //!            [--json PATH] [--md PATH] [--report PATH]
 //! ```
+//!
+//! `--kernel` pins the assign backend for the timed sweep (the labels —
+//! and hence the JSON checksums — are bit-identical either way; only the
+//! wall-clock changes), which is how EXPERIMENTS.md measures the
+//! scalar-vs-SWAR assign-phase speedup.
 //!
 //! `--mode session` drives every frame through a persistent
 //! [`sslic_core::SegmenterSession`] via `run_into` (cold per frame, zero
@@ -48,8 +53,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use sslic_core::{
-    build_run_report, label_checksum, DistanceMode, FleetConfig, RunOptions, SegmentRequest,
-    Segmenter, SessionFleet, SlicParams, StreamId,
+    build_run_report, label_checksum, DistanceMode, FleetConfig, Kernel, RunOptions,
+    SegmentRequest, Segmenter, SessionFleet, SlicParams, StreamId,
 };
 use sslic_image::synthetic::SyntheticImage;
 use sslic_image::Plane;
@@ -124,6 +129,7 @@ fn main() -> ExitCode {
     let mut superpixels = 600usize;
     let mut iterations = 5u32;
     let mut mode = Mode::Oneshot;
+    let mut kernel = Kernel::Auto;
     let mut json_path: Option<String> = None;
     let mut md_path: Option<String> = None;
     let mut report_path: Option<String> = None;
@@ -158,6 +164,10 @@ fn main() -> ExitCode {
                 Some("fleet") => mode = Mode::Fleet,
                 _ => return usage("--mode needs `oneshot`, `session`, or `fleet`"),
             },
+            "--kernel" => match args.next().as_deref().map(str::parse::<Kernel>) {
+                Some(Ok(k)) => kernel = k,
+                _ => return usage("--kernel needs `auto`, `scalar`, or `swar`"),
+            },
             "--json" => match args.next() {
                 Some(p) => json_path = Some(p),
                 None => return usage("--json needs a path"),
@@ -185,10 +195,11 @@ fn main() -> ExitCode {
     }
     eprintln!(
         "throughput: {} sizes × {} thread counts, {frames} frames each, K={superpixels}, \
-         {iterations} iters, {} mode",
+         {iterations} iters, {} mode, {} kernel",
         sizes.len(),
         threads.len(),
         mode.as_str(),
+        kernel.as_str(),
     );
 
     let mut results = Vec::new();
@@ -200,6 +211,7 @@ fn main() -> ExitCode {
             let params = SlicParams::builder(superpixels)
                 .iterations(iterations)
                 .threads(t)
+                .kernel(kernel)
                 .build();
             let seg = Segmenter::sslic_ppa(params, 2)
                 .with_distance_mode(DistanceMode::quantized(8));
@@ -325,12 +337,16 @@ fn main() -> ExitCode {
             let params = SlicParams::builder(superpixels)
                 .iterations(iterations)
                 .threads(1)
+                .kernel(kernel)
                 .build();
             let seg =
                 Segmenter::sslic_ppa(params, 2).with_distance_mode(DistanceMode::quantized(8));
             // The seed frame is cold in every mode, so the counters and
             // checksum below are mode-invariant — the committed seeds stay
-            // byte-identical whether regenerated via oneshot or fleet.
+            // byte-identical whether regenerated via oneshot or fleet. The
+            // kernel flag is honored too: the SWAR path's bit-identity
+            // contract means a `--kernel swar` regeneration must reproduce
+            // the scalar seed exactly (CI pins this).
             let (sum, c) = match mode {
                 Mode::Fleet => {
                     let mut fl = SessionFleet::new(&seg, w, h, FleetConfig::default());
@@ -451,8 +467,9 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: throughput [--threads 1,2,4,8] [--sizes 320x240,1280x720] [--frames N] \
-         [--superpixels K] [--iterations N] [--mode oneshot|session|fleet] [--json PATH] \
-         [--md PATH] [--report PATH] [--bench-json PATH]"
+         [--superpixels K] [--iterations N] [--mode oneshot|session|fleet] \
+         [--kernel auto|scalar|swar] [--json PATH] [--md PATH] [--report PATH] \
+         [--bench-json PATH]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -184,6 +184,14 @@ impl HwColorConverter {
     /// [`HwColorConverter::convert_image`]. This is the streaming-session
     /// entry point: the session reuses one `Lab8Image` across frames.
     ///
+    /// Pixels move through the datapath in groups of four, stage-major —
+    /// every pixel of a group finishes the gamma LUT before any enters
+    /// the matrix, mirroring the accelerator's four-lane conversion unit
+    /// and letting the compiler keep each stage's tables/coefficients
+    /// hot. The per-pixel arithmetic inside each stage is exactly
+    /// [`HwColorConverter::convert`]'s, so the output codes are
+    /// bit-identical to the one-pixel path (pinned by test).
+    ///
     /// # Panics
     ///
     /// Panics if `out` differs in geometry from `img`.
@@ -192,12 +200,61 @@ impl HwColorConverter {
             out.width() == img.width() && out.height() == img.height(),
             "convert_image_into requires matching image geometry"
         );
+        let shift = self.config.matrix_frac_bits as u32;
+        let half = 1i64 << (shift - 1).min(62);
+        let gmax = 1i64 << self.config.gamma_frac_bits;
+        let pscale = (1i64 << self.config.pwl_frac_bits) as f64;
         for y in 0..img.height() {
-            for x in 0..img.width() {
-                let [l, a, b] = self.convert(img.pixel(x, y));
-                out.l[(x, y)] = l;
-                out.a[(x, y)] = a;
-                out.b[(x, y)] = b;
+            let mut x = 0;
+            while x < img.width() {
+                let n = (img.width() - x).min(4);
+                // Stage 1: gamma LUT — 3 ROM reads per lane.
+                let mut lin = [[0i64; 3]; 4];
+                for (j, l) in lin[..n].iter_mut().enumerate() {
+                    let px = img.pixel(x + j, y);
+                    *l = [
+                        self.gamma.lookup(px.r) as i64,
+                        self.gamma.lookup(px.g) as i64,
+                        self.gamma.lookup(px.b) as i64,
+                    ];
+                }
+                // Stage 2: fixed-point matrix with folded white division,
+                // shifted back to gamma_frac with rounding (per lane, same
+                // expression as `convert`).
+                let mut t = [[0f64; 3]; 4];
+                for (j, tj) in t[..n].iter_mut().enumerate() {
+                    for (row, tr) in tj.iter_mut().enumerate() {
+                        let acc: i64 = (0..3).map(|c| self.matrix[row][c] * lin[j][c]).sum();
+                        let scaled = ((acc + half) >> shift).clamp(0, gmax);
+                        *tr = scaled as f64 / gmax as f64;
+                    }
+                }
+                // Stage 3: PWL companding (or the exact linear branch),
+                // rounded to the PWL output precision.
+                let mut f = [[0f64; 3]; 4];
+                for (j, fj) in f[..n].iter_mut().enumerate() {
+                    *fj = t[j].map(|ti| {
+                        let v = if ti > LAB_EPSILON {
+                            self.pwl.eval(ti)
+                        } else {
+                            (LAB_KAPPA * ti + 16.0) / 116.0
+                        };
+                        (v * pscale).round() / pscale
+                    });
+                }
+                // Stage 4: the three linear combinations, 8-bit encode,
+                // planar write-back.
+                for (j, fj) in f[..n].iter().enumerate() {
+                    let [l, a, b] = lab8::encode([
+                        116.0 * fj[1] - 16.0,
+                        500.0 * (fj[0] - fj[1]),
+                        200.0 * (fj[1] - fj[2]),
+                    ]);
+                    out.l[(x + j, y)] = l;
+                    out.a[(x + j, y)] = a;
+                    out.b[(x + j, y)] = b;
+                }
+                x += n;
             }
         }
     }
@@ -259,6 +316,41 @@ mod tests {
         let mut reused = Lab8Image::from_fn(7, 5, |_, _| [1; 3]);
         rgb_to_lab8_into(&conv, &img, &mut reused);
         assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn batched_image_conversion_matches_scalar_convert_exactly() {
+        // The four-lane stage-major loop must reproduce the one-pixel
+        // datapath code-for-code, including the partial group at a width
+        // that is not a multiple of four and at non-default precisions.
+        for config in [
+            HwColorConfig::default(),
+            HwColorConfig {
+                gamma_frac_bits: 7,
+                matrix_frac_bits: 9,
+                pwl_segments: 3,
+                pwl_frac_bits: 6,
+            },
+        ] {
+            let conv = HwColorConverter::new(config);
+            let img = RgbImage::from_fn(11, 6, |x, y| {
+                Rgb::new(
+                    (x * 23 + y * 5) as u8,
+                    (y * 41 + x) as u8,
+                    ((x * y) * 17 + 3) as u8,
+                )
+            });
+            let lab = conv.convert_image(&img);
+            for y in 0..img.height() {
+                for x in 0..img.width() {
+                    assert_eq!(
+                        lab.pixel(x, y),
+                        conv.convert(img.pixel(x, y)),
+                        "batched path diverged at ({x},{y})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -135,6 +135,28 @@ impl QuantKernel {
         }
     }
 
+    /// Channel-truncation shift (`8 - channel_bits`); the SWAR kernel
+    /// derives its replicated per-lane truncation mask from this.
+    #[inline]
+    pub(crate) fn chan_shift(&self) -> u32 {
+        self.chan_shift
+    }
+
+    /// The distance-code quantizer, exposed so the SWAR kernel can build
+    /// its code-threshold table against the exact encoder the scalar path
+    /// uses (bit-identity depends on sharing the oracle).
+    #[inline]
+    pub(crate) fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// The Eq. 5 spatial weight `m²/S²` in f64, matching the scalar
+    /// `dist_code` expression exactly.
+    #[inline]
+    pub(crate) fn m2_over_s2(&self) -> f64 {
+        self.m2_over_s2
+    }
+
     /// The distance code the 9:1 minimum unit compares for one
     /// pixel/center pair. Monotone in the real distance up to the code
     /// resolution.

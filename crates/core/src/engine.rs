@@ -5,6 +5,7 @@ use sslic_obs::Recorder;
 use crate::cluster::Cluster;
 use crate::distance::DistanceMode;
 use crate::instrument::RunCounters;
+use crate::kernel::Kernel;
 use crate::profile::PhaseBreakdown;
 use crate::recovery::{RecoveryPolicy, RecoveryReport};
 use crate::session::FrameReport;
@@ -178,6 +179,13 @@ pub struct RunOptions<'a> {
     /// of merely flagging [`SegmentationStatus::Degraded`]. `None`
     /// preserves the detect-and-flag behavior exactly.
     pub recovery: Option<&'a RecoveryPolicy>,
+    /// Per-run assign-kernel override. `None` defers to the
+    /// configuration-level [`SlicParams::kernel`] preference; `Some`
+    /// takes precedence for this run only. Every choice produces
+    /// bit-identical labels (see [`Kernel`]).
+    ///
+    /// [`SlicParams::kernel`]: crate::SlicParams::kernel
+    pub kernel: Option<Kernel>,
 }
 
 impl<'a> RunOptions<'a> {
@@ -210,6 +218,13 @@ impl<'a> RunOptions<'a> {
         self.recovery = Some(policy);
         self
     }
+
+    /// Overrides the assign-kernel selection for this run (see
+    /// [`RunOptions::kernel`]).
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
 }
 
 impl std::fmt::Debug for RunOptions<'_> {
@@ -219,6 +234,7 @@ impl std::fmt::Debug for RunOptions<'_> {
             .field("faults", &self.faults.is_some())
             .field("recorder", &self.recorder.is_some())
             .field("recovery", &self.recovery)
+            .field("kernel", &self.kernel)
             .finish()
     }
 }
@@ -382,6 +398,7 @@ pub struct Segmentation {
     status: SegmentationStatus,
     repairs: u64,
     recovery: RecoveryReport,
+    kernel: Kernel,
 }
 
 impl Segmentation {
@@ -403,6 +420,7 @@ impl Segmentation {
             status: report.status,
             repairs: report.repairs,
             recovery: report.recovery,
+            kernel: report.kernel,
         }
     }
 
@@ -472,6 +490,13 @@ impl Segmentation {
     /// checksum of the single attempt (outcome `Clean` or `Failed`).
     pub fn recovery(&self) -> &RecoveryReport {
         &self.recovery
+    }
+
+    /// The assign-kernel backend that actually ran: [`Kernel::Swar`] or
+    /// [`Kernel::Scalar`], never [`Kernel::Auto`]. Informational only —
+    /// labels are bit-identical across backends.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 }
 

@@ -50,6 +50,7 @@ use crate::cluster::Cluster;
 use crate::engine::{
     RunOptions, Segmentation, SegmentationStatus, SegmentRequest, Segmenter,
 };
+use crate::kernel::Kernel;
 use crate::recovery::RecoveryPolicy;
 use crate::session::{raise, request_dims, FrameReport, SegmentError, SegmenterSession};
 
@@ -141,6 +142,7 @@ pub struct FleetConfig {
     queue_depth: usize,
     frame_workers: usize,
     wallclock_latency: bool,
+    kernel: Option<Kernel>,
 }
 
 impl Default for FleetConfig {
@@ -151,6 +153,7 @@ impl Default for FleetConfig {
             queue_depth: 0,
             frame_workers: 1,
             wallclock_latency: false,
+            kernel: None,
         }
     }
 }
@@ -164,6 +167,7 @@ impl FleetConfig {
             queue_depth: 0,
             frame_workers: 1,
             wallclock_latency: false,
+            kernel: None,
         }
     }
 
@@ -198,6 +202,23 @@ impl FleetConfig {
         self.wallclock_latency = on;
         self
     }
+
+    /// Fleet-wide assign-kernel preference (see
+    /// [`FleetConfig::with_kernel`]). `None` defers to each run's
+    /// [`RunOptions`](crate::RunOptions) / params resolution.
+    pub fn kernel(&self) -> Option<Kernel> {
+        self.kernel
+    }
+
+    /// Sets a fleet-wide assign-kernel preference applied to every frame
+    /// whose [`RunOptions::kernel`](crate::RunOptions::kernel) is unset.
+    /// Like every kernel knob this never changes the labels — all
+    /// backends are bit-identical. Safe to toggle on a built config: it
+    /// changes no sizing invariant.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
 }
 
 /// Builder for [`FleetConfig`] (`with_*` chaining, validated by
@@ -208,6 +229,7 @@ pub struct FleetConfigBuilder {
     queue_depth: usize,
     frame_workers: usize,
     wallclock_latency: bool,
+    kernel: Option<Kernel>,
 }
 
 impl FleetConfigBuilder {
@@ -237,6 +259,13 @@ impl FleetConfigBuilder {
         self
     }
 
+    /// Sets a fleet-wide assign-kernel preference (see
+    /// [`FleetConfig::with_kernel`]).
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
     /// Validates and builds the config.
     ///
     /// # Errors
@@ -255,6 +284,7 @@ impl FleetConfigBuilder {
             queue_depth: self.queue_depth,
             frame_workers: self.frame_workers,
             wallclock_latency: self.wallclock_latency,
+            kernel: self.kernel,
         })
     }
 
@@ -567,6 +597,17 @@ impl SessionFleet {
         }
     }
 
+    /// The caller's options with the fleet-wide kernel preference folded
+    /// in: a per-run [`RunOptions::kernel`] always wins, then
+    /// [`FleetConfig::with_kernel`], then the params-level default.
+    fn effective_options<'a>(&self, options: &RunOptions<'a>) -> RunOptions<'a> {
+        let mut opts = *options;
+        if opts.kernel.is_none() {
+            opts.kernel = self.fleet.kernel;
+        }
+        opts
+    }
+
     /// Segments one frame of `stream`, admitting the stream first if it
     /// has no slot yet. Bit-identical to running the same frames through
     /// a standalone session; allocation-free in steady state.
@@ -590,7 +631,8 @@ impl SessionFleet {
             }
         };
         let started = self.fleet.wallclock_latency.then(Instant::now);
-        let report = self.slots[slot].session.try_run(request, options)?;
+        let opts = self.effective_options(options);
+        let report = self.slots[slot].session.try_run(request, &opts)?;
         let latency = Self::frame_latency_of(started, &report);
         self.note(slot, &report, latency, options.recorder);
         Ok(report)
@@ -683,7 +725,8 @@ impl SessionFleet {
                     Err(e) => raise(SegmentError::Fleet(e)),
                 };
                 let started = self.fleet.wallclock_latency.then(Instant::now);
-                let report = self.slots[slot].session.try_run(f.request, options)?;
+                let opts = self.effective_options(options);
+                let report = self.slots[slot].session.try_run(f.request, &opts)?;
                 let latency = Self::frame_latency_of(started, &report);
                 self.note(slot, &report, latency, options.recorder);
                 out.push(report);
@@ -705,6 +748,7 @@ impl SessionFleet {
         let workers = self.fleet.frame_workers;
         let warm = options.warm_start;
         let recovery = options.recovery;
+        let kernel = options.kernel.or(self.fleet.kernel);
         let wallclock = self.fleet.wallclock_latency;
         let mut bins: Vec<Vec<(&mut Slot, Vec<usize>)>> = (0..workers).map(|_| Vec::new()).collect();
         for (bin, work) in self
@@ -735,6 +779,9 @@ impl SessionFleet {
                             }
                             if let Some(p) = recovery {
                                 opts = opts.with_recovery(p);
+                            }
+                            if let Some(k) = kernel {
+                                opts = opts.with_kernel(k);
                             }
                             let started = wallclock.then(Instant::now);
                             match slot.session.try_run(frames[i].request, &opts) {

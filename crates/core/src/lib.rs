@@ -45,6 +45,7 @@ mod distance;
 mod engine;
 mod fleet;
 mod grid;
+mod kernel;
 mod parallel;
 mod params;
 mod recovery;
@@ -75,6 +76,7 @@ pub use fleet::{
     StreamFrame, StreamId, StreamStats, WIRE_CLOSE, WIRE_FRAME, WIRE_MAX_PAYLOAD, WIRE_STATS,
 };
 pub use grid::SeedGrid;
+pub use kernel::Kernel;
 pub use params::{ParamError, SlicParams, SlicParamsBuilder};
 pub use recovery::{
     center_checksum, GuardVerdict, RecoveryAction, RecoveryOutcome, RecoveryPolicy, RecoveryReport,

@@ -1,5 +1,7 @@
 use std::num::NonZeroUsize;
 
+use crate::kernel::Kernel;
+
 /// Parameters shared by every SLIC variant.
 ///
 /// Construct via [`SlicParams::builder`]; the builder supplies the paper's
@@ -31,6 +33,7 @@ pub struct SlicParams {
     min_region_divisor: u32,
     adaptive_compactness: bool,
     threads: NonZeroUsize,
+    kernel: Kernel,
 }
 
 impl SlicParams {
@@ -53,6 +56,7 @@ impl SlicParams {
                 min_region_divisor: 4,
                 adaptive_compactness: false,
                 threads: NonZeroUsize::MIN,
+                kernel: Kernel::Auto,
             },
             threads: 1,
         }
@@ -116,6 +120,13 @@ impl SlicParams {
         self.threads
     }
 
+    /// Assign-phase kernel preference (see [`Kernel`]). The resolved
+    /// backend never changes the labels — every kernel is bit-identical —
+    /// only the execution strategy. Default [`Kernel::Auto`].
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
     /// Grid spacing `S = sqrt(N / K)` for an image of `pixels` pixels.
     pub fn grid_spacing(&self, pixels: usize) -> f32 {
         (pixels as f32 / self.superpixels as f32).sqrt()
@@ -138,6 +149,9 @@ pub enum ParamError {
     /// `threads == 0`: the banded execution layer needs at least one
     /// worker.
     ZeroThreads,
+    /// An assign-kernel name failed to parse: only `auto`, `scalar`, and
+    /// `swar` select a backend (see [`Kernel`]).
+    UnknownKernel,
 }
 
 impl std::fmt::Display for ParamError {
@@ -148,6 +162,7 @@ impl std::fmt::Display for ParamError {
             ParamError::ZeroIterations => "at least one iteration required",
             ParamError::ZeroMinRegionDivisor => "min_region_divisor must be nonzero",
             ParamError::ZeroThreads => "thread count must be nonzero",
+            ParamError::UnknownKernel => "kernel must be one of auto, scalar, swar",
         };
         f.write_str(msg)
     }
@@ -224,6 +239,17 @@ impl SlicParamsBuilder {
     /// `build` panics if `threads == 0`.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the assign-phase kernel preference (see
+    /// [`SlicParams::kernel`]). Any choice yields bit-identical labels;
+    /// the per-run [`RunOptions::with_kernel`] override, when present,
+    /// takes precedence over this configuration-level default.
+    ///
+    /// [`RunOptions::with_kernel`]: crate::RunOptions::with_kernel
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.params.kernel = kernel;
         self
     }
 
@@ -309,6 +335,7 @@ mod tests {
             .perturb_seeds(false)
             .enforce_connectivity(false)
             .min_region_divisor(8)
+            .kernel(Kernel::Swar)
             .build();
         assert_eq!(p.superpixels(), 42);
         assert_eq!(p.compactness(), 25.0);
@@ -317,6 +344,12 @@ mod tests {
         assert!(!p.perturb_seeds());
         assert!(!p.enforce_connectivity());
         assert_eq!(p.min_region_divisor(), 8);
+        assert_eq!(p.kernel(), Kernel::Swar);
+    }
+
+    #[test]
+    fn kernel_defaults_to_auto() {
+        assert_eq!(SlicParams::builder(10).build().kernel(), Kernel::Auto);
     }
 
     #[test]

@@ -87,6 +87,7 @@ pub fn frame_run_report(seg: &Segmenter, frame: &FrameReport, deterministic: boo
         } else {
             "float".to_string()
         },
+        kernel: Some(frame.kernel().as_str().to_string()),
         iterations_run: u64::from(frame.iterations_run()),
         status: match frame.status() {
             SegmentationStatus::Ok => "ok".to_string(),
@@ -159,6 +160,7 @@ pub fn build_run_report(
         } else {
             "float".to_string()
         },
+        kernel: Some(out.kernel().as_str().to_string()),
         iterations_run: u64::from(out.iterations_run()),
         status: match out.status() {
             SegmentationStatus::Ok => "ok".to_string(),

@@ -40,6 +40,7 @@ use crate::engine::{
     Algorithm, RunOptions, Segmentation, SegmentationStatus, SegmentRequest, Segmenter, StepFaults,
 };
 use crate::instrument::RunCounters;
+use crate::kernel::{Kernel, SwarKernel};
 use crate::parallel::BandPool;
 use crate::profile::{Phase, PhaseBreakdown};
 use crate::recovery::{
@@ -134,6 +135,7 @@ pub struct FrameReport {
     pub(crate) scratch_allocs: u64,
     pub(crate) scratch_bytes: u64,
     pub(crate) recovery: RecoveryReport,
+    pub(crate) kernel: Kernel,
 }
 
 impl FrameReport {
@@ -192,6 +194,13 @@ impl FrameReport {
     pub fn recovery(&self) -> &RecoveryReport {
         &self.recovery
     }
+
+    /// The assign-kernel backend that actually ran this frame:
+    /// [`Kernel::Swar`] or [`Kernel::Scalar`], never [`Kernel::Auto`].
+    /// Informational only — every backend is bit-identical.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
 }
 
 /// Everything a band worker needs to execute one dispatch, shared by `Arc`:
@@ -212,6 +221,9 @@ struct FrameCtx {
     max_dc2: Option<Arc<Vec<f32>>>,
     partition: Option<Arc<SubsetPartition>>,
     kernel: Option<QuantKernel>,
+    /// `Some` exactly when this frame resolved to [`Kernel::Swar`]: the
+    /// shared SWAR tables the band workers scan with.
+    swar: Option<Arc<SwarKernel>>,
     m2_over_s2: f32,
     inv_s2: f32,
 }
@@ -337,8 +349,37 @@ fn assign_band(
     preempting: bool,
 ) {
     let w = ctx.grid.width();
-    let dist = DistCtx::of(ctx);
     slot.new_max.fill(0.0);
+    if let (Some(swar), Some(lab8)) = (ctx.swar.as_deref(), ctx.lab8.as_deref()) {
+        // The SWAR fixed-point kernel: bit-identical labels (the lane
+        // scan replays every scalar comparison — see `crate::kernel`),
+        // identical counters, identical stripe semantics for skipped
+        // pixels. SLICO maxima never apply here: adaptive compactness
+        // is a float-datapath feature, and `ctx.swar` is only populated
+        // on quantized frames.
+        let part = match (subset, ctx.partition.as_deref()) {
+            (Some(s), Some(p)) => Some((p, s)),
+            _ => None,
+        };
+        let assigned = swar.assign_rows(
+            &ctx.grid,
+            lab8,
+            &ctx.codes,
+            &ctx.active,
+            part,
+            preempting,
+            rows,
+            &mut slot.stripe,
+        );
+        slot.counters = RunCounters {
+            pixel_color_reads: assigned,
+            distance_calcs: assigned * 9,
+            label_writes: assigned,
+            ..RunCounters::default()
+        };
+        return;
+    }
+    let dist = DistCtx::of(ctx);
     let mut assigned = 0u64;
     for y in rows.clone() {
         for x in 0..w {
@@ -507,6 +548,14 @@ pub struct SegmenterSession {
     max_dc2: Option<Arc<Vec<f32>>>,
     partition: Option<Arc<SubsetPartition>>,
     kernel: Option<QuantKernel>,
+    /// SWAR assign tables, built at construction whenever the
+    /// configuration qualifies (quantized + pixel-perspective); `None`
+    /// means every frame of this session is scalar-only.
+    swar: Option<Arc<SwarKernel>>,
+    /// The backend resolved for the frame currently running (set at the
+    /// top of [`SegmenterSession::frame`]; [`Kernel::Scalar`] before the
+    /// first frame).
+    frame_kernel: Kernel,
     converter: Option<HwColorConverter>,
     dist: Plane<f32>,
     out: Plane<u32>,
@@ -637,6 +686,20 @@ impl SegmenterSession {
         let fold_max = vec![0f32; k];
         ledger.record(k as u64 * 48); // fold buffer: sigma register file
         let fold_sigma = vec![[0f64; 6]; k];
+        // SWAR assign-kernel tables (squared-delta LUTs + code-threshold
+        // table), built whenever the configuration qualifies — regardless
+        // of the kernel actually requested — so a per-run
+        // `RunOptions::with_kernel` override stays zero-alloc in steady
+        // state. Quantized + adaptive is rejected above, so `kernel`
+        // being `Some` already implies the non-adaptive datapath.
+        let swar = match &kernel {
+            Some(qk) if banded_labels => {
+                let tables = SwarKernel::new(qk);
+                ledger.record(tables.table_bytes());
+                Some(Arc::new(tables))
+            }
+            _ => None,
+        };
         let pool = BandPool::new(
             params.threads().get(),
             height,
@@ -669,6 +732,8 @@ impl SegmenterSession {
             max_dc2,
             partition,
             kernel,
+            swar,
+            frame_kernel: Kernel::Scalar,
             converter: quantized.then(HwColorConverter::paper_default),
             dist,
             out,
@@ -880,6 +945,14 @@ impl SegmenterSession {
         let recorder = options.recorder;
         let policy = options.recovery;
         let spacing = self.grid.spacing();
+        // Resolve the assign backend for this frame: the per-run override
+        // beats the configuration preference; `Swar`/`Auto` fall back to
+        // the (bit-identical) scalar loop when the session never built
+        // SWAR tables (float mode or a center-perspective algorithm).
+        self.frame_kernel = options
+            .kernel
+            .unwrap_or(params.kernel())
+            .resolve(self.swar.is_some());
         let mut breakdown = PhaseBreakdown::new();
 
         if let Some(f) = options.faults {
@@ -1094,6 +1167,7 @@ impl SegmenterSession {
             scratch_allocs,
             scratch_bytes,
             recovery,
+            kernel: self.frame_kernel,
         })
     }
 
@@ -1426,6 +1500,9 @@ impl SegmenterSession {
             max_dc2: self.max_dc2.as_ref().map(Arc::clone),
             partition: self.partition.as_ref().map(Arc::clone),
             kernel: self.kernel.clone(),
+            swar: (self.frame_kernel == Kernel::Swar)
+                .then(|| self.swar.as_ref().map(Arc::clone))
+                .flatten(),
             m2_over_s2: self.m2_over_s2,
             inv_s2: self.inv_s2,
         }

@@ -4,8 +4,8 @@
 //! `run_into` never writes a single word of partial output.
 
 use sslic_core::{
-    FleetConfig, FleetError, ParamError, RunOptions, SegmentError, SegmentRequest, Segmenter,
-    SegmenterSession, SessionFleet, SlicParams, StreamId,
+    FleetConfig, FleetError, Kernel, ParamError, RunOptions, SegmentError, SegmentRequest,
+    Segmenter, SegmenterSession, SessionFleet, SlicParams, StreamId,
 };
 use sslic_image::synthetic::SyntheticImage;
 use sslic_image::Plane;
@@ -62,6 +62,21 @@ fn every_param_error_variant_is_reachable_via_try_build() {
 }
 
 #[test]
+fn unknown_kernel_is_reachable_via_from_str() {
+    // `Kernel` parses only the canonical lowercase names — everything
+    // else (the CLI's `--kernel bogus`, trailing whitespace, wrong case)
+    // lands on the dedicated variant.
+    for bad in ["bogus", "", "Swar", "SCALAR", "auto ", "simd"] {
+        assert_eq!(
+            bad.parse::<Kernel>().unwrap_err(),
+            ParamError::UnknownKernel,
+            "{bad:?} must be rejected"
+        );
+    }
+    assert_eq!("swar".parse::<Kernel>().unwrap(), Kernel::Swar);
+}
+
+#[test]
 fn param_errors_display_distinct_messages() {
     let variants = [
         ParamError::ZeroSuperpixels,
@@ -69,6 +84,7 @@ fn param_errors_display_distinct_messages() {
         ParamError::ZeroIterations,
         ParamError::ZeroMinRegionDivisor,
         ParamError::ZeroThreads,
+        ParamError::UnknownKernel,
     ];
     let messages: Vec<String> = variants.iter().map(|v| v.to_string()).collect();
     for (i, m) in messages.iter().enumerate() {

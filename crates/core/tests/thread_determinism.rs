@@ -4,7 +4,7 @@
 //! the accumulation itself) fails loudly. Runs under the workspace's
 //! overflow-checked test profile.
 
-use sslic_core::{DistanceMode, RunOptions, SegmentRequest, Segmenter, SlicParams};
+use sslic_core::{DistanceMode, Kernel, RunOptions, SegmentRequest, Segmenter, SlicParams};
 use sslic_image::synthetic::SyntheticImage;
 use sslic_image::Plane;
 
@@ -29,9 +29,14 @@ fn fixed_scene() -> SyntheticImage {
 }
 
 fn checksum_at(threads: usize, cpa: bool, quantized: bool) -> u64 {
+    checksum_with_kernel(threads, cpa, quantized, Kernel::Auto)
+}
+
+fn checksum_with_kernel(threads: usize, cpa: bool, quantized: bool, kernel: Kernel) -> u64 {
     let params = SlicParams::builder(60)
         .iterations(5)
         .threads(threads)
+        .kernel(kernel)
         .build();
     let seg = if cpa {
         Segmenter::sslic_cpa(params, 2)
@@ -95,6 +100,43 @@ fn cpa_quantized_is_pinned_for_every_thread_count() {
             sum, PINNED_CPA_QUANTIZED,
             "CPA quantized at {t} threads drifted: got {sum:#018x}"
         );
+    }
+}
+
+#[test]
+fn forced_kernels_match_the_quantized_pin_at_every_thread_count() {
+    // The SWAR path's bit-identity contract, pinned from both sides:
+    // forcing `Scalar` and forcing `Swar` on the eligible configuration
+    // must both land on the pre-SWAR checksum, at serial and banded
+    // thread counts alike.
+    for t in [1usize, 2, 8] {
+        for kernel in [Kernel::Scalar, Kernel::Swar] {
+            let sum = checksum_with_kernel(t, false, true, kernel);
+            assert_eq!(
+                sum, PINNED_PPA_QUANTIZED,
+                "PPA quantized with {kernel} forced at {t} threads drifted: got {sum:#018x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn swar_request_falls_back_to_scalar_on_ineligible_configs() {
+    // Float datapaths and the center-perspective traversal have no SWAR
+    // tables; a forced `Swar` must resolve to the scalar loop and hit the
+    // exact same pins, not error or drift.
+    for (cpa, quantized, pin, name) in [
+        (false, false, PINNED_PPA_FLOAT, "PPA float"),
+        (true, false, PINNED_CPA_FLOAT, "CPA float"),
+        (true, true, PINNED_CPA_QUANTIZED, "CPA quantized"),
+    ] {
+        for t in [1usize, 2, 8] {
+            let sum = checksum_with_kernel(t, cpa, quantized, Kernel::Swar);
+            assert_eq!(
+                sum, pin,
+                "{name} with Swar forced at {t} threads drifted: got {sum:#018x}"
+            );
+        }
     }
 }
 

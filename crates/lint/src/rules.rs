@@ -97,6 +97,7 @@ pub const DETERMINISM_FILES: &[&str] = &[
 /// fixed-point kernels plus the PPA distance scan and sigma-fold loops.
 pub const OVERFLOW_FILES: &[&str] = &[
     "crates/core/src/distance.rs",
+    "crates/core/src/kernel.rs",
     "crates/core/src/session.rs",
     "crates/core/src/recovery.rs",
 ];

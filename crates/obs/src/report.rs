@@ -220,6 +220,10 @@ pub struct RunReport {
     pub compactness: f64,
     /// Distance mode (`float` or `quantized`).
     pub distance_mode: String,
+    /// Resolved assign-kernel backend (`scalar` or `swar`); `None` (and
+    /// omitted from the JSON) for reports from producers that predate
+    /// kernel dispatch, so existing captures parse unchanged.
+    pub kernel: Option<String>,
     /// Center-update steps actually executed.
     pub iterations_run: u64,
     /// Final status (`ok` or `degraded`).
@@ -287,6 +291,9 @@ impl RunReport {
             ",\"distance_mode\":\"{}\"",
             escape_json(&self.distance_mode)
         ));
+        if let Some(k) = &self.kernel {
+            out.push_str(&format!(",\"kernel\":\"{}\"", escape_json(k)));
+        }
         out.push_str(&format!(",\"iterations_run\":{}", self.iterations_run));
         out.push_str(&format!(",\"status\":\"{}\"", escape_json(&self.status)));
         out.push_str(&format!(",\"repairs\":{}", self.repairs));
@@ -442,6 +449,10 @@ impl RunReport {
                 .and_then(Json::as_f64)
                 .ok_or_else(|| "missing or invalid field 'compactness'".to_string())?,
             distance_mode: need_str("distance_mode")?,
+            kernel: j
+                .get("kernel")
+                .and_then(Json::as_str)
+                .map(str::to_string),
             iterations_run: need_u64("iterations_run")?,
             status: need_str("status")?,
             repairs: need_u64("repairs")?,
@@ -471,6 +482,7 @@ mod tests {
             threads: 2,
             compactness: 10.5,
             distance_mode: "quantized".to_string(),
+            kernel: None,
             iterations_run: 12,
             status: "ok".to_string(),
             repairs: 0,
@@ -540,6 +552,21 @@ mod tests {
             rejected: 2,
             label_checksum: 0xDEAD_BEEF_CAFE_F00D,
         });
+        let json = r.to_json();
+        let back = RunReport::from_json(&json).expect("parse");
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn kernel_field_round_trips_and_stays_optional() {
+        // Reports from producers that predate kernel dispatch never
+        // emit the key, so their bytes are untouched.
+        let plain = sample();
+        assert!(!plain.to_json().contains("\"kernel\""));
+        // With one, the value survives the round trip byte-for-byte.
+        let mut r = sample();
+        r.kernel = Some("swar".to_string());
         let json = r.to_json();
         let back = RunReport::from_json(&json).expect("parse");
         assert_eq!(back, r);

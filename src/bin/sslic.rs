@@ -13,7 +13,7 @@ use std::process::ExitCode;
 
 use sslic::core::{
     build_run_report, serve, write_wire_close, write_wire_frame, write_wire_stats, DistanceMode,
-    FleetConfig, RecoveryOutcome, RecoveryPolicy, RunOptions, SegmentRequest, Segmenter,
+    FleetConfig, Kernel, RecoveryOutcome, RecoveryPolicy, RunOptions, SegmentRequest, Segmenter,
     ServeOptions, SessionFleet, SlicParams, StreamId,
 };
 use sslic::hw::export;
@@ -56,9 +56,9 @@ fn print_help() {
          USAGE:\n\
          \x20 sslic segment <input.ppm>... [--superpixels K] [--compactness M]\n\
          \x20               [--iterations N] [--subsets P] [--algo slic|ppa|sslic|hw8]\n\
-         \x20               [--threads T] [--out PREFIX] [--recovery N]\n\
-         \x20               [--trace out.jsonl] [--chrome-trace out.json]\n\
-         \x20               [--report out.json] [--wallclock]\n\
+         \x20               [--threads T] [--kernel auto|scalar|swar] [--out PREFIX]\n\
+         \x20               [--recovery N] [--trace out.jsonl]\n\
+         \x20               [--chrome-trace out.json] [--report out.json] [--wallclock]\n\
          \x20     Segment binary PPMs; writes PREFIX.boundaries.ppm,\n\
          \x20     PREFIX.mosaic.ppm, and PREFIX.labels.pgm (16-bit) per input.\n\
          \x20     Several inputs stream through one persistent session:\n\
@@ -68,6 +68,10 @@ fn print_help() {
          \x20     --recovery N arms the self-healing runtime: invariant-guard\n\
          \x20     failures retry the frame from its checkpoint up to N times\n\
          \x20     (deterministically) before the frame is failed.\n\
+         \x20     --kernel picks the assign backend: swar is the packed\n\
+         \x20     fixed-point scan (quantized configs, bit-identical labels),\n\
+         \x20     scalar the reference loop, auto (default) takes swar\n\
+         \x20     whenever the configuration qualifies.\n\
          \x20     --trace writes a JSONL event trace, --chrome-trace a\n\
          \x20     Perfetto/chrome://tracing file, --report a RunReport JSON.\n\
          \x20     Traces are deterministic (logical clocks, byte-identical\n\
@@ -76,8 +80,8 @@ fn print_help() {
          \x20 sslic serve [--listen ADDR] [--slots S] [--queue-depth Q]\n\
          \x20             [--superpixels K] [--compactness M] [--iterations N]\n\
          \x20             [--subsets P] [--algo slic|ppa|sslic|hw8] [--threads T]\n\
-         \x20             [--recovery N] [--wallclock] [--heartbeat N]\n\
-         \x20             [--metrics-file PATH]\n\
+         \x20             [--kernel auto|scalar|swar] [--recovery N] [--wallclock]\n\
+         \x20             [--heartbeat N] [--metrics-file PATH]\n\
          \x20     Multi-stream segmentation server over a SessionFleet.\n\
          \x20     Speaks the length-prefixed frame protocol (see README) on\n\
          \x20     stdin/stdout, or on one TCP connection with --listen. Emits\n\
@@ -174,12 +178,14 @@ fn cmd_segment(args: &[String]) -> CliResult {
     let chrome_path: Option<String> = flag(args, "--chrome-trace")?;
     let report_path: Option<String> = flag(args, "--report")?;
     let recovery: Option<u32> = flag(args, "--recovery")?;
+    let kernel: Kernel = flag(args, "--kernel")?.unwrap_or_default();
     let wallclock = args.iter().any(|a| a == "--wallclock");
 
     let params = SlicParams::builder(k)
         .compactness(m)
         .iterations(iterations)
         .threads(threads)
+        .kernel(kernel)
         .build();
     let segmenter = match algo.as_str() {
         "slic" => Segmenter::slic(params),
@@ -321,11 +327,13 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let wallclock = args.iter().any(|a| a == "--wallclock");
     let heartbeat: u64 = flag(args, "--heartbeat")?.unwrap_or(0);
     let metrics_file: Option<String> = flag(args, "--metrics-file")?;
+    let kernel: Kernel = flag(args, "--kernel")?.unwrap_or_default();
 
     let params = SlicParams::builder(k)
         .compactness(m)
         .iterations(iterations)
         .threads(threads)
+        .kernel(kernel)
         .build();
     let segmenter = match algo.as_str() {
         "slic" => Segmenter::slic(params),

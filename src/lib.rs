@@ -59,7 +59,7 @@ pub use sslic_obs as obs;
 /// admission control surfaced as [`prelude::FleetError`].
 pub mod prelude {
     pub use sslic_core::{
-        FleetConfig, FleetError, FrameReport, RunOptions, SegmentError, SegmentRequest,
+        FleetConfig, FleetError, FrameReport, Kernel, RunOptions, SegmentError, SegmentRequest,
         Segmentation, SegmentationStatus, Segmenter, SegmenterSession, SessionFleet, SlicParams,
         SlicParamsBuilder, StreamFrame, StreamId,
     };

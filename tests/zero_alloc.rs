@@ -63,6 +63,22 @@ fn scenarios() -> Vec<(&'static str, Segmenter)> {
             "sslic_ppa/quantized8",
             Segmenter::sslic_ppa(p(threads), 2).with_distance_mode(DistanceMode::quantized(8)),
         ));
+        // Both forced kernels: the SWAR threshold tables are built once in
+        // the session arena, so neither backend may allocate per frame.
+        for (name, kernel) in [
+            ("sslic_ppa/quantized8+swar", Kernel::Swar),
+            ("sslic_ppa/quantized8+scalar", Kernel::Scalar),
+        ] {
+            let params = SlicParams::builder(60)
+                .iterations(5)
+                .threads(threads)
+                .kernel(kernel)
+                .build();
+            out.push((
+                name,
+                Segmenter::sslic_ppa(params, 2).with_distance_mode(DistanceMode::quantized(8)),
+            ));
+        }
         out.push(("sslic_cpa/float", Segmenter::sslic_cpa(p(threads), 2)));
         let adaptive = SlicParams::builder(60)
             .iterations(5)
